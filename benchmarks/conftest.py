@@ -1,0 +1,45 @@
+"""Shared benchmark fixtures.
+
+Mesh sizes default to 1, 2, 4 (laptop-friendly).  Set
+``REPRO_BENCH_SIZES=1,2,4,8,16`` to sweep the paper's full range — the
+16x16 baseline compile will exhaust its budget and report NA, exactly
+like the paper's 24-hour Verilator timeout.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.workloads import collect_sizes
+
+
+def bench_sizes():
+    raw = os.environ.get("REPRO_BENCH_SIZES", "1,2,4")
+    return tuple(int(x) for x in raw.split(",") if x.strip())
+
+
+def baseline_budget():
+    return float(os.environ.get("REPRO_BENCH_BASELINE_BUDGET_S", "30"))
+
+
+@pytest.fixture(scope="session")
+def sizes():
+    return bench_sizes()
+
+
+@pytest.fixture(scope="session")
+def size_results(sizes):
+    """One full workbench sweep, shared by every figure/table bench."""
+    return collect_sizes(
+        sizes=sizes,
+        sim_cycles=60,
+        baseline_budget_s=baseline_budget(),
+        measure_baseline_speed=True,
+    )
+
+
+def emit(text: str) -> None:
+    """Print a reproduced artifact so it lands in the bench log."""
+    print("\n" + text + "\n")

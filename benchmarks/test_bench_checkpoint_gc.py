@@ -1,0 +1,67 @@
+"""Fig. 2(c): checkpoint garbage collection — bounded population,
+newest window intact, older tail thinned toward equal spacing."""
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.live.checkpoint import Checkpoint, CheckpointStore, GCPolicy
+
+from .conftest import emit
+
+
+def synthetic_checkpoints(count, spacing=100):
+    return [
+        Checkpoint(id=i, cycle=i * spacing, snapshot=None, version="1.0",
+                   op_index=0)
+        for i in range(count)
+    ]
+
+
+def test_gc_policy_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    policy = GCPolicy(keep_latest=100, older_budget=100)
+    rows = []
+    for total in (50, 150, 500, 2_000, 10_000):
+        checkpoints = synthetic_checkpoints(total)
+        victims = policy.select_victims(checkpoints)
+        survivors = total - len(victims)
+        rows.append([total, len(victims), survivors])
+        assert survivors <= 200
+    emit(format_table(
+        "Figure 2c — GC policy (keep 100 latest, thin older to ~100 "
+        "equally spaced)",
+        ["stream length", "collected", "surviving"],
+        rows,
+    ))
+
+
+def test_bench_gc_selection(benchmark):
+    policy = GCPolicy(keep_latest=100, older_budget=100)
+    checkpoints = synthetic_checkpoints(5_000)
+
+    def select():
+        return policy.select_victims(checkpoints)
+
+    victims = benchmark(select)
+    assert len(victims) > 0
+
+
+def test_bench_store_insert_with_gc(benchmark):
+    """Steady-state insertion cost with GC in the loop."""
+    store = CheckpointStore(
+        interval=1, policy=GCPolicy(keep_latest=50, older_budget=25)
+    )
+    from repro import compile_design
+    from repro.sim import Pipe
+    from tests.conftest import COUNTER_SRC
+
+    netlist, library = compile_design(COUNTER_SRC, "top")
+    pipe = Pipe(netlist.top, library)
+    pipe.set_inputs(rst=0)
+
+    def insert():
+        pipe.step(1)
+        return store.take(pipe, "1.0", 0)
+
+    benchmark(insert)
+    assert len(store) <= 75

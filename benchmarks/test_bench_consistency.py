@@ -1,0 +1,82 @@
+"""Fig. 6: checkpoint-delta consistency verification and its
+parallel scaling."""
+
+import os
+
+import pytest
+
+from repro.bench.figures import consistency_scaling
+from repro.bench.reporting import format_table
+from repro.live.session import LiveSession
+from repro.riscv import build_pgas_source
+from repro.riscv.programs import boot_program, boot_program_spec, busy_counter
+
+from .conftest import emit
+
+ASM = busy_counter(10_000_000)
+
+
+def test_consistency_scaling_report(benchmark):
+    workers = (2, 4) if (os.cpu_count() or 1) >= 4 else (2,)
+    result = benchmark.pedantic(
+        lambda: consistency_scaling(
+            n=1, run_cycles=400, interval=40, worker_counts=workers
+        ),
+        rounds=1, iterations=1,
+    )
+    rows = [[1, round(result.serial_wall_s, 3)]]
+    for count, wall in result.parallel_wall_s.items():
+        rows.append([count, round(wall, 3)])
+    emit(format_table(
+        "Figure 6 — consistency verification wall time vs workers "
+        f"({result.checkpoints} checkpoints)",
+        ["workers", "wall seconds"],
+        rows,
+    ))
+    assert result.all_consistent
+
+
+def test_bench_serial_verification(benchmark):
+    session = LiveSession(build_pgas_source(1), checkpoint_interval=40)
+    session.inst_pipe("uut", session.stage_handle_for("pgas_mesh_1x1"))
+    tb = session.load_testbench(
+        boot_program(ASM, count=1), factory=boot_program_spec(ASM, count=1)
+    )
+    session.run(tb, "uut", 300)
+
+    def verify():
+        return session.verify_consistency("uut", workers=1)
+
+    report = benchmark.pedantic(verify, rounds=2, iterations=1)
+    assert report.all_consistent
+
+
+def test_bench_repair_after_divergence(benchmark):
+    """The §III-F recovery path: find the divergence, rebuild history."""
+    from repro.riscv.patches import get_patch
+
+    countdown = """
+    li   s0, 1000000
+loop:
+    addi s0, s0, -1
+    sd   s0, 0x200(zero)
+    bnez s0, loop
+    ecall
+"""
+
+    def diverge_and_repair():
+        buggy = get_patch("id-imm-sign").inject(build_pgas_source(1))
+        session = LiveSession(buggy, checkpoint_interval=40)
+        session.inst_pipe("uut", session.stage_handle_for("pgas_mesh_1x1"))
+        tb = session.load_testbench(
+            boot_program(countdown, count=1),
+            factory=boot_program_spec(countdown, count=1),
+        )
+        session.run(tb, "uut", 200)
+        session.apply_change(
+            get_patch("id-imm-sign").fix(session.compiler.source)
+        )
+        return session.verify_consistency("uut", repair=True)
+
+    report = benchmark.pedantic(diverge_and_repair, rounds=2, iterations=1)
+    assert not report.all_consistent  # divergence was found (then fixed)

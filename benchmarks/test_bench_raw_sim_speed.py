@@ -1,0 +1,52 @@
+"""Substrate raw simulation speed (honest wall-clock numbers).
+
+The paper's KHz numbers come from compiled C++; this substrate is pure
+Python, so absolute speeds are ~100x lower (documented in DESIGN.md /
+EXPERIMENTS.md).  This bench records what the substrate actually does:
+cycles/second per design size for the shared-code simulator, and the
+per-core aggregate ("global" speed, the paper's unit).
+"""
+
+import pytest
+
+from repro.bench.reporting import format_table
+
+from .conftest import emit
+
+
+def test_raw_speed_report(benchmark, size_results):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for result in size_results:
+        design_hz = result.livesim_sim_hz or 0.0
+        base_hz = result.baseline_sim_hz
+        rows.append([
+            result.cores,
+            round(design_hz, 1),
+            round(design_hz * result.cores, 1),
+            round(base_hz, 1) if base_hz else None,
+        ])
+    emit(format_table(
+        "Substrate raw simulation speed (pure Python; shapes, not "
+        "absolute KHz, are the reproduction target)",
+        ["cores", "design Hz", "aggregate core-Hz", "baseline design Hz"],
+        rows,
+        row_labels=[f"{r.n}x{r.n}" for r in size_results],
+    ))
+    # Aggregate throughput should not collapse with size (code sharing).
+    aggregate = [r[2] for r in rows]
+    assert aggregate[-1] > 0.2 * aggregate[0]
+
+
+def test_bench_single_cycle(benchmark, size_results, sizes):
+    """Cost of one simulated cycle at the largest size."""
+    from repro.bench.workloads import PGASWorkbench
+
+    bench = PGASWorkbench(sizes[-1], checkpoint_interval=10_000)
+    session = bench.build_session()
+    bench.run(10)
+    pipe = session.pipe("uut")
+    pipe.set_inputs(rst=0)
+
+    benchmark(lambda: pipe.step(1))
+    assert pipe.cycle > 10

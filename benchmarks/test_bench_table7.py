@@ -1,0 +1,62 @@
+"""Table VII: KHz / IPC / I$ MPKI / D$ MPKI / BR MPKI per size and
+compilation style, via the host performance model."""
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.bench.tables import table7, table7_formatted_rows
+from repro.codegen.cost import design_cost
+from repro.hdl import elaborate, parse
+from repro.hostmodel.trace import TraceSynthesizer
+from repro.riscv.pgas import build_pgas_source, mesh_top_name
+
+from .conftest import emit
+
+
+def test_table7_report(benchmark, sizes):
+    rows = benchmark.pedantic(
+        lambda: table7(sizes=list(sizes), trace_cycles=5,
+                       verilator_na_at=16),
+        rounds=1, iterations=1,
+    )
+    columns, body = table7_formatted_rows(rows)
+    emit(format_table(
+        "Table VII — simulation efficiency (host model, calibrated to "
+        "the paper's 1x1 LiveSim = 1974 KHz)",
+        columns,
+        body,
+        row_labels=["KHz", "IPC", "I$ MPKI", "D$ MPKI", "BR MPKI"],
+    ))
+    by_n = {r.n: r for r in rows}
+    smallest, largest = sizes[0], sizes[-1]
+    # The paper's qualitative claims:
+    if by_n[smallest].verilator is not None:
+        assert by_n[smallest].verilator.khz > by_n[smallest].livesim.khz
+    if largest >= 4 and by_n[largest].verilator is not None:
+        assert by_n[largest].livesim.khz > by_n[largest].verilator.khz
+        assert by_n[largest].verilator.i_mpki > 10.0
+        assert by_n[largest].livesim.i_mpki < 1.0
+
+
+def test_bench_trace_synthesis(benchmark, sizes):
+    n = sizes[-1]
+    netlist = elaborate(parse(build_pgas_source(n)), mesh_top_name(n))
+    cost = design_cost(netlist, "branch")
+
+    def run_trace():
+        return TraceSynthesizer(cost).run(cycles=4, warmup=1)
+
+    stats = benchmark.pedantic(run_trace, rounds=2, iterations=1)
+    assert stats.instructions > 0
+
+
+def test_bench_cost_model(benchmark, sizes):
+    n = sizes[-1]
+    netlist = elaborate(parse(build_pgas_source(n)), mesh_top_name(n))
+
+    def both_styles():
+        return design_cost(netlist, "branch"), design_cost(netlist, "select")
+
+    live, veri = benchmark(both_styles)
+    # Code-footprint law: shared once vs replicated per instance.
+    assert veri.code_bytes > live.code_bytes

@@ -1,0 +1,73 @@
+"""Table VIII: compilation time — LiveSim hot reload vs LiveSim full vs
+the Verilator-like baseline (NA when the budget runs out)."""
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.bench.tables import table8, table8_shape_checks
+from repro.live.compiler_live import LiveCompiler
+from repro.riscv.patches import get_patch
+from repro.riscv.pgas import build_pgas_source, mesh_top_name
+
+from .conftest import emit
+
+
+def test_table8_report(benchmark, size_results):
+    rows = benchmark.pedantic(
+        lambda: table8(size_results), rounds=1, iterations=1
+    )
+    emit(format_table(
+        "Table VIII — compilation time (seconds); NA = budget exceeded "
+        "(the paper's 24 h Verilator timeout)",
+        [f"{r.n}x{r.n}" for r in rows],
+        [
+            [round(r.hot_reload_s, 3) if r.hot_reload_s else None
+             for r in rows],
+            [round(r.livesim_full_s, 3) for r in rows],
+            [round(r.verilator_s, 3) if r.verilator_s is not None else None
+             for r in rows],
+        ],
+        row_labels=["LiveSim Hot Reload", "LiveSim Full", "Verilator"],
+    ))
+    checks = table8_shape_checks(rows)
+    assert checks.get("hot_reload_under_2s", True), checks
+    assert checks.get("hot_reload_sublinear", True), checks
+    assert checks.get("baseline_slower_at_largest", True), checks
+
+
+def test_bench_incremental_recompile(benchmark, sizes):
+    """The hot-reload compile path: one changed stage module."""
+    n = sizes[-1]
+    source = build_pgas_source(n)
+    compiler = LiveCompiler(source)
+    compiler.compile_top(mesh_top_name(n))
+    patch = get_patch("id-imm-sign")
+    state = {"injected": False}
+
+    def incremental():
+        current = compiler.source
+        edited = patch.fix(current) if state["injected"] else patch.inject(current)
+        state["injected"] = not state["injected"]
+        compiler.update_source(edited)
+        return compiler.compile_top(mesh_top_name(n))
+
+    result = benchmark.pedantic(incremental, rounds=4, iterations=1)
+    # At most the edited module recompiles once the cache is warm.
+    assert len(result.report.recompiled_keys) <= 1
+
+
+def test_bench_comment_only_edit(benchmark, sizes):
+    """LiveParser's short-circuit: comment edits must cost parsing only."""
+    n = sizes[-1]
+    source = build_pgas_source(n)
+    compiler = LiveCompiler(source)
+    compiler.compile_top(mesh_top_name(n))
+    counter = {"i": 0}
+
+    def comment_edit():
+        counter["i"] += 1
+        edited = compiler.source + f"\n// editing pass {counter['i']}\n"
+        return compiler.update_source(edited)
+
+    analysis = benchmark.pedantic(comment_edit, rounds=5, iterations=1)
+    assert not analysis.behavioral

@@ -1,0 +1,5 @@
+"""Verilator-like baseline simulator (per-instance code replication)."""
+
+from .compiler import BaselineCompiler, BaselineResult
+
+__all__ = ["BaselineCompiler", "BaselineResult"]

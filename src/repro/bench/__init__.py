@@ -1,0 +1,11 @@
+"""Benchmark harness: builders and drivers behind every paper figure.
+
+Each paper artifact has a generator here returning plain data
+structures; the ``benchmarks/`` pytest-benchmark suite and the
+``examples/`` scripts both print through :mod:`repro.bench.reporting`.
+"""
+
+from .workloads import PGASWorkbench, SizeResult
+from .reporting import format_table, format_series
+
+__all__ = ["PGASWorkbench", "SizeResult", "format_table", "format_series"]

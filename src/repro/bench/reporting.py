@@ -1,0 +1,64 @@
+"""Plain-text table/series formatting for bench output."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+
+def format_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    row_labels: Optional[Sequence[str]] = None,
+) -> str:
+    """Fixed-width table; NA/None cells render as 'NA' (the paper's
+    couldn't-compile marker)."""
+
+    def cell(value: object) -> str:
+        if value is None:
+            return "NA"
+        if isinstance(value, float):
+            if value >= 1000:
+                return f"{value:,.0f}"
+            return f"{value:.2f}"
+        return str(value)
+
+    header = list(columns)
+    body: List[List[str]] = []
+    for i, row in enumerate(rows):
+        rendered = [cell(v) for v in row]
+        if row_labels is not None:
+            rendered.insert(0, str(row_labels[i]))
+        body.append(rendered)
+    if row_labels is not None:
+        header = [""] + header
+
+    widths = [len(h) for h in header]
+    for row in body:
+        for j, text in enumerate(row):
+            widths[j] = max(widths[j], len(text))
+
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.rjust(widths[j]) for j, h in enumerate(header)))
+    lines.append("  ".join("-" * widths[j] for j in range(len(header))))
+    for row in body:
+        lines.append("  ".join(t.rjust(widths[j]) for j, t in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    series: Mapping[str, Sequence[tuple]],
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render named (x, y) series as aligned columns (a text 'figure')."""
+    lines = [title, "=" * len(title)]
+    for name, points in series.items():
+        lines.append(f"-- {name}  ({x_label} -> {y_label})")
+        for x, y in points:
+            y_text = "NA" if y is None else (
+                f"{y:.3f}" if isinstance(y, float) else str(y)
+            )
+            lines.append(f"    {x:>14}  {y_text}")
+    return "\n".join(lines)

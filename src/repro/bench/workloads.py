@@ -1,0 +1,196 @@
+"""The PGAS workbench: one object per mesh size with everything the
+figure/table generators need — LiveSim session, baseline compiles,
+measured simulation speeds, cost models."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..baseline import BaselineCompiler, BaselineResult
+from ..codegen.cost import DesignCost, design_cost
+from ..hdl.elaborate import elaborate
+from ..hdl.parser import parse
+from ..live.session import ERDReport, LiveSession
+from ..riscv import programs
+from ..riscv.patches import get_patch
+from ..riscv.pgas import build_pgas_source, mesh_top_name
+from ..sim.pipeline import Pipe
+
+PAPER_SIZES = (1, 2, 4, 8, 16)
+DEFAULT_SIZES = (1, 2, 4)
+
+
+@dataclass
+class SizeResult:
+    """Everything measured for one mesh size."""
+
+    n: int
+    cores: int
+    livesim_full_compile_s: float = 0.0
+    livesim_hot_reload_s: Optional[float] = None
+    baseline_compile_s: Optional[float] = None  # None => NA (budget)
+    baseline_instances: int = 0
+    livesim_sim_hz: Optional[float] = None  # measured cycles/second
+    baseline_sim_hz: Optional[float] = None
+    livesim_cost: Optional[DesignCost] = None
+    baseline_cost: Optional[DesignCost] = None
+    erd_report: Optional[ERDReport] = None
+
+
+class PGASWorkbench:
+    """Builds and drives the paper's PGAS benchmark at one size."""
+
+    def __init__(
+        self,
+        n: int,
+        checkpoint_interval: int = 50,
+        baseline_budget_s: Optional[float] = 20.0,
+        program: str = "counter",
+    ):
+        self.n = n
+        self.cores = n * n
+        self.top = mesh_top_name(n)
+        self.source = build_pgas_source(n)
+        self.checkpoint_interval = checkpoint_interval
+        self.baseline_budget_s = baseline_budget_s
+        self._program = program
+        self.session: Optional[LiveSession] = None
+        self.tb_handle: Optional[str] = None
+
+    # -- LiveSim session -----------------------------------------------------
+
+    def build_session(self) -> LiveSession:
+        """Create the session and pipe; measures the full compile."""
+        session = LiveSession(
+            self.source,
+            checkpoint_interval=self.checkpoint_interval,
+        )
+        started = time.perf_counter()
+        session.inst_pipe("uut", session.stage_handle_for(self.top))
+        self.full_compile_seconds = time.perf_counter() - started
+        asm = self._program_asm()
+        self.tb_handle = session.load_testbench(
+            programs.boot_program(asm, count=self.cores),
+            factory=programs.boot_program_spec(asm, count=self.cores),
+        )
+        self.session = session
+        return session
+
+    def _program_asm(self) -> str:
+        if self._program == "counter":
+            return programs.busy_counter(10_000_000)
+        raise ValueError(f"unknown program kind {self._program!r}")
+
+    def _load_programs(self, pipe: Pipe) -> None:
+        """Direct load for pipes outside a session (the baseline)."""
+        programs.load_same_program(pipe, self.cores, self._program_asm())
+
+    def run(self, cycles: int) -> None:
+        assert self.session is not None and self.tb_handle is not None
+        self.session.run(self.tb_handle, "uut", cycles)
+
+    # -- measurements -----------------------------------------------------------
+
+    def measure_sim_speed(self, pipe: Pipe, cycles: int = 200) -> float:
+        """Wall-clock simulated cycles/second over a bounded run."""
+        pipe.set_inputs(rst=0)
+        pipe.step(5)  # warm caches / code paths
+        started = time.perf_counter()
+        ran = pipe.step(cycles)
+        elapsed = time.perf_counter() - started
+        return ran / elapsed if elapsed > 0 else float("inf")
+
+    def compile_baseline(self, mode: str = "replicate") -> BaselineResult:
+        netlist = elaborate(parse(self.source), self.top)
+        compiler = BaselineCompiler(
+            mode=mode, budget_seconds=self.baseline_budget_s
+        )
+        return compiler.compile(netlist)
+
+    def costs(self) -> Dict[str, DesignCost]:
+        netlist = elaborate(parse(self.source), self.top)
+        return {
+            "livesim": design_cost(netlist, "branch"),
+            "verilator": design_cost(netlist, "select"),
+        }
+
+    def hot_reload(self, patch_name: str = "id-imm-sign") -> ERDReport:
+        """Apply a realistic single-stage code change through the live
+        loop; returns the ERD report (the Fig. 8 measurement).
+
+        If the bug is already present the change is the fix, otherwise
+        it is the (equally realistic) injection — either way it is a
+        never-before-compiled variant of exactly one pipeline-stage
+        module, matching the paper's bug-fix methodology.
+        """
+        assert self.session is not None
+        patch = get_patch(patch_name)
+        current = self.session.compiler.source
+        if patch.is_injected(current):
+            edited = patch.fix(current)
+        else:
+            edited = patch.inject(current)
+        return self.session.apply_change(edited)
+
+    # -- the one-call driver -------------------------------------------------------
+
+    def collect(
+        self,
+        sim_cycles: int = 200,
+        run_cycles: Optional[int] = None,
+        measure_baseline: bool = True,
+        measure_baseline_speed: bool = True,
+        patch_name: str = "id-imm-sign",
+    ) -> SizeResult:
+        result = SizeResult(n=self.n, cores=self.cores)
+        session = self.build_session()
+        result.livesim_full_compile_s = self.full_compile_seconds
+        pipe = session.pipe("uut")
+
+        self.run(5)  # boot: load the program, come out of reset
+        started = time.perf_counter()
+        self.run(sim_cycles)  # measured through the session: replayable
+        elapsed = time.perf_counter() - started
+        result.livesim_sim_hz = sim_cycles / elapsed if elapsed else None
+
+        self.run(run_cycles if run_cycles is not None else 3 * self.checkpoint_interval)
+        report = self.hot_reload(patch_name)
+        result.erd_report = report
+        result.livesim_hot_reload_s = report.total_seconds
+
+        costs = self.costs()
+        result.livesim_cost = costs["livesim"]
+        result.baseline_cost = costs["verilator"]
+
+        if measure_baseline:
+            baseline = self.compile_baseline()
+            result.baseline_instances = baseline.instances_compiled
+            if baseline.succeeded:
+                result.baseline_compile_s = baseline.compile_seconds
+                if measure_baseline_speed:
+                    bpipe = baseline.make_pipe()
+                    self._load_programs(bpipe)
+                    bpipe.set_inputs(rst=1)
+                    bpipe.step(2)
+                    result.baseline_sim_hz = self.measure_sim_speed(
+                        bpipe, sim_cycles
+                    )
+            else:
+                result.baseline_compile_s = None  # the paper's NA
+        return result
+
+
+def collect_sizes(
+    sizes=DEFAULT_SIZES,
+    sim_cycles: int = 150,
+    baseline_budget_s: Optional[float] = 20.0,
+    **kwargs,
+) -> List[SizeResult]:
+    """Run the workbench across mesh sizes (the paper's 1x1..16x16)."""
+    results = []
+    for n in sizes:
+        bench = PGASWorkbench(n, baseline_budget_s=baseline_budget_s)
+        results.append(bench.collect(sim_cycles=sim_cycles, **kwargs))
+    return results

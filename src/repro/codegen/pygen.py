@@ -1,0 +1,616 @@
+"""Shared-module code generation (the LiveSim compilation model).
+
+Each module specialization compiles to exactly one set of functions,
+regardless of how many instances exist.  Instances share the code
+object and differ only in their state arrays, reproducing the paper's
+Fig. 4d: *"Each module is only compiled once, which drastically reduces
+the amount of code that needs to be compiled."*
+
+Evaluation is two-phase, the standard cycle-simulator structure:
+
+* ``eval_out(state, children, *comb_inputs) -> outputs`` — a *pure*
+  function of the instance state and the inputs that combinationally
+  affect outputs (see :mod:`repro.ir.dataflow`).  Results are memoized
+  per instance on the argument tuple, so repeated calls within one
+  cycle cost a tuple compare.  Sequential-only inputs (resets, stalls,
+  enables) are NOT arguments — which is what lets a pipeline with
+  feedback (branch redirect into fetch, writeback into decode)
+  schedule in one ordered pass with no fixed-point iteration.
+* ``eval_seq(state, children, *all_inputs)`` — runs once per cycle
+  with every input settled: recomputes the combinational values it
+  needs (child outputs come from the memoized ``eval_out``), computes
+  pending register values and memory writes, and recurses into
+  children's ``eval_seq``.
+* ``tick(state, children)`` — commits pending values and invalidates
+  the memo (the clock edge).
+
+State array layout per instance (a plain Python list)::
+
+    [0 .. NR)          current register values
+    [NR .. 2*NR)       pending (next-cycle) values
+    [2*NR]             eval_out memo key (args tuple or None)
+    [2*NR + 1]         eval_out memo value (outputs tuple)
+    [2*NR+2 + j]       memory j contents (list of ints)
+    [2*NR+2+NM + j]    memory j pending writes (list of (addr, value))
+
+Anything that mutates state outside ``tick`` (snapshot restore, pokes,
+direct memory writes) must invalidate the memo — see
+:meth:`repro.sim.stage.StageInst.invalidate_cache`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import linecache
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..hdl import ast_nodes as ast
+from ..hdl.consteval import stmt_reads_writes
+from ..hdl.errors import CodegenError
+from ..ir.netlist import ModuleIR, Netlist
+from .emitter import FunctionEmitter, block
+from .exprgen import ExprGen, Resolver, StmtGen, mask_of
+
+CACHE_SLOTS = 2
+
+
+@dataclass
+class MemSpec:
+    name: str
+    width: int
+    depth: int
+    slot: int  # state index of the contents list
+    pending_slot: int  # state index of the pending-writes list
+
+
+@dataclass
+class CompiledModule:
+    """A hot-swappable compiled module specialization.
+
+    The Python analogue of one of the paper's shared-object libraries:
+    a self-contained unit that instances point at and that hot reload
+    can replace in flight.
+    """
+
+    key: str
+    name: str
+    ir: ModuleIR
+    eval_out_fn: Callable
+    eval_seq_fn: Callable
+    tick_fn: Callable
+    source: str
+    inputs: Tuple[str, ...]
+    comb_input_ports: Tuple[str, ...]  # the eval_out argument list
+    outputs: Tuple[str, ...]
+    num_regs: int
+    state_size: int
+    reg_slots: Dict[str, int]  # register name -> current-value slot
+    reg_widths: Dict[str, int]
+    mem_specs: Dict[str, MemSpec]
+    child_insts: Tuple[Tuple[str, str], ...]  # (instance name, child key)
+    interface_fp: str
+    source_hash: str
+    compile_seconds: float
+    mux_style: str
+
+    @property
+    def cache_key_slot(self) -> int:
+        return 2 * self.num_regs
+
+    def make_state(self) -> list:
+        state: list = [0] * (2 * self.num_regs)
+        state.extend([None, None])  # eval_out memo (key, value)
+        ordered = sorted(self.mem_specs.values(), key=lambda m: m.slot)
+        for spec in ordered:
+            state.append([0] * spec.depth)
+        for spec in ordered:
+            state.append([])
+        return state
+
+
+# ----------------------------------------------------------------------------
+# Module compilation
+# ----------------------------------------------------------------------------
+
+
+class _ModuleCompiler:
+    def __init__(self, ir: ModuleIR, netlist: Netlist, mux_style: str):
+        self._ir = ir
+        self._netlist = netlist
+        self._mux_style = mux_style
+        self._emit = FunctionEmitter()
+        self._comb_ports = list(ir.comb_input_ports)
+        if ir.needs_fixpoint:
+            # A genuine comb loop: memoizing would freeze the iteration
+            # the runtime uses to settle it, and seq-only inputs cannot
+            # be deferred reliably — fall back to the conservative ABI.
+            self._comb_ports = list(ir.inputs)
+        base = 2 * ir.num_regs + CACHE_SLOTS
+        self._mem_slot: Dict[str, MemSpec] = {}
+        for i, mem in enumerate(
+            sorted(ir.memories.values(), key=lambda m: m.mem_index)
+        ):
+            self._mem_slot[mem.name] = MemSpec(
+                name=mem.name,
+                width=mem.width,
+                depth=mem.depth,
+                slot=base + i,
+                pending_slot=base + len(ir.memories) + i,
+            )
+
+    @property
+    def comb_ports(self) -> List[str]:
+        return self._comb_ports
+
+    # -- name resolution ------------------------------------------------------
+
+    def _resolver(self, available_inputs: Optional[Set[str]] = None) -> Resolver:
+        """``available_inputs`` restricts which input ports may be read;
+        others lower to literal 0.
+
+        Used by eval_out, whose arguments are only the comb-relevant
+        inputs: the per-output dataflow guarantees that any value
+        tainted by a zeroed input cannot reach an output (if it could,
+        the input would have been comb-relevant), so the zeros only
+        flow into dead-for-phase-1 values that eval_seq recomputes with
+        the real inputs.
+        """
+        ir = self._ir
+
+        def signal_ref(name: str) -> str:
+            sig = ir.signals.get(name)
+            if sig is None:
+                raise CodegenError(f"unknown signal {name!r} in {ir.name}")
+            if sig.kind == "input":
+                if available_inputs is not None and name not in available_inputs:
+                    return "0"
+                return f"i_{name}"
+            if sig.state_index is not None:
+                return f"s[{sig.state_index}]"
+            return f"v_{name}"
+
+        def signal_width(name: str) -> Optional[int]:
+            sig = ir.signals.get(name)
+            return sig.width if sig is not None else None
+
+        def memory_ref(name: str) -> Optional[str]:
+            spec = self._mem_slot.get(name)
+            return f"_m_{name}" if spec is not None else None
+
+        return Resolver(
+            signal_ref=signal_ref,
+            signal_width=signal_width,
+            memory_ref=memory_ref,
+            memory_width=lambda n: self._mem_slot[n].width,
+            memory_depth=lambda n: self._mem_slot[n].depth,
+        )
+
+    # -- generation ------------------------------------------------------------
+
+    def generate(self) -> str:
+        self._gen_eval_out()
+        self._emit.blank()
+        self._gen_eval_seq()
+        self._emit.blank()
+        self._gen_tick()
+        return self._emit.source()
+
+    def _arg_list(self, ports: List[str]) -> str:
+        args = ", ".join(f"i_{name}" for name in ports)
+        return (", " + args) if args else ""
+
+    def _mask_inputs(self, ports: List[str]) -> None:
+        for name in ports:
+            width = self._ir.signals[name].width
+            self._emit.line(f"i_{name} &= {mask_of(width)}")
+
+    def _bind_memories(self, names: List[str]) -> None:
+        for name in names:
+            self._emit.line(f"_m_{name} = s[{self._mem_slot[name].slot}]")
+
+    def _bind_registered_child_outputs(self) -> None:
+        """Registered child outputs are state: bind them up front so
+        consumers never wait on the producing instance."""
+        for index, inst in enumerate(self._ir.instances):
+            child = self._netlist.modules[inst.child_key]
+            for port in inst.registered_ports:
+                target = inst.output_conns[port]
+                slot = child.signals[port].state_index
+                self._emit.line(f"v_{target} = ch[{index}].state[{slot}]")
+
+    # -- the combinational body (shared between eval_out and eval_seq) -----------
+
+    def _gen_early_binds(self) -> None:
+        """Prepass for wiring cycles (see repro.ir.schedule): call the
+        involved children with zero arguments and bind only their
+        dependency-free outputs, which are correct under any inputs."""
+        by_instance: Dict[int, List[Tuple[str, str]]] = {}
+        for index, port, target in self._ir.early_bind:
+            by_instance.setdefault(index, []).append((port, target))
+        for index, bindings in by_instance.items():
+            inst = self._ir.instances[index]
+            child = self._netlist.modules[inst.child_key]
+            ref = self._emit.fresh("e")
+            self._emit.line(f"{ref} = ch[{index}]")
+            zeros = ", ".join("0" for _ in self._child_comb_ports(inst))
+            result = self._emit.fresh("er")
+            self._emit.line(
+                f"{result} = {ref}.code.eval_out_fn({ref}.state, "
+                f"{ref}.children{', ' + zeros if zeros else ''})"
+            )
+            for port, target in bindings:
+                j = list(child.outputs).index(port)
+                self._emit.line(f"v_{target} = {result}[{j}]")
+
+    def _comb_signal_names(self) -> List[str]:
+        """Every comb-driven signal local, in deterministic order."""
+        names: List[str] = []
+        for assign in self._ir.comb_assigns:
+            names.append(assign.defines)
+        for comb in self._ir.comb_blocks:
+            names.extend(comb.defines)
+        for inst in self._ir.instances:
+            registered = set(inst.registered_ports)
+            for port, target in inst.output_conns.items():
+                if port not in registered:
+                    names.append(target)
+        seen = set()
+        unique = []
+        for name in names:
+            if name not in seen:
+                seen.add(name)
+                unique.append(name)
+        return unique
+
+    def _gen_fixpoint_prelude(self) -> None:
+        """For genuine comb loops: seed every comb local from the value
+        slot (carried across fixpoint passes), or zero on the first
+        pass of a cycle.  tick() clears the slot."""
+        names = self._comb_signal_names()
+        if not names:
+            return
+        slot = 2 * self._ir.num_regs  # the memo-key slot doubles as the guard
+        locals_tuple = ", ".join(f"v_{n}" for n in names)
+        if len(names) == 1:
+            locals_tuple += ","
+        with block(self._emit, f"if s[{slot}] is None:"):
+            for name in names:
+                self._emit.line(f"v_{name} = 0")
+        with block(self._emit, "else:"):
+            self._emit.line(f"({locals_tuple}) = s[{slot}]")
+
+    def _gen_fixpoint_save(self) -> None:
+        names = self._comb_signal_names()
+        if not names:
+            return
+        slot = 2 * self._ir.num_regs
+        locals_tuple = ", ".join(f"v_{n}" for n in names)
+        if len(names) == 1:
+            locals_tuple += ","
+        self._emit.line(f"s[{slot}] = ({locals_tuple})")
+
+    def _gen_comb_body(self, exprgen: ExprGen) -> None:
+        if self._ir.needs_fixpoint:
+            self._gen_fixpoint_prelude()
+        self._gen_early_binds()
+        for unit_kind, index in self._ir.schedule:
+            if unit_kind == "assign":
+                self._gen_comb_assign(exprgen, index)
+            elif unit_kind == "block":
+                self._gen_comb_block(exprgen, index)
+            else:
+                self._gen_instance_out(exprgen, index)
+
+    def _gen_comb_assign(self, exprgen: ExprGen, index: int) -> None:
+        assign = self._ir.comb_assigns[index]
+        code = exprgen.gen(assign.value)
+        width = self._ir.signals[assign.target.name].width
+        if exprgen.width_of(assign.value) > width:
+            code = f"(({code}) & {mask_of(width)})"
+        self._emit.line(f"v_{assign.target.name} = {code}")
+
+    def _gen_comb_block(self, exprgen: ExprGen, index: int) -> None:
+        comb = self._ir.comb_blocks[index]
+        for name in comb.defines:
+            self._emit.line(f"v_{name} = 0")
+        stmtgen = StmtGen(
+            exprgen=exprgen,
+            emitter=self._emit,
+            write_target=lambda target, code: self._emit.line(
+                f"v_{target.name} = {code}"
+            ),
+            read_target_current=lambda name: f"v_{name}",
+            mem_write=self._forbid_comb_mem_write,
+            is_memory=lambda name: name in self._mem_slot,
+            target_width=lambda name: self._ir.signals[name].width,
+        )
+        stmtgen.gen_stmts(comb.body)
+
+    @staticmethod
+    def _forbid_comb_mem_write(name: str, addr: str, value: str, line: int) -> None:
+        raise CodegenError(
+            f"memory {name!r} may only be written in always @(posedge)", line
+        )
+
+    def _child_comb_ports(self, inst) -> List[str]:
+        child = self._netlist.modules[inst.child_key]
+        if child.needs_fixpoint:
+            return list(child.inputs)
+        return child.comb_input_ports
+
+    def _gen_instance_out(self, exprgen: ExprGen, index: int) -> None:
+        inst = self._ir.instances[index]
+        child = self._netlist.modules[inst.child_key]
+        ref = self._emit.fresh("c")
+        self._emit.line(f"{ref} = ch[{index}]")
+        arg_codes = [
+            exprgen.gen(inst.input_conns[port])
+            for port in self._child_comb_ports(inst)
+        ]
+        result = self._emit.fresh("r")
+        call_args = ", ".join(arg_codes)
+        self._emit.line(
+            f"{result} = {ref}.code.eval_out_fn({ref}.state, {ref}.children"
+            f"{', ' + call_args if call_args else ''})"
+        )
+        registered = set(inst.registered_ports)
+        for j, port in enumerate(child.outputs):
+            target = inst.output_conns.get(port)
+            if target is not None and port not in registered:
+                self._emit.line(f"v_{target} = {result}[{j}]")
+
+    def _memories_read_in_comb(self) -> List[str]:
+        reads: Set[str] = set()
+        for assign in self._ir.comb_assigns:
+            reads |= set(assign.reads)
+        for comb in self._ir.comb_blocks:
+            reads |= set(comb.reads)
+        for inst in self._ir.instances:
+            reads |= set(inst.reads)
+        return [name for name in self._mem_slot if name in reads]
+
+    def _output_ref(self, name: str) -> str:
+        sig = self._ir.signals[name]
+        if sig.state_index is not None:
+            # Registered outputs expose the current (pre-tick) value.
+            return f"s[{sig.state_index}]"
+        return f"v_{name}"
+
+    # -- phase 1: eval_out --------------------------------------------------------
+
+    def _gen_eval_out(self) -> None:
+        ir = self._ir
+        use_cache = not ir.needs_fixpoint
+        exprgen = ExprGen(
+            self._resolver(available_inputs=set(self._comb_ports)),
+            self._emit,
+            self._mux_style,
+        )
+        header = f"def eval_out(s, ch{self._arg_list(self._comb_ports)}):"
+        cache_slot = 2 * ir.num_regs
+        with block(self._emit, header):
+            self._mask_inputs(self._comb_ports)
+            if use_cache:
+                args_tuple = ", ".join(f"i_{p}" for p in self._comb_ports)
+                if self._comb_ports:
+                    self._emit.line(f"_ck = ({args_tuple},)")
+                else:
+                    self._emit.line("_ck = ()")
+                with block(self._emit, f"if s[{cache_slot}] == _ck:"):
+                    self._emit.line(f"return s[{cache_slot + 1}]")
+            self._bind_memories(self._memories_read_in_comb())
+            self._bind_registered_child_outputs()
+            self._gen_comb_body(exprgen)
+            if not use_cache:
+                self._gen_fixpoint_save()
+            returns = ", ".join(self._output_ref(name) for name in ir.outputs)
+            if len(ir.outputs) == 1:
+                returns += ","
+            self._emit.line(f"_ret = ({returns})")
+            if use_cache:
+                self._emit.line(f"s[{cache_slot}] = _ck")
+                self._emit.line(f"s[{cache_slot + 1}] = _ret")
+            self._emit.line("return _ret")
+
+    # -- phase 2: eval_seq ----------------------------------------------------------
+
+    def _gen_eval_seq(self) -> None:
+        ir = self._ir
+        all_ports = list(ir.inputs)
+        exprgen = ExprGen(self._resolver(), self._emit, self._mux_style)
+        header = f"def eval_seq(s, ch{self._arg_list(all_ports)}):"
+        with block(self._emit, header):
+            wrote = False
+            if ir.inputs:
+                self._mask_inputs(all_ports)
+                wrote = True
+            comb_mems = self._memories_read_in_comb()
+            seq_mems = [
+                name
+                for name in self._mem_slot
+                if name not in comb_mems
+                and (self._memory_written(name) or self._memory_read_in_seq(name))
+            ]
+            self._bind_memories(comb_mems + seq_mems)
+            wrote = wrote or bool(comb_mems or seq_mems)
+            for name in self._mem_slot:
+                if self._memory_written(name):
+                    spec = self._mem_slot[name]
+                    self._emit.line(f"_pw_{name} = s[{spec.pending_slot}]")
+                    self._emit.line(f"del _pw_{name}[:]")
+                    wrote = True
+            self._bind_registered_child_outputs()
+            self._gen_comb_body(exprgen)
+            wrote = wrote or bool(ir.schedule) or bool(ir.instances)
+            if ir.num_regs:
+                self._emit.line(
+                    f"s[{ir.num_regs}:{2 * ir.num_regs}] = s[0:{ir.num_regs}]"
+                )
+                wrote = True
+            for seq in ir.seq_blocks:
+                self._gen_seq_block(exprgen, seq)
+                wrote = True
+            for index, inst in enumerate(ir.instances):
+                child = self._netlist.modules[inst.child_key]
+                ref = self._emit.fresh("c")
+                self._emit.line(f"{ref} = ch[{index}]")
+                arg_codes = [
+                    exprgen.gen(inst.input_conns[port])
+                    for port in child.inputs
+                ]
+                call_args = ", ".join(arg_codes)
+                self._emit.line(
+                    f"{ref}.code.eval_seq_fn({ref}.state, {ref}.children"
+                    f"{', ' + call_args if call_args else ''})"
+                )
+                wrote = True
+            if not wrote:
+                self._emit.line("pass")
+
+    def _memory_written(self, name: str) -> bool:
+        for seq in self._ir.seq_blocks:
+            _, writes = stmt_reads_writes(seq.body)
+            if name in writes:
+                return True
+        return False
+
+    def _memory_read_in_seq(self, name: str) -> bool:
+        for seq in self._ir.seq_blocks:
+            reads, _ = stmt_reads_writes(seq.body)
+            if name in reads:
+                return True
+        return False
+
+    def _gen_seq_block(self, exprgen: ExprGen, seq) -> None:
+        num_regs = self._ir.num_regs
+
+        def write_target(target: ast.LValue, code: str) -> None:
+            sig = self._ir.signals[target.name]
+            if sig.state_index is None:
+                raise CodegenError(
+                    f"sequential assignment to non-register {target.name!r}",
+                    target.line,
+                )
+            self._emit.line(f"s[{sig.state_index + num_regs}] = {code}")
+
+        def read_pending(name: str) -> str:
+            sig = self._ir.signals[name]
+            return f"s[{sig.state_index + num_regs}]"
+
+        def mem_write(name: str, addr: str, value: str, line: int) -> None:
+            spec = self._mem_slot[name]
+            if spec.depth & (spec.depth - 1) == 0:
+                addr_code = f"({addr}) & {spec.depth - 1}"
+            else:
+                addr_code = f"({addr}) % {spec.depth}"
+            self._emit.line(
+                f"_pw_{name}.append(({addr_code}, "
+                f"({value}) & {mask_of(spec.width)}))"
+            )
+
+        stmtgen = StmtGen(
+            exprgen=exprgen,
+            emitter=self._emit,
+            write_target=write_target,
+            read_target_current=read_pending,
+            mem_write=mem_write,
+            is_memory=lambda name: name in self._mem_slot,
+            target_width=lambda name: self._ir.signals[name].width,
+        )
+        stmtgen.gen_stmts(seq.body)
+
+    # -- tick ---------------------------------------------------------------
+
+    def _gen_tick(self) -> None:
+        ir = self._ir
+        cache_slot = 2 * ir.num_regs
+        with block(self._emit, "def tick(s, ch):"):
+            if ir.num_regs:
+                self._emit.line(
+                    f"s[0:{ir.num_regs}] = s[{ir.num_regs}:{2 * ir.num_regs}]"
+                )
+            self._emit.line(f"s[{cache_slot}] = None")
+            for name, spec in self._mem_slot.items():
+                if not self._memory_written(name):
+                    continue
+                self._emit.line(f"_pw = s[{spec.pending_slot}]")
+                with block(self._emit, "if _pw:"):
+                    self._emit.line(f"_m = s[{spec.slot}]")
+                    with block(self._emit, "for _a, _v in _pw:"):
+                        self._emit.line("_m[_a] = _v")
+                    self._emit.line("del _pw[:]")
+            if ir.instances:
+                with block(self._emit, "for _c in ch:"):
+                    self._emit.line("_c.code.tick_fn(_c.state, _c.children)")
+
+
+def compile_module(
+    ir: ModuleIR,
+    netlist: Netlist,
+    mux_style: str = "branch",
+) -> CompiledModule:
+    """Compile one specialization into a :class:`CompiledModule`."""
+    started = time.perf_counter()
+    compiler = _ModuleCompiler(ir, netlist, mux_style)
+    source = compiler.generate()
+    filename = f"<lhdl:{ir.key}>"
+    code = compile(source, filename, "exec")
+    namespace: Dict[str, object] = {}
+    exec(code, namespace)  # noqa: S102 - generated, trusted code
+    linecache.cache[filename] = (
+        len(source), None, source.splitlines(keepends=True), filename
+    )
+    elapsed = time.perf_counter() - started
+    reg_slots = {
+        name: sig.state_index
+        for name, sig in ir.signals.items()
+        if sig.state_index is not None
+    }
+    mem_specs = dict(compiler._mem_slot)
+    return CompiledModule(
+        key=ir.key,
+        name=ir.name,
+        ir=ir,
+        eval_out_fn=namespace["eval_out"],  # type: ignore[arg-type]
+        eval_seq_fn=namespace["eval_seq"],  # type: ignore[arg-type]
+        tick_fn=namespace["tick"],  # type: ignore[arg-type]
+        source=source,
+        inputs=tuple(ir.inputs),
+        comb_input_ports=tuple(compiler.comb_ports),
+        outputs=tuple(ir.outputs),
+        num_regs=ir.num_regs,
+        state_size=2 * ir.num_regs + CACHE_SLOTS + 2 * len(ir.memories),
+        reg_slots=reg_slots,  # type: ignore[arg-type]
+        reg_widths={name: ir.signals[name].width for name in reg_slots},
+        mem_specs=mem_specs,
+        child_insts=tuple((i.name, i.child_key) for i in ir.instances),
+        interface_fp=ir.interface_fingerprint(),
+        source_hash=hashlib.sha256(source.encode()).hexdigest(),
+        compile_seconds=elapsed,
+        mux_style=mux_style,
+    )
+
+
+def compile_netlist(
+    netlist: Netlist, mux_style: str = "branch"
+) -> Dict[str, CompiledModule]:
+    """Compile every specialization in ``netlist`` (bottom-up).
+
+    Returns key -> CompiledModule.  The total work is proportional to
+    the number of *unique* specializations, not instances — a 256-core
+    mesh compiles its core modules once.
+    """
+    compiled: Dict[str, CompiledModule] = {}
+
+    def visit(key: str) -> None:
+        if key in compiled:
+            return
+        ir = netlist.modules[key]
+        for inst in ir.instances:
+            visit(inst.child_key)
+        compiled[key] = compile_module(ir, netlist, mux_style)
+
+    visit(netlist.top)
+    return compiled

@@ -1,0 +1,48 @@
+"""LHDL frontend: lexer, preprocessor, parser, elaborator, regions."""
+
+from . import ast_nodes
+from .elaborate import Elaborator, elaborate
+from .errors import (
+    CodegenError,
+    CompileBudgetExceeded,
+    ConvergenceError,
+    ElaborationError,
+    HDLError,
+    LexError,
+    ParseError,
+    PreprocessorError,
+    SimulationError,
+    WidthError,
+)
+from .lexer import behavioral_fingerprint, tokenize
+from .parser import parse, parse_expr
+from .preprocessor import preprocess
+from .lint import Diagnostic, lint_module, lint_netlist
+from .source_regions import SourceRegion, module_regions, split_regions
+
+__all__ = [
+    "ast_nodes",
+    "Elaborator",
+    "elaborate",
+    "parse",
+    "parse_expr",
+    "preprocess",
+    "tokenize",
+    "behavioral_fingerprint",
+    "Diagnostic",
+    "lint_module",
+    "lint_netlist",
+    "SourceRegion",
+    "split_regions",
+    "module_regions",
+    "HDLError",
+    "LexError",
+    "ParseError",
+    "PreprocessorError",
+    "ElaborationError",
+    "WidthError",
+    "CodegenError",
+    "SimulationError",
+    "ConvergenceError",
+    "CompileBudgetExceeded",
+]

@@ -1,0 +1,335 @@
+"""Constant evaluation and parameter folding over LHDL expressions."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from . import ast_nodes as ast
+from .errors import ElaborationError
+
+
+def eval_const(expr: ast.Expr, env: Dict[str, int]) -> int:
+    """Evaluate ``expr`` to an int using parameter values in ``env``.
+
+    Raises :class:`ElaborationError` if the expression references
+    anything that is not a parameter (i.e. is not compile-time
+    constant).
+    """
+    if isinstance(expr, ast.Num):
+        return expr.value
+    if isinstance(expr, ast.Id):
+        if expr.name in env:
+            return env[expr.name]
+        raise ElaborationError(
+            f"{expr.name!r} is not a constant (not a parameter)", expr.line
+        )
+    if isinstance(expr, ast.Unary):
+        val = eval_const(expr.operand, env)
+        if expr.op == "-":
+            return -val
+        if expr.op == "~":
+            return ~val
+        if expr.op == "!":
+            return 0 if val else 1
+        raise ElaborationError(
+            f"reduction {expr.op!r} not allowed in constant expression", expr.line
+        )
+    if isinstance(expr, ast.Binary):
+        left = eval_const(expr.left, env)
+        right = eval_const(expr.right, env)
+        return _apply_const_binary(expr.op, left, right, expr.line)
+    if isinstance(expr, ast.Ternary):
+        return (
+            eval_const(expr.if_true, env)
+            if eval_const(expr.cond, env)
+            else eval_const(expr.if_false, env)
+        )
+    if isinstance(expr, ast.SysCall) and expr.func == "$clog2":
+        val = eval_const(expr.args[0], env)
+        return max(val - 1, 0).bit_length()
+    raise ElaborationError("expression is not compile-time constant", expr.line)
+
+
+def _apply_const_binary(op: str, left: int, right: int, line: int) -> int:
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            raise ElaborationError("division by zero in constant expression", line)
+        return left // right
+    if op == "%":
+        if right == 0:
+            raise ElaborationError("modulo by zero in constant expression", line)
+        return left % right
+    if op in ("<<", "<<<"):
+        return left << right
+    if op in (">>", ">>>"):
+        return left >> right
+    if op == "&":
+        return left & right
+    if op == "|":
+        return left | right
+    if op == "^":
+        return left ^ right
+    if op == "==":
+        return int(left == right)
+    if op == "!=":
+        return int(left != right)
+    if op == "<":
+        return int(left < right)
+    if op == "<=":
+        return int(left <= right)
+    if op == ">":
+        return int(left > right)
+    if op == ">=":
+        return int(left >= right)
+    if op == "&&":
+        return int(bool(left) and bool(right))
+    if op == "||":
+        return int(bool(left) or bool(right))
+    raise ElaborationError(f"operator {op!r} not allowed in constant expression", line)
+
+
+def fold_params(expr: ast.Expr, env: Dict[str, int]) -> ast.Expr:
+    """Return a copy of ``expr`` with parameter references replaced by
+    literals and constant subtrees collapsed."""
+    if isinstance(expr, ast.Num):
+        return expr
+    if isinstance(expr, ast.Id):
+        if expr.name in env:
+            return ast.Num(value=env[expr.name], line=expr.line)
+        return expr
+    if isinstance(expr, ast.Unary):
+        operand = fold_params(expr.operand, env)
+        if isinstance(operand, ast.Num):
+            # Fold width-preservingly: ~ and - operate within the
+            # operand's width (32 for bare decimals), ! yields one bit.
+            width = operand.width if operand.width is not None else 32
+            mask = (1 << width) - 1
+            if expr.op == "~":
+                return ast.Num(value=(~operand.value) & mask, width=width,
+                               line=expr.line)
+            if expr.op == "-":
+                return ast.Num(value=(-operand.value) & mask, width=width,
+                               line=expr.line)
+            if expr.op == "!":
+                return ast.Num(value=0 if operand.value else 1, width=1,
+                               line=expr.line)
+        return ast.Unary(op=expr.op, operand=operand, line=expr.line)
+    if isinstance(expr, ast.Binary):
+        left = fold_params(expr.left, env)
+        right = fold_params(expr.right, env)
+        if isinstance(left, ast.Num) and isinstance(right, ast.Num):
+            try:
+                value = _apply_const_binary(expr.op, left.value, right.value,
+                                            expr.line)
+            except ElaborationError:
+                value = None
+            if value is not None:
+                # Preserve the runtime width semantics (see exprgen):
+                # arith/bitwise take max width, shifts the left width,
+                # comparisons/logical yield one bit.
+                wl = left.width if left.width is not None else 32
+                wr = right.width if right.width is not None else 32
+                if expr.op in ("==", "!=", "===", "!==", "<", "<=", ">",
+                               ">=", "&&", "||"):
+                    width = 1
+                elif expr.op in ("<<", ">>", ">>>", "<<<"):
+                    width = wl
+                else:
+                    width = max(wl, wr)
+                return ast.Num(
+                    value=value & ((1 << width) - 1),
+                    width=width,
+                    line=expr.line,
+                )
+        return ast.Binary(op=expr.op, left=left, right=right, line=expr.line)
+    if isinstance(expr, ast.Ternary):
+        return ast.Ternary(
+            cond=fold_params(expr.cond, env),
+            if_true=fold_params(expr.if_true, env),
+            if_false=fold_params(expr.if_false, env),
+            line=expr.line,
+        )
+    if isinstance(expr, ast.Concat):
+        return ast.Concat(parts=[fold_params(p, env) for p in expr.parts],
+                          line=expr.line)
+    if isinstance(expr, ast.Repl):
+        return ast.Repl(
+            count=fold_params(expr.count, env),
+            value=fold_params(expr.value, env),
+            line=expr.line,
+        )
+    if isinstance(expr, ast.Index):
+        index = fold_params(expr.index, env)
+        if expr.base in env and isinstance(index, ast.Num):
+            return ast.Num(value=(env[expr.base] >> index.value) & 1,
+                           line=expr.line)
+        return ast.Index(base=expr.base, index=index, line=expr.line)
+    if isinstance(expr, ast.Slice):
+        msb = fold_params(expr.msb, env)
+        lsb = fold_params(expr.lsb, env)
+        if (expr.base in env and isinstance(msb, ast.Num)
+                and isinstance(lsb, ast.Num)):
+            # Bit-select on a parameter (e.g. DEPTH[LOGD:0]): fold to a
+            # sized literal so width inference sees the select's width.
+            width = msb.value - lsb.value + 1
+            if width > 0:
+                value = (env[expr.base] >> lsb.value) & ((1 << width) - 1)
+                return ast.Num(value=value, width=width, line=expr.line)
+        return ast.Slice(base=expr.base, msb=msb, lsb=lsb, line=expr.line)
+    if isinstance(expr, ast.IndexedPart):
+        start = fold_params(expr.start, env)
+        width_e = fold_params(expr.width, env)
+        if (expr.base in env and isinstance(start, ast.Num)
+                and isinstance(width_e, ast.Num) and width_e.value > 0):
+            width = width_e.value
+            shift = (start.value if expr.ascending
+                     else start.value - width + 1)
+            value = (env[expr.base] >> max(shift, 0)) & ((1 << width) - 1)
+            return ast.Num(value=value, width=width, line=expr.line)
+        return ast.IndexedPart(
+            base=expr.base,
+            start=start,
+            width=width_e,
+            ascending=expr.ascending,
+            line=expr.line,
+        )
+    if isinstance(expr, ast.SysCall):
+        args = [fold_params(a, env) for a in expr.args]
+        if expr.func == "$clog2" and all(isinstance(a, ast.Num) for a in args):
+            return ast.Num(
+                value=max(args[0].value - 1, 0).bit_length(),  # type: ignore[union-attr]
+                line=expr.line,
+            )
+        return ast.SysCall(func=expr.func, args=args, line=expr.line)
+    raise ElaborationError(f"cannot fold expression node {type(expr).__name__}",
+                           getattr(expr, "line", 0))
+
+
+def expr_reads(expr: ast.Expr) -> Set[str]:
+    """Names of signals/memories read by ``expr`` (after folding)."""
+    reads: Set[str] = set()
+    _collect_reads(expr, reads)
+    return reads
+
+
+def _collect_reads(expr: ast.Expr, out: Set[str]) -> None:
+    if isinstance(expr, ast.Num):
+        return
+    if isinstance(expr, ast.Id):
+        out.add(expr.name)
+    elif isinstance(expr, ast.Unary):
+        _collect_reads(expr.operand, out)
+    elif isinstance(expr, ast.Binary):
+        _collect_reads(expr.left, out)
+        _collect_reads(expr.right, out)
+    elif isinstance(expr, ast.Ternary):
+        _collect_reads(expr.cond, out)
+        _collect_reads(expr.if_true, out)
+        _collect_reads(expr.if_false, out)
+    elif isinstance(expr, ast.Concat):
+        for part in expr.parts:
+            _collect_reads(part, out)
+    elif isinstance(expr, ast.Repl):
+        _collect_reads(expr.count, out)
+        _collect_reads(expr.value, out)
+    elif isinstance(expr, ast.Index):
+        out.add(expr.base)
+        _collect_reads(expr.index, out)
+    elif isinstance(expr, ast.Slice):
+        out.add(expr.base)
+        _collect_reads(expr.msb, out)
+        _collect_reads(expr.lsb, out)
+    elif isinstance(expr, ast.IndexedPart):
+        out.add(expr.base)
+        _collect_reads(expr.start, out)
+        _collect_reads(expr.width, out)
+    elif isinstance(expr, ast.SysCall):
+        for arg in expr.args:
+            _collect_reads(arg, out)
+
+
+def stmt_reads_writes(stmts: Iterable[ast.Stmt]) -> "tuple[Set[str], Set[str]]":
+    """Signals read / written by a statement list (conservative)."""
+    reads: Set[str] = set()
+    writes: Set[str] = set()
+    _walk_stmts(list(stmts), reads, writes)
+    return reads, writes
+
+
+def _walk_stmts(stmts: List[ast.Stmt], reads: Set[str], writes: Set[str]) -> None:
+    for stmt in stmts:
+        if isinstance(stmt, (ast.NonBlocking, ast.Blocking)):
+            writes.add(stmt.target.name)
+            _collect_reads(stmt.value, reads)
+            if stmt.target.index is not None:
+                _collect_reads(stmt.target.index, reads)
+            if stmt.target.msb is not None:
+                _collect_reads(stmt.target.msb, reads)
+            if stmt.target.lsb is not None:
+                _collect_reads(stmt.target.lsb, reads)
+        elif isinstance(stmt, ast.If):
+            _collect_reads(stmt.cond, reads)
+            _walk_stmts(stmt.then_body, reads, writes)
+            _walk_stmts(stmt.else_body, reads, writes)
+        elif isinstance(stmt, ast.Case):
+            _collect_reads(stmt.subject, reads)
+            for labels, body in stmt.arms:
+                for label in labels:
+                    _collect_reads(label, reads)
+                _walk_stmts(body, reads, writes)
+
+
+def fold_stmts(stmts: List[ast.Stmt], env: Dict[str, int]) -> List[ast.Stmt]:
+    """Parameter-fold every expression inside a statement list."""
+    folded: List[ast.Stmt] = []
+    for stmt in stmts:
+        folded.append(_fold_stmt(stmt, env))
+    return folded
+
+
+def _fold_lvalue(lval: ast.LValue, env: Dict[str, int]) -> ast.LValue:
+    return ast.LValue(
+        name=lval.name,
+        index=fold_params(lval.index, env) if lval.index is not None else None,
+        msb=fold_params(lval.msb, env) if lval.msb is not None else None,
+        lsb=fold_params(lval.lsb, env) if lval.lsb is not None else None,
+        line=lval.line,
+    )
+
+
+def _fold_stmt(stmt: ast.Stmt, env: Dict[str, int]) -> ast.Stmt:
+    if isinstance(stmt, ast.NonBlocking):
+        return ast.NonBlocking(
+            target=_fold_lvalue(stmt.target, env),
+            value=fold_params(stmt.value, env),
+            line=stmt.line,
+        )
+    if isinstance(stmt, ast.Blocking):
+        return ast.Blocking(
+            target=_fold_lvalue(stmt.target, env),
+            value=fold_params(stmt.value, env),
+            line=stmt.line,
+        )
+    if isinstance(stmt, ast.If):
+        return ast.If(
+            cond=fold_params(stmt.cond, env),
+            then_body=fold_stmts(stmt.then_body, env),
+            else_body=fold_stmts(stmt.else_body, env),
+            line=stmt.line,
+        )
+    if isinstance(stmt, ast.Case):
+        return ast.Case(
+            subject=fold_params(stmt.subject, env),
+            arms=[
+                ([fold_params(lbl, env) for lbl in labels], fold_stmts(body, env))
+                for labels, body in stmt.arms
+            ],
+            line=stmt.line,
+        )
+    raise ElaborationError(f"unknown statement {type(stmt).__name__}", stmt.line)

@@ -1,0 +1,58 @@
+"""Exception hierarchy for the HDL frontend and downstream compilers."""
+
+from __future__ import annotations
+
+
+class HDLError(Exception):
+    """Base class for all errors raised by the LHDL toolchain."""
+
+    def __init__(self, message: str, line: int = 0, col: int = 0):
+        self.line = line
+        self.col = col
+        if line:
+            message = f"line {line}:{col}: {message}"
+        super().__init__(message)
+
+
+class LexError(HDLError):
+    """Invalid character sequence in the source text."""
+
+
+class ParseError(HDLError):
+    """The token stream does not match the LHDL grammar."""
+
+
+class PreprocessorError(HDLError):
+    """Malformed or unbalanced preprocessor directives."""
+
+
+class ElaborationError(HDLError):
+    """Hierarchy or parameter resolution failure."""
+
+
+class WidthError(ElaborationError):
+    """Width inference failed or widths are inconsistent."""
+
+
+class CodegenError(HDLError):
+    """The code generator met an unsupported construct."""
+
+
+class SimulationError(Exception):
+    """Runtime failure inside the simulation kernel."""
+
+
+class ConvergenceError(SimulationError):
+    """Combinational logic failed to settle (probable comb loop)."""
+
+
+class CompileBudgetExceeded(Exception):
+    """A compiler gave up because its wall-clock budget ran out.
+
+    Mirrors the paper's 24-hour Verilator timeout for the 16x16 PGAS.
+    """
+
+    def __init__(self, message: str, elapsed: float, budget: float):
+        super().__init__(message)
+        self.elapsed = elapsed
+        self.budget = budget

@@ -1,0 +1,142 @@
+"""LHDL preprocessor: ```define``, ```ifdef``/```ifndef``/```else``/```endif``.
+
+The preprocessor keeps the output line-for-line aligned with the input
+(directive lines become blank lines, disabled regions become blank
+lines) so every downstream diagnostic and source region maps directly
+back to the user's file.
+
+It also records which source lines hold directives.  LiveParser needs
+this: the paper (§III-C) notes that a change to a pre-processor
+directive "could affect any code below the affected lines", forcing a
+much wider recompile than a change inside one module.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .errors import PreprocessorError
+
+_DIRECTIVE_RE = re.compile(r"^\s*`(\w+)\s*(.*?)\s*$")
+_MACRO_USE_RE = re.compile(r"`(\w+)")
+_IDENT_RE = re.compile(r"^[A-Za-z_]\w*$")
+
+_CONDITIONALS = {"ifdef", "ifndef", "else", "endif"}
+
+
+@dataclass
+class PreprocessResult:
+    """Output of :func:`preprocess`."""
+
+    text: str
+    defines: Dict[str, str]
+    directive_lines: List[int] = field(default_factory=list)
+    macros_used: Dict[str, List[int]] = field(default_factory=dict)
+
+    def first_directive_line(self) -> Optional[int]:
+        return self.directive_lines[0] if self.directive_lines else None
+
+
+def _strip_comment(text: str) -> str:
+    idx = text.find("//")
+    return text[:idx] if idx >= 0 else text
+
+
+def preprocess(
+    source: str, predefines: Optional[Dict[str, str]] = None
+) -> PreprocessResult:
+    """Expand directives in ``source`` and return aligned text + metadata.
+
+    ``predefines`` seeds the macro table (like ``-D`` on a compiler
+    command line); entries defined in the source override it.
+    """
+    defines: Dict[str, str] = dict(predefines or {})
+    out_lines: List[str] = []
+    directive_lines: List[int] = []
+    macros_used: Dict[str, List[int]] = {}
+    # Stack of (taken, seen_else, line) for nested conditionals.
+    cond_stack: List[Tuple[bool, bool, int]] = []
+
+    def active() -> bool:
+        return all(taken for taken, _, _ in cond_stack)
+
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _DIRECTIVE_RE.match(line)
+        if match and (match.group(1) in _CONDITIONALS or match.group(1) == "define"
+                      or match.group(1) == "undef"):
+            name, rest = match.group(1), _strip_comment(match.group(2)).strip()
+            directive_lines.append(lineno)
+            if name == "ifdef" or name == "ifndef":
+                if not _IDENT_RE.match(rest):
+                    raise PreprocessorError(f"`{name} needs a macro name", lineno, 1)
+                present = rest in defines
+                taken = present if name == "ifdef" else not present
+                cond_stack.append((taken and active(), False, lineno))
+            elif name == "else":
+                if not cond_stack:
+                    raise PreprocessorError("`else without `ifdef", lineno, 1)
+                taken, seen_else, open_line = cond_stack.pop()
+                if seen_else:
+                    raise PreprocessorError("duplicate `else", lineno, 1)
+                parent_active = all(t for t, _, _ in cond_stack)
+                cond_stack.append((parent_active and not taken, True, open_line))
+            elif name == "endif":
+                if not cond_stack:
+                    raise PreprocessorError("`endif without `ifdef", lineno, 1)
+                cond_stack.pop()
+            elif name == "define":
+                if active():
+                    parts = rest.split(None, 1)
+                    if not parts or not _IDENT_RE.match(parts[0]):
+                        raise PreprocessorError("`define needs a name", lineno, 1)
+                    defines[parts[0]] = parts[1] if len(parts) > 1 else "1"
+            elif name == "undef":
+                if active():
+                    if not _IDENT_RE.match(rest):
+                        raise PreprocessorError("`undef needs a name", lineno, 1)
+                    defines.pop(rest, None)
+            out_lines.append("")
+            continue
+
+        if not active():
+            out_lines.append("")
+            continue
+
+        expanded, used = _expand_macros(line, defines, lineno)
+        for macro in used:
+            macros_used.setdefault(macro, []).append(lineno)
+        out_lines.append(expanded)
+
+    if cond_stack:
+        _, _, open_line = cond_stack[-1]
+        raise PreprocessorError("unterminated `ifdef", open_line, 1)
+
+    return PreprocessResult(
+        text="\n".join(out_lines) + ("\n" if source.endswith("\n") else ""),
+        defines=defines,
+        directive_lines=directive_lines,
+        macros_used=macros_used,
+    )
+
+
+def _expand_macros(
+    line: str, defines: Dict[str, str], lineno: int, depth: int = 0
+) -> Tuple[str, List[str]]:
+    if depth > 32:
+        raise PreprocessorError("macro expansion too deep (recursive define?)", lineno, 1)
+    used: List[str] = []
+
+    def repl(match: "re.Match[str]") -> str:
+        name = match.group(1)
+        if name not in defines:
+            raise PreprocessorError(f"undefined macro `{name}", lineno, match.start() + 1)
+        used.append(name)
+        return defines[name]
+
+    expanded = _MACRO_USE_RE.sub(repl, line)
+    if "`" in expanded and used:
+        expanded, nested = _expand_macros(expanded, defines, lineno, depth + 1)
+        used.extend(nested)
+    return expanded, used

@@ -1,0 +1,25 @@
+"""Netlist intermediate representation for elaborated LHDL designs."""
+
+from .netlist import (
+    CombAssignIR,
+    CombBlockIR,
+    InstanceIR,
+    MemoryIR,
+    ModuleIR,
+    Netlist,
+    SeqBlockIR,
+    SignalIR,
+    spec_key,
+)
+
+__all__ = [
+    "CombAssignIR",
+    "CombBlockIR",
+    "InstanceIR",
+    "MemoryIR",
+    "ModuleIR",
+    "Netlist",
+    "SeqBlockIR",
+    "SignalIR",
+    "spec_key",
+]

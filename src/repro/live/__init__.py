@@ -1,0 +1,68 @@
+"""LiveSim core: the live simulation flow (paper §III).
+
+* :mod:`repro.live.parser_live` — LiveParser: attributes edits to
+  source regions and decides whether behaviour changed.
+* :mod:`repro.live.compiler_live` — LiveCompiler: incremental,
+  cache-driven recompilation of only the affected specializations.
+* :mod:`repro.live.hotreload` — swaps compiled modules into running
+  pipelines and migrates state.
+* :mod:`repro.live.transform` — register transformation rules and the
+  branching Register Transform History (Tables V and VI).
+* :mod:`repro.live.checkpoint` — checkpoint store with the Fig. 2
+  garbage-collection policy.
+* :mod:`repro.live.consistency` — parallel checkpoint-delta
+  verification (Fig. 6).
+* :mod:`repro.live.session` — the LiveSession command API (Table I).
+"""
+
+from .tables import ObjectLibraryTable, PipelineTable, StageTable, ObjectEntry
+from .parser_live import LiveParser, LiveParseResult
+from .compiler_live import LiveCompiler, CompileReport
+from .transform import (
+    RegisterTransform,
+    RegisterTransformHistory,
+    TransformOp,
+    guess_transforms,
+)
+from .hotreload import HotReloader, SwapReport
+from .checkpoint import Checkpoint, CheckpointStore, GCPolicy
+from .consistency import ConsistencyChecker, ConsistencyReport
+from .session import ERDReport, LiveSession
+from .commands import CommandError, CommandInterpreter, CommandResult
+from .regression import (
+    CaseResult,
+    RegressionCase,
+    RegressionReport,
+    RegressionSuite,
+)
+
+__all__ = [
+    "ObjectLibraryTable",
+    "PipelineTable",
+    "StageTable",
+    "ObjectEntry",
+    "LiveParser",
+    "LiveParseResult",
+    "LiveCompiler",
+    "CompileReport",
+    "RegisterTransform",
+    "RegisterTransformHistory",
+    "TransformOp",
+    "guess_transforms",
+    "HotReloader",
+    "SwapReport",
+    "Checkpoint",
+    "CheckpointStore",
+    "GCPolicy",
+    "ConsistencyChecker",
+    "ConsistencyReport",
+    "ERDReport",
+    "LiveSession",
+    "CommandInterpreter",
+    "CommandResult",
+    "CommandError",
+    "RegressionSuite",
+    "RegressionCase",
+    "RegressionReport",
+    "CaseResult",
+]

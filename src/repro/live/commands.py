@@ -1,0 +1,165 @@
+"""Command-string interface to a LiveSession (paper Table I syntax).
+
+Users "interact with the system both by manipulating the source code
+... and by sending commands to the simulator" (§III-B).  This module
+accepts the paper's command syntax verbatim::
+
+    ldLib name, path
+    instPipe name, pipe-handle
+    instStage pipe-name, stage-name, stage-handle
+    copyPipe new-name, old-name
+    run tb-handle, pipe-name, cycles
+    chkp pipe-name [, path]
+    ldch pipe-name, path
+    swapStage pipe-name, stage-name
+
+Comments start with ``#``; blank lines are ignored; ``script`` runs a
+multi-line batch and returns each command's result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..hdl.errors import SimulationError
+from .session import LiveSession
+
+
+class CommandError(ValueError):
+    """Malformed or unknown simulator command."""
+
+
+@dataclass
+class CommandResult:
+    command: str
+    value: Any = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<CommandResult {self.command}: {self.value!r}>"
+
+
+class CommandInterpreter:
+    """Parses and dispatches Table I command lines onto a session."""
+
+    def __init__(self, session: LiveSession,
+                 read_file: Optional[Callable[[str], str]] = None):
+        self._session = session
+        self._read_file = read_file or _read_text_file
+        self._handlers: Dict[str, Callable[[List[str]], Any]] = {
+            "ldlib": self._ld_lib,
+            "instpipe": self._inst_pipe,
+            "inststage": self._inst_stage,
+            "copypipe": self._copy_pipe,
+            "run": self._run,
+            "chkp": self._chkp,
+            "ldch": self._ldch,
+            "swapstage": self._swap_stage,
+        }
+
+    # -- parsing -----------------------------------------------------------
+
+    @staticmethod
+    def parse(line: str) -> Tuple[str, List[str]]:
+        text = line.split("#", 1)[0].strip()
+        if not text:
+            raise CommandError("empty command")
+        parts = text.split(None, 1)
+        verb = parts[0]
+        operands = (
+            [op.strip() for op in parts[1].split(",")] if len(parts) > 1 else []
+        )
+        if any(not op for op in operands):
+            raise CommandError(f"empty operand in {line!r}")
+        return verb, operands
+
+    def execute(self, line: str) -> CommandResult:
+        verb, operands = self.parse(line)
+        handler = self._handlers.get(verb.lower())
+        if handler is None:
+            raise CommandError(
+                f"unknown command {verb!r}; expected one of "
+                f"{sorted(self._handlers)}"
+            )
+        try:
+            value = handler(operands)
+        except SimulationError as exc:
+            raise CommandError(f"{verb}: {exc}") from exc
+        return CommandResult(command=verb, value=value)
+
+    def script(self, text: str) -> List[CommandResult]:
+        results = []
+        for line in text.splitlines():
+            stripped = line.split("#", 1)[0].strip()
+            if stripped:
+                results.append(self.execute(stripped))
+        return results
+
+    # -- handlers ----------------------------------------------------------
+
+    @staticmethod
+    def _need(operands: List[str], low: int, high: int, usage: str) -> None:
+        if not low <= len(operands) <= high:
+            raise CommandError(f"usage: {usage}")
+
+    def _ld_lib(self, operands: List[str]) -> List[str]:
+        self._need(operands, 2, 2, "ldLib name, path")
+        name, path = operands
+        source = self._read_file(path)
+        return self._session.ld_lib(name, source)
+
+    def _inst_pipe(self, operands: List[str]):
+        self._need(operands, 2, 2, "instPipe name, pipe-handle")
+        name, handle = operands
+        return self._session.inst_pipe(name, handle)
+
+    def _inst_stage(self, operands: List[str]) -> None:
+        self._need(operands, 3, 3,
+                   "instStage pipe-name, stage-name, stage-handle")
+        pipe_name, stage_name, handle = operands
+        self._session.inst_stage(pipe_name, stage_name, handle)
+
+    def _copy_pipe(self, operands: List[str]):
+        self._need(operands, 2, 2, "copyPipe new-name, old-name")
+        new_name, old_name = operands
+        return self._session.copy_pipe(new_name, old_name)
+
+    def _run(self, operands: List[str]) -> Dict[str, int]:
+        self._need(operands, 3, 3, "run tb-handle, pipe-name, cycles")
+        tb_handle, pipe_name, cycles_text = operands
+        try:
+            cycles = int(cycles_text, 0)
+        except ValueError:
+            raise CommandError(f"cycles must be an integer, got "
+                               f"{cycles_text!r}") from None
+        if cycles < 0:
+            raise CommandError("cycles must be non-negative")
+        return self._session.run(tb_handle, pipe_name, cycles)
+
+    def _chkp(self, operands: List[str]):
+        self._need(operands, 1, 2, "chkp pipe-name [, path]")
+        pipe_name = operands[0]
+        path = operands[1] if len(operands) > 1 else None
+        return self._session.chkp(pipe_name, path)
+
+    def _ldch(self, operands: List[str]) -> None:
+        self._need(operands, 2, 2, "ldch pipe-name, path")
+        pipe_name, path = operands
+        self._session.ldch(pipe_name, path)
+
+    def _swap_stage(self, operands: List[str]):
+        self._need(operands, 2, 3,
+                   "swapStage pipe-name, stage-name [, stage-handle]")
+        pipe_name, stage_name = operands[0], operands[1]
+        # The optional stage-handle from the paper names the replacement
+        # object; in this implementation the replacement is always the
+        # latest compile of the same module, so it is accepted and
+        # validated but carries no extra information.
+        if len(operands) == 3:
+            self._session.objects.get(operands[2])
+        return self._session.swap_stage(pipe_name, stage_name)
+
+
+def _read_text_file(path: str) -> str:
+    with open(path, "r") as fh:
+        return fh.read()

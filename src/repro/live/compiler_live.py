@@ -1,0 +1,196 @@
+"""LiveCompiler: incremental, cache-driven compilation.
+
+Compilation is cached at specialization granularity.  A compiled module
+is reusable when
+
+* its own module source (token fingerprint) is unchanged,
+* its parameter set is the same (part of the spec key), and
+* every child's *interface* fingerprint is unchanged (the parent's
+  generated code depends on child port order/widths, not child bodies).
+
+So a body-only edit recompiles exactly one module; an interface edit
+recompiles the module plus its ancestor chain — matching the paper's
+description of how far a change propagates.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..codegen.pygen import CompiledModule, compile_module
+from ..hdl.elaborate import elaborate
+from ..hdl.errors import HDLError
+from ..hdl.parser import parse
+from ..ir.netlist import Netlist
+from .parser_live import LiveParseResult, LiveParser
+
+CacheKey = Tuple[str, str, Tuple[str, ...], str]
+
+
+@dataclass
+class CompileReport:
+    """What one compile pass did and how long it took (Fig. 8 data)."""
+
+    top: str
+    recompiled_keys: List[str] = field(default_factory=list)
+    reused_keys: List[str] = field(default_factory=list)
+    parse_seconds: float = 0.0
+    elaborate_seconds: float = 0.0
+    codegen_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.parse_seconds + self.elaborate_seconds + self.codegen_seconds
+
+    @property
+    def was_incremental(self) -> bool:
+        return bool(self.reused_keys)
+
+
+@dataclass
+class CompileResult:
+    netlist: Netlist
+    library: Dict[str, CompiledModule]
+    report: CompileReport
+
+
+class LiveCompiler:
+    """Owns the evolving design source and the compilation cache."""
+
+    def __init__(self, source: str, mux_style: str = "branch"):
+        self.parser = LiveParser(source)
+        self._design = parse(source)
+        self._mux_style = mux_style
+        self._cache: Dict[CacheKey, CompiledModule] = {}
+        self._last_parse_seconds = 0.0
+
+    @property
+    def source(self) -> str:
+        return self.parser.source
+
+    @property
+    def design(self):
+        return self._design
+
+    def cache_size(self) -> int:
+        return len(self._cache)
+
+    # -- source evolution -------------------------------------------------------
+
+    def update_source(self, new_source: str) -> LiveParseResult:
+        """Analyze and commit an edit.
+
+        Changed module regions are re-parsed individually when it is
+        safe to do so (no macro usage in the changed regions and no
+        directive change); otherwise the whole file is re-parsed.
+        Raises :class:`HDLError` on syntax errors, leaving the previous
+        good source in place.
+        """
+        started = time.perf_counter()
+        result = self.parser.analyze(new_source)
+        if not result.behavioral:
+            # Comments/whitespace only: commit the text, keep everything.
+            self.parser.commit(new_source)
+            self._last_parse_seconds = time.perf_counter() - started
+            result.parse_seconds = self._last_parse_seconds
+            return result
+
+        incremental_ok = (
+            not result.directive_changed
+            and not result.removed_modules
+            and all(
+                "`" not in self._new_region_text(new_source, name)
+                for name in result.changed_modules | result.added_modules
+            )
+        )
+        if incremental_ok:
+            for name in result.changed_modules | result.added_modules:
+                text = self._new_region_text(new_source, name)
+                sub_design = parse(text)
+                if name not in sub_design.modules:
+                    raise HDLError(
+                        f"edited region no longer defines module {name!r}"
+                    )
+                self._design.modules[name] = sub_design.modules[name]
+        else:
+            design = parse(new_source)
+            self._design = design
+        for name in result.removed_modules:
+            self._design.modules.pop(name, None)
+        self.parser.commit(new_source)
+        self._last_parse_seconds = time.perf_counter() - started
+        result.parse_seconds = self._last_parse_seconds
+        return result
+
+    def _new_region_text(self, new_source: str, name: str) -> str:
+        from ..hdl.source_regions import module_regions
+
+        region = module_regions(new_source).get(name)
+        return region.text if region is not None else ""
+
+    # -- compilation ---------------------------------------------------------------
+
+    def compile_top(
+        self, top: str, params: Optional[Dict[str, int]] = None
+    ) -> CompileResult:
+        """Elaborate + compile ``top``, reusing cached modules."""
+        report = CompileReport(top=top)
+        report.parse_seconds = self._last_parse_seconds
+        self._last_parse_seconds = 0.0
+
+        started = time.perf_counter()
+        netlist = elaborate(self._design, top, params)
+        report.elaborate_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        library: Dict[str, CompiledModule] = {}
+        fps = {
+            name: self.parser.fingerprint(name)
+            for name in {netlist.modules[k].name for k in netlist.modules}
+        }
+
+        def visit(key: str) -> CompiledModule:
+            if key in library:
+                return library[key]
+            ir = netlist.modules[key]
+            child_fps = tuple(
+                visit(inst.child_key).interface_fp for inst in ir.instances
+            )
+            cache_key: CacheKey = (key, fps[ir.name], child_fps, self._mux_style)
+            cached = self._cache.get(cache_key)
+            if cached is not None:
+                library[key] = cached
+                report.reused_keys.append(key)
+                return cached
+            compiled = compile_module(ir, netlist, self._mux_style)
+            self._cache[cache_key] = compiled
+            library[key] = compiled
+            report.recompiled_keys.append(key)
+            return compiled
+
+        visit(netlist.top)
+        report.codegen_seconds = time.perf_counter() - started
+        return CompileResult(netlist=netlist, library=library, report=report)
+
+    # -- cache maintenance ---------------------------------------------------------
+
+    def evict_stale(self, keep_generations: int = 4) -> int:
+        """Drop cache entries beyond a bounded population.
+
+        The cache only grows when fingerprints change, so a long edit
+        session can accumulate dead versions; this trims to the most
+        recently inserted ``keep_generations`` entries per spec key.
+        Returns the number of evicted entries.
+        """
+        by_spec: Dict[str, List[CacheKey]] = {}
+        for cache_key in self._cache:
+            by_spec.setdefault(cache_key[0], []).append(cache_key)
+        evicted = 0
+        for spec, keys in by_spec.items():
+            if len(keys) > keep_generations:
+                for key in keys[: len(keys) - keep_generations]:
+                    del self._cache[key]
+                    evicted += 1
+        return evicted

@@ -1,0 +1,316 @@
+"""Checkpoint consistency verification (paper §III-F, Fig. 6).
+
+After a code change the stored checkpoints — produced by the *old*
+code — may no longer describe states the *new* code would reach.
+Instead of re-running from cycle 0, LiveSim verifies checkpoint deltas
+independently: for each interval ``[cp_k, cp_{k+1}]``, reload ``cp_k``
+under the patched design, replay the recorded operations to
+``cp_{k+1}``'s cycle, and compare the resulting state against the
+stored ``cp_{k+1}`` (translated through the register transforms).
+
+Because every segment is independent, the work parallelizes across as
+many cores as there are checkpoints.  When the checkpoints are not
+consistent, the earliest divergent segment localizes where the
+divergence occurred — "which may also be useful for debugging".
+"""
+
+from __future__ import annotations
+
+import importlib
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..hdl.errors import SimulationError
+from ..sim.pipeline import Pipe, PipeSnapshot
+from ..sim.testbench import Testbench
+from .checkpoint import Checkpoint
+from .replay import SessionOp, replay_ops
+from .transform import RegisterTransform
+
+TransformLookup = Callable[[str], Optional[RegisterTransform]]
+
+
+@dataclass
+class SegmentResult:
+    """Outcome of verifying one checkpoint delta."""
+
+    index: int
+    start_cycle: int
+    end_cycle: int
+    consistent: bool
+    seconds: float = 0.0
+    detail: str = ""
+
+
+@dataclass
+class ConsistencyReport:
+    """Fig. 6 outcome: per-segment verdicts plus aggregate timing."""
+
+    segments: List[SegmentResult] = field(default_factory=list)
+    workers: int = 1
+    wall_seconds: float = 0.0
+
+    @property
+    def all_consistent(self) -> bool:
+        return all(s.consistent for s in self.segments)
+
+    @property
+    def cpu_seconds(self) -> float:
+        return sum(s.seconds for s in self.segments)
+
+    @property
+    def first_divergent(self) -> Optional[SegmentResult]:
+        for segment in sorted(self.segments, key=lambda s: s.start_cycle):
+            if not segment.consistent:
+                return segment
+        return None
+
+    @property
+    def divergence_cycle(self) -> Optional[int]:
+        """Earliest cycle known-good state ends (start of the first bad
+        segment); simulation must be re-established from there."""
+        bad = self.first_divergent
+        return bad.start_cycle if bad is not None else None
+
+
+@dataclass
+class _Segment:
+    index: int
+    start_snapshot: Optional[PipeSnapshot]  # None => power-on reset state
+    start_cycle: int
+    end_snapshot: PipeSnapshot
+    end_cycle: int
+
+
+class ConsistencyChecker:
+    """Verifies checkpoint deltas under the current (patched) design."""
+
+    def __init__(
+        self,
+        build_pipe: Callable[[], Pipe],
+        tb_lookup: Callable[[str], Testbench],
+        transform_for: TransformLookup = lambda module: None,
+    ):
+        self._build_pipe = build_pipe
+        self._tb_lookup = tb_lookup
+        self._transform_for = transform_for
+
+    # -- segment construction ---------------------------------------------------
+
+    @staticmethod
+    def make_segments(checkpoints: Sequence[Checkpoint]) -> List[_Segment]:
+        ordered = sorted(checkpoints, key=lambda c: c.cycle)
+        segments: List[_Segment] = []
+        previous: Optional[Checkpoint] = None
+        for i, checkpoint in enumerate(ordered):
+            segments.append(
+                _Segment(
+                    index=i,
+                    start_snapshot=previous.snapshot if previous else None,
+                    start_cycle=previous.cycle if previous else 0,
+                    end_snapshot=checkpoint.snapshot,
+                    end_cycle=checkpoint.cycle,
+                )
+            )
+            previous = checkpoint
+        return segments
+
+    # -- serial verification --------------------------------------------------------
+
+    def verify(
+        self,
+        checkpoints: Sequence[Checkpoint],
+        ops: Sequence[SessionOp],
+        workers: int = 1,
+        worker_context: "Optional[WorkerContext]" = None,
+    ) -> ConsistencyReport:
+        """Verify every checkpoint delta.
+
+        ``workers > 1`` runs segments in separate processes and needs a
+        :class:`WorkerContext` (everything a fresh process requires to
+        rebuild the simulator); otherwise segments run serially in this
+        process.
+        """
+        started = time.perf_counter()
+        segments = self.make_segments(checkpoints)
+        report = ConsistencyReport(workers=max(workers, 1))
+        if not segments:
+            report.wall_seconds = time.perf_counter() - started
+            return report
+        if workers > 1 and worker_context is not None:
+            report.segments = self._verify_parallel(
+                segments, ops, workers, worker_context
+            )
+        else:
+            report.workers = 1
+            report.segments = [
+                self._verify_segment(segment, ops) for segment in segments
+            ]
+        report.wall_seconds = time.perf_counter() - started
+        return report
+
+    def _verify_segment(
+        self, segment: _Segment, ops: Sequence[SessionOp]
+    ) -> SegmentResult:
+        seg_started = time.perf_counter()
+        pipe = self._build_pipe()
+        result = _run_segment(
+            pipe, segment, ops, self._tb_lookup, self._transform_for
+        )
+        result.seconds = time.perf_counter() - seg_started
+        return result
+
+    # -- parallel verification ---------------------------------------------------------
+
+    def _verify_parallel(
+        self,
+        segments: List[_Segment],
+        ops: Sequence[SessionOp],
+        workers: int,
+        context: "WorkerContext",
+    ) -> List[SegmentResult]:
+        payload = pickle.dumps((context, list(ops)))
+        futures = []
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            # Round-robin segments across workers, one batch per worker
+            # (paper: divide the simulation into n-1 parts with roughly
+            # the same number of checkpoints in each).
+            batches: List[List[_Segment]] = [[] for _ in range(workers)]
+            for i, segment in enumerate(segments):
+                batches[i % workers].append(segment)
+            for batch in batches:
+                if batch:
+                    futures.append(
+                        pool.submit(_verify_segments_worker, payload,
+                                    pickle.dumps(batch))
+                    )
+            results: List[SegmentResult] = []
+            for future in futures:
+                results.extend(future.result())
+        results.sort(key=lambda r: r.index)
+        return results
+
+
+def _run_segment(
+    pipe: Pipe,
+    segment: _Segment,
+    ops: Sequence[SessionOp],
+    tb_lookup: Callable[[str], Testbench],
+    transform_for: TransformLookup,
+) -> SegmentResult:
+    """Replay one delta and compare final state to the stored end."""
+    if segment.start_snapshot is None:
+        pipe.reset_state()
+    else:
+        pipe.restore_transformed(segment.start_snapshot, transform_for)
+    replay_ops(pipe, list(ops), segment.end_cycle, tb_lookup)
+    actual = pipe.top.snapshot()
+    # Canonicalize the stored end snapshot into the current version's
+    # namespace by loading it through the same transform path.
+    pipe.restore_transformed(segment.end_snapshot, transform_for)
+    expected = pipe.top.snapshot()
+    consistent = actual.equal_state(expected)
+    detail = ""
+    if not consistent:
+        detail = _describe_divergence(actual, expected)
+    return SegmentResult(
+        index=segment.index,
+        start_cycle=segment.start_cycle,
+        end_cycle=segment.end_cycle,
+        consistent=consistent,
+        detail=detail,
+    )
+
+
+def _describe_divergence(actual, expected, path: str = "top") -> str:
+    for name in actual.regs:
+        if actual.regs.get(name) != expected.regs.get(name):
+            return (
+                f"{path}.{name}: replayed={actual.regs.get(name)} "
+                f"stored={expected.regs.get(name)}"
+            )
+    for name in actual.mems:
+        a = actual.mems.get(name)
+        b = expected.mems.get(name)
+        if a != b:
+            for i, (x, y) in enumerate(zip(a or [], b or [])):
+                if x != y:
+                    return f"{path}.{name}[{i}]: replayed={x} stored={y}"
+            return f"{path}.{name}: length mismatch"
+    for child_a, child_b in zip(actual.children, expected.children):
+        if not child_a.equal_state(child_b):
+            return _describe_divergence(
+                child_a, child_b, f"{path}.{child_a.name}"
+            )
+    return "states differ"
+
+
+# ----------------------------------------------------------------------------
+# Process-parallel worker support
+# ----------------------------------------------------------------------------
+
+
+@dataclass
+class WorkerContext:
+    """Everything a fresh process needs to rebuild the simulator.
+
+    ``tb_specs`` maps testbench handle -> ("package.module:factory",
+    kwargs); the factory is imported and called in the worker to
+    recreate the testbench.  ``transforms`` maps module name -> the
+    old-version -> current-version register transform.
+    """
+
+    source: str
+    top: str
+    params: Dict[str, int]
+    mux_style: str
+    tb_specs: Dict[str, Tuple[str, Dict]]
+    transforms: Dict[str, RegisterTransform] = field(default_factory=dict)
+
+
+def _build_from_context(context: WorkerContext):
+    from ..codegen.pygen import compile_netlist
+    from ..hdl.elaborate import elaborate
+    from ..hdl.parser import parse
+
+    design = parse(context.source)
+    netlist = elaborate(design, context.top, context.params)
+    library = compile_netlist(netlist, context.mux_style)
+    testbenches: Dict[str, Testbench] = {}
+    for handle, (factory_path, kwargs) in context.tb_specs.items():
+        module_name, _, attr = factory_path.partition(":")
+        factory = getattr(importlib.import_module(module_name), attr)
+        testbenches[handle] = factory(**kwargs)
+
+    def build_pipe() -> Pipe:
+        return Pipe(netlist.top, library)
+
+    def tb_lookup(handle: str) -> Testbench:
+        testbench = testbenches.get(handle)
+        if testbench is None:
+            raise SimulationError(f"worker has no testbench {handle!r}")
+        return testbench
+
+    def transform_for(module: str) -> Optional[RegisterTransform]:
+        return context.transforms.get(module)
+
+    return build_pipe, tb_lookup, transform_for
+
+
+def _verify_segments_worker(
+    context_payload: bytes, segments_payload: bytes
+) -> List[SegmentResult]:
+    context, ops = pickle.loads(context_payload)  # noqa: S301
+    segments: List[_Segment] = pickle.loads(segments_payload)  # noqa: S301
+    build_pipe, tb_lookup, transform_for = _build_from_context(context)
+    results = []
+    for segment in segments:
+        seg_started = time.perf_counter()
+        pipe = build_pipe()
+        result = _run_segment(pipe, segment, ops, tb_lookup, transform_for)
+        result.seconds = time.perf_counter() - seg_started
+        results.append(result)
+    return results

@@ -1,0 +1,84 @@
+"""Session history and replay.
+
+LiveSim views testbench runs as *operations on the UUT* whose "history
+is tracked and checkpointed as part of the simulation session.  This
+allows those same operations to be applied again, should the design be
+updated due to a change in source code" (paper §III-B1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from ..hdl.errors import SimulationError
+from ..sim.pipeline import Pipe
+from ..sim.testbench import Testbench
+
+
+@dataclass(frozen=True)
+class SessionOp:
+    """One recorded ``run`` command: a testbench applied for a span."""
+
+    tb_handle: str
+    start_cycle: int
+    end_cycle: int
+
+    @property
+    def cycles(self) -> int:
+        return self.end_cycle - self.start_cycle
+
+
+def replay_ops(
+    pipe: Pipe,
+    ops: Sequence[SessionOp],
+    to_cycle: int,
+    tb_lookup: Callable[[str], Testbench],
+    on_cycle: "Callable[[Pipe], None] | None" = None,
+) -> int:
+    """Re-apply recorded operations until ``pipe.cycle == to_cycle``.
+
+    The pipe may start anywhere at or after the history's beginning
+    (e.g. at a reloaded checkpoint).  Each overlapping op's testbench is
+    rebased to its original start cycle so cycle-relative stimulus
+    replays identically.  ``on_cycle`` (if given) runs after every
+    simulated cycle — the checkpointer hooks in here.
+
+    Returns the number of cycles executed.
+    """
+    if to_cycle < pipe.cycle:
+        raise SimulationError(
+            f"cannot replay backwards: pipe at {pipe.cycle}, target {to_cycle}"
+        )
+    executed = 0
+    for op in ops:
+        if op.end_cycle <= pipe.cycle:
+            continue
+        if op.start_cycle >= to_cycle:
+            break
+        testbench = tb_lookup(op.tb_handle)
+        testbench.rebase(op.start_cycle)
+        span_end = min(op.end_cycle, to_cycle)
+        while pipe.cycle < span_end:
+            step = 1 if on_cycle is not None else span_end - pipe.cycle
+            chunk = testbench.run(pipe, step)
+            executed += chunk
+            if on_cycle is not None:
+                on_cycle(pipe)
+            if chunk == 0:
+                # Testbench stopped early (watcher fired); force one
+                # cycle forward to guarantee progress during replay.
+                pipe.tick()
+                executed += 1
+                if on_cycle is not None:
+                    on_cycle(pipe)
+    if pipe.cycle < to_cycle:
+        raise SimulationError(
+            f"history ends at cycle {pipe.cycle}, cannot reach {to_cycle}"
+        )
+    return executed
+
+
+def trim_ops(ops: Sequence[SessionOp], from_cycle: int) -> List[SessionOp]:
+    """Ops overlapping ``[from_cycle, ...)`` (for shipping to workers)."""
+    return [op for op in ops if op.end_cycle > from_cycle]

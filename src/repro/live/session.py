@@ -1,0 +1,651 @@
+"""LiveSession: the user-facing live simulation environment (§III-B).
+
+Implements the paper's Table I command set::
+
+    ldLib name, source          load a library (LHDL source text)
+    instPipe name, pipe-handle  instantiate a pipeline
+    instStage pipe, name, hdl   bind a stage name inside a pipeline
+    copyPipe new, old           duplicate a pipeline including state
+    run tb, pipe, cycles        run a testbench on a pipe
+    chkp pipe [, path]          take (and optionally save) a checkpoint
+    ldch pipe, path             load a checkpoint into a pipeline
+    swapStage pipe, name, hdl   replace a stage with a new instance
+
+plus the live entry point :meth:`apply_change`, which executes the full
+edit-run-debug loop: LiveParser -> LiveCompiler -> hot reload ->
+checkpoint reload -> replay — the under-2-seconds path of Figs. 7/8.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..codegen.pygen import CompiledModule
+from ..hdl.errors import HDLError, SimulationError
+from ..sim.pipeline import Pipe
+from ..sim.testbench import Testbench
+from .checkpoint import CheckpointStore, GCPolicy
+from .compiler_live import CompileResult, LiveCompiler
+from .consistency import ConsistencyChecker, ConsistencyReport, WorkerContext
+from .hotreload import HotReloader, SwapReport
+from .replay import SessionOp, replay_ops
+from .tables import (
+    PIPE,
+    STAGE,
+    TESTBENCH,
+    ObjectEntry,
+    ObjectLibraryTable,
+    PipelineTable,
+    StageTable,
+)
+from .transform import (
+    RegisterTransform,
+    RegisterTransformHistory,
+    guess_transforms,
+    translate_snapshot,
+)
+
+
+@dataclass
+class ERDReport:
+    """Timing breakdown of one edit-run-debug iteration (Fig. 8)."""
+
+    behavioral: bool
+    version: str
+    parse_seconds: float = 0.0
+    compile_seconds: float = 0.0
+    swap_seconds: float = 0.0
+    reload_seconds: float = 0.0
+    replay_seconds: float = 0.0
+    cycles_replayed: int = 0
+    checkpoint_cycle: Optional[int] = None
+    recompiled_keys: List[str] = field(default_factory=list)
+    reused_keys: List[str] = field(default_factory=list)
+    swapped_instances: int = 0
+    pipes_updated: List[str] = field(default_factory=list)
+    # Filled when apply_change(verify=True): pipe name -> the
+    # background verification verdict (post-repair state is correct).
+    consistency: Dict[str, "ConsistencyReport"] = field(default_factory=dict)
+    verify_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return (
+            self.parse_seconds
+            + self.compile_seconds
+            + self.swap_seconds
+            + self.reload_seconds
+            + self.replay_seconds
+        )
+
+    @property
+    def within_two_seconds(self) -> bool:
+        """The paper's responsiveness goal (§I)."""
+        return self.total_seconds < 2.0
+
+
+@dataclass
+class _PipeSession:
+    """Runtime bookkeeping for one instantiated pipeline."""
+
+    name: str
+    handle: str
+    module: str
+    params: Dict[str, int]
+    pipe: Pipe
+    store: CheckpointStore
+    ops: List[SessionOp] = field(default_factory=list)
+    compile_result: Optional[CompileResult] = None
+
+
+class LiveSession:
+    """One live development session over a single evolving design."""
+
+    def __init__(
+        self,
+        source: str,
+        mux_style: str = "branch",
+        checkpoint_interval: int = 10_000,
+        reload_distance: int = 10_000,
+        gc_policy: Optional[GCPolicy] = None,
+        checkpoints_enabled: bool = True,
+        initial_version: str = "1.0",
+    ):
+        self.compiler = LiveCompiler(source, mux_style=mux_style)
+        self.objects = ObjectLibraryTable()
+        self.pipelines = PipelineTable()
+        self.stages = StageTable(self.pipelines)
+        self.history = RegisterTransformHistory(initial_version)
+        self.version = initial_version
+        self.checkpoint_interval = checkpoint_interval
+        self.reload_distance = reload_distance
+        self.checkpoints_enabled = checkpoints_enabled
+        self._gc_policy = gc_policy or GCPolicy()
+        self._mux_style = mux_style
+        self._pipe_sessions: Dict[str, _PipeSession] = {}
+        self._testbenches: Dict[str, Testbench] = {}
+        self._tb_specs: Dict[str, Tuple[str, Dict]] = {}
+        self._version_counter = 0
+        self._register_source_modules("design")
+
+    # ------------------------------------------------------------------
+    # Table I commands
+    # ------------------------------------------------------------------
+
+    def ld_lib(self, name: str, source: Optional[str] = None) -> List[str]:
+        """``ldLib`` — register the stage objects found in a library.
+
+        With ``source``, the text is merged into the session design
+        first (new modules become available, duplicates are an edit).
+        Returns the handles added.
+        """
+        if source is not None:
+            merged = self.compiler.source.rstrip() + "\n\n" + source
+            self.compiler.update_source(merged)
+        return self._register_source_modules(name)
+
+    def _register_source_modules(self, lib_name: str) -> List[str]:
+        added = []
+        known = {
+            entry.payload for entry in self.objects.by_type(STAGE)
+        }
+        for module_name in sorted(self.compiler.design.modules):
+            if module_name in known:
+                continue
+            handle = self.objects.fresh_handle(STAGE)
+            self.objects.add(
+                ObjectEntry(
+                    handle=handle,
+                    obj_type=STAGE,
+                    code_path=f"{lib_name}.v#{module_name}",
+                    object_path=f"<livesim>/{lib_name}#{module_name}",
+                    payload=module_name,
+                )
+            )
+            added.append(handle)
+        return added
+
+    def load_testbench(
+        self,
+        testbench: Testbench,
+        factory: Optional[Tuple[str, Dict]] = None,
+    ) -> str:
+        """Register a testbench object; returns its handle.
+
+        ``factory`` is an optional ``("pkg.module:callable", kwargs)``
+        spec letting process-parallel consistency workers rebuild the
+        testbench in a fresh interpreter.
+        """
+        handle = self.objects.fresh_handle(TESTBENCH)
+        self.objects.add(
+            ObjectEntry(
+                handle=handle,
+                obj_type=TESTBENCH,
+                code_path=f"<python>#{type(testbench).__name__}",
+                object_path=f"<livesim>/tb#{handle}",
+                payload=testbench,
+            )
+        )
+        self._testbenches[handle] = testbench
+        if factory is not None:
+            self._tb_specs[handle] = factory
+        return handle
+
+    def stage_handle_for(self, module_name: str) -> str:
+        for entry in self.objects.by_type(STAGE):
+            if entry.payload == module_name:
+                return entry.handle
+        raise SimulationError(f"no stage handle for module {module_name!r}")
+
+    def inst_pipe(
+        self,
+        name: str,
+        stage_handle: str,
+        params: Optional[Dict[str, int]] = None,
+    ) -> Pipe:
+        """``instPipe`` — instantiate a pipeline from a stage handle."""
+        entry = self.objects.get(stage_handle)
+        if entry.obj_type != STAGE:
+            raise SimulationError(f"{stage_handle!r} is not a stage handle")
+        module = str(entry.payload)
+        result = self.compiler.compile_top(module, params)
+        pipe = Pipe(result.netlist.top, result.library, name=name)
+        store = CheckpointStore(
+            interval=self.checkpoint_interval,
+            policy=self._gc_policy,
+            enabled=self.checkpoints_enabled,
+        )
+        session = _PipeSession(
+            name=name,
+            handle=stage_handle,
+            module=module,
+            params=dict(params or {}),
+            pipe=pipe,
+            store=store,
+            compile_result=result,
+        )
+        self._pipe_sessions[name] = session
+        self.pipelines.add(name, stage_handle, pipe)
+        self._register_stages(name, pipe)
+        return pipe
+
+    def _register_stages(self, pipe_name: str, pipe: Pipe) -> None:
+        for path, inst in pipe.top.walk(prefix=""):
+            stage_path = path[len("top") :].lstrip(".")
+            module_name = inst.code.name
+            try:
+                handle = self.stage_handle_for(module_name)
+            except SimulationError:
+                handle = module_name
+            self.stages.register(pipe_name, stage_path, handle)
+
+    def inst_stage(
+        self, pipe_name: str, stage_name: str, stage_handle: str
+    ) -> None:
+        """``instStage`` — bind a session stage name to a hierarchy path.
+
+        In this reproduction the pipeline's structure comes from the
+        compiled RTL, so instStage registers an existing hierarchical
+        stage under a session name rather than creating new hardware.
+        """
+        self.stages.resolve(pipe_name, stage_name)  # validates the path
+        self.stages.register(pipe_name, stage_name, stage_handle)
+
+    def copy_pipe(self, new_name: str, old_name: str) -> Pipe:
+        """``copyPipe`` — duplicate a pipeline including its state."""
+        old = self._session(old_name)
+        clone = old.pipe.copy(name=new_name)
+        store = CheckpointStore(
+            interval=self.checkpoint_interval,
+            policy=self._gc_policy,
+            enabled=self.checkpoints_enabled,
+        )
+        session = _PipeSession(
+            name=new_name,
+            handle=old.handle,
+            module=old.module,
+            params=dict(old.params),
+            pipe=clone,
+            store=store,
+            ops=list(old.ops),
+            compile_result=old.compile_result,
+        )
+        self._pipe_sessions[new_name] = session
+        self.pipelines.add(new_name, old.handle, clone)
+        self._register_stages(new_name, clone)
+        return clone
+
+    def run(self, tb_handle: str, pipe_name: str, cycles: int) -> Dict[str, int]:
+        """``run`` — apply a testbench for N cycles, recording history
+        and taking checkpoints at the configured cadence."""
+        session = self._session(pipe_name)
+        testbench = self._testbench(tb_handle)
+        pipe = session.pipe
+        start_cycle = pipe.cycle
+        testbench.rebase(start_cycle)
+        target = start_cycle + cycles
+        while pipe.cycle < target:
+            chunk = min(session.store.interval, target - pipe.cycle)
+            ran = testbench.run(pipe, chunk)
+            session.store.maybe_take(pipe, self.version, len(session.ops))
+            if ran == 0:
+                break  # testbench stopped itself
+        if pipe.cycle > start_cycle:
+            session.ops.append(
+                SessionOp(
+                    tb_handle=tb_handle,
+                    start_cycle=start_cycle,
+                    end_cycle=pipe.cycle,
+                )
+            )
+        return pipe.outputs()
+
+    def chkp(self, pipe_name: str, path: Optional[str] = None):
+        """``chkp`` — take a checkpoint now (optionally persist all)."""
+        session = self._session(pipe_name)
+        checkpoint = session.store.take(
+            session.pipe, self.version, len(session.ops)
+        )
+        if path is not None:
+            session.store.save(path)
+        return checkpoint
+
+    def ldch(self, pipe_name: str, checkpoint_or_path) -> None:
+        """``ldch`` — load a checkpoint's state into a pipeline.
+
+        History recorded after the checkpoint's cycle is truncated: the
+        user is rewinding and will write new history from there.
+        """
+        session = self._session(pipe_name)
+        if isinstance(checkpoint_or_path, str):
+            store = CheckpointStore(interval=session.store.interval)
+            store.load(checkpoint_or_path)
+            candidates = store.all()
+            if not candidates:
+                raise SimulationError("checkpoint file holds no checkpoints")
+            checkpoint = candidates[-1]
+        else:
+            checkpoint = checkpoint_or_path
+        transforms = self._transforms_between(checkpoint.version, self.version)
+        session.pipe.restore_transformed(
+            checkpoint.snapshot, lambda module: transforms.get(module)
+        )
+        session.pipe.cycle = checkpoint.cycle
+        # Truncate history at the rewind point; an op spanning it is
+        # trimmed (its earlier cycles really happened and still back
+        # the surviving checkpoints).  Checkpoints from the abandoned
+        # future go too — the user is about to write a new one.
+        session.store.invalidate_after(checkpoint.cycle)
+        trimmed = []
+        for op in session.ops:
+            if op.end_cycle <= checkpoint.cycle:
+                trimmed.append(op)
+            elif op.start_cycle < checkpoint.cycle:
+                trimmed.append(
+                    SessionOp(
+                        tb_handle=op.tb_handle,
+                        start_cycle=op.start_cycle,
+                        end_cycle=checkpoint.cycle,
+                    )
+                )
+        session.ops = trimmed
+
+    def swap_stage(
+        self, pipe_name: str, stage_path: str, reloader: Optional[HotReloader] = None
+    ) -> SwapReport:
+        """``swapStage`` — swap one stage subtree to the latest compile.
+
+        Normally :meth:`apply_change` swaps whole pipes; this is the
+        targeted variant for interface-compatible single-stage swaps.
+        """
+        session = self._session(pipe_name)
+        result = self.compiler.compile_top(session.module, session.params)
+        session.compile_result = result
+        reloader = reloader or HotReloader()
+        return reloader.swap_stage(session.pipe, stage_path, result.library)
+
+    # ------------------------------------------------------------------
+    # The live loop
+    # ------------------------------------------------------------------
+
+    def apply_change(
+        self,
+        new_source: str,
+        transforms: Optional[Dict[str, RegisterTransform]] = None,
+        verify: bool = False,
+        verify_workers: int = 1,
+    ) -> ERDReport:
+        """Execute one edit-run-debug iteration.
+
+        1. LiveParser decides whether the edit changes behaviour.
+        2. LiveCompiler recompiles only the affected specializations.
+        3. Every pipe is hot reloaded (state migrated via register
+           transforms — explicit ``transforms`` override the guess).
+        4. Each pipe reloads the checkpoint nearest ``reload_distance``
+           cycles before its stop point and replays history to where it
+           was, producing the fast estimate the user sees.
+
+        Checkpoint stores are retargeted to the new version.  With
+        ``verify=True``, step 5 runs the paper's backend refinement
+        inline: every pipe's checkpoint history is verified (and
+        repaired on divergence), so the reported state is exact — at
+        the cost of re-executing the history, which is what the fast
+        estimate exists to hide.  ``verify_seconds`` is reported
+        separately from the ERD total for exactly that reason.
+        Without it, verification stays explicit via
+        :meth:`verify_consistency`.
+
+        The change is transactional: if any pipe's recompile fails
+        (syntax error, elaboration error, a deleted-but-instantiated
+        module), the session's source and every pipe are left exactly
+        as they were.
+        """
+        old_source = self.compiler.source
+        parse_result = self.compiler.update_source(new_source)
+        report = ERDReport(
+            behavioral=parse_result.behavioral, version=self.version
+        )
+        report.parse_seconds = parse_result.parse_seconds
+        if not parse_result.behavioral:
+            return report
+
+        new_version = self._next_version()
+        report.version = new_version
+
+        # Phase 1: compile every pipe's top before touching any state,
+        # so a failure rolls back cleanly.
+        version_transforms: Dict[str, RegisterTransform] = dict(transforms or {})
+        compile_results: Dict[str, CompileResult] = {}
+        try:
+            for name, session in self._pipe_sessions.items():
+                started = time.perf_counter()
+                compile_results[name] = self.compiler.compile_top(
+                    session.module, session.params
+                )
+                report.compile_seconds += time.perf_counter() - started
+        except HDLError:
+            self.compiler.update_source(old_source)
+            raise
+
+        # Phase 2: swap, reload, replay.
+        for name, session in self._pipe_sessions.items():
+            old_result = session.compile_result
+            result = compile_results[name]
+            report.recompiled_keys.extend(result.report.recompiled_keys)
+            report.reused_keys.extend(result.report.reused_keys)
+
+            if old_result is not None and transforms is None:
+                self._guess_version_transforms(
+                    old_result, result, version_transforms
+                )
+            session.compile_result = result
+
+            reloader = HotReloader(version_transforms)
+            stop_cycle = session.pipe.cycle
+            started = time.perf_counter()
+            swap = reloader.swap_pipe(session.pipe, result.library)
+            report.swap_seconds += time.perf_counter() - started
+            report.swapped_instances += swap.swapped_instances
+
+            started = time.perf_counter()
+            checkpoint = session.store.reload_candidate(
+                stop_cycle, self.reload_distance
+            )
+            self._retarget_store(session, result, version_transforms, new_version)
+            if checkpoint is not None:
+                session.pipe.restore_transformed(
+                    checkpoint.snapshot, lambda module: None
+                )
+                session.pipe.cycle = checkpoint.cycle
+                report.checkpoint_cycle = checkpoint.cycle
+            else:
+                session.pipe.reset_state()
+            report.reload_seconds += time.perf_counter() - started
+
+            started = time.perf_counter()
+            replayed = replay_ops(
+                session.pipe, session.ops, stop_cycle, self._testbench
+            )
+            report.replay_seconds += time.perf_counter() - started
+            report.cycles_replayed += replayed
+            report.pipes_updated.append(name)
+
+        self.history.add_version(
+            new_version, self.version, version_transforms
+        )
+        self.version = new_version
+
+        if verify:
+            started = time.perf_counter()
+            for name in report.pipes_updated:
+                report.consistency[name] = self.verify_consistency(
+                    name, workers=verify_workers, repair=True
+                )
+            report.verify_seconds = time.perf_counter() - started
+        return report
+
+    def _guess_version_transforms(
+        self,
+        old_result: CompileResult,
+        new_result: CompileResult,
+        out: Dict[str, RegisterTransform],
+    ) -> None:
+        for key, new_mod in new_result.library.items():
+            old_mod = old_result.library.get(key)
+            if old_mod is None or old_mod is new_mod:
+                continue
+            if new_mod.name in out:
+                continue
+            guessed = guess_transforms(old_mod.reg_widths, new_mod.reg_widths)
+            if not guessed.is_identity():
+                out[new_mod.name] = guessed
+
+    def _retarget_store(
+        self,
+        session: _PipeSession,
+        result: CompileResult,
+        transforms: Dict[str, RegisterTransform],
+        new_version: str,
+    ) -> None:
+        """Translate stored checkpoints into the new version namespace."""
+        module_name_of = {
+            key: ir.name for key, ir in result.netlist.modules.items()
+        }
+        for checkpoint in session.store.all():
+            if transforms:
+                checkpoint.snapshot.state = translate_snapshot(
+                    checkpoint.snapshot.state, module_name_of, transforms
+                )
+            checkpoint.version = new_version
+
+    # ------------------------------------------------------------------
+    # Consistency verification (§III-F)
+    # ------------------------------------------------------------------
+
+    def verify_consistency(
+        self,
+        pipe_name: str,
+        workers: int = 1,
+        repair: bool = False,
+    ) -> ConsistencyReport:
+        """Verify checkpoint deltas under the current design.
+
+        With ``repair=True`` and a divergence found, checkpoints after
+        the divergence point are invalidated and regenerated by
+        replaying from the last consistent checkpoint, and the pipe's
+        visible state is re-established (the paper's "update the final
+        results as necessary").
+        """
+        session = self._session(pipe_name)
+        result = session.compile_result
+        if result is None:
+            raise SimulationError(f"pipe {pipe_name!r} was never compiled")
+        checker = ConsistencyChecker(
+            build_pipe=lambda: Pipe(result.netlist.top, result.library),
+            tb_lookup=self._testbench,
+            transform_for=lambda module: None,
+        )
+        context = None
+        if workers > 1:
+            missing = [
+                h
+                for op in session.ops
+                for h in [op.tb_handle]
+                if h not in self._tb_specs
+            ]
+            if missing:
+                workers = 1  # no rebuild recipe: fall back to serial
+            else:
+                context = WorkerContext(
+                    source=self.compiler.source,
+                    top=session.module,
+                    params=session.params,
+                    mux_style=self._mux_style,
+                    tb_specs=dict(self._tb_specs),
+                )
+        report = checker.verify(
+            session.store.all(), session.ops, workers=workers,
+            worker_context=context,
+        )
+        if repair and not report.all_consistent:
+            self._repair(session, report)
+        return report
+
+    def _repair(self, session: _PipeSession, report: ConsistencyReport) -> None:
+        divergence = report.divergence_cycle or 0
+        stop_cycle = session.pipe.cycle
+        session.store.invalidate_after(
+            divergence - 1 if divergence > 0 else -1
+        )
+        base = session.store.nearest_before(stop_cycle)
+        if base is not None:
+            session.pipe.restore_transformed(
+                base.snapshot, lambda module: None
+            )
+            session.pipe.cycle = base.cycle
+        else:
+            session.pipe.reset_state()
+        replay_ops(
+            session.pipe,
+            session.ops,
+            stop_cycle,
+            self._testbench,
+            on_cycle=lambda pipe: session.store.maybe_take(
+                pipe, self.version, len(session.ops)
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def pipe(self, name: str) -> Pipe:
+        return self._session(name).pipe
+
+    def checkpoints(self, pipe_name: str):
+        return self._session(pipe_name).store.all()
+
+    def store(self, pipe_name: str) -> CheckpointStore:
+        return self._session(pipe_name).store
+
+    def ops(self, pipe_name: str) -> List[SessionOp]:
+        return list(self._session(pipe_name).ops)
+
+    def _session(self, name: str) -> _PipeSession:
+        session = self._pipe_sessions.get(name)
+        if session is None:
+            raise SimulationError(f"unknown pipeline {name!r}")
+        return session
+
+    def _testbench(self, handle: str) -> Testbench:
+        testbench = self._testbenches.get(handle)
+        if testbench is None:
+            raise SimulationError(f"unknown testbench handle {handle!r}")
+        return testbench
+
+    def _transforms_between(
+        self, old_version: str, new_version: str
+    ) -> Dict[str, RegisterTransform]:
+        if old_version == new_version:
+            return {}
+        transforms: Dict[str, RegisterTransform] = {}
+        for version in self.history.path(old_version, new_version):
+            node_transforms = {
+                module: self.history.transform_for(version, module)
+                for module in self._modules_with_transforms(version)
+            }
+            for module, transform in node_transforms.items():
+                base = transforms.get(module, RegisterTransform())
+                transforms[module] = base.compose(transform)
+        return transforms
+
+    def _modules_with_transforms(self, version: str) -> List[str]:
+        node = self.history._node(version)  # session is a friend class
+        return list(node.transforms)
+
+    def _next_version(self) -> str:
+        self._version_counter += 1
+        major = self.history.root.split(".")[0]
+        return f"{major}.{self._version_counter}"

@@ -1,0 +1,160 @@
+"""LiveSim's internal bookkeeping tables (paper Tables II-IV).
+
+* :class:`ObjectLibraryTable` — every stage/testbench object the
+  session knows about, with its source path and object path.
+* :class:`PipelineTable` — name -> instantiated pipeline objects.
+* :class:`StageTable` — (pipe, stage-name) -> stage instance pointers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..hdl.errors import SimulationError
+from ..sim.pipeline import Pipe
+from ..sim.stage import StageInst
+
+STAGE = "Stage"
+PIPE = "Pipe"
+TESTBENCH = "Testbench"
+
+
+@dataclass
+class ObjectEntry:
+    """One row of the Object Library Table (paper Table II)."""
+
+    handle: str
+    obj_type: str  # STAGE | PIPE | TESTBENCH
+    code_path: str  # e.g. "design.v#adder"
+    object_path: str  # e.g. "<livesim>/libdesign#adder#(W=8)"
+    payload: object = None  # module name, spec key, or testbench object
+
+
+class ObjectLibraryTable:
+    """Registry of loadable objects, keyed by handle."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, ObjectEntry] = {}
+        self._counter: Dict[str, int] = {}
+
+    def fresh_handle(self, obj_type: str) -> str:
+        prefix = {STAGE: "stage", PIPE: "pipe", TESTBENCH: "tb"}[obj_type]
+        index = self._counter.get(prefix, 0)
+        self._counter[prefix] = index + 1
+        return f"{prefix}{index}"
+
+    def add(self, entry: ObjectEntry) -> None:
+        if entry.handle in self._entries:
+            raise SimulationError(f"duplicate object handle {entry.handle!r}")
+        self._entries[entry.handle] = entry
+
+    def get(self, handle: str) -> ObjectEntry:
+        entry = self._entries.get(handle)
+        if entry is None:
+            raise SimulationError(f"unknown object handle {handle!r}")
+        return entry
+
+    def __contains__(self, handle: str) -> bool:
+        return handle in self._entries
+
+    def __iter__(self) -> Iterator[ObjectEntry]:
+        return iter(self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def by_type(self, obj_type: str) -> List[ObjectEntry]:
+        return [e for e in self._entries.values() if e.obj_type == obj_type]
+
+    def rows(self) -> List[Tuple[str, str, str, str]]:
+        """Formatted rows mirroring the paper's Table II layout."""
+        return [
+            (e.handle, e.obj_type, e.code_path, e.object_path)
+            for e in self._entries.values()
+        ]
+
+
+class PipelineTable:
+    """Name -> live pipeline objects (paper Table III)."""
+
+    def __init__(self) -> None:
+        self._pipes: Dict[str, Tuple[str, Pipe]] = {}
+
+    def add(self, name: str, handle: str, pipe: Pipe) -> None:
+        if name in self._pipes:
+            raise SimulationError(f"pipeline name {name!r} already in use")
+        self._pipes[name] = (handle, pipe)
+
+    def get(self, name: str) -> Pipe:
+        try:
+            return self._pipes[name][1]
+        except KeyError:
+            raise SimulationError(f"unknown pipeline {name!r}") from None
+
+    def handle_of(self, name: str) -> str:
+        try:
+            return self._pipes[name][0]
+        except KeyError:
+            raise SimulationError(f"unknown pipeline {name!r}") from None
+
+    def remove(self, name: str) -> None:
+        self._pipes.pop(name, None)
+
+    def names(self) -> List[str]:
+        return list(self._pipes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._pipes
+
+    def __len__(self) -> int:
+        return len(self._pipes)
+
+    def items(self) -> Iterator[Tuple[str, Pipe]]:
+        for name, (_, pipe) in self._pipes.items():
+            yield name, pipe
+
+    def rows(self) -> List[Tuple[str, str, str]]:
+        """(name, handle, pointer) rows mirroring Table III."""
+        return [
+            (name, handle, hex(id(pipe)))
+            for name, (handle, pipe) in self._pipes.items()
+        ]
+
+
+class StageTable:
+    """(pipe name, stage name) -> stage instances (paper Table IV).
+
+    Stage names are hierarchical instance paths within the pipe's top
+    module ("" denotes the top stage itself).
+    """
+
+    def __init__(self, pipelines: PipelineTable):
+        self._pipelines = pipelines
+        self._stages: Dict[Tuple[str, str], str] = {}  # -> handle
+
+    def register(self, pipe_name: str, stage_name: str, handle: str) -> None:
+        self._stages[(pipe_name, stage_name)] = handle
+
+    def resolve(self, pipe_name: str, stage_name: str) -> StageInst:
+        pipe = self._pipelines.get(pipe_name)
+        return pipe.find(stage_name)
+
+    def handle_of(self, pipe_name: str, stage_name: str) -> Optional[str]:
+        return self._stages.get((pipe_name, stage_name))
+
+    def forget_pipe(self, pipe_name: str) -> None:
+        for key in [k for k in self._stages if k[0] == pipe_name]:
+            del self._stages[key]
+
+    def rows(self) -> List[Tuple[str, str, str, str]]:
+        """(pipe, stage, handle, pointer) rows mirroring Table IV."""
+        rows = []
+        for (pipe_name, stage_name), handle in self._stages.items():
+            try:
+                inst = self.resolve(pipe_name, stage_name)
+                pointer = hex(id(inst))
+            except SimulationError:
+                pointer = "<stale>"
+            rows.append((pipe_name, stage_name, handle, pointer))
+        return rows

@@ -1,0 +1,274 @@
+"""Register transformation rules and history (paper Tables V and VI).
+
+A checkpoint records the entire state of a pipeline.  After a code
+change the register topology may differ, so checkpoints cannot be
+blindly transferred.  LiveSim applies deterministic rules:
+
+========================  =========================================
+Scenario                  Action
+========================  =========================================
+Register created          Initialize to 0 (or another given value)
+Register deleted          Ignore data from the checkpoint
+Single register renamed   Map old-name to new-name
+========================  =========================================
+
+When the mapping is ambiguous, LiveSim "will make its best guess based
+on the similarities of names and types" — implemented here with width
+matching plus difflib name similarity.  The user can override the guess
+by editing the history, which supports branching (Table VI) so design
+exploration is not limited to a linear sequence of changes.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..hdl.errors import SimulationError
+
+CREATE = "create"
+DELETE = "delete"
+RENAME = "rename"
+
+
+@dataclass(frozen=True)
+class TransformOp:
+    """One operation in a register transform (a Table VI row entry)."""
+
+    kind: str  # CREATE | DELETE | RENAME
+    name: str
+    new_name: str = ""
+    init_value: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in (CREATE, DELETE, RENAME):
+            raise ValueError(f"unknown transform op kind {self.kind!r}")
+        if self.kind == RENAME and not self.new_name:
+            raise ValueError("rename op needs new_name")
+
+    def describe(self) -> str:
+        if self.kind == CREATE:
+            return f"create {self.name}"
+        if self.kind == DELETE:
+            return f"delete {self.name}"
+        return f"rename {self.name}, {self.new_name}"
+
+
+@dataclass
+class RegisterTransform:
+    """The register-topology delta between two design versions."""
+
+    ops: List[TransformOp] = field(default_factory=list)
+
+    def apply(self, values: Mapping[str, int]) -> Dict[str, int]:
+        """Translate a name->value map from the old version's namespace
+        into the new version's namespace."""
+        result: Dict[str, int] = dict(values)
+        for op in self.ops:
+            if op.kind == DELETE:
+                result.pop(op.name, None)
+            elif op.kind == RENAME:
+                if op.name in result:
+                    result[op.new_name] = result.pop(op.name)
+            elif op.kind == CREATE:
+                result[op.name] = op.init_value
+        return result
+
+    def compose(self, later: "RegisterTransform") -> "RegisterTransform":
+        return RegisterTransform(ops=self.ops + later.ops)
+
+    def is_identity(self) -> bool:
+        return not self.ops
+
+
+def guess_transforms(
+    old_regs: Mapping[str, int],
+    new_regs: Mapping[str, int],
+    rename_cutoff: float = 0.6,
+) -> RegisterTransform:
+    """Best-guess transform between two register-width tables.
+
+    ``old_regs``/``new_regs`` map register name -> width.  Registers
+    present in both keep their data implicitly (no op).  A deleted and a
+    created register of the *same width* whose names are similar are
+    paired as a rename; everything else becomes delete/create.
+    """
+    old_only = [n for n in old_regs if n not in new_regs]
+    new_only = [n for n in new_regs if n not in old_regs]
+    ops: List[TransformOp] = []
+    matched_new: set = set()
+    for old_name in old_only:
+        candidates = [
+            n
+            for n in new_only
+            if n not in matched_new and new_regs[n] == old_regs[old_name]
+        ]
+        best = difflib.get_close_matches(old_name, candidates, n=1,
+                                         cutoff=rename_cutoff)
+        if best:
+            ops.append(TransformOp(kind=RENAME, name=old_name, new_name=best[0]))
+            matched_new.add(best[0])
+        else:
+            ops.append(TransformOp(kind=DELETE, name=old_name))
+    for new_name in new_only:
+        if new_name not in matched_new:
+            ops.append(TransformOp(kind=CREATE, name=new_name))
+    return RegisterTransform(ops=ops)
+
+
+def translate_snapshot(
+    snap,
+    module_name_of: "Mapping[str, str]",
+    transform_for: "Mapping[str, RegisterTransform]",
+):
+    """Rewrite a :class:`~repro.sim.stage.StateSnapshot` tree into a new
+    version's register namespace.
+
+    ``module_name_of`` maps spec key -> module name; ``transform_for``
+    maps module name -> transform (missing entries mean identity).
+    Used by the session to retarget stored checkpoints right after a
+    hot reload, so every checkpoint in the store always speaks the
+    current version's naming.
+    """
+    from ..sim.stage import StateSnapshot
+
+    module = module_name_of.get(snap.key, snap.key)
+    transform = transform_for.get(module)
+    if transform is None or transform.is_identity():
+        regs = dict(snap.regs)
+        mems = {name: list(words) for name, words in snap.mems.items()}
+    else:
+        regs = transform.apply(snap.regs)
+        name_map = {name: name for name in snap.mems}
+        for op in transform.ops:
+            if op.kind == RENAME and op.name in name_map:
+                name_map[op.name] = op.new_name
+            elif op.kind == DELETE:
+                name_map.pop(op.name, None)
+        mems = {
+            new_name: list(snap.mems[old_name])
+            for old_name, new_name in name_map.items()
+        }
+    return StateSnapshot(
+        key=snap.key,
+        name=snap.name,
+        regs=regs,
+        mems=mems,
+        children=[
+            translate_snapshot(child, module_name_of, transform_for)
+            for child in snap.children
+        ],
+    )
+
+
+@dataclass
+class _VersionNode:
+    version: str
+    parent: Optional[str]
+    transforms: Dict[str, RegisterTransform]  # module name -> transform
+
+
+class RegisterTransformHistory:
+    """The branching Register Transform History (paper Table VI).
+
+    Versions form a tree rooted at the initial version.  Each node
+    stores, per module, the transform needed to carry state *from its
+    parent version to itself*.  Translating a checkpoint from version A
+    to version B composes the transforms along the tree path A -> B
+    (A must be an ancestor of B; LiveSim never transforms backwards).
+    """
+
+    def __init__(self, root_version: str = "1.0"):
+        self._nodes: Dict[str, _VersionNode] = {
+            root_version: _VersionNode(root_version, None, {})
+        }
+        self._root = root_version
+
+    @property
+    def root(self) -> str:
+        return self._root
+
+    def versions(self) -> List[str]:
+        return list(self._nodes)
+
+    def __contains__(self, version: str) -> bool:
+        return version in self._nodes
+
+    def parent_of(self, version: str) -> Optional[str]:
+        return self._node(version).parent
+
+    def _node(self, version: str) -> _VersionNode:
+        node = self._nodes.get(version)
+        if node is None:
+            raise SimulationError(f"unknown design version {version!r}")
+        return node
+
+    def add_version(
+        self,
+        version: str,
+        parent: str,
+        transforms: Optional[Mapping[str, RegisterTransform]] = None,
+    ) -> None:
+        if version in self._nodes:
+            raise SimulationError(f"version {version!r} already exists")
+        self._node(parent)  # validate
+        self._nodes[version] = _VersionNode(
+            version, parent, dict(transforms or {})
+        )
+
+    def set_transform(
+        self, version: str, module: str, transform: RegisterTransform
+    ) -> None:
+        """Manual override — the paper's "user can manually edit the
+        Register Transform History if the mapping is incorrect"."""
+        self._node(version).transforms[module] = transform
+
+    def transform_for(self, version: str, module: str) -> RegisterTransform:
+        return self._node(version).transforms.get(module, RegisterTransform())
+
+    def _path_to_root(self, version: str) -> List[str]:
+        path = [version]
+        node = self._node(version)
+        while node.parent is not None:
+            path.append(node.parent)
+            node = self._node(node.parent)
+        return path
+
+    def path(self, old_version: str, new_version: str) -> List[str]:
+        """Versions from (exclusive) old to (inclusive) new.
+
+        Raises if ``old_version`` is not an ancestor of (or equal to)
+        ``new_version`` — a checkpoint cannot cross branches.
+        """
+        chain = self._path_to_root(new_version)
+        if old_version not in chain:
+            raise SimulationError(
+                f"version {old_version!r} is not an ancestor of "
+                f"{new_version!r}; checkpoints cannot cross branches"
+            )
+        index = chain.index(old_version)
+        return list(reversed(chain[:index]))
+
+    def composed_transform(
+        self, old_version: str, new_version: str, module: str
+    ) -> RegisterTransform:
+        """Transform translating ``module`` state across versions."""
+        composed = RegisterTransform()
+        for version in self.path(old_version, new_version):
+            composed = composed.compose(self.transform_for(version, module))
+        return composed
+
+    def rows(self) -> List[Tuple[str, str, str]]:
+        """(version, operations, parent) rows mirroring Table VI."""
+        rows: List[Tuple[str, str, str]] = []
+        for node in self._nodes.values():
+            ops: List[str] = []
+            for module, transform in node.transforms.items():
+                for op in transform.ops:
+                    prefix = f"{module}." if module else ""
+                    ops.append(prefix + op.describe())
+            rows.append(
+                (node.version, "; ".join(ops) or "-", node.parent or "null")
+            )
+        return rows

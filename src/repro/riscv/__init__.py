@@ -1,0 +1,38 @@
+"""RISC-V PGAS workload (the paper's benchmark substrate, §IV).
+
+A 5-stage RV64I core written in LHDL, replicated into an NxN
+partitioned-global-address-space mesh (each node: one core + 32 KB of
+local memory, remote stores routed over an XY mesh).  Plus everything
+needed to drive it: an assembler, test programs, a golden-model ISS for
+differential testing, and the curated bug/fix patch library used by the
+Fig. 8 hot-reload bench.
+"""
+
+from .isa import Reg
+from .assembler import assemble, AsmError
+from .golden import GoldenCore
+from .cosim import Cosim, CosimResult, Divergence, cosim_program
+from .rtl import CORE_MODULES_SOURCE, core_source
+from .pgas import (
+    LOCAL_MEM_BYTES,
+    build_pgas_source,
+    global_address,
+    mesh_top_name,
+)
+
+__all__ = [
+    "Reg",
+    "assemble",
+    "AsmError",
+    "GoldenCore",
+    "Cosim",
+    "CosimResult",
+    "Divergence",
+    "cosim_program",
+    "CORE_MODULES_SOURCE",
+    "core_source",
+    "build_pgas_source",
+    "global_address",
+    "mesh_top_name",
+    "LOCAL_MEM_BYTES",
+]

@@ -1,0 +1,156 @@
+"""RV64I machine-code encoders (R/I/S/B/U/J formats)."""
+
+from __future__ import annotations
+
+from . import isa
+
+
+class EncodeError(ValueError):
+    pass
+
+
+def _check_reg(reg: int) -> int:
+    if not 0 <= reg < 32:
+        raise EncodeError(f"register x{reg} out of range")
+    return reg
+
+
+def _check_signed(value: int, bits: int, what: str) -> int:
+    lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    if not lo <= value <= hi:
+        raise EncodeError(f"{what} {value} does not fit in {bits} bits")
+    return value & ((1 << bits) - 1)
+
+
+def encode_r(opcode: int, rd: int, funct3: int, rs1: int, rs2: int,
+             funct7: int) -> int:
+    return (
+        (funct7 << 25)
+        | (_check_reg(rs2) << 20)
+        | (_check_reg(rs1) << 15)
+        | (funct3 << 12)
+        | (_check_reg(rd) << 7)
+        | opcode
+    )
+
+
+def encode_i(opcode: int, rd: int, funct3: int, rs1: int, imm: int) -> int:
+    imm12 = _check_signed(imm, 12, "I-immediate")
+    return (
+        (imm12 << 20)
+        | (_check_reg(rs1) << 15)
+        | (funct3 << 12)
+        | (_check_reg(rd) << 7)
+        | opcode
+    )
+
+
+def encode_shift_i(opcode: int, rd: int, funct3: int, rs1: int, shamt: int,
+                   funct6: int, word: bool = False) -> int:
+    limit = 32 if word else 64
+    if not 0 <= shamt < limit:
+        raise EncodeError(f"shift amount {shamt} out of range")
+    return (
+        (funct6 << 26)
+        | (shamt << 20)
+        | (_check_reg(rs1) << 15)
+        | (funct3 << 12)
+        | (_check_reg(rd) << 7)
+        | opcode
+    )
+
+
+def encode_s(opcode: int, funct3: int, rs1: int, rs2: int, imm: int) -> int:
+    imm12 = _check_signed(imm, 12, "S-immediate")
+    return (
+        ((imm12 >> 5) << 25)
+        | (_check_reg(rs2) << 20)
+        | (_check_reg(rs1) << 15)
+        | (funct3 << 12)
+        | ((imm12 & 0x1F) << 7)
+        | opcode
+    )
+
+
+def encode_b(opcode: int, funct3: int, rs1: int, rs2: int, offset: int) -> int:
+    if offset % 2:
+        raise EncodeError("branch offset must be even")
+    imm13 = _check_signed(offset, 13, "B-immediate")
+    return (
+        (((imm13 >> 12) & 1) << 31)
+        | (((imm13 >> 5) & 0x3F) << 25)
+        | (_check_reg(rs2) << 20)
+        | (_check_reg(rs1) << 15)
+        | (funct3 << 12)
+        | (((imm13 >> 1) & 0xF) << 8)
+        | (((imm13 >> 11) & 1) << 7)
+        | opcode
+    )
+
+
+def encode_u(opcode: int, rd: int, imm: int) -> int:
+    if not -(1 << 31) <= imm < (1 << 32):
+        raise EncodeError(f"U-immediate {imm} out of range")
+    return (((imm >> 12) & 0xFFFFF) << 12) | (_check_reg(rd) << 7) | opcode
+
+
+def encode_j(opcode: int, rd: int, offset: int) -> int:
+    if offset % 2:
+        raise EncodeError("jump offset must be even")
+    imm21 = _check_signed(offset, 21, "J-immediate")
+    return (
+        (((imm21 >> 20) & 1) << 31)
+        | (((imm21 >> 1) & 0x3FF) << 21)
+        | (((imm21 >> 11) & 1) << 20)
+        | (((imm21 >> 12) & 0xFF) << 12)
+        | (_check_reg(rd) << 7)
+        | opcode
+    )
+
+
+# ---------------------------------------------------------------------------
+# Decoders (used by the golden ISS and tests)
+# ---------------------------------------------------------------------------
+
+
+def imm_i(instr: int) -> int:
+    return isa.sign_extend(instr >> 20, 12)
+
+
+def imm_s(instr: int) -> int:
+    return isa.sign_extend(((instr >> 25) << 5) | ((instr >> 7) & 0x1F), 12)
+
+
+def imm_b(instr: int) -> int:
+    value = (
+        (((instr >> 31) & 1) << 12)
+        | (((instr >> 7) & 1) << 11)
+        | (((instr >> 25) & 0x3F) << 5)
+        | (((instr >> 8) & 0xF) << 1)
+    )
+    return isa.sign_extend(value, 13)
+
+
+def imm_u(instr: int) -> int:
+    return isa.sign_extend(instr & 0xFFFFF000, 32)
+
+
+def imm_j(instr: int) -> int:
+    value = (
+        (((instr >> 31) & 1) << 20)
+        | (((instr >> 12) & 0xFF) << 12)
+        | (((instr >> 20) & 1) << 11)
+        | (((instr >> 21) & 0x3FF) << 1)
+    )
+    return isa.sign_extend(value, 21)
+
+
+def fields(instr: int) -> dict:
+    return {
+        "opcode": instr & 0x7F,
+        "rd": (instr >> 7) & 0x1F,
+        "funct3": (instr >> 12) & 0x7,
+        "rs1": (instr >> 15) & 0x1F,
+        "rs2": (instr >> 20) & 0x1F,
+        "funct7": (instr >> 25) & 0x7F,
+    }

@@ -1,0 +1,240 @@
+"""Golden-model RV64I interpreter (instruction-set simulator).
+
+A straightforward, obviously-correct executor used for differential
+testing of the RTL core: both run the same program; architectural state
+(registers, memory, pc) must match at every retired instruction.
+
+Supports the same subset as the RTL: RV64I base integer, ``ecall`` as
+halt, byte-addressed little-endian memory of configurable size.  Remote
+(PGAS) stores are surfaced through a callback instead of being applied
+locally, mirroring the node's behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from . import encode, isa
+from .isa import MASK64
+
+
+class GoldenCore:
+    """One RV64I hart with private little-endian memory."""
+
+    def __init__(
+        self,
+        mem_bytes: int = 32 * 1024,
+        remote_store: Optional[Callable[[int, int, int], None]] = None,
+        local_base_mask: int = 0x7FFF,
+        node_id: int = 0,
+    ):
+        self.regs: List[int] = [0] * 32
+        self.pc = 0
+        self.mem = bytearray(mem_bytes)
+        self.halted = False
+        self.instret = 0
+        self._remote_store = remote_store
+        self._local_mask = local_base_mask
+        self.node_id = node_id
+
+    # -- memory helpers ---------------------------------------------------------
+
+    def load_program(self, words: List[int], base: int = 0) -> None:
+        for i, word in enumerate(words):
+            self.mem[base + 4 * i : base + 4 * i + 4] = word.to_bytes(4, "little")
+
+    def read(self, addr: int, size: int) -> int:
+        addr &= self._local_mask
+        return int.from_bytes(self.mem[addr : addr + size], "little")
+
+    def write(self, addr: int, value: int, size: int) -> None:
+        self.mem[addr & self._local_mask : (addr & self._local_mask) + size] = (
+            value & ((1 << (8 * size)) - 1)
+        ).to_bytes(size, "little")
+
+    def is_remote(self, addr: int) -> bool:
+        """Global (bit-24) addresses targeting another node (see
+        :mod:`repro.riscv.pgas` for the address map)."""
+        if not (addr >> 24) & 1:
+            return False
+        return ((addr >> 15) & 0x1FF) != self.node_id
+
+    # -- register helpers ----------------------------------------------------------
+
+    def reg(self, index: int) -> int:
+        return self.regs[index]
+
+    def set_reg(self, index: int, value: int) -> None:
+        if index:
+            self.regs[index] = value & MASK64
+
+    # -- execution ---------------------------------------------------------------------
+
+    def step(self, max_instructions: int = 1) -> int:
+        """Execute up to N instructions; returns the count retired."""
+        executed = 0
+        for _ in range(max_instructions):
+            if self.halted:
+                break
+            self._execute_one()
+            executed += 1
+        return executed
+
+    def run(self, max_instructions: int = 1_000_000) -> int:
+        return self.step(max_instructions)
+
+    def _execute_one(self) -> None:
+        instr = self.read(self.pc, 4)
+        f = encode.fields(instr)
+        opcode = f["opcode"]
+        rd, rs1, rs2 = f["rd"], f["rs1"], f["rs2"]
+        funct3, funct7 = f["funct3"], f["funct7"]
+        a = self.regs[rs1]
+        b = self.regs[rs2]
+        next_pc = (self.pc + 4) & MASK64
+
+        if opcode == isa.OP_LUI:
+            self.set_reg(rd, encode.imm_u(instr))
+        elif opcode == isa.OP_AUIPC:
+            self.set_reg(rd, self.pc + encode.imm_u(instr))
+        elif opcode == isa.OP_JAL:
+            self.set_reg(rd, next_pc)
+            next_pc = (self.pc + encode.imm_j(instr)) & MASK64
+        elif opcode == isa.OP_JALR:
+            self.set_reg(rd, next_pc)
+            next_pc = (a + encode.imm_i(instr)) & MASK64 & ~1
+        elif opcode == isa.OP_BRANCH:
+            if self._branch_taken(funct3, a, b):
+                next_pc = (self.pc + encode.imm_b(instr)) & MASK64
+        elif opcode == isa.OP_LOAD:
+            self._load(rd, funct3, (a + encode.imm_i(instr)) & MASK64)
+        elif opcode == isa.OP_STORE:
+            self._store(funct3, (a + encode.imm_s(instr)) & MASK64, b)
+        elif opcode == isa.OP_IMM:
+            self.set_reg(rd, self._alu_imm(funct3, instr, a))
+        elif opcode == isa.OP_IMM32:
+            self.set_reg(rd, self._alu_imm32(funct3, instr, a))
+        elif opcode == isa.OP_OP:
+            self.set_reg(rd, self._alu(funct3, funct7, a, b))
+        elif opcode == isa.OP_OP32:
+            self.set_reg(rd, self._alu32(funct3, funct7, a, b))
+        elif opcode == isa.OP_SYSTEM:
+            self.halted = True  # ecall/ebreak: stop the hart
+        elif opcode == isa.OP_MISC_MEM:
+            pass  # fence: no-op
+        else:
+            # Unknown opcodes retire as no-ops (the RTL does the same).
+            pass
+
+        self.pc = next_pc
+        self.instret += 1
+
+    @staticmethod
+    def _branch_taken(funct3: int, a: int, b: int) -> bool:
+        sa, sb = isa.to_signed64(a), isa.to_signed64(b)
+        if funct3 == isa.F3_BEQ:
+            return a == b
+        if funct3 == isa.F3_BNE:
+            return a != b
+        if funct3 == isa.F3_BLT:
+            return sa < sb
+        if funct3 == isa.F3_BGE:
+            return sa >= sb
+        if funct3 == isa.F3_BLTU:
+            return a < b
+        if funct3 == isa.F3_BGEU:
+            return a >= b
+        return False
+
+    def _load(self, rd: int, funct3: int, addr: int) -> None:
+        if self.is_remote(addr):
+            self.set_reg(rd, 0)  # remote loads are unsupported (PGAS)
+            return
+        size = {0: 1, 1: 2, 2: 4, 3: 8, 4: 1, 5: 2, 6: 4}.get(funct3)
+        if size is None:
+            return
+        raw = self.read(addr, size)
+        if funct3 in (isa.F3_LB, isa.F3_LH, isa.F3_LW):
+            raw = isa.sign_extend(raw, 8 * size) & MASK64
+        if funct3 == isa.F3_LD:
+            raw &= MASK64
+        self.set_reg(rd, raw)
+
+    def _store(self, funct3: int, addr: int, value: int) -> None:
+        size = {0: 1, 1: 2, 2: 4, 3: 8}.get(funct3)
+        if size is None:
+            return
+        if self.is_remote(addr):
+            if self._remote_store is not None:
+                self._remote_store(addr, value & MASK64, size)
+            return
+        self.write(addr, value, size)
+
+    @staticmethod
+    def _alu(funct3: int, funct7: int, a: int, b: int) -> int:
+        sa = isa.to_signed64(a)
+        sb = isa.to_signed64(b)
+        shamt = b & 63
+        if funct3 == isa.F3_ADD_SUB:
+            return (a - b if funct7 == 0b0100000 else a + b) & MASK64
+        if funct3 == isa.F3_SLL:
+            return (a << shamt) & MASK64
+        if funct3 == isa.F3_SLT:
+            return int(sa < sb)
+        if funct3 == isa.F3_SLTU:
+            return int(a < b)
+        if funct3 == isa.F3_XOR:
+            return a ^ b
+        if funct3 == isa.F3_SRL_SRA:
+            if funct7 == 0b0100000:
+                return (sa >> shamt) & MASK64
+            return a >> shamt
+        if funct3 == isa.F3_OR:
+            return a | b
+        if funct3 == isa.F3_AND:
+            return a & b
+        return 0
+
+    def _alu_imm(self, funct3: int, instr: int, a: int) -> int:
+        imm = encode.imm_i(instr) & MASK64
+        funct7 = (instr >> 25) & 0x7F
+        if funct3 == isa.F3_ADD_SUB:
+            return (a + imm) & MASK64
+        if funct3 == isa.F3_SLL:
+            return (a << ((instr >> 20) & 63)) & MASK64
+        if funct3 == isa.F3_SRL_SRA:
+            shamt = (instr >> 20) & 63
+            if funct7 & 0b0100000:
+                return (isa.to_signed64(a) >> shamt) & MASK64
+            return a >> shamt
+        return self._alu(funct3, 0, a, imm)
+
+    @staticmethod
+    def _alu32(funct3: int, funct7: int, a: int, b: int) -> int:
+        a32 = a & isa.MASK32
+        shamt = b & 31
+        if funct3 == isa.F3_ADD_SUB:
+            result = (a - b if funct7 == 0b0100000 else a + b) & isa.MASK32
+        elif funct3 == isa.F3_SLL:
+            result = (a32 << shamt) & isa.MASK32
+        elif funct3 == isa.F3_SRL_SRA:
+            if funct7 == 0b0100000:
+                result = (isa.sign_extend(a32, 32) >> shamt) & isa.MASK32
+            else:
+                result = a32 >> shamt
+        else:
+            return 0
+        return isa.sign_extend(result, 32) & MASK64
+
+    def _alu_imm32(self, funct3: int, instr: int, a: int) -> int:
+        funct7 = (instr >> 25) & 0x7F
+        if funct3 == isa.F3_ADD_SUB:
+            imm = encode.imm_i(instr)
+            return isa.sign_extend((a + imm) & isa.MASK32, 32) & MASK64
+        shamt = (instr >> 20) & 31
+        return self._alu32(funct3, funct7, a, shamt)
+
+    # -- inspection -----------------------------------------------------------------
+
+    def dump_regs(self) -> Dict[str, int]:
+        return {isa.Reg(i).name: self.regs[i] for i in range(32)}

@@ -1,0 +1,97 @@
+"""RV64I instruction-set definitions shared by the assembler, the
+golden-model ISS, and the RTL tests."""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Dict
+
+XLEN = 64
+MASK64 = (1 << 64) - 1
+MASK32 = (1 << 32) - 1
+
+
+class Reg(IntEnum):
+    """ABI register names."""
+
+    zero = 0
+    ra = 1
+    sp = 2
+    gp = 3
+    tp = 4
+    t0 = 5
+    t1 = 6
+    t2 = 7
+    s0 = 8
+    s1 = 9
+    a0 = 10
+    a1 = 11
+    a2 = 12
+    a3 = 13
+    a4 = 14
+    a5 = 15
+    a6 = 16
+    a7 = 17
+    s2 = 18
+    s3 = 19
+    s4 = 20
+    s5 = 21
+    s6 = 22
+    s7 = 23
+    s8 = 24
+    s9 = 25
+    s10 = 26
+    s11 = 27
+    t3 = 28
+    t4 = 29
+    t5 = 30
+    t6 = 31
+
+
+REG_NAMES: Dict[str, int] = {r.name: r.value for r in Reg}
+REG_NAMES.update({f"x{i}": i for i in range(32)})
+REG_NAMES["fp"] = Reg.s0.value
+
+
+# Major opcodes.
+OP_LUI = 0b0110111
+OP_AUIPC = 0b0010111
+OP_JAL = 0b1101111
+OP_JALR = 0b1100111
+OP_BRANCH = 0b1100011
+OP_LOAD = 0b0000011
+OP_STORE = 0b0100011
+OP_IMM = 0b0010011
+OP_OP = 0b0110011
+OP_IMM32 = 0b0011011
+OP_OP32 = 0b0111011
+OP_SYSTEM = 0b1110011
+OP_MISC_MEM = 0b0001111
+
+# funct3 codes.
+F3_BEQ, F3_BNE = 0b000, 0b001
+F3_BLT, F3_BGE, F3_BLTU, F3_BGEU = 0b100, 0b101, 0b110, 0b111
+F3_LB, F3_LH, F3_LW, F3_LD = 0b000, 0b001, 0b010, 0b011
+F3_LBU, F3_LHU, F3_LWU = 0b100, 0b101, 0b110
+F3_SB, F3_SH, F3_SW, F3_SD = 0b000, 0b001, 0b010, 0b011
+F3_ADD_SUB, F3_SLL, F3_SLT, F3_SLTU = 0b000, 0b001, 0b010, 0b011
+F3_XOR, F3_SRL_SRA, F3_OR, F3_AND = 0b100, 0b101, 0b110, 0b111
+
+NOP = 0x00000013  # addi x0, x0, 0
+ECALL = 0x00000073
+EBREAK = 0x00100073
+
+
+def sign_extend(value: int, bits: int) -> int:
+    """Interpret the low ``bits`` of ``value`` as two's complement."""
+    value &= (1 << bits) - 1
+    sign = 1 << (bits - 1)
+    return (value ^ sign) - sign
+
+
+def to_signed64(value: int) -> int:
+    return sign_extend(value, 64)
+
+
+def to_unsigned64(value: int) -> int:
+    return value & MASK64

@@ -1,0 +1,294 @@
+"""PGAS node and NxN multicore top (paper §IV).
+
+Each node couples one RV64I core with 32 KB of local memory and a
+remote-store port.  Nodes are joined by a slotted unidirectional ring
+NoC: one registered slot per node, one hop per cycle, delivery when the
+slot's destination matches.
+
+Substitution note (recorded in DESIGN.md): the paper arranges nodes in
+a 2-D mesh.  The interconnect topology is irrelevant to every result we
+reproduce — compile-time scaling, code-footprint behaviour, hot-reload
+latency — all of which depend only on module reuse across N**2 nodes
+and on remote stores working.  The ring keeps the interconnect RTL to
+one small shared module (which *strengthens* the code-reuse story the
+same way the paper's mesh does).
+
+Global address map::
+
+    [0x0000, 0x8000)                 this node's local 32 KB
+    0x100_0000 | (node << 15) | off  node's window in the global space
+                                     (bit 24 = global flag, bits
+                                     [23:15] select the node)
+
+A global address whose node field matches the issuing node is served
+locally, so position-independent code can always use global addresses.
+
+Remote stores must be 8-byte (``sd``) and 8-byte aligned; remote loads
+are architecturally unsupported (software polls local memory), exactly
+the Parallella/Celerity-style discipline the paper cites.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .rtl import CORE_MODULES_SOURCE
+
+LOCAL_MEM_BYTES = 32 * 1024
+LOCAL_MEM_WORDS = LOCAL_MEM_BYTES // 8
+NODE_SHIFT = 15
+NODE_FIELD_MSB = 23
+GLOBAL_FLAG = 1 << 24
+
+
+def global_address(node: int, offset: int) -> int:
+    """Address of ``offset`` within ``node``'s window, as seen from any
+    node (including itself — matching node fields are served locally)."""
+    if not 0 <= offset < LOCAL_MEM_BYTES:
+        raise ValueError(f"offset {offset:#x} outside local memory")
+    if node < 0 or node > 511:
+        raise ValueError(f"node {node} out of range")
+    return GLOBAL_FLAG | (node << NODE_SHIFT) | offset
+
+
+PGAS_NODE = r"""
+module pgas_node #(parameter WORDS = 4096) (
+  input clk,
+  input rst,
+  input [63:0] node_id,
+  output req_valid,
+  output [63:0] req_dest,
+  output [63:0] req_addr,
+  output [63:0] req_data,
+  input req_ack,
+  input ext_we,
+  input [63:0] ext_addr,
+  input [63:0] ext_data,
+  output halted,
+  output [63:0] dbg_pc,
+  output [63:0] retired
+);
+  wire [63:0] fetch_addr;
+  wire [31:0] fetch_data;
+  wire [63:0] d_addr;
+  wire [63:0] d_wdata;
+  wire [1:0] d_size;
+  wire d_we;
+  wire [63:0] d_rdata;
+
+  // Remote decode: global addresses (bit 24 set) whose node field
+  // differs from ours leave the node; everything else is local.
+  wire addr_global;
+  assign addr_global = d_addr[24];
+  wire [8:0] dest_field;
+  assign dest_field = d_addr[23:15];
+  wire is_remote;
+  assign is_remote = addr_global && (dest_field != node_id[8:0]);
+  wire remote_store;
+  assign remote_store = d_we && is_remote;
+  wire local_we;
+  assign local_we = d_we && !is_remote;
+
+  // One-entry outgoing request register with backpressure.
+  reg rq_valid;
+  reg [63:0] rq_dest;
+  reg [63:0] rq_addr;
+  reg [63:0] rq_data;
+  wire can_accept;
+  assign can_accept = !rq_valid || req_ack;
+  wire ext_stall;
+  assign ext_stall = remote_store && !can_accept;
+  always @(posedge clk) begin
+    if (rst)
+      rq_valid <= 1'b0;
+    else begin
+      if (req_ack)
+        rq_valid <= 1'b0;
+      if (remote_store && can_accept) begin
+        rq_valid <= 1'b1;
+        rq_dest <= {55'd0, dest_field};
+        rq_addr <= {49'd0, d_addr[14:0]};
+        rq_data <= d_wdata;
+      end
+    end
+  end
+  assign req_valid = rq_valid;
+  assign req_dest = rq_dest;
+  assign req_addr = rq_addr;
+  assign req_data = rq_data;
+
+  rv_memory #(.WORDS(WORDS)) u_mem (
+    .clk(clk),
+    .fetch_addr(fetch_addr),
+    .fetch_data(fetch_data),
+    .d_addr(d_addr),
+    .d_wdata(d_wdata),
+    .d_size(d_size),
+    .d_we(local_we),
+    .d_rdata(d_rdata),
+    .ext_we(ext_we),
+    .ext_addr(ext_addr),
+    .ext_data(ext_data)
+  );
+
+  rv_core u_core (
+    .clk(clk),
+    .rst(rst),
+    .ext_stall(ext_stall),
+    .fetch_data(fetch_data),
+    .d_rdata(d_rdata),
+    .fetch_addr(fetch_addr),
+    .d_addr(d_addr),
+    .d_wdata(d_wdata),
+    .d_size(d_size),
+    .d_we(d_we),
+    .halted(halted),
+    .dbg_pc(dbg_pc),
+    .retired(retired)
+  );
+endmodule
+"""
+
+RING_STOP = r"""
+module ring_stop (
+  input clk,
+  input rst,
+  input [63:0] my_id,
+  input rin_valid,
+  input [63:0] rin_dest,
+  input [63:0] rin_addr,
+  input [63:0] rin_data,
+  output rout_valid,
+  output [63:0] rout_dest,
+  output [63:0] rout_addr,
+  output [63:0] rout_data,
+  input req_valid,
+  input [63:0] req_dest,
+  input [63:0] req_addr,
+  input [63:0] req_data,
+  output req_ack,
+  output ext_we,
+  output [63:0] ext_addr,
+  output [63:0] ext_data
+);
+  reg r_valid;
+  reg [63:0] r_dest;
+  reg [63:0] r_addr;
+  reg [63:0] r_data;
+
+  wire deliver;
+  assign deliver = rin_valid && (rin_dest == my_id);
+  assign ext_we = deliver;
+  assign ext_addr = rin_addr;
+  assign ext_data = rin_data;
+
+  // The outgoing slot is free when the incoming one is empty or being
+  // delivered here; local injection wins the free slot.
+  wire slot_free;
+  assign slot_free = !rin_valid || deliver;
+  assign req_ack = req_valid && slot_free;
+
+  always @(posedge clk) begin
+    if (rst)
+      r_valid <= 1'b0;
+    else if (req_ack) begin
+      r_valid <= 1'b1;
+      r_dest <= req_dest;
+      r_addr <= req_addr;
+      r_data <= req_data;
+    end else if (rin_valid && !deliver) begin
+      r_valid <= 1'b1;
+      r_dest <= rin_dest;
+      r_addr <= rin_addr;
+      r_data <= rin_data;
+    end else
+      r_valid <= 1'b0;
+  end
+
+  assign rout_valid = r_valid;
+  assign rout_dest = r_dest;
+  assign rout_addr = r_addr;
+  assign rout_data = r_data;
+endmodule
+"""
+
+
+def mesh_top_name(n: int) -> str:
+    return f"pgas_mesh_{n}x{n}"
+
+
+def _mesh_top_source(n: int) -> str:
+    """Generate the NxN top module: N**2 nodes + N**2 ring stops."""
+    count = n * n
+    lines: List[str] = []
+    lines.append(f"module {mesh_top_name(n)} (")
+    lines.append("  input clk,")
+    lines.append("  input rst,")
+    lines.append("  output all_halted,")
+    lines.append("  output [63:0] total_retired")
+    lines.append(");")
+    for i in range(count):
+        lines.append(f"  wire h_{i};")
+        lines.append(f"  wire [63:0] pc_{i};")
+        lines.append(f"  wire [63:0] ret_{i};")
+        lines.append(f"  wire rq_v_{i};")
+        lines.append(f"  wire [63:0] rq_dest_{i};")
+        lines.append(f"  wire [63:0] rq_addr_{i};")
+        lines.append(f"  wire [63:0] rq_data_{i};")
+        lines.append(f"  wire rq_ack_{i};")
+        lines.append(f"  wire xw_{i};")
+        lines.append(f"  wire [63:0] xa_{i};")
+        lines.append(f"  wire [63:0] xd_{i};")
+        lines.append(f"  wire rv_{i};")
+        lines.append(f"  wire [63:0] rd_{i};")
+        lines.append(f"  wire [63:0] ra_{i};")
+        lines.append(f"  wire [63:0] rx_{i};")
+    for i in range(count):
+        prev = (i - 1) % count
+        lines.append(f"  pgas_node n_{i} (")
+        lines.append("    .clk(clk), .rst(rst),")
+        lines.append(f"    .node_id(64'd{i}),")
+        lines.append(f"    .req_valid(rq_v_{i}), .req_dest(rq_dest_{i}),")
+        lines.append(f"    .req_addr(rq_addr_{i}), .req_data(rq_data_{i}),")
+        lines.append(f"    .req_ack(rq_ack_{i}),")
+        lines.append(f"    .ext_we(xw_{i}), .ext_addr(xa_{i}), .ext_data(xd_{i}),")
+        lines.append(f"    .halted(h_{i}), .dbg_pc(pc_{i}), .retired(ret_{i})")
+        lines.append("  );")
+        lines.append(f"  ring_stop r_{i} (")
+        lines.append("    .clk(clk), .rst(rst),")
+        lines.append(f"    .my_id(64'd{i}),")
+        lines.append(
+            f"    .rin_valid(rv_{prev}), .rin_dest(rd_{prev}),"
+            f" .rin_addr(ra_{prev}), .rin_data(rx_{prev}),"
+        )
+        lines.append(
+            f"    .rout_valid(rv_{i}), .rout_dest(rd_{i}),"
+            f" .rout_addr(ra_{i}), .rout_data(rx_{i}),"
+        )
+        lines.append(
+            f"    .req_valid(rq_v_{i}), .req_dest(rq_dest_{i}),"
+            f" .req_addr(rq_addr_{i}), .req_data(rq_data_{i}),"
+        )
+        lines.append(f"    .req_ack(rq_ack_{i}),")
+        lines.append(f"    .ext_we(xw_{i}), .ext_addr(xa_{i}), .ext_data(xd_{i})")
+        lines.append("  );")
+    halted_terms = " & ".join(f"h_{i}" for i in range(count))
+    lines.append(f"  assign all_halted = {halted_terms};")
+    retired_terms = " + ".join(f"ret_{i}" for i in range(count))
+    lines.append(f"  assign total_retired = {retired_terms};")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def build_pgas_source(n: int) -> str:
+    """Full LHDL source of the NxN PGAS multicore (paper sizes: 1, 2,
+    4, 8, 16)."""
+    if n < 1:
+        raise ValueError("mesh size must be >= 1")
+    return (
+        CORE_MODULES_SOURCE
+        + PGAS_NODE
+        + RING_STOP
+        + "\n"
+        + _mesh_top_source(n)
+    )

@@ -1,0 +1,458 @@
+"""Workload programs for the PGAS mesh, plus testbench factories.
+
+Program helpers return assembly text; ``load_node_program`` assembles
+and installs into a node's memory.  Testbench factories live at module
+level so the process-parallel consistency workers can rebuild them from
+a ``"repro.riscv.programs:factory"`` spec.
+
+Result-mailbox convention used by every program here::
+
+    0x200   final result (doubleword)
+    0x100   incoming-message mailbox (token/neighbour programs)
+    0x208   scratch / secondary result
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..sim.pipeline import Pipe
+from ..sim.testbench import CallbackTestbench, Testbench
+from .assembler import Program, assemble
+from .pgas import LOCAL_MEM_WORDS, global_address
+
+RESULT_ADDR = 0x200
+MAILBOX_ADDR = 0x100
+SCRATCH_ADDR = 0x208
+
+
+def fibonacci(n: int = 10) -> str:
+    """Iterative Fibonacci; stores fib(n) to the result mailbox."""
+    return f"""
+    li   t0, {n}
+    li   t1, 0
+    li   t2, 1
+loop:
+    beqz t0, done
+    add  t3, t1, t2
+    mv   t1, t2
+    mv   t2, t3
+    addi t0, t0, -1
+    j    loop
+done:
+    sd   t1, {RESULT_ADDR}(zero)
+    ecall
+"""
+
+
+def vector_sum(values: Sequence[int], base: int = 0x400) -> str:
+    """Sums an in-memory vector (loaded via .dword data)."""
+    data = ", ".join(str(v) for v in values) if values else "0"
+    count = len(values)
+    return f"""
+    li   t0, {base}
+    li   t1, {count}
+    li   t2, 0
+loop:
+    beqz t1, done
+    ld   t3, 0(t0)
+    add  t2, t2, t3
+    addi t0, t0, 8
+    addi t1, t1, -1
+    j    loop
+done:
+    sd   t2, {RESULT_ADDR}(zero)
+    ecall
+
+.org {base}
+.dword {data}
+"""
+
+
+def sieve(limit: int = 50) -> str:
+    """Counts primes below ``limit`` with a byte-array sieve."""
+    return f"""
+    .equ LIMIT, {limit}
+    .equ FLAGS, 0x1000
+    li   s0, FLAGS
+    li   t0, 0
+clear:
+    add  t1, s0, t0
+    sb   zero, 0(t1)
+    addi t0, t0, 1
+    li   t2, LIMIT
+    blt  t0, t2, clear
+
+    li   s1, 2          # candidate
+    li   s2, 0          # prime count
+outer:
+    li   t2, LIMIT
+    bge  s1, t2, finish
+    add  t1, s0, s1
+    lbu  t3, 0(t1)
+    bnez t3, next       # composite
+    addi s2, s2, 1      # found a prime
+    add  t4, s1, s1     # first multiple
+mark:
+    li   t2, LIMIT
+    bge  t4, t2, next
+    add  t1, s0, t4
+    li   t5, 1
+    sb   t5, 0(t1)
+    add  t4, t4, s1
+    j    mark
+next:
+    addi s1, s1, 1
+    j    outer
+finish:
+    sd   s2, {RESULT_ADDR}(zero)
+    ecall
+"""
+
+
+def memcopy(words: int = 32, src: int = 0x800, dst: int = 0x1800) -> str:
+    """Copies a block of doublewords and checksums it."""
+    return f"""
+    li   s0, {src}
+    li   s1, {dst}
+    li   s2, {words}
+    li   s3, 0
+loop:
+    beqz s2, done
+    ld   t0, 0(s0)
+    sd   t0, 0(s1)
+    add  s3, s3, t0
+    addi s0, s0, 8
+    addi s1, s1, 8
+    addi s2, s2, -1
+    j    loop
+done:
+    sd   s3, {RESULT_ADDR}(zero)
+    ecall
+"""
+
+
+def token_ring(node: int, count: int, token_base: int = 1000) -> str:
+    """Node program for the neighbour-message test: send a token to the
+    next node's mailbox, poll own mailbox, record what arrived."""
+    dest = (node + 1) % count
+    mailbox = global_address(dest, MAILBOX_ADDR)
+    return f"""
+    li   t0, {token_base + node}
+    li   t1, {mailbox}
+    sd   t0, 0(t1)
+poll:
+    ld   t2, {MAILBOX_ADDR}(zero)
+    beqz t2, poll
+    sd   t2, {RESULT_ADDR}(zero)
+    ecall
+"""
+
+
+def hop_count_ring(node: int, count: int) -> str:
+    """One token circles the ring, incremented at each hop.
+
+    Node 0 seeds the token with 1 and waits for it to come back; every
+    other node waits, increments, and forwards.  When all cores halt,
+    node 0's result equals ``count`` (the hop count) and node i's
+    result equals ``i`` for i > 0.
+    """
+    dest = (node + 1) % count
+    mailbox = global_address(dest, MAILBOX_ADDR)
+    if node == 0:
+        return f"""
+    li   t0, 1
+    li   t1, {mailbox}
+    sd   t0, 0(t1)
+poll:
+    ld   t2, {MAILBOX_ADDR}(zero)
+    beqz t2, poll
+    sd   t2, {RESULT_ADDR}(zero)
+    ecall
+"""
+    return f"""
+    li   t1, {mailbox}
+poll:
+    ld   t2, {MAILBOX_ADDR}(zero)
+    beqz t2, poll
+    sd   t2, {RESULT_ADDR}(zero)
+    addi t2, t2, 1
+    sd   t2, 0(t1)
+    ecall
+"""
+
+
+def busy_counter(iterations: int = 1_000_000) -> str:
+    """A long-running counting loop (for checkpoint-heavy sessions).
+
+    Runs ~4 cycles per iteration and only halts after ``iterations``;
+    the running count is continuously stored to the result mailbox so
+    any cycle's architectural state is easily checkable.
+    """
+    return f"""
+    li   s0, {iterations}
+    li   s1, 0
+loop:
+    addi s1, s1, 1
+    sd   s1, {RESULT_ADDR}(zero)
+    blt  s1, s0, loop
+    ecall
+"""
+
+
+def bubble_sort(values: Sequence[int], base: int = 0x800) -> str:
+    """In-place bubble sort of doublewords; result = checksum of the
+    sorted array (sum of value*index)."""
+    data = ", ".join(str(v) for v in values) if values else "0"
+    count = len(values)
+    return f"""
+    li   s0, {base}
+    li   s1, {count}
+outer:
+    li   t0, 0              # swapped flag
+    li   t1, 0              # index
+inner:
+    addi t2, s1, -1
+    bge  t1, t2, check
+    slli t3, t1, 3
+    add  t3, t3, s0
+    ld   t4, 0(t3)
+    ld   t5, 8(t3)
+    bge  t5, t4, next       # already ordered (signed)
+    sd   t5, 0(t3)
+    sd   t4, 8(t3)
+    li   t0, 1
+next:
+    addi t1, t1, 1
+    j    inner
+check:
+    bnez t0, outer
+    # checksum = sum(value * (index+1)) via repeated addition
+    li   t1, 0
+    li   t6, 0
+sumloop:
+    bge  t1, s1, done
+    slli t3, t1, 3
+    add  t3, t3, s0
+    ld   t4, 0(t3)
+    addi t5, t1, 1
+mul:
+    beqz t5, mulend
+    add  t6, t6, t4
+    addi t5, t5, -1
+    j    mul
+mulend:
+    addi t1, t1, 1
+    j    sumloop
+done:
+    sd   t6, {RESULT_ADDR}(zero)
+    ecall
+
+.org {base}
+.dword {data}
+"""
+
+
+def gcd(a: int, b: int) -> str:
+    """Euclid's algorithm with a call/ret subroutine (exercises the
+    stack, jal/jalr, and the full forwarding network)."""
+    return f"""
+    li   sp, 0x3000
+    li   a0, {a}
+    li   a1, {b}
+    call gcd_fn
+    sd   a0, {RESULT_ADDR}(zero)
+    ecall
+
+gcd_fn:
+    addi sp, sp, -16
+    sd   ra, 0(sp)
+loop:
+    beqz a1, base_case
+    # (a0, a1) <- (a1, a0 % a1) via repeated subtraction
+    mv   t0, a0
+mod:
+    blt  t0, a1, moddone
+    sub  t0, t0, a1
+    j    mod
+moddone:
+    mv   a0, a1
+    mv   a1, t0
+    j    loop
+base_case:
+    ld   ra, 0(sp)
+    addi sp, sp, 16
+    ret
+"""
+
+
+def fib_recursive(n: int) -> str:
+    """Naive recursive Fibonacci: deep call stacks, heavy jal/jalr and
+    load-use traffic — the stress test for the pipeline's hazards."""
+    return f"""
+    li   sp, 0x7000
+    li   a0, {n}
+    call fib
+    sd   a0, {RESULT_ADDR}(zero)
+    ecall
+
+fib:
+    li   t0, 2
+    blt  a0, t0, leaf
+    addi sp, sp, -24
+    sd   ra, 0(sp)
+    sd   s0, 8(sp)
+    mv   s0, a0
+    addi a0, a0, -1
+    call fib
+    sd   a0, 16(sp)
+    addi a0, s0, -2
+    call fib
+    ld   t1, 16(sp)
+    add  a0, a0, t1
+    ld   ra, 0(sp)
+    ld   s0, 8(sp)
+    addi sp, sp, 24
+    ret
+leaf:
+    ret
+"""
+
+
+def byte_checksum(text: bytes, base: int = 0xC00) -> str:
+    """Byte-granularity loads/stores: sums the bytes of a buffer and
+    writes an incrementing pattern back (exercises lb/lbu/sb merging)."""
+    words: List[str] = []
+    padded = bytes(text) + b"\x00" * ((8 - len(text) % 8) % 8)
+    for i in range(0, len(padded), 8):
+        words.append(str(int.from_bytes(padded[i : i + 8], "little")))
+    return f"""
+    li   s0, {base}
+    li   s1, {len(text)}
+    li   t0, 0              # index
+    li   t1, 0              # checksum
+loop:
+    bge  t0, s1, done
+    add  t2, s0, t0
+    lbu  t3, 0(t2)
+    add  t1, t1, t3
+    andi t4, t1, 0xff
+    sb   t4, 0x400(t2)
+    addi t0, t0, 1
+    j    loop
+done:
+    sd   t1, {RESULT_ADDR}(zero)
+    ecall
+
+.org {base}
+.dword {', '.join(words) if words else '0'}
+"""
+
+
+# ---------------------------------------------------------------------------
+# Loading helpers
+# ---------------------------------------------------------------------------
+
+
+def load_node_program(pipe: Pipe, node: int, source: str) -> Program:
+    """Assemble ``source`` and install it in node ``node``'s memory."""
+    program = assemble(source)
+    inst = pipe.find(f"n_{node}.u_mem")
+    inst.write_memory("mem", 0, program.as_mem64(LOCAL_MEM_WORDS))
+    return program
+
+
+def load_same_program(pipe: Pipe, count: int, source: str) -> Program:
+    program = assemble(source)
+    words = program.as_mem64(LOCAL_MEM_WORDS)
+    for i in range(count):
+        pipe.find(f"n_{i}.u_mem").write_memory("mem", 0, words)
+    return program
+
+
+def node_result(pipe: Pipe, node: int, addr: int = RESULT_ADDR) -> int:
+    return pipe.find(f"n_{node}.u_mem").memory("mem")[addr // 8]
+
+
+def node_halted(pipe: Pipe, node: int) -> bool:
+    return bool(pipe.find(f"n_{node}.u_core.u_wb").peek_reg("halted_q"))
+
+
+# ---------------------------------------------------------------------------
+# Testbench factories (module-level: picklable by spec for workers)
+# ---------------------------------------------------------------------------
+
+
+def boot_program(
+    asm: str,
+    count: int = 1,
+    reset_cycles: int = 2,
+    per_node: bool = False,
+) -> Testbench:
+    """The canonical PGAS testbench: loads the program and drives reset.
+
+    Program loading happens in ``drive`` whenever the pipe sits at
+    cycle 0, which makes it *part of the replayable stimulus*: a replay
+    from power-on (consistency verification's segment 0, post-repair
+    re-execution) reinstalls the program exactly like the original run.
+
+    ``per_node=True`` treats ``asm`` as a ``%NODE%``/``%COUNT%``
+    template expanded per node id — enough to express the ring
+    workloads without shipping Python callables to worker processes.
+    """
+    if per_node:
+        programs = [
+            assemble(
+                asm.replace("%NODE%", str(i)).replace("%COUNT%", str(count))
+            )
+            for i in range(count)
+        ]
+        words = [p.as_mem64(LOCAL_MEM_WORDS) for p in programs]
+    else:
+        single = assemble(asm).as_mem64(LOCAL_MEM_WORDS)
+        words = [single] * count
+
+    def drive(pipe: Pipe) -> None:
+        if pipe.cycle == 0:
+            for i in range(count):
+                pipe.find(f"n_{i}.u_mem").write_memory("mem", 0, words[i])
+        pipe.set_inputs(rst=int(pipe.cycle < reset_cycles), clk=0)
+
+    return CallbackTestbench(name="boot_program", drive=drive)
+
+
+def boot_program_spec(asm: str, count: int = 1, reset_cycles: int = 2,
+                      per_node: bool = False):
+    """Factory spec for :func:`boot_program` (for worker processes)."""
+    return (
+        "repro.riscv.programs:boot_program",
+        {"asm": asm, "count": count, "reset_cycles": reset_cycles,
+         "per_node": per_node},
+    )
+
+
+def reset_then_run(reset_cycles: int = 2) -> Testbench:
+    """Asserts rst while the absolute cycle is below ``reset_cycles``,
+    then runs freely.  Replay-safe: stimulus is a pure function of the
+    absolute cycle."""
+
+    def drive(pipe: Pipe) -> None:
+        pipe.set_inputs(rst=int(pipe.cycle < reset_cycles), clk=0)
+
+    return CallbackTestbench(name="reset_then_run", drive=drive)
+
+
+def run_until_halted(reset_cycles: int = 2) -> Testbench:
+    """Like :func:`reset_then_run` but stops when every core halted."""
+
+    def drive(pipe: Pipe) -> None:
+        pipe.set_inputs(rst=int(pipe.cycle < reset_cycles), clk=0)
+
+    def check(pipe: Pipe, outputs: Dict[str, int]) -> bool:
+        return outputs.get("all_halted", 0) == 1
+
+    return CallbackTestbench(name="run_until_halted", drive=drive, check=check)
+
+
+RESET_THEN_RUN_SPEC = ("repro.riscv.programs:reset_then_run", {})
+RUN_UNTIL_HALTED_SPEC = ("repro.riscv.programs:run_until_halted", {})

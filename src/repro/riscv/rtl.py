@@ -1,0 +1,821 @@
+"""LHDL source of the 5-stage RV64I core (the paper's PGAS node CPU).
+
+The core follows the paper's structure (§IV): each pipeline stage is
+its own module, instantiated by a single parent (``rv_core``), so
+LiveSim places each in its own hot-swappable compiled unit.  A node
+couples the core with 32 KB of unified local memory (``rv_memory``);
+the mesh (see :mod:`repro.riscv.pgas`) replicates nodes and connects
+their remote-store channels.
+
+Microarchitecture summary:
+
+* classic IF / ID / EX / MEM / WB with full forwarding
+  (EX<-MEM via the ex/mem latch, EX<-WB via the writeback bus),
+  one-cycle load-use stall, branches/jumps resolved in EX
+  (2-cycle redirect penalty);
+* ``ecall``/``ebreak`` halt the hart (sets the sticky ``halted`` flag);
+* unified little-endian memory, word (64-bit) organized, with a fetch
+  port, a data port (sub-word read-modify-write stores), and an
+  external write port for remote PGAS stores;
+* remote stores leave through a one-entry request register with
+  backpressure (the core stalls only when a second remote store issues
+  before the first is accepted by the interconnect); remote loads are
+  architecturally unsupported (PGAS software polls local memory).
+"""
+
+from __future__ import annotations
+
+RV_IF = r"""
+module rv_if (
+  input clk,
+  input rst,
+  input stall,
+  input redirect_valid,
+  input [63:0] redirect_pc,
+  output [63:0] pc
+);
+  reg [63:0] pc_q;
+  assign pc = pc_q;
+  always @(posedge clk) begin
+    if (rst)
+      pc_q <= 64'd0;
+    else if (redirect_valid)
+      pc_q <= redirect_pc;
+    else if (!stall)
+      pc_q <= pc_q + 64'd4;
+  end
+endmodule
+"""
+
+RV_MEMORY = r"""
+module rv_memory #(parameter WORDS = 4096) (
+  input clk,
+  input [63:0] fetch_addr,
+  output [31:0] fetch_data,
+  input [63:0] d_addr,
+  input [63:0] d_wdata,
+  input [1:0] d_size,
+  input d_we,
+  output [63:0] d_rdata,
+  input ext_we,
+  input [63:0] ext_addr,
+  input [63:0] ext_data
+);
+  reg [63:0] mem [0:WORDS-1];
+  wire [63:0] fetch_dword;
+  assign fetch_dword = mem[fetch_addr[14:3]];
+  assign fetch_data = fetch_addr[2] ? fetch_dword[63:32] : fetch_dword[31:0];
+  assign d_rdata = mem[d_addr[14:3]];
+  wire [5:0] wsh;
+  assign wsh = {d_addr[2:0], 3'b000};
+  wire [63:0] wmask;
+  assign wmask = (d_size == 2'd0) ? 64'hff
+               : (d_size == 2'd1) ? 64'hffff
+               : (d_size == 2'd2) ? 64'hffffffff
+               : 64'hffffffffffffffff;
+  wire [63:0] merged;
+  assign merged = (d_rdata & ~(wmask << wsh)) | ((d_wdata & wmask) << wsh);
+  always @(posedge clk) begin
+    if (d_we)
+      mem[d_addr[14:3]] <= merged;
+    if (ext_we)
+      mem[ext_addr[14:3]] <= ext_data;
+  end
+endmodule
+"""
+
+RV_ID = r"""
+module rv_id (
+  input clk,
+  input rst,
+  input stall,
+  input flush,
+  input in_valid,
+  input [31:0] in_instr,
+  input [63:0] in_pc,
+  input wb_we,
+  input [4:0] wb_rd,
+  input [63:0] wb_data,
+  output out_valid,
+  output [63:0] out_pc,
+  output [4:0] rs1,
+  output [4:0] rs2,
+  output [4:0] rd,
+  output [63:0] rs1_val,
+  output [63:0] rs2_val,
+  output [63:0] imm,
+  output [3:0] alu_op,
+  output alu_src_imm,
+  output alu_src_pc,
+  output is_jal,
+  output is_jalr,
+  output is_branch,
+  output [2:0] branch_op,
+  output mem_read,
+  output mem_write,
+  output [1:0] mem_size,
+  output mem_unsigned,
+  output reg_write,
+  output is_w_op,
+  output is_halt
+);
+  reg ifid_valid;
+  reg [31:0] ifid_instr;
+  reg [63:0] ifid_pc;
+  reg [63:0] rf [0:31];
+
+  always @(posedge clk) begin
+    if (rst || flush)
+      ifid_valid <= 1'b0;
+    else if (!stall) begin
+      ifid_valid <= in_valid;
+      ifid_instr <= in_instr;
+      ifid_pc <= in_pc;
+    end
+    if (wb_we && (wb_rd != 5'd0))
+      rf[wb_rd] <= wb_data;
+  end
+
+  wire [6:0] opcode;
+  assign opcode = ifid_instr[6:0];
+  wire [2:0] funct3;
+  assign funct3 = ifid_instr[14:12];
+  wire bit30;
+  assign bit30 = ifid_instr[30];
+
+  assign out_valid = ifid_valid;
+  assign out_pc = ifid_pc;
+  assign rs1 = ifid_instr[19:15];
+  assign rs2 = ifid_instr[24:20];
+  assign rd = ifid_instr[11:7];
+
+  // Register read with write-back bypass; x0 is hardwired to zero.
+  wire [63:0] rf_rs1;
+  assign rf_rs1 = rf[rs1];
+  wire [63:0] rf_rs2;
+  assign rf_rs2 = rf[rs2];
+  assign rs1_val = (rs1 == 5'd0) ? 64'd0
+                 : (wb_we && (wb_rd == rs1)) ? wb_data
+                 : rf_rs1;
+  assign rs2_val = (rs2 == 5'd0) ? 64'd0
+                 : (wb_we && (wb_rd == rs2)) ? wb_data
+                 : rf_rs2;
+
+  // Immediates per format.
+  wire [63:0] imm_i;
+  assign imm_i = {{52{ifid_instr[31]}}, ifid_instr[31:20]};
+  wire [63:0] imm_s;
+  assign imm_s = {{52{ifid_instr[31]}}, ifid_instr[31:25], ifid_instr[11:7]};
+  wire [63:0] imm_b;
+  assign imm_b = {{51{ifid_instr[31]}}, ifid_instr[31], ifid_instr[7],
+                  ifid_instr[30:25], ifid_instr[11:8], 1'b0};
+  wire [63:0] imm_u;
+  assign imm_u = {{32{ifid_instr[31]}}, ifid_instr[31:12], 12'b000000000000};
+  wire [63:0] imm_j;
+  assign imm_j = {{43{ifid_instr[31]}}, ifid_instr[31], ifid_instr[19:12],
+                  ifid_instr[20], ifid_instr[30:21], 1'b0};
+
+  // ALU operation encoding:
+  // 0 add, 1 sub, 2 sll, 3 slt, 4 sltu, 5 xor, 6 srl, 7 sra,
+  // 8 or, 9 and, 10 pass-b (lui).
+  reg [3:0] dec_alu_op;
+  reg dec_src_imm;
+  reg dec_src_pc;
+  reg dec_jal;
+  reg dec_jalr;
+  reg dec_branch;
+  reg dec_mem_read;
+  reg dec_mem_write;
+  reg dec_mem_unsigned;
+  reg [1:0] dec_mem_size;
+  reg dec_reg_write;
+  reg dec_w_op;
+  reg dec_halt;
+  reg [63:0] dec_imm;
+
+  always @(*) begin
+    case (opcode)
+      7'b0110111: begin  // LUI
+        dec_reg_write = 1'b1;
+        dec_alu_op = 4'd10;
+        dec_src_imm = 1'b1;
+        dec_imm = imm_u;
+      end
+      7'b0010111: begin  // AUIPC
+        dec_reg_write = 1'b1;
+        dec_alu_op = 4'd0;
+        dec_src_imm = 1'b1;
+        dec_src_pc = 1'b1;
+        dec_imm = imm_u;
+      end
+      7'b1101111: begin  // JAL
+        dec_reg_write = 1'b1;
+        dec_jal = 1'b1;
+        dec_imm = imm_j;
+      end
+      7'b1100111: begin  // JALR
+        dec_reg_write = 1'b1;
+        dec_jalr = 1'b1;
+        dec_imm = imm_i;
+      end
+      7'b1100011: begin  // branches
+        dec_branch = 1'b1;
+        dec_imm = imm_b;
+      end
+      7'b0000011: begin  // loads
+        dec_reg_write = 1'b1;
+        dec_mem_read = 1'b1;
+        dec_src_imm = 1'b1;
+        dec_imm = imm_i;
+        dec_mem_size = funct3[1:0];
+        dec_mem_unsigned = funct3[2];
+      end
+      7'b0100011: begin  // stores
+        dec_mem_write = 1'b1;
+        dec_src_imm = 1'b1;
+        dec_imm = imm_s;
+        dec_mem_size = funct3[1:0];
+      end
+      7'b0010011: begin  // OP-IMM
+        dec_reg_write = 1'b1;
+        dec_src_imm = 1'b1;
+        dec_imm = imm_i;
+        case (funct3)
+          3'b000: dec_alu_op = 4'd0;
+          3'b001: dec_alu_op = 4'd2;
+          3'b010: dec_alu_op = 4'd3;
+          3'b011: dec_alu_op = 4'd4;
+          3'b100: dec_alu_op = 4'd5;
+          3'b101: dec_alu_op = bit30 ? 4'd7 : 4'd6;
+          3'b110: dec_alu_op = 4'd8;
+          3'b111: dec_alu_op = 4'd9;
+        endcase
+      end
+      7'b0110011: begin  // OP
+        dec_reg_write = 1'b1;
+        case (funct3)
+          3'b000: dec_alu_op = bit30 ? 4'd1 : 4'd0;
+          3'b001: dec_alu_op = 4'd2;
+          3'b010: dec_alu_op = 4'd3;
+          3'b011: dec_alu_op = 4'd4;
+          3'b100: dec_alu_op = 4'd5;
+          3'b101: dec_alu_op = bit30 ? 4'd7 : 4'd6;
+          3'b110: dec_alu_op = 4'd8;
+          3'b111: dec_alu_op = 4'd9;
+        endcase
+      end
+      7'b0011011: begin  // OP-IMM-32
+        dec_reg_write = 1'b1;
+        dec_src_imm = 1'b1;
+        dec_w_op = 1'b1;
+        dec_imm = imm_i;
+        case (funct3)
+          3'b000: dec_alu_op = 4'd0;
+          3'b001: dec_alu_op = 4'd2;
+          3'b101: dec_alu_op = bit30 ? 4'd7 : 4'd6;
+          default: dec_alu_op = 4'd0;
+        endcase
+      end
+      7'b0111011: begin  // OP-32
+        dec_reg_write = 1'b1;
+        dec_w_op = 1'b1;
+        case (funct3)
+          3'b000: dec_alu_op = bit30 ? 4'd1 : 4'd0;
+          3'b001: dec_alu_op = 4'd2;
+          3'b101: dec_alu_op = bit30 ? 4'd7 : 4'd6;
+          default: dec_alu_op = 4'd0;
+        endcase
+      end
+      7'b1110011: begin  // SYSTEM: ecall/ebreak halt the hart
+        dec_halt = 1'b1;
+      end
+      default: begin  // fence and unknown opcodes retire as no-ops
+        dec_alu_op = 4'd0;
+      end
+    endcase
+  end
+
+  assign alu_op = dec_alu_op;
+  assign alu_src_imm = dec_src_imm;
+  assign alu_src_pc = dec_src_pc;
+  assign is_jal = dec_jal;
+  assign is_jalr = dec_jalr;
+  assign is_branch = dec_branch;
+  assign branch_op = funct3;
+  assign mem_read = dec_mem_read;
+  assign mem_write = dec_mem_write;
+  assign mem_size = dec_mem_size;
+  assign mem_unsigned = dec_mem_unsigned;
+  assign reg_write = dec_reg_write;
+  assign is_w_op = dec_w_op;
+  assign is_halt = dec_halt;
+  assign imm = dec_imm;
+endmodule
+"""
+
+RV_EX = r"""
+module rv_ex (
+  input clk,
+  input rst,
+  input hold,
+  input flush,
+  input bubble,
+  input in_valid,
+  input [63:0] in_pc,
+  input [4:0] in_rs1,
+  input [4:0] in_rs2,
+  input [4:0] in_rd,
+  input [63:0] in_rs1_val,
+  input [63:0] in_rs2_val,
+  input [63:0] in_imm,
+  input [3:0] in_alu_op,
+  input in_src_imm,
+  input in_src_pc,
+  input in_jal,
+  input in_jalr,
+  input in_branch,
+  input [2:0] in_branch_op,
+  input in_mem_read,
+  input in_mem_write,
+  input [1:0] in_mem_size,
+  input in_mem_unsigned,
+  input in_reg_write,
+  input in_w_op,
+  input in_halt,
+  input wb_we,
+  input [4:0] wb_rd,
+  input [63:0] wb_data,
+  output redirect_valid,
+  output [63:0] redirect_pc,
+  output ex_is_load,
+  output [4:0] ex_rd,
+  output m_valid,
+  output m_reg_write,
+  output m_mem_read,
+  output m_mem_write,
+  output [1:0] m_mem_size,
+  output m_mem_unsigned,
+  output [4:0] m_rd,
+  output [63:0] m_alu,
+  output [63:0] m_sdata,
+  output m_halt
+);
+  // ID/EX latch.
+  reg e_valid;
+  reg [63:0] e_pc;
+  reg [4:0] e_rs1;
+  reg [4:0] e_rs2;
+  reg [4:0] e_rd;
+  reg [63:0] e_rs1_val;
+  reg [63:0] e_rs2_val;
+  reg [63:0] e_imm;
+  reg [3:0] e_alu_op;
+  reg e_src_imm;
+  reg e_src_pc;
+  reg e_jal;
+  reg e_jalr;
+  reg e_branch;
+  reg [2:0] e_branch_op;
+  reg e_mem_read;
+  reg e_mem_write;
+  reg [1:0] e_mem_size;
+  reg e_mem_unsigned;
+  reg e_reg_write;
+  reg e_w_op;
+  reg e_halt;
+
+  // EX/MEM latch.
+  reg x_valid;
+  reg x_reg_write;
+  reg x_mem_read;
+  reg x_mem_write;
+  reg [1:0] x_mem_size;
+  reg x_mem_unsigned;
+  reg [4:0] x_rd;
+  reg [63:0] x_alu;
+  reg [63:0] x_sdata;
+  reg x_halt;
+
+  assign ex_is_load = e_valid && e_mem_read;
+  assign ex_rd = e_rd;
+
+  // Forwarding: EX/MEM ALU result has priority over the WB bus.
+  wire fwd_a_mem;
+  assign fwd_a_mem = x_valid && x_reg_write && !x_mem_read
+                   && (x_rd != 5'd0) && (x_rd == e_rs1);
+  wire fwd_a_wb;
+  assign fwd_a_wb = wb_we && (wb_rd != 5'd0) && (wb_rd == e_rs1);
+  wire [63:0] op_a;
+  assign op_a = (e_rs1 == 5'd0) ? 64'd0
+              : fwd_a_mem ? x_alu
+              : fwd_a_wb ? wb_data
+              : e_rs1_val;
+  wire fwd_b_mem;
+  assign fwd_b_mem = x_valid && x_reg_write && !x_mem_read
+                   && (x_rd != 5'd0) && (x_rd == e_rs2);
+  wire fwd_b_wb;
+  assign fwd_b_wb = wb_we && (wb_rd != 5'd0) && (wb_rd == e_rs2);
+  wire [63:0] op_b_reg;
+  assign op_b_reg = (e_rs2 == 5'd0) ? 64'd0
+                  : fwd_b_mem ? x_alu
+                  : fwd_b_wb ? wb_data
+                  : e_rs2_val;
+
+  wire [63:0] alu_a;
+  assign alu_a = e_src_pc ? e_pc : op_a;
+  wire [63:0] alu_b;
+  assign alu_b = e_src_imm ? e_imm : op_b_reg;
+
+  // ALU.
+  wire [5:0] sh64;
+  assign sh64 = alu_b[5:0];
+  wire [4:0] sh32;
+  assign sh32 = alu_b[4:0];
+  wire [31:0] a32;
+  assign a32 = alu_a[31:0];
+  reg [63:0] alu_full;
+  always @(*) begin
+    case (e_alu_op)
+      4'd0: alu_full = alu_a + alu_b;
+      4'd1: alu_full = alu_a - alu_b;
+      4'd2: alu_full = e_w_op ? {32'd0, (a32 << sh32)} : (alu_a << sh64);
+      4'd3: alu_full = ($signed(alu_a) < $signed(alu_b)) ? 64'd1 : 64'd0;
+      4'd4: alu_full = (alu_a < alu_b) ? 64'd1 : 64'd0;
+      4'd5: alu_full = alu_a ^ alu_b;
+      4'd6: alu_full = e_w_op ? {32'd0, (a32 >> sh32)} : (alu_a >> sh64);
+      4'd7: alu_full = e_w_op
+          ? {32'd0, ($signed(a32) >>> sh32)}
+          : ($signed(alu_a) >>> sh64);
+      4'd8: alu_full = alu_a | alu_b;
+      4'd9: alu_full = alu_a & alu_b;
+      4'd10: alu_full = alu_b;
+      default: alu_full = 64'd0;
+    endcase
+  end
+  wire [63:0] alu_w;
+  assign alu_w = {{32{alu_full[31]}}, alu_full[31:0]};
+  wire [63:0] alu_result;
+  assign alu_result = e_w_op ? alu_w : alu_full;
+
+  // Branch resolution.
+  wire [63:0] sub_ab;
+  assign sub_ab = op_a - op_b_reg;
+  wire cmp_eq;
+  assign cmp_eq = op_a == op_b_reg;
+  wire cmp_lt;
+  assign cmp_lt = $signed(op_a) < $signed(op_b_reg);
+  wire cmp_ltu;
+  assign cmp_ltu = op_a < op_b_reg;
+  reg branch_taken;
+  always @(*) begin
+    case (e_branch_op)
+      3'b000: branch_taken = cmp_eq;
+      3'b001: branch_taken = !cmp_eq;
+      3'b100: branch_taken = cmp_lt;
+      3'b101: branch_taken = !cmp_lt;
+      3'b110: branch_taken = cmp_ltu;
+      3'b111: branch_taken = !cmp_ltu;
+      default: branch_taken = 1'b0;
+    endcase
+  end
+
+  wire do_branch;
+  assign do_branch = e_valid && e_branch && branch_taken;
+  assign redirect_valid = (e_valid && (e_jal || e_jalr)) || do_branch;
+  assign redirect_pc = e_jalr ? ((op_a + e_imm) & ~64'd1) : (e_pc + e_imm);
+
+  wire [63:0] link;
+  assign link = e_pc + 64'd4;
+  wire [63:0] result;
+  assign result = (e_jal || e_jalr) ? link : alu_result;
+
+  always @(posedge clk) begin
+    if (rst || flush)
+      e_valid <= 1'b0;
+    else if (!hold) begin
+      if (bubble)
+        e_valid <= 1'b0;
+      else begin
+        e_valid <= in_valid;
+        e_pc <= in_pc;
+        e_rs1 <= in_rs1;
+        e_rs2 <= in_rs2;
+        e_rd <= in_rd;
+        e_rs1_val <= in_rs1_val;
+        e_rs2_val <= in_rs2_val;
+        e_imm <= in_imm;
+        e_alu_op <= in_alu_op;
+        e_src_imm <= in_src_imm;
+        e_src_pc <= in_src_pc;
+        e_jal <= in_jal;
+        e_jalr <= in_jalr;
+        e_branch <= in_branch;
+        e_branch_op <= in_branch_op;
+        e_mem_read <= in_mem_read;
+        e_mem_write <= in_mem_write;
+        e_mem_size <= in_mem_size;
+        e_mem_unsigned <= in_mem_unsigned;
+        e_reg_write <= in_reg_write;
+        e_w_op <= in_w_op;
+        e_halt <= in_halt;
+      end
+    end
+    if (rst) begin
+      x_valid <= 1'b0;
+    end else if (!hold) begin
+      x_valid <= e_valid;
+      x_reg_write <= e_reg_write;
+      x_mem_read <= e_mem_read;
+      x_mem_write <= e_mem_write;
+      x_mem_size <= e_mem_size;
+      x_mem_unsigned <= e_mem_unsigned;
+      x_rd <= e_rd;
+      x_alu <= e_mem_write ? (op_a + e_imm) : result;
+      x_sdata <= op_b_reg;
+      x_halt <= e_halt;
+    end
+  end
+
+  assign m_valid = x_valid;
+  assign m_reg_write = x_reg_write;
+  assign m_mem_read = x_mem_read;
+  assign m_mem_write = x_mem_write;
+  assign m_mem_size = x_mem_size;
+  assign m_mem_unsigned = x_mem_unsigned;
+  assign m_rd = x_rd;
+  assign m_alu = x_alu;
+  assign m_sdata = x_sdata;
+  assign m_halt = x_halt;
+endmodule
+"""
+
+RV_MEM = r"""
+module rv_mem (
+  input m_valid,
+  input m_reg_write,
+  input m_mem_read,
+  input m_mem_write,
+  input [1:0] m_mem_size,
+  input m_mem_unsigned,
+  input [4:0] m_rd,
+  input [63:0] m_alu,
+  input [63:0] m_sdata,
+  input m_halt,
+  input [63:0] d_rdata,
+  output [63:0] d_addr,
+  output [63:0] d_wdata,
+  output [1:0] d_size,
+  output d_we,
+  output w_valid,
+  output w_reg_write,
+  output [4:0] w_rd,
+  output [63:0] w_value,
+  output w_halt
+);
+  assign d_addr = m_alu;
+  assign d_wdata = m_sdata;
+  assign d_size = m_mem_size;
+  assign d_we = m_valid && m_mem_write;
+
+  wire [5:0] rsh;
+  assign rsh = {m_alu[2:0], 3'b000};
+  wire [63:0] raw;
+  assign raw = d_rdata >> rsh;
+  wire sb;
+  assign sb = m_mem_unsigned ? 1'b0 : raw[7];
+  wire sh;
+  assign sh = m_mem_unsigned ? 1'b0 : raw[15];
+  wire sw;
+  assign sw = m_mem_unsigned ? 1'b0 : raw[31];
+  wire [63:0] load_b;
+  assign load_b = {{56{sb}}, raw[7:0]};
+  wire [63:0] load_h;
+  assign load_h = {{48{sh}}, raw[15:0]};
+  wire [63:0] load_w;
+  assign load_w = {{32{sw}}, raw[31:0]};
+  wire [63:0] load_value;
+  assign load_value = (m_mem_size == 2'd0) ? load_b
+                    : (m_mem_size == 2'd1) ? load_h
+                    : (m_mem_size == 2'd2) ? load_w
+                    : d_rdata;
+
+  assign w_valid = m_valid;
+  assign w_reg_write = m_valid && m_reg_write;
+  assign w_rd = m_rd;
+  assign w_value = m_mem_read ? load_value : m_alu;
+  assign w_halt = m_valid && m_halt;
+endmodule
+"""
+
+RV_WB = r"""
+module rv_wb (
+  input clk,
+  input rst,
+  input hold,
+  input in_valid,
+  input in_reg_write,
+  input [4:0] in_rd,
+  input [63:0] in_value,
+  input in_halt,
+  output wb_we,
+  output [4:0] wb_rd,
+  output [63:0] wb_data,
+  output halted,
+  output [63:0] retired
+);
+  reg w_valid;
+  reg w_we;
+  reg [4:0] w_rd;
+  reg [63:0] w_value;
+  reg halted_q;
+  reg [63:0] retired_q;
+
+  always @(posedge clk) begin
+    if (rst) begin
+      w_valid <= 1'b0;
+      w_we <= 1'b0;
+      halted_q <= 1'b0;
+      retired_q <= 64'd0;
+    end else if (!hold) begin
+      w_valid <= in_valid;
+      w_we <= in_reg_write;
+      w_rd <= in_rd;
+      w_value <= in_value;
+      if (in_halt)
+        halted_q <= 1'b1;
+      if (in_valid)
+        retired_q <= retired_q + 64'd1;
+    end
+  end
+
+  assign wb_we = w_valid && w_we;
+  assign wb_rd = w_rd;
+  assign wb_data = w_value;
+  assign halted = halted_q;
+  assign retired = retired_q;
+endmodule
+"""
+
+RV_CORE = r"""
+module rv_core (
+  input clk,
+  input rst,
+  input ext_stall,
+  input [31:0] fetch_data,
+  input [63:0] d_rdata,
+  output [63:0] fetch_addr,
+  output [63:0] d_addr,
+  output [63:0] d_wdata,
+  output [1:0] d_size,
+  output d_we,
+  output halted,
+  output [63:0] dbg_pc,
+  output [63:0] retired
+);
+  wire [63:0] pc;
+  wire redirect_valid;
+  wire [63:0] redirect_pc;
+  wire ex_is_load;
+  wire [4:0] ex_rd;
+  wire id_valid;
+  wire [63:0] id_pc;
+  wire [4:0] id_rs1;
+  wire [4:0] id_rs2;
+  wire [4:0] id_rd;
+  wire [63:0] id_rs1_val;
+  wire [63:0] id_rs2_val;
+  wire [63:0] id_imm;
+  wire [3:0] id_alu_op;
+  wire id_src_imm;
+  wire id_src_pc;
+  wire id_jal;
+  wire id_jalr;
+  wire id_branch;
+  wire [2:0] id_branch_op;
+  wire id_mem_read;
+  wire id_mem_write;
+  wire [1:0] id_mem_size;
+  wire id_mem_unsigned;
+  wire id_reg_write;
+  wire id_w_op;
+  wire id_halt;
+  wire m_valid;
+  wire m_reg_write;
+  wire m_mem_read;
+  wire m_mem_write;
+  wire [1:0] m_mem_size;
+  wire m_mem_unsigned;
+  wire [4:0] m_rd;
+  wire [63:0] m_alu;
+  wire [63:0] m_sdata;
+  wire m_halt;
+  wire w_valid;
+  wire w_reg_write;
+  wire [4:0] w_rd;
+  wire [63:0] w_value;
+  wire w_halt;
+  wire wb_we;
+  wire [4:0] wb_rd;
+  wire [63:0] wb_data;
+
+  // Hazard network: one-cycle load-use stall; remote-store
+  // backpressure and a sticky halt freeze the whole pipe.
+  wire load_use;
+  assign load_use = ex_is_load && id_valid && (ex_rd != 5'd0)
+                  && ((ex_rd == id_rs1) || (ex_rd == id_rs2));
+  wire freeze;
+  assign freeze = ext_stall || halted;
+  wire stall_front;
+  assign stall_front = load_use || freeze;
+  wire redirect_eff;
+  assign redirect_eff = redirect_valid && !freeze;
+
+  rv_if u_if (
+    .clk(clk), .rst(rst),
+    .stall(stall_front),
+    .redirect_valid(redirect_eff),
+    .redirect_pc(redirect_pc),
+    .pc(pc)
+  );
+  assign fetch_addr = pc;
+  assign dbg_pc = pc;
+
+  rv_id u_id (
+    .clk(clk), .rst(rst),
+    .stall(stall_front),
+    .flush(redirect_eff),
+    .in_valid(1'b1),
+    .in_instr(fetch_data),
+    .in_pc(pc),
+    .wb_we(wb_we), .wb_rd(wb_rd), .wb_data(wb_data),
+    .out_valid(id_valid), .out_pc(id_pc),
+    .rs1(id_rs1), .rs2(id_rs2), .rd(id_rd),
+    .rs1_val(id_rs1_val), .rs2_val(id_rs2_val),
+    .imm(id_imm), .alu_op(id_alu_op),
+    .alu_src_imm(id_src_imm), .alu_src_pc(id_src_pc),
+    .is_jal(id_jal), .is_jalr(id_jalr),
+    .is_branch(id_branch), .branch_op(id_branch_op),
+    .mem_read(id_mem_read), .mem_write(id_mem_write),
+    .mem_size(id_mem_size), .mem_unsigned(id_mem_unsigned),
+    .reg_write(id_reg_write), .is_w_op(id_w_op), .is_halt(id_halt)
+  );
+
+  rv_ex u_ex (
+    .clk(clk), .rst(rst),
+    .hold(freeze),
+    .flush(redirect_eff),
+    .bubble(load_use),
+    .in_valid(id_valid), .in_pc(id_pc),
+    .in_rs1(id_rs1), .in_rs2(id_rs2), .in_rd(id_rd),
+    .in_rs1_val(id_rs1_val), .in_rs2_val(id_rs2_val),
+    .in_imm(id_imm), .in_alu_op(id_alu_op),
+    .in_src_imm(id_src_imm), .in_src_pc(id_src_pc),
+    .in_jal(id_jal), .in_jalr(id_jalr),
+    .in_branch(id_branch), .in_branch_op(id_branch_op),
+    .in_mem_read(id_mem_read), .in_mem_write(id_mem_write),
+    .in_mem_size(id_mem_size), .in_mem_unsigned(id_mem_unsigned),
+    .in_reg_write(id_reg_write), .in_w_op(id_w_op), .in_halt(id_halt),
+    .wb_we(wb_we), .wb_rd(wb_rd), .wb_data(wb_data),
+    .redirect_valid(redirect_valid), .redirect_pc(redirect_pc),
+    .ex_is_load(ex_is_load), .ex_rd(ex_rd),
+    .m_valid(m_valid), .m_reg_write(m_reg_write),
+    .m_mem_read(m_mem_read), .m_mem_write(m_mem_write),
+    .m_mem_size(m_mem_size), .m_mem_unsigned(m_mem_unsigned),
+    .m_rd(m_rd), .m_alu(m_alu), .m_sdata(m_sdata), .m_halt(m_halt)
+  );
+
+  wire [63:0] mem_d_addr;
+  wire mem_d_we;
+  rv_mem u_mem (
+    .m_valid(m_valid), .m_reg_write(m_reg_write),
+    .m_mem_read(m_mem_read), .m_mem_write(m_mem_write),
+    .m_mem_size(m_mem_size), .m_mem_unsigned(m_mem_unsigned),
+    .m_rd(m_rd), .m_alu(m_alu), .m_sdata(m_sdata), .m_halt(m_halt),
+    .d_rdata(d_rdata),
+    .d_addr(mem_d_addr), .d_wdata(d_wdata), .d_size(d_size),
+    .d_we(mem_d_we),
+    .w_valid(w_valid), .w_reg_write(w_reg_write),
+    .w_rd(w_rd), .w_value(w_value), .w_halt(w_halt)
+  );
+  assign d_addr = mem_d_addr;
+  assign d_we = mem_d_we && !halted;
+
+  rv_wb u_wb (
+    .clk(clk), .rst(rst),
+    .hold(freeze),
+    .in_valid(w_valid), .in_reg_write(w_reg_write),
+    .in_rd(w_rd), .in_value(w_value), .in_halt(w_halt),
+    .wb_we(wb_we), .wb_rd(wb_rd), .wb_data(wb_data),
+    .halted(halted), .retired(retired)
+  );
+endmodule
+"""
+
+CORE_MODULES_SOURCE = (
+    RV_IF + RV_MEMORY + RV_ID + RV_EX + RV_MEM + RV_WB + RV_CORE
+)
+
+
+def core_source() -> str:
+    """The complete core (all stage modules + rv_core)."""
+    return CORE_MODULES_SOURCE

@@ -1,0 +1,18 @@
+"""Simulation kernel: instances, pipelines, testbenches, waveforms."""
+
+from .stage import StageInst, StateSnapshot
+from .pipeline import Pipe
+from .testbench import Testbench, CallbackTestbench, VectorTestbench
+from .waveform import Probe, Trace, WaveformRecorder
+
+__all__ = [
+    "StageInst",
+    "StateSnapshot",
+    "Pipe",
+    "Testbench",
+    "CallbackTestbench",
+    "VectorTestbench",
+    "Probe",
+    "Trace",
+    "WaveformRecorder",
+]

@@ -1,0 +1,230 @@
+"""Pipe: the simulation entry-level entity (the paper's UUT).
+
+A :class:`Pipe` owns the top :class:`StageInst` tree, the current input
+values, and the cycle counter.  One simulated cycle is ``eval`` (settle
+combinational logic, compute pending register values) followed by
+``tick`` (commit pending values — the clock edge).
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..codegen.pygen import CompiledModule
+from ..hdl.errors import ConvergenceError, SimulationError
+from .stage import StageInst, StateSnapshot
+
+Driver = Callable[["Pipe"], None]
+Watcher = Callable[["Pipe", Dict[str, int]], bool]
+
+
+class Pipe:
+    """A running unit under test."""
+
+    def __init__(
+        self,
+        top_key: str,
+        library: Dict[str, CompiledModule],
+        name: str = "pipe",
+        max_passes: int = 16,
+    ):
+        self.name = name
+        self.library = dict(library)
+        self.top = StageInst.build(top_key, self.library, name="top")
+        self.cycle = 0
+        self.max_passes = max_passes
+        self._inputs: Dict[str, int] = {
+            port: 0 for port in self.top.code.inputs
+        }
+        self._last_outputs: Optional[Dict[str, int]] = None
+        self._fixpoint = self._scan_fixpoint()
+
+    # -- inputs / outputs -------------------------------------------------------
+
+    @property
+    def input_names(self) -> Tuple[str, ...]:
+        return self.top.code.inputs
+
+    @property
+    def output_names(self) -> Tuple[str, ...]:
+        return self.top.code.outputs
+
+    def set_input(self, name: str, value: int) -> None:
+        if name not in self._inputs:
+            raise SimulationError(f"pipe has no input {name!r}")
+        self._inputs[name] = value
+        self._last_outputs = None
+
+    def set_inputs(self, **values: int) -> None:
+        for name, value in values.items():
+            self.set_input(name, value)
+
+    def get_input(self, name: str) -> int:
+        return self._inputs[name]
+
+    # -- evaluation ----------------------------------------------------------------
+
+    def _scan_fixpoint(self) -> bool:
+        return any(code.ir.needs_fixpoint for code in self.library.values())
+
+    def refresh_library_traits(self) -> None:
+        """Recompute cached library-derived flags.
+
+        Must be called after the library is replaced in flight (the hot
+        reloader does this).
+        """
+        self._fixpoint = self._scan_fixpoint()
+
+    def _needs_fixpoint(self) -> bool:
+        return self._fixpoint
+
+    def eval(self) -> Dict[str, int]:
+        """Settle combinational logic (phase 1); returns the outputs."""
+        top = self.top
+        args = [self._inputs[name] for name in top.code.comb_input_ports]
+        result = top.code.eval_out_fn(top.state, top.children, *args)
+        if self._needs_fixpoint():
+            previous = result
+            for _ in range(self.max_passes):
+                result = top.code.eval_out_fn(top.state, top.children, *args)
+                if result == previous:
+                    break
+                previous = result
+            else:
+                raise ConvergenceError(
+                    f"combinational logic did not settle in "
+                    f"{self.max_passes} passes (comb loop?)"
+                )
+        outputs = dict(zip(top.code.outputs, result))
+        self._last_outputs = outputs
+        return outputs
+
+    def outputs(self) -> Dict[str, int]:
+        if self._last_outputs is None:
+            return self.eval()
+        return self._last_outputs
+
+    def tick(self) -> None:
+        """Run phase 2 and commit pending state — the clock edge."""
+        top = self.top
+        if self._last_outputs is None:
+            self.eval()
+        args = [self._inputs[name] for name in top.code.inputs]
+        top.code.eval_seq_fn(top.state, top.children, *args)
+        top.code.tick_fn(top.state, top.children)
+        self.cycle += 1
+        self._last_outputs = None
+
+    def invalidate(self) -> None:
+        """Invalidate every instance's memoized combinational result.
+
+        Call after mutating state directly (e.g. writing into a memory
+        list obtained from :meth:`StageInst.memory`).
+        """
+        self.top.invalidate_cache()
+        self._last_outputs = None
+
+    def step(
+        self,
+        cycles: int = 1,
+        driver: Optional[Driver] = None,
+        watcher: Optional[Watcher] = None,
+    ) -> int:
+        """Run full eval+tick cycles.
+
+        ``driver`` (if given) is called before each eval to update the
+        inputs.  ``watcher`` is called with the settled outputs after
+        each eval; returning True stops *before* the tick (the watched
+        condition holds at the current cycle).  Returns the number of
+        cycles actually executed.
+        """
+        executed = 0
+        for _ in range(cycles):
+            if driver is not None:
+                driver(self)
+            outputs = self.eval()
+            if watcher is not None and watcher(self, outputs):
+                return executed
+            self.tick()
+            executed += 1
+        return executed
+
+    def run_until(
+        self,
+        predicate: Watcher,
+        max_cycles: int = 1_000_000,
+        driver: Optional[Driver] = None,
+    ) -> bool:
+        """Step until ``predicate`` holds; False if the bound is hit."""
+        ran = self.step(max_cycles, driver=driver, watcher=predicate)
+        return ran < max_cycles
+
+    # -- state ------------------------------------------------------------------
+
+    def snapshot(self) -> "PipeSnapshot":
+        return PipeSnapshot(
+            cycle=self.cycle,
+            inputs=dict(self._inputs),
+            state=self.top.snapshot(),
+        )
+
+    def restore(self, snap: "PipeSnapshot") -> None:
+        self.top.restore(snap.state)
+        self.cycle = snap.cycle
+        self._inputs = dict(snap.inputs)
+        self._last_outputs = None
+
+    def restore_transformed(
+        self,
+        snap: "PipeSnapshot",
+        transform_for: Callable[[str], object],
+    ) -> None:
+        """Load a snapshot captured under a different design version.
+
+        See :meth:`StageInst.restore_transformed`; top-level inputs
+        keep their old values where the port still exists.
+        """
+        self.top.restore_transformed(snap.state, transform_for)
+        self.cycle = snap.cycle
+        self._inputs = {
+            name: snap.inputs.get(name, 0) for name in self.top.code.inputs
+        }
+        self._last_outputs = None
+
+    def reset_state(self) -> None:
+        """Return every register/memory to power-on zero; cycle to 0."""
+        self.top.reset_state()
+        self.cycle = 0
+        self._last_outputs = None
+
+    def copy(self, name: Optional[str] = None) -> "Pipe":
+        """Duplicate this pipe, including its state (``copyPipe``)."""
+        clone = Pipe(
+            self.top.code.key,
+            self.library,
+            name=name or f"{self.name}_copy",
+            max_passes=self.max_passes,
+        )
+        clone.restore(self.snapshot())
+        return clone
+
+    def find(self, path: str) -> StageInst:
+        return self.top.find(path)
+
+
+class PipeSnapshot:
+    """Cycle + inputs + full state tree; the payload of a checkpoint."""
+
+    __slots__ = ("cycle", "inputs", "state")
+
+    def __init__(self, cycle: int, inputs: Dict[str, int], state: StateSnapshot):
+        self.cycle = cycle
+        self.inputs = inputs
+        self.state = state
+
+    def total_bytes(self) -> int:
+        return self.state.total_bytes() + 8 * (len(self.inputs) + 1)
+
+    def clone(self) -> "PipeSnapshot":
+        return copy.deepcopy(self)

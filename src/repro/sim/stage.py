@@ -1,0 +1,293 @@
+"""Stage instances: the runtime objects generated code operates on.
+
+A :class:`StageInst` is the paper's "Stage" object (§III-B1): a block of
+logic with external IO, internal registers/memories, and child stages.
+Its ``code`` attribute points at a shared :class:`CompiledModule`; hot
+reload replaces that pointer (and migrates state) without touching the
+rest of the tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from ..codegen.pygen import CompiledModule
+from ..hdl.errors import SimulationError
+
+
+@dataclass
+class StateSnapshot:
+    """A deep, picklable copy of one instance subtree's state.
+
+    Registers and memories are keyed by *name* so a snapshot taken
+    under one design version can be transformed into another version's
+    namespace (paper §III-E).
+    """
+
+    key: str
+    name: str
+    regs: Dict[str, int]
+    mems: Dict[str, List[int]]
+    children: List["StateSnapshot"] = field(default_factory=list)
+
+    def total_bytes(self) -> int:
+        """Rough payload size (8 bytes per register/memory word).
+
+        Used by the checkpoint-overhead bench; the paper notes the
+        256-core PGAS checkpoint is < 3 MB.
+        """
+        size = 8 * len(self.regs)
+        for words in self.mems.values():
+            size += 8 * len(words)
+        for child in self.children:
+            size += child.total_bytes()
+        return size
+
+    def child(self, name: str) -> Optional["StateSnapshot"]:
+        for snap in self.children:
+            if snap.name == name:
+                return snap
+        return None
+
+    def equal_state(self, other: "StateSnapshot") -> bool:
+        return (
+            self.regs == other.regs
+            and self.mems == other.mems
+            and len(self.children) == len(other.children)
+            and all(
+                a.name == b.name and a.equal_state(b)
+                for a, b in zip(self.children, other.children)
+            )
+        )
+
+
+class StageInst:
+    """One instantiated stage: shared code + private state + children."""
+
+    __slots__ = ("code", "state", "children", "name")
+
+    def __init__(self, code: CompiledModule, name: str = "top"):
+        self.code = code
+        self.name = name
+        self.state = code.make_state()
+        self.children: List[StageInst] = []
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        key: str,
+        library: Dict[str, CompiledModule],
+        name: str = "top",
+    ) -> "StageInst":
+        """Instantiate the subtree rooted at specialization ``key``."""
+        code = library.get(key)
+        if code is None:
+            raise SimulationError(f"no compiled module for {key!r}")
+        inst = cls(code, name=name)
+        for child_name, child_key in code.child_insts:
+            inst.children.append(cls.build(child_key, library, name=child_name))
+        return inst
+
+    # -- navigation -------------------------------------------------------------
+
+    def child(self, name: str) -> "StageInst":
+        for inst in self.children:
+            if inst.name == name:
+                return inst
+        raise SimulationError(f"{self.name!r} has no child instance {name!r}")
+
+    def find(self, path: str) -> "StageInst":
+        """Resolve a dotted hierarchical path like ``u_core.u_ifu``."""
+        inst = self
+        if path:
+            for part in path.split("."):
+                inst = inst.child(part)
+        return inst
+
+    def walk(self, prefix: str = "") -> Iterator[Tuple[str, "StageInst"]]:
+        path = prefix or self.name
+        yield path, self
+        for child in self.children:
+            yield from child.walk(f"{path}.{child.name}")
+
+    # -- state access -----------------------------------------------------------
+
+    def peek_reg(self, name: str) -> int:
+        slot = self.code.reg_slots.get(name)
+        if slot is None:
+            raise SimulationError(
+                f"{self.code.name!r} has no register {name!r}"
+            )
+        return self.state[slot]
+
+    def poke_reg(self, name: str, value: int) -> None:
+        slot = self.code.reg_slots.get(name)
+        if slot is None:
+            raise SimulationError(
+                f"{self.code.name!r} has no register {name!r}"
+            )
+        mask = (1 << self.code.reg_widths[name]) - 1
+        self.state[slot] = value & mask
+        # Keep pending consistent so a poke survives an eval-less tick.
+        self.state[slot + self.code.num_regs] = value & mask
+        self.state[2 * self.code.num_regs] = None  # invalidate memo
+
+    def memory(self, name: str) -> List[int]:
+        spec = self.code.mem_specs.get(name)
+        if spec is None:
+            raise SimulationError(f"{self.code.name!r} has no memory {name!r}")
+        return self.state[spec.slot]
+
+    def registers(self) -> Dict[str, int]:
+        return {name: self.state[slot] for name, slot in self.code.reg_slots.items()}
+
+    # -- snapshot / restore -------------------------------------------------------
+
+    def snapshot(self) -> StateSnapshot:
+        state = self.state
+        return StateSnapshot(
+            key=self.code.key,
+            name=self.name,
+            regs={
+                name: state[slot] for name, slot in self.code.reg_slots.items()
+            },
+            mems={
+                name: list(state[spec.slot])
+                for name, spec in self.code.mem_specs.items()
+            },
+            children=[child.snapshot() for child in self.children],
+        )
+
+    def restore(self, snap: StateSnapshot) -> None:
+        """Restore a snapshot taken from an *identical* module version.
+
+        Version-crossing restores (after a hot reload) go through
+        :mod:`repro.live.transform`, which applies the paper's register
+        transformation rules instead of requiring identity.
+        """
+        if snap.key != self.code.key:
+            raise SimulationError(
+                f"snapshot is for {snap.key!r} but instance runs {self.code.key!r}"
+            )
+        num_regs = self.code.num_regs
+        if set(snap.regs) != set(self.code.reg_slots):
+            raise SimulationError(
+                f"snapshot register set differs for {self.code.key!r}"
+            )
+        for name, slot in self.code.reg_slots.items():
+            value = snap.regs[name]
+            self.state[slot] = value
+            self.state[slot + num_regs] = value
+        for name, spec in self.code.mem_specs.items():
+            words = snap.mems.get(name)
+            if words is None or len(words) != spec.depth:
+                raise SimulationError(f"snapshot memory {name!r} mismatch")
+            self.state[spec.slot][:] = words
+            del self.state[spec.pending_slot][:]
+        self.state[2 * num_regs] = None  # invalidate memo
+        if len(snap.children) != len(self.children):
+            raise SimulationError("snapshot child count mismatch")
+        for child, child_snap in zip(self.children, snap.children):
+            child.restore(child_snap)
+
+    def restore_transformed(
+        self,
+        snap: StateSnapshot,
+        transform_for: "Callable[[str], object]",
+    ) -> None:
+        """Restore a snapshot from a *different* design version.
+
+        ``transform_for(module_name)`` returns the
+        :class:`~repro.live.transform.RegisterTransform` translating
+        that module's old state names into the current ones (identity
+        when unknown).  Registers absent from the translated snapshot
+        initialize to 0 — the paper's "register created" rule.
+        """
+        transform = transform_for(self.code.name)
+        migrated = transform.apply(snap.regs) if transform is not None else dict(
+            snap.regs
+        )
+        num_regs = self.code.num_regs
+        for name, slot in self.code.reg_slots.items():
+            value = migrated.get(name, 0) & ((1 << self.code.reg_widths[name]) - 1)
+            self.state[slot] = value
+            self.state[slot + num_regs] = value
+        name_map = {name: name for name in snap.mems}
+        if transform is not None:
+            for op in getattr(transform, "ops", ()):
+                if op.kind == "rename" and op.name in name_map:
+                    name_map[op.name] = op.new_name
+                elif op.kind == "delete":
+                    name_map.pop(op.name, None)
+        translated = {
+            new_name: snap.mems[old_name] for old_name, new_name in name_map.items()
+        }
+        for name, spec in self.code.mem_specs.items():
+            target = self.state[spec.slot]
+            words = translated.get(name)
+            if words is None:
+                target[:] = [0] * spec.depth
+            else:
+                count = min(len(words), spec.depth)
+                mask = (1 << spec.width) - 1
+                target[0:count] = [w & mask for w in words[0:count]]
+                if count < spec.depth:
+                    target[count:] = [0] * (spec.depth - count)
+            del self.state[spec.pending_slot][:]
+        self.state[2 * num_regs] = None  # invalidate memo
+        for child in self.children:
+            child_snap = snap.child(child.name)
+            if child_snap is not None:
+                child.restore_transformed(child_snap, transform_for)
+            else:
+                child.reset_state()
+
+    def reset_state(self) -> None:
+        """Zero all registers and memories (power-on state)."""
+        self.state = self.code.make_state()
+        for child in self.children:
+            child.reset_state()
+
+    # -- pending-state signature (for fixed-point convergence) ---------------------
+
+    def pending_signature(self) -> tuple:
+        num_regs = self.code.num_regs
+        parts: list = [tuple(self.state[num_regs : 2 * num_regs])]
+        for spec in self.code.mem_specs.values():
+            parts.append(tuple(self.state[spec.pending_slot]))
+        for child in self.children:
+            parts.append(child.pending_signature())
+        return tuple(parts)
+
+    def invalidate_cache(self) -> None:
+        """Drop the memoized eval_out result, recursively.
+
+        Must be called after mutating state outside ``tick`` — pokes,
+        snapshot restores, direct memory writes.  The accessors on this
+        class do it automatically; only callers who grab a memory list
+        via :meth:`memory` and write into it need to call this
+        themselves (or go through :meth:`write_memory`).
+        """
+        self.state[2 * self.code.num_regs] = None
+        for child in self.children:
+            child.invalidate_cache()
+
+    def write_memory(self, name: str, offset: int, words: List[int]) -> None:
+        """Write ``words`` into memory ``name`` starting at ``offset``
+        (word-indexed), with cache invalidation."""
+        target = self.memory(name)
+        if offset < 0 or offset + len(words) > len(target):
+            raise SimulationError(
+                f"write of {len(words)} words at {offset} exceeds "
+                f"memory {name!r}"
+            )
+        spec = self.code.mem_specs[name]
+        mask = (1 << spec.width) - 1
+        target[offset : offset + len(words)] = [w & mask for w in words]
+        self.invalidate_cache()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<StageInst {self.name} code={self.code.key}>"

@@ -1,0 +1,110 @@
+"""Shared fixtures: canonical small designs and compiled artifacts.
+
+Expensive artifacts (the PGAS netlist/library) are session-scoped;
+tests that mutate state build their own pipes from the shared library,
+which is cheap.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import compile_design
+from repro.hdl import elaborate, parse
+from repro.codegen.pygen import compile_netlist
+from repro.riscv.pgas import build_pgas_source, mesh_top_name
+from repro.sim import Pipe
+
+COUNTER_SRC = """
+module adder #(parameter W = 8) (
+  input clk,
+  input [W-1:0] a,
+  input [W-1:0] b,
+  output [W-1:0] sum
+);
+  assign sum = a + b;
+endmodule
+
+module counter #(parameter W = 8) (
+  input clk,
+  input rst,
+  input [W-1:0] step,
+  output [W-1:0] count
+);
+  reg [W-1:0] count_q;
+  wire [W-1:0] next;
+  adder #(.W(W)) u_add (.clk(clk), .a(count_q), .b(step), .sum(next));
+  assign count = count_q;
+  always @(posedge clk) begin
+    if (rst)
+      count_q <= 0;
+    else
+      count_q <= next;
+  end
+endmodule
+
+module top (
+  input clk,
+  input rst,
+  output [7:0] c0,
+  output [7:0] c1
+);
+  counter #(.W(8)) u0 (.clk(clk), .rst(rst), .step(8'd1), .count(c0));
+  counter #(.W(8)) u1 (.clk(clk), .rst(rst), .step(8'd3), .count(c1));
+endmodule
+"""
+
+
+@pytest.fixture
+def counter_source() -> str:
+    return COUNTER_SRC
+
+
+@pytest.fixture
+def counter_design(counter_source):
+    netlist, library = compile_design(counter_source, "top")
+    return netlist, library
+
+
+@pytest.fixture
+def counter_pipe(counter_design) -> Pipe:
+    netlist, library = counter_design
+    pipe = Pipe(netlist.top, library)
+    pipe.set_inputs(rst=1)
+    pipe.step(1)
+    pipe.set_inputs(rst=0)
+    return pipe
+
+
+@pytest.fixture(scope="session")
+def pgas1_netlist_library():
+    source = build_pgas_source(1)
+    netlist = elaborate(parse(source), mesh_top_name(1))
+    return source, netlist, compile_netlist(netlist)
+
+
+@pytest.fixture(scope="session")
+def pgas2_netlist_library():
+    source = build_pgas_source(2)
+    netlist = elaborate(parse(source), mesh_top_name(2))
+    return source, netlist, compile_netlist(netlist)
+
+
+@pytest.fixture
+def pgas1_pipe(pgas1_netlist_library) -> Pipe:
+    _, netlist, library = pgas1_netlist_library
+    return Pipe(netlist.top, library)
+
+
+@pytest.fixture
+def pgas2_pipe(pgas2_netlist_library) -> Pipe:
+    _, netlist, library = pgas2_netlist_library
+    return Pipe(netlist.top, library)
+
+
+def run_cycles(pipe: Pipe, cycles: int, **inputs: int) -> dict:
+    """Drive constant inputs for N cycles; return final outputs."""
+    if inputs:
+        pipe.set_inputs(**inputs)
+    pipe.step(cycles)
+    return pipe.outputs()

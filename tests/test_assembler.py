@@ -1,0 +1,393 @@
+"""Assembler tests: encodings, pseudo-instructions, labels, directives.
+
+Encoding correctness is checked by executing the assembled words on the
+golden ISS (which decodes independently through repro.riscv.encode's
+field extractors) and, for immediates, by decode round-trips.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.riscv import encode, isa
+from repro.riscv.assembler import AsmError, assemble
+from repro.riscv.golden import GoldenCore
+
+
+def run(source, max_instructions=10_000, **kwargs):
+    program = assemble(source)
+    core = GoldenCore(**kwargs)
+    core.load_program(program.words)
+    core.run(max_instructions)
+    return core
+
+
+class TestBasicEncoding:
+    def test_addi(self):
+        core = run("addi a0, zero, 42\necall")
+        assert core.reg(10) == 42
+
+    def test_negative_immediate(self):
+        core = run("addi a0, zero, -1\necall")
+        assert core.reg(10) == isa.MASK64
+
+    def test_register_ops(self):
+        core = run("""
+    addi t0, zero, 12
+    addi t1, zero, 10
+    add  a0, t0, t1
+    sub  a1, t0, t1
+    and  a2, t0, t1
+    or   a3, t0, t1
+    xor  a4, t0, t1
+    ecall
+""")
+        assert core.reg(10) == 22
+        assert core.reg(11) == 2
+        assert core.reg(12) == 8
+        assert core.reg(13) == 14
+        assert core.reg(14) == 6
+
+    def test_shifts(self):
+        core = run("""
+    addi t0, zero, 1
+    slli a0, t0, 12
+    addi t1, zero, -8
+    srai a1, t1, 1
+    srli a2, t1, 60
+    ecall
+""")
+        assert core.reg(10) == 1 << 12
+        assert core.reg(11) == isa.to_unsigned64(-4)
+        assert core.reg(12) == 15
+
+    def test_slt_family(self):
+        core = run("""
+    addi t0, zero, -1
+    addi t1, zero, 1
+    slt  a0, t0, t1
+    sltu a1, t0, t1
+    slti a2, t0, 0
+    sltiu a3, t1, 2
+    ecall
+""")
+        assert core.reg(10) == 1  # -1 < 1 signed
+        assert core.reg(11) == 0  # 0xFFFF.. > 1 unsigned
+        assert core.reg(12) == 1
+        assert core.reg(13) == 1
+
+    def test_lui_auipc(self):
+        core = run("lui a0, 0x12345\nauipc a1, 0\necall")
+        assert core.reg(10) == 0x12345000
+        assert core.reg(11) == 4  # auipc at pc=4
+
+    def test_word_ops_sign_extend(self):
+        core = run("""
+    lui  t0, 0x80000
+    addiw a0, t0, 0
+    addi t1, zero, 1
+    subw a1, zero, t1
+    ecall
+""")
+        assert core.reg(10) == isa.to_unsigned64(-(1 << 31))
+        assert core.reg(11) == isa.MASK64  # -1
+
+
+class TestMemoryInstructions:
+    def test_store_load_roundtrip_all_sizes(self):
+        core = run("""
+    li   t0, 0x1122334455667788
+    sd   t0, 0x100(zero)
+    ld   a0, 0x100(zero)
+    lw   a1, 0x100(zero)
+    lwu  a2, 0x100(zero)
+    lh   a3, 0x100(zero)
+    lhu  a4, 0x100(zero)
+    lb   a5, 0x100(zero)
+    lbu  a6, 0x100(zero)
+    ecall
+""")
+        assert core.reg(10) == 0x1122334455667788
+        assert core.reg(11) == 0x55667788
+        assert core.reg(12) == 0x55667788
+        assert core.reg(13) == 0x7788
+        assert core.reg(14) == 0x7788
+        assert core.reg(15) == isa.to_unsigned64(isa.sign_extend(0x88, 8))
+        assert core.reg(16) == 0x88
+
+    def test_sub_word_stores_merge(self):
+        core = run("""
+    li   t0, -1
+    sd   t0, 0x200(zero)
+    sb   zero, 0x202(zero)
+    ld   a0, 0x200(zero)
+    ecall
+""")
+        assert core.reg(10) == 0xFFFFFFFFFF00FFFF
+
+    def test_offset_addressing(self):
+        core = run("""
+    li   t0, 0x300
+    li   t1, 77
+    sd   t1, 8(t0)
+    ld   a0, 8(t0)
+    ecall
+""")
+        assert core.reg(10) == 77
+
+
+class TestControlFlow:
+    def test_forward_and_backward_branches(self):
+        core = run("""
+    li   t0, 5
+    li   a0, 0
+loop:
+    addi a0, a0, 2
+    addi t0, t0, -1
+    bnez t0, loop
+    ecall
+""")
+        assert core.reg(10) == 10
+
+    def test_all_branch_conditions(self):
+        core = run("""
+    li t0, -1
+    li t1, 1
+    li a0, 0
+    beq  t0, t0, l1
+    ecall
+l1: addi a0, a0, 1
+    bne  t0, t1, l2
+    ecall
+l2: addi a0, a0, 1
+    blt  t0, t1, l3
+    ecall
+l3: addi a0, a0, 1
+    bge  t1, t0, l4
+    ecall
+l4: addi a0, a0, 1
+    bltu t1, t0, l5
+    ecall
+l5: addi a0, a0, 1
+    bgeu t0, t1, l6
+    ecall
+l6: addi a0, a0, 1
+    ecall
+""")
+        assert core.reg(10) == 6
+
+    def test_jal_links_and_jumps(self):
+        core = run("""
+    jal  ra, target
+    ecall
+target:
+    mv   a0, ra
+    ecall
+""")
+        assert core.reg(10) == 4
+
+    def test_call_ret(self):
+        core = run("""
+    li   a0, 0
+    call fn
+    addi a0, a0, 1
+    ecall
+fn:
+    addi a0, a0, 10
+    ret
+""")
+        assert core.reg(10) == 11
+
+    def test_jalr_computed_target(self):
+        core = run("""
+    la   t0, target
+    jalr ra, t0, 0
+    ecall
+target:
+    li   a0, 99
+    ecall
+""")
+        assert core.reg(10) == 99
+
+
+class TestPseudoInstructions:
+    def test_li_small(self):
+        assert assemble("li a0, 5").words == [
+            encode.encode_i(isa.OP_IMM, 10, 0, 0, 5)
+        ]
+
+    def test_li_32bit(self):
+        core = run("li a0, 0x12345678\necall")
+        assert core.reg(10) == 0x12345678
+
+    def test_li_negative_32bit(self):
+        core = run("li a0, -305419896\necall")
+        assert core.reg(10) == isa.to_unsigned64(-305419896)
+
+    def test_li_64bit(self):
+        core = run("li a0, 0x123456789abcdef0\necall")
+        assert core.reg(10) == 0x123456789ABCDEF0
+
+    @given(value=st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_li_roundtrip_property(self, value):
+        core = run(f"li a0, {value}\necall")
+        assert core.reg(10) == isa.to_unsigned64(value)
+
+    def test_mv_not_neg(self):
+        core = run("""
+    li t0, 21
+    mv a0, t0
+    not a1, t0
+    neg a2, t0
+    ecall
+""")
+        assert core.reg(10) == 21
+        assert core.reg(11) == isa.to_unsigned64(~21)
+        assert core.reg(12) == isa.to_unsigned64(-21)
+
+    def test_seqz_snez(self):
+        core = run("""
+    li t0, 0
+    li t1, 7
+    seqz a0, t0
+    seqz a1, t1
+    snez a2, t0
+    snez a3, t1
+    ecall
+""")
+        assert [core.reg(r) for r in (10, 11, 12, 13)] == [1, 0, 0, 1]
+
+    def test_nop_is_canonical(self):
+        assert assemble("nop").words == [isa.NOP]
+
+
+class TestDirectivesAndErrors:
+    def test_org_pads(self):
+        program = assemble(".org 0x10\naddi a0, zero, 1")
+        assert len(program.words) == 5
+        assert program.words[:4] == [0, 0, 0, 0]
+
+    def test_word_and_dword_data(self):
+        program = assemble(".word 0xAABBCCDD\n.dword 0x1122334455667788")
+        assert program.words[0] == 0xAABBCCDD
+        assert program.words[1] == 0x55667788
+        assert program.words[2] == 0x11223344
+
+    def test_equ_constants(self):
+        core = run(".equ MAGIC, 1234\nli a0, MAGIC\necall")
+        assert core.reg(10) == 1234
+
+    def test_labels_with_equal_addresses(self):
+        program = assemble("a:\nb:\n  nop")
+        assert program.labels["a"] == program.labels["b"] == 0
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AsmError):
+            assemble("x:\nnop\nx:\nnop")
+
+    def test_unknown_instruction_rejected(self):
+        with pytest.raises(AsmError, match="unknown instruction"):
+            assemble("frobnicate a0, a1")
+
+    def test_unknown_register_rejected(self):
+        with pytest.raises(AsmError, match="unknown register"):
+            assemble("addi q9, zero, 1")
+
+    def test_immediate_overflow_rejected(self):
+        with pytest.raises(Exception):
+            assemble("addi a0, zero, 5000")
+
+    def test_backwards_org_rejected(self):
+        with pytest.raises(AsmError):
+            assemble("nop\n.org 0x0\nnop")
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(AsmError):
+            assemble("j nowhere")
+
+    def test_mem64_packing(self):
+        program = assemble(".word 0x11111111, 0x22222222, 0x33333333")
+        mem = program.as_mem64(4)
+        assert mem[0] == 0x2222222211111111
+        assert mem[1] == 0x33333333
+
+
+class TestImmediateDecoders:
+    @given(imm=st.integers(min_value=-2048, max_value=2047))
+    @settings(max_examples=40, deadline=None)
+    def test_i_immediate_roundtrip(self, imm):
+        word = encode.encode_i(isa.OP_IMM, 1, 0, 2, imm)
+        assert encode.imm_i(word) == imm
+
+    @given(imm=st.integers(min_value=-2048, max_value=2047))
+    @settings(max_examples=40, deadline=None)
+    def test_s_immediate_roundtrip(self, imm):
+        word = encode.encode_s(isa.OP_STORE, 3, 1, 2, imm)
+        assert encode.imm_s(word) == imm
+
+    @given(imm=st.integers(min_value=-2048, max_value=2047))
+    @settings(max_examples=40, deadline=None)
+    def test_b_immediate_roundtrip(self, imm):
+        offset = imm * 2
+        word = encode.encode_b(isa.OP_BRANCH, 0, 1, 2, offset)
+        assert encode.imm_b(word) == offset
+
+    @given(imm=st.integers(min_value=-(1 << 19), max_value=(1 << 19) - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_j_immediate_roundtrip(self, imm):
+        offset = imm * 2
+        word = encode.encode_j(isa.OP_JAL, 1, offset)
+        assert encode.imm_j(word) == offset
+
+
+class TestDataAndAddressing:
+    def test_la_to_data_label(self):
+        core = run("""
+    la   t0, table
+    ld   a0, 0(t0)
+    ld   a1, 8(t0)
+    ecall
+.org 0x100
+table:
+.dword 111, 222
+""")
+        assert core.reg(10) == 111
+        assert core.reg(11) == 222
+
+    def test_zero_directive_reserves_space(self):
+        program = assemble("nop\n.zero 16\nnop")
+        assert len(program.words) == 6
+        assert program.words[1:5] == [0, 0, 0, 0]
+
+    def test_label_arithmetic_via_auipc_pattern(self):
+        core = run("""
+    auipc t0, 0          # t0 = pc of this instruction
+    addi  a0, t0, 0
+    ecall
+""")
+        assert core.reg(10) == 0
+
+    def test_equ_in_memory_operand(self):
+        core = run("""
+.equ SLOT, 0x140
+    li   t0, 99
+    sd   t0, SLOT(zero)
+    ld   a0, SLOT(zero)
+    ecall
+""")
+        assert core.reg(10) == 99
+
+    def test_branch_to_numeric_address(self):
+        core = run("""
+    li   a0, 1
+    j    12
+    li   a0, 2
+    ecall
+""")
+        # Jump to byte address 12 skips the second li.
+        assert core.reg(10) == 1
+
+    def test_program_too_big_rejected(self):
+        program = assemble(".zero 32768\nnop")
+        with pytest.raises(AsmError, match="exceeds memory"):
+            program.as_mem64(4096)

@@ -1,0 +1,193 @@
+"""Bench harness tests: workbench measurements and the qualitative
+shapes behind every reproduced table/figure."""
+
+import pytest
+
+from repro.bench.figures import (
+    checkpoint_overhead,
+    fig7_crossover_kilocycles,
+    fig7_series,
+    fig8_bars,
+)
+from repro.bench.reporting import format_series, format_table
+from repro.bench.tables import (
+    table7,
+    table7_formatted_rows,
+    table8,
+    table8_shape_checks,
+)
+from repro.bench.workloads import PGASWorkbench, collect_sizes
+
+
+@pytest.fixture(scope="module")
+def small_results():
+    """Workbench results for 1x1 and 2x2 (fast enough for unit tests)."""
+    return collect_sizes(sizes=(1, 2), sim_cycles=40, baseline_budget_s=30.0)
+
+
+class TestWorkbench:
+    def test_collect_populates_all_fields(self, small_results):
+        for result in small_results:
+            assert result.livesim_full_compile_s > 0
+            assert result.livesim_hot_reload_s is not None
+            assert result.livesim_sim_hz and result.livesim_sim_hz > 0
+            assert result.baseline_compile_s is not None
+            assert result.erd_report is not None
+            assert result.livesim_cost is not None
+
+    def test_hot_reload_recompiles_one_stage(self, small_results):
+        for result in small_results:
+            assert result.erd_report.recompiled_keys == ["rv_id"]
+
+    def test_hot_reload_swaps_every_core_instance(self, small_results):
+        by_n = {r.n: r for r in small_results}
+        assert by_n[1].erd_report.swapped_instances == 1
+        assert by_n[2].erd_report.swapped_instances == 4
+
+    def test_baseline_instance_count_scales(self, small_results):
+        by_n = {r.n: r for r in small_results}
+        # node(8 incl core+mem+5 stages... ) per node: pgas_node +
+        # rv_memory + rv_core + 5 stages + ring_stop = 9; plus top.
+        assert by_n[1].baseline_instances == 10
+        assert by_n[2].baseline_instances == 37
+
+    def test_baseline_compile_slower_at_2x2(self, small_results):
+        by_n = {r.n: r for r in small_results}
+        assert by_n[2].baseline_compile_s > by_n[2].livesim_full_compile_s
+
+    def test_zero_budget_reports_na(self):
+        bench = PGASWorkbench(1, baseline_budget_s=0.0)
+        result = bench.collect(sim_cycles=20, measure_baseline=True,
+                               measure_baseline_speed=False)
+        assert result.baseline_compile_s is None  # the paper's NA
+
+
+class TestTable7:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return table7(sizes=(1, 2, 4), trace_cycles=4)
+
+    def test_calibrated_anchor(self, rows):
+        assert rows[0].livesim.khz == pytest.approx(1974.0, rel=0.02)
+
+    def test_verilator_faster_at_1x1(self, rows):
+        assert rows[0].verilator.khz > rows[0].livesim.khz
+
+    def test_livesim_wins_at_4x4(self, rows):
+        by_n = {r.n: r for r in rows}
+        assert by_n[4].livesim.khz > by_n[4].verilator.khz
+
+    def test_verilator_icache_cliff(self, rows):
+        by_n = {r.n: r for r in rows}
+        assert by_n[1].verilator.i_mpki < 1.0
+        assert by_n[4].verilator.i_mpki > 20.0
+        assert by_n[4].livesim.i_mpki < 1.0
+
+    def test_livesim_branch_mpki_higher(self, rows):
+        for row in rows:
+            if row.verilator is not None:
+                assert row.livesim.br_mpki > row.verilator.br_mpki
+
+    def test_na_column_for_16x16(self):
+        rows = table7(sizes=(1, 16), trace_cycles=2)
+        assert rows[1].verilator is None
+
+    def test_formatting_round_trip(self, rows):
+        columns, body = table7_formatted_rows(rows)
+        text = format_table("Table VII", columns, body,
+                            row_labels=["KHz", "IPC", "I$ MPKI", "D$ MPKI",
+                                        "BR MPKI"])
+        assert "1x1 LiveSim" in text
+        assert "KHz" in text
+
+
+class TestTable8:
+    def test_rows_and_shape_checks(self, small_results):
+        rows = table8(small_results)
+        checks = table8_shape_checks(rows)
+        assert checks["hot_reload_under_2s"]
+        assert checks["hot_reload_sublinear"]
+        assert checks["baseline_slower_at_largest"]
+
+    def test_na_rendering(self):
+        text = format_table("t", ["a"], [[None]])
+        assert "NA" in text
+
+
+class TestFig7:
+    def test_series_structure(self, small_results):
+        series = fig7_series(small_results,
+                             table7_rows=table7([1, 2], trace_cycles=3))
+        labels = [s.label for s in series]
+        assert "LiveSim 1x1 (full simulation)" in labels
+        assert "Verilator 1x1" in labels
+        assert "LiveSim 1x1 (from checkpoint)" in labels
+
+    def test_from_checkpoint_is_flat(self, small_results):
+        series = fig7_series(small_results,
+                             table7_rows=table7([1, 2], trace_cycles=3))
+        flat = [s for s in series if "from checkpoint" in s.label][0]
+        assert flat.at(1) == flat.at(1_000_000)
+
+    def test_crossover_math_at_1x1(self, small_results):
+        """Paper: 'Verilator only passes LiveSim after 76M cycles'.
+
+        At 1x1 both compiles are tens of milliseconds in this substrate
+        (ordering is noise), so we assert the *slope* relationship the
+        crossover rests on — the baseline simulates faster at 1x1 — and
+        that the crossover computation is well-behaved.
+        """
+        rows = table7([1], trace_cycles=3)
+        series = fig7_series([small_results[0]], table7_rows=rows)
+        live = [s for s in series if "full simulation" in s.label][0]
+        veri = [s for s in series if s.label.startswith("Verilator")][0]
+        assert veri.khz > live.khz  # baseline wins raw speed at 1x1
+        crossing = fig7_crossover_kilocycles(live, veri)
+        assert crossing is None or crossing > 0
+
+    def test_livesim_dominates_at_2x2(self, small_results):
+        """At 2x2+ LiveSim both compiles faster and (per the host
+        model) simulates comparably or faster: it leads everywhere
+        reachable in bounded time."""
+        by_n = {r.n: r for r in small_results}
+        rows = table7([2], trace_cycles=3)
+        series = fig7_series([by_n[2]], table7_rows=rows)
+        live = [s for s in series if "full simulation" in s.label][0]
+        veri = [s for s in series if s.label.startswith("Verilator")][0]
+        assert live.at(0) < veri.at(0)
+
+    def test_series_render(self, small_results):
+        series = fig7_series(small_results,
+                             table7_rows=table7([1, 2], trace_cycles=3))
+        text = format_series(
+            "Fig 7", {s.label: s.points([1, 10, 100]) for s in series},
+        )
+        assert "Fig 7" in text
+
+
+class TestFig8:
+    def test_bars_under_two_seconds(self, small_results):
+        bars = fig8_bars(small_results)
+        assert bars
+        for bar in bars:
+            assert bar.under_two_seconds
+            assert bar.total_s == pytest.approx(
+                bar.parse_s + bar.compile_s + bar.swap_s + bar.reload_s
+                + bar.replay_s,
+                rel=1e-6,
+            )
+
+    def test_latency_roughly_flat_in_cores(self, small_results):
+        bars = {b.n: b for b in fig8_bars(small_results)}
+        # 4x the instances, but parse+compile dominate: total within 5x.
+        assert bars[2].total_s < 5 * bars[1].total_s + 0.05
+
+
+class TestCheckpointOverheadBench:
+    def test_overhead_measured(self):
+        result = checkpoint_overhead(n=1, cycles=200, interval=20)
+        assert result.checkpoints_taken > 0
+        assert result.hz_with > 0
+        # Overhead is positive-ish but bounded (paper: 10-20%; ours
+        # varies more in Python — assert it is not catastrophic).
+        assert result.overhead_percent < 100

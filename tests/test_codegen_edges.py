@@ -1,0 +1,218 @@
+"""Code generator edge cases: extreme widths, degenerate modules,
+error diagnostics, and structural oddities."""
+
+import pytest
+
+from repro import compile_design
+from repro.hdl.errors import CodegenError, WidthError
+from repro.sim import Pipe
+
+
+def build(source, top="m"):
+    netlist, library = compile_design(source, top)
+    return Pipe(netlist.top, library)
+
+
+class TestExtremeWidths:
+    def test_one_bit_everything(self):
+        pipe = build("""
+module m (input a, input b, output y);
+  assign y = (a & b) | (!a & !b);
+endmodule
+""")
+        for a, b, expect in ((0, 0, 1), (0, 1, 0), (1, 0, 0), (1, 1, 1)):
+            pipe.set_inputs(a=a, b=b)
+            assert pipe.eval()["y"] == expect
+
+    def test_128_bit_arithmetic(self):
+        pipe = build("""
+module m (input [127:0] a, input [127:0] b, output [127:0] y);
+  assign y = a + b;
+endmodule
+""")
+        big = (1 << 128) - 1
+        pipe.set_inputs(a=big, b=2)
+        assert pipe.eval()["y"] == 1
+
+    def test_512_bit_register(self):
+        pipe = build("""
+module m (input clk, input [511:0] d, output [511:0] q);
+  reg [511:0] q;
+  always @(posedge clk) q <= d;
+endmodule
+""")
+        value = int.from_bytes(bytes(range(64)), "little")
+        pipe.set_inputs(d=value)
+        pipe.step(1)
+        assert pipe.outputs()["q"] == value
+
+    def test_wide_concat_of_many_parts(self):
+        parts = ", ".join(f"a[{i}]" for i in reversed(range(64)))
+        pipe = build(f"""
+module m (input [63:0] a, output [63:0] y);
+  assign y = {{{parts}}};
+endmodule
+""")
+        pipe.set_inputs(a=0xDEADBEEF12345678)
+        assert pipe.eval()["y"] == 0xDEADBEEF12345678
+
+    def test_256_term_reduction_chain(self):
+        # Regression: flat emission of long associative chains (CPython
+        # rejects deeply nested parentheses).
+        terms = " + ".join(f"a[{i}]" for i in range(256 % 64 or 64))
+        wide = " & ".join(f"b{i}" for i in range(200))
+        decls = "\n".join(f"  wire b{i};\n  assign b{i} = a[{i % 64}];"
+                          for i in range(200))
+        pipe = build(f"""
+module m (input [63:0] a, output y);
+{decls}
+  assign y = {wide};
+endmodule
+""")
+        pipe.set_inputs(a=(1 << 64) - 1)
+        assert pipe.eval()["y"] == 1
+        pipe.set_inputs(a=(1 << 64) - 2)  # bit 0 clear
+        assert pipe.eval()["y"] == 0
+
+
+class TestDegenerateModules:
+    def test_module_with_no_logic(self):
+        pipe = build("module m (input clk, input a, output y); assign y = a; endmodule")
+        pipe.set_inputs(a=1)
+        assert pipe.eval()["y"] == 1
+
+    def test_seq_only_module(self):
+        pipe = build("""
+module m (input clk, output [3:0] q);
+  reg [3:0] q;
+  always @(posedge clk) q <= q + 1;
+endmodule
+""")
+        pipe.step(5)
+        assert pipe.outputs()["q"] == 5
+
+    def test_constant_only_outputs(self):
+        pipe = build("""
+module m (input clk, output [7:0] k);
+  assign k = 8'hA5;
+endmodule
+""")
+        assert pipe.eval()["k"] == 0xA5
+
+    def test_deep_hierarchy(self):
+        levels = 8
+        modules = []
+        for i in range(levels):
+            inner = (
+                f"  lvl{i + 1} u (.clk(clk), .x(t), .y(y));"
+                if i + 1 < levels
+                else "  assign y = t;"
+            )
+            modules.append(f"""
+module lvl{i} (input clk, input [7:0] x, output [7:0] y);
+  wire [7:0] t;
+  assign t = x + 8'd1;
+{inner}
+endmodule
+""")
+        source = "\n".join(modules)
+        netlist, library = compile_design(source, "lvl0")
+        pipe = Pipe(netlist.top, library)
+        pipe.set_inputs(x=0)
+        assert pipe.eval()["y"] == levels
+
+    def test_diamond_instantiation(self):
+        """Two paths to the same shared leaf specialization."""
+        pipe = build("""
+module leaf (input clk, input [7:0] v, output [7:0] w);
+  assign w = v + 8'd1;
+endmodule
+module left (input clk, input [7:0] v, output [7:0] w);
+  leaf u (.clk(clk), .v(v), .w(w));
+endmodule
+module right (input clk, input [7:0] v, output [7:0] w);
+  leaf u (.clk(clk), .v(v), .w(w));
+endmodule
+module m (input clk, input [7:0] v, output [7:0] y);
+  wire [7:0] a;
+  wire [7:0] b;
+  left ul (.clk(clk), .v(v), .w(a));
+  right ur (.clk(clk), .v(v), .w(b));
+  assign y = a + b;
+endmodule
+""")
+        pipe.set_inputs(v=10)
+        assert pipe.eval()["y"] == 22
+        # Both arms share one compiled leaf.
+        assert pipe.find("ul.u").code is pipe.find("ur.u").code
+
+
+class TestDiagnostics:
+    def test_zero_replication_rejected(self):
+        with pytest.raises(WidthError, match="replication"):
+            compile_design("""
+module m (input a, output y);
+  assign y = {0{a}};
+endmodule
+""", "m")
+
+    def test_reversed_slice_rejected(self):
+        with pytest.raises(WidthError, match="reversed"):
+            compile_design("""
+module m (input [7:0] a, output [3:0] y);
+  assign y = a[2:5];
+endmodule
+""", "m")
+
+    def test_bare_memory_read_rejected(self):
+        with pytest.raises(CodegenError, match="without an index"):
+            compile_design("""
+module m (input clk, input [3:0] a, output [7:0] y);
+  reg [7:0] mem [0:15];
+  assign y = mem + 1;
+  always @(posedge clk) mem[a] <= 0;
+endmodule
+""", "m")
+
+    def test_comb_memory_write_rejected(self):
+        with pytest.raises(CodegenError, match="posedge"):
+            compile_design("""
+module m (input clk, input [3:0] a, input [7:0] d, output [7:0] y);
+  reg [7:0] mem [0:15];
+  reg [7:0] t;
+  assign y = mem[a];
+  always @(*) begin
+    mem[a] = d;
+    t = 0;
+  end
+  always @(posedge clk) mem[a] <= t;
+endmodule
+""", "m")
+
+    def test_nonconstant_part_select_bound_rejected(self):
+        with pytest.raises(CodegenError, match="constant"):
+            compile_design("""
+module m (input clk, input [2:0] i, output [7:0] y);
+  reg [7:0] q;
+  assign y = q;
+  always @(posedge clk) q[i:0] <= 0;
+endmodule
+""", "m")
+
+
+class TestNonPowerOfTwoMemory:
+    def test_modulo_addressing(self):
+        pipe = build("""
+module m (input clk, input we, input [3:0] a, input [7:0] d,
+          output [7:0] y);
+  reg [7:0] mem [0:9];
+  assign y = mem[a];
+  always @(posedge clk) begin
+    if (we) mem[a] <= d;
+  end
+endmodule
+""")
+        pipe.set_inputs(we=1, a=3, d=42)
+        pipe.step(1)
+        pipe.set_inputs(we=0, a=13)  # 13 % 10 == 3
+        assert pipe.eval()["y"] == 42

@@ -1,0 +1,66 @@
+"""Process-parallel consistency verification (Fig. 6's scaling story).
+
+Workers rebuild the simulator from a picklable WorkerContext (source,
+top, testbench factory specs) and verify disjoint checkpoint batches.
+"""
+
+import pytest
+
+from repro.live.session import LiveSession
+from repro.riscv import build_pgas_source
+from repro.riscv.patches import get_patch
+from repro.riscv.programs import boot_program, boot_program_spec
+
+# Counts DOWN via `addi s0, s0, -1` — sensitive to the id-imm-sign bug,
+# so buggy-design checkpoints diverge from fixed-design replay.
+ASM = """
+    li   s0, 1000000
+loop:
+    addi s0, s0, -1
+    sd   s0, 0x200(zero)
+    bnez s0, loop
+    ecall
+"""
+
+
+def make_session(source=None):
+    session = LiveSession(
+        source or build_pgas_source(1),
+        checkpoint_interval=40,
+        reload_distance=50,
+    )
+    session.inst_pipe("uut", session.stage_handle_for("pgas_mesh_1x1"))
+    tb = session.load_testbench(
+        boot_program(ASM, count=1), factory=boot_program_spec(ASM, count=1)
+    )
+    session.run(tb, "uut", 170)
+    return session, tb
+
+
+@pytest.mark.slow
+class TestParallelVerification:
+    def test_parallel_matches_serial_consistent(self):
+        session, _ = make_session()
+        serial = session.verify_consistency("uut", workers=1)
+        parallel = session.verify_consistency("uut", workers=2)
+        assert serial.all_consistent
+        assert parallel.all_consistent
+        assert len(parallel.segments) == len(serial.segments)
+        assert parallel.workers == 2
+
+    def test_parallel_finds_divergence(self):
+        buggy = get_patch("id-imm-sign").inject(build_pgas_source(1))
+        session, _ = make_session(buggy)
+        session.apply_change(get_patch("id-imm-sign").fix(buggy))
+        parallel = session.verify_consistency("uut", workers=2)
+        assert not parallel.all_consistent
+        assert parallel.divergence_cycle == 0
+
+    def test_missing_factory_falls_back_to_serial(self):
+        session = LiveSession(build_pgas_source(1), checkpoint_interval=40)
+        session.inst_pipe("uut", session.stage_handle_for("pgas_mesh_1x1"))
+        tb = session.load_testbench(boot_program(ASM, count=1))  # no factory
+        session.run(tb, "uut", 90)
+        report = session.verify_consistency("uut", workers=4)
+        assert report.workers == 1  # graceful fallback
+        assert report.all_consistent

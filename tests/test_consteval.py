@@ -1,0 +1,126 @@
+"""Constant evaluation and parameter folding tests."""
+
+import pytest
+
+from repro.hdl import ast_nodes as ast
+from repro.hdl.consteval import (
+    eval_const,
+    expr_reads,
+    fold_params,
+    stmt_reads_writes,
+)
+from repro.hdl.errors import ElaborationError
+from repro.hdl.parser import Parser, parse_expr
+from repro.hdl.lexer import tokenize
+
+
+def ev(text, **env):
+    return eval_const(parse_expr(text), env)
+
+
+class TestEvalConst:
+    def test_literals(self):
+        assert ev("42") == 42
+        assert ev("8'hFF") == 255
+
+    def test_arithmetic(self):
+        assert ev("2 + 3 * 4") == 14
+        assert ev("(10 - 4) / 2") == 3
+        assert ev("7 % 3") == 1
+
+    def test_shifts_and_bitwise(self):
+        assert ev("1 << 4") == 16
+        assert ev("255 >> 4") == 15
+        assert ev("12 & 10") == 8
+        assert ev("12 | 3") == 15
+        assert ev("12 ^ 10") == 6
+
+    def test_comparisons(self):
+        assert ev("3 < 4") == 1
+        assert ev("4 <= 4") == 1
+        assert ev("3 == 4") == 0
+        assert ev("3 != 4") == 1
+
+    def test_logical(self):
+        assert ev("1 && 0") == 0
+        assert ev("1 || 0") == 1
+
+    def test_ternary(self):
+        assert ev("1 ? 10 : 20") == 10
+        assert ev("0 ? 10 : 20") == 20
+
+    def test_unary(self):
+        assert ev("-3") == -3
+        assert ev("!0") == 1
+        assert ev("~0") == -1
+
+    def test_parameters_resolve(self):
+        assert ev("W - 1", W=8) == 7
+
+    def test_clog2(self):
+        assert ev("$clog2(1)") == 0
+        assert ev("$clog2(2)") == 1
+        assert ev("$clog2(4096)") == 12
+        assert ev("$clog2(4097)") == 13
+
+    def test_non_constant_rejected(self):
+        with pytest.raises(ElaborationError):
+            ev("some_signal + 1")
+
+    def test_division_by_zero_rejected(self):
+        with pytest.raises(ElaborationError):
+            ev("4 / 0")
+
+
+class TestFoldParams:
+    def test_param_becomes_literal(self):
+        folded = fold_params(parse_expr("W - 1"), {"W": 8})
+        assert isinstance(folded, ast.Num) and folded.value == 7
+
+    def test_nonparam_ids_survive(self):
+        folded = fold_params(parse_expr("sig + W"), {"W": 8})
+        assert isinstance(folded, ast.Binary)
+        assert isinstance(folded.left, ast.Id)
+        assert isinstance(folded.right, ast.Num)
+
+    def test_folds_inside_concat_and_slices(self):
+        folded = fold_params(parse_expr("{a[W-1:0], b[W-1]}"), {"W": 4})
+        assert isinstance(folded.parts[0].msb, ast.Num)
+        assert folded.parts[0].msb.value == 3
+
+    def test_clog2_folds(self):
+        folded = fold_params(parse_expr("$clog2(DEPTH)"), {"DEPTH": 1024})
+        assert isinstance(folded, ast.Num) and folded.value == 10
+
+    def test_ternary_folds_operands(self):
+        folded = fold_params(parse_expr("sel ? W : 0"), {"W": 9})
+        assert isinstance(folded.if_true, ast.Num)
+
+
+class TestReads:
+    def test_expr_reads_simple(self):
+        assert expr_reads(parse_expr("a + b * c")) == {"a", "b", "c"}
+
+    def test_expr_reads_includes_bases(self):
+        assert expr_reads(parse_expr("mem[addr] + x[3:0]")) == {
+            "mem", "addr", "x",
+        }
+
+    def test_expr_reads_ignores_literals(self):
+        assert expr_reads(parse_expr("8'hFF + 3")) == set()
+
+    def test_stmt_reads_writes(self):
+        source = """
+begin
+  if (en) begin
+    q <= a + b;
+    mem[addr] <= d;
+  end else
+    q <= 0;
+end
+"""
+        parser = Parser(tokenize(source))
+        stmts = parser._parse_stmt_as_list("seq")
+        reads, writes = stmt_reads_writes(stmts)
+        assert writes == {"q", "mem"}
+        assert {"en", "a", "b", "addr", "d"} <= reads

@@ -1,0 +1,294 @@
+"""Elaboration tests: specialization, widths, drivers, diagnostics."""
+
+import pytest
+
+from repro.hdl import elaborate, parse
+from repro.hdl.errors import ElaborationError, WidthError
+
+
+def elab(source, top="m", params=None):
+    return elaborate(parse(source), top, params)
+
+
+class TestSpecialization:
+    def test_same_params_share_one_spec(self):
+        netlist = elab("""
+module leaf #(parameter W = 8) (input clk, input [W-1:0] a, output [W-1:0] y);
+  assign y = a;
+endmodule
+module m (input clk, input [7:0] a, output [7:0] x, output [7:0] y);
+  leaf #(.W(8)) u0 (.clk(clk), .a(a), .y(x));
+  leaf #(.W(8)) u1 (.clk(clk), .a(a), .y(y));
+endmodule
+""")
+        leaf_specs = [k for k in netlist.modules if k.startswith("leaf")]
+        assert leaf_specs == ["leaf#(W=8)"]
+
+    def test_different_params_get_distinct_specs(self):
+        netlist = elab("""
+module leaf #(parameter W = 8) (input clk, input [W-1:0] a, output [W-1:0] y);
+  assign y = a;
+endmodule
+module m (input clk, input [7:0] a, input [3:0] b,
+          output [7:0] x, output [3:0] y);
+  leaf #(.W(8)) u0 (.clk(clk), .a(a), .y(x));
+  leaf #(.W(4)) u1 (.clk(clk), .a(b), .y(y));
+endmodule
+""")
+        leaf_specs = sorted(k for k in netlist.modules if k.startswith("leaf"))
+        assert leaf_specs == ["leaf#(W=4)", "leaf#(W=8)"]
+
+    def test_default_params_equal_explicit(self):
+        netlist = elab("""
+module leaf #(parameter W = 8) (input clk, input [W-1:0] a, output [W-1:0] y);
+  assign y = a;
+endmodule
+module m (input clk, input [7:0] a, output [7:0] x, output [7:0] y);
+  leaf u0 (.clk(clk), .a(a), .y(x));
+  leaf #(.W(8)) u1 (.clk(clk), .a(a), .y(y));
+endmodule
+""")
+        assert [k for k in netlist.modules if k.startswith("leaf")] == [
+            "leaf#(W=8)"
+        ]
+
+    def test_localparam_derives_from_parameter(self):
+        netlist = elab("""
+module m #(parameter W = 8) (input clk, output [W*2-1:0] y);
+  localparam D = W * 2;
+  reg [D-1:0] q;
+  assign y = q;
+  always @(posedge clk) q <= q + 1;
+endmodule
+""")
+        ir = netlist.top_module
+        assert ir.signals["q"].width == 16
+
+    def test_localparam_override_rejected(self):
+        with pytest.raises(ElaborationError):
+            elab("""
+module leaf (input clk); localparam X = 1; endmodule
+module m (input clk);
+  leaf #(.X(2)) u0 (.clk(clk));
+endmodule
+""", top="m")
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ElaborationError):
+            elab("module m (input clk); endmodule", params={"NOPE": 1})
+
+    def test_top_param_override(self):
+        netlist = elab(
+            """
+module m #(parameter W = 8) (input clk, output [W-1:0] y);
+  reg [W-1:0] q;
+  assign y = q;
+  always @(posedge clk) q <= q + 1;
+endmodule
+""",
+            params={"W": 13},
+        )
+        assert netlist.top == "m#(W=13)"
+        assert netlist.top_module.signals["q"].width == 13
+
+    def test_recursive_instantiation_rejected(self):
+        with pytest.raises(ElaborationError):
+            elab("""
+module m (input clk);
+  m u0 (.clk(clk));
+endmodule
+""")
+
+    def test_instance_counts(self):
+        netlist = elab("""
+module leaf (input clk); endmodule
+module mid (input clk);
+  leaf a (.clk(clk));
+  leaf b (.clk(clk));
+endmodule
+module m (input clk);
+  mid x (.clk(clk));
+  mid y (.clk(clk));
+  leaf z (.clk(clk));
+endmodule
+""")
+        counts = netlist.instance_count()
+        assert counts["leaf"] == 5
+        assert counts["mid"] == 2
+        assert counts["m"] == 1
+
+
+class TestSignalsAndDrivers:
+    def test_register_slots_assigned(self):
+        netlist = elab("""
+module m (input clk);
+  reg [7:0] a;
+  reg b;
+  always @(posedge clk) begin a <= a + 1; b <= !b; end
+endmodule
+""")
+        ir = netlist.top_module
+        assert ir.num_regs == 2
+        assert sorted(
+            n for n, s in ir.signals.items() if s.state_index is not None
+        ) == ["a", "b"]
+
+    def test_memory_geometry(self):
+        netlist = elab("""
+module m (input clk, input [3:0] a, output [7:0] y);
+  reg [7:0] mem [0:15];
+  assign y = mem[a];
+  always @(posedge clk) mem[a] <= y + 1;
+endmodule
+""")
+        mem = netlist.top_module.memories["mem"]
+        assert (mem.width, mem.depth) == (8, 16)
+
+    def test_multiple_drivers_rejected(self):
+        with pytest.raises(ElaborationError, match="multiple drivers"):
+            elab("""
+module m (input a, input b, output y);
+  assign y = a;
+  assign y = b;
+endmodule
+""")
+
+    def test_driving_input_rejected(self):
+        with pytest.raises(ElaborationError):
+            elab("module m (input a); assign a = 1; endmodule")
+
+    def test_undriven_read_signal_rejected(self):
+        with pytest.raises(ElaborationError, match="never driven"):
+            elab("""
+module m (input clk, output y);
+  wire ghost;
+  assign y = ghost;
+endmodule
+""")
+
+    def test_unused_undriven_wire_tolerated(self):
+        netlist = elab("""
+module m (input a, output y);
+  wire unused;
+  assign y = a;
+endmodule
+""")
+        assert "unused" in netlist.top_module.signals
+
+    def test_seq_write_to_input_rejected(self):
+        with pytest.raises(ElaborationError):
+            elab("""
+module m (input clk, input a);
+  always @(posedge clk) a <= 1;
+endmodule
+""")
+
+    def test_clock_must_be_input(self):
+        with pytest.raises(ElaborationError, match="clock"):
+            elab("""
+module m (input a);
+  wire clk;
+  assign clk = a;
+  reg q;
+  always @(posedge clk) q <= 1;
+endmodule
+""")
+
+    def test_registered_output_flagged(self):
+        netlist = elab("""
+module m (input clk, output [3:0] q);
+  reg [3:0] q;
+  always @(posedge clk) q <= q + 1;
+endmodule
+""")
+        assert netlist.top_module.signals["q"].is_registered_output
+
+
+class TestConnections:
+    LEAF = """
+module leaf (input clk, input [7:0] a, output [7:0] y);
+  assign y = a;
+endmodule
+"""
+
+    def test_missing_input_rejected(self):
+        with pytest.raises(ElaborationError, match="unconnected"):
+            elab(self.LEAF + """
+module m (input clk);
+  leaf u0 (.clk(clk));
+endmodule
+""", top="m")
+
+    def test_unknown_port_rejected(self):
+        with pytest.raises(ElaborationError, match="no port"):
+            elab(self.LEAF + """
+module m (input clk, input [7:0] a);
+  leaf u0 (.clk(clk), .a(a), .nope(a));
+endmodule
+""", top="m")
+
+    def test_output_width_mismatch_rejected(self):
+        with pytest.raises(WidthError):
+            elab(self.LEAF + """
+module m (input clk, input [7:0] a, output [3:0] y);
+  wire [3:0] narrow;
+  leaf u0 (.clk(clk), .a(a), .y(narrow));
+  assign y = narrow;
+endmodule
+""", top="m")
+
+    def test_output_must_be_plain_signal(self):
+        with pytest.raises(ElaborationError, match="plain signal"):
+            elab(self.LEAF + """
+module m (input clk, input [7:0] a, output [7:0] y);
+  leaf u0 (.clk(clk), .a(a), .y(a + 1));
+endmodule
+""", top="m")
+
+    def test_duplicate_instance_name_rejected(self):
+        with pytest.raises(ElaborationError, match="duplicate instance"):
+            elab(self.LEAF + """
+module m (input clk, input [7:0] a, output [7:0] y, output [7:0] z);
+  leaf u0 (.clk(clk), .a(a), .y(y));
+  leaf u0 (.clk(clk), .a(a), .y(z));
+endmodule
+""", top="m")
+
+
+class TestWidths:
+    def test_nonzero_lsb_rejected(self):
+        with pytest.raises(WidthError):
+            elab("module m (input [7:4] a); endmodule")
+
+    def test_width_from_parameter_expr(self):
+        netlist = elab("""
+module m #(parameter N = 6) (input clk, output [(1<<N)-1:0] y);
+  reg [(1<<N)-1:0] q;
+  assign y = q;
+  always @(posedge clk) q <= q + 1;
+endmodule
+""")
+        assert netlist.top_module.signals["y"].width == 64
+
+    def test_interface_fingerprint_stable(self):
+        src = """
+module m (input clk, input [7:0] a, output [7:0] y);
+  assign y = a;
+endmodule
+"""
+        a = elab(src).top_module.interface_fingerprint()
+        b = elab(src).top_module.interface_fingerprint()
+        assert a == b
+
+    def test_interface_fingerprint_changes_with_width(self):
+        a = elab("""
+module m (input clk, input [7:0] a, output [7:0] y);
+  assign y = a;
+endmodule
+""").top_module.interface_fingerprint()
+        b = elab("""
+module m (input clk, input [8:0] a, output [7:0] y);
+  assign y = a[7:0];
+endmodule
+""").top_module.interface_fingerprint()
+        assert a != b

@@ -1,0 +1,179 @@
+"""Flattening compiler and baseline tests: equivalence with the
+shared-module compiler, budget handling, replication counts."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import compile_design
+from repro.baseline import BaselineCompiler
+from repro.codegen.flatgen import compile_flat
+from repro.hdl import elaborate, parse
+from repro.hdl.errors import CompileBudgetExceeded
+from repro.sim import Pipe
+from tests.conftest import COUNTER_SRC
+
+
+def build_three_ways(source, top):
+    """Compile with pygen, flat-inline, and replicate; return pipes."""
+    netlist, library = compile_design(source, top)
+    shared = Pipe(netlist.top, library, name="shared")
+
+    netlist2 = elaborate(parse(source), top)
+    flat = compile_flat(netlist2)
+    inline = Pipe(flat.key, {flat.key: flat}, name="inline")
+
+    replicated = BaselineCompiler(mode="replicate").compile(netlist2).make_pipe()
+    return shared, inline, replicated
+
+
+class TestEquivalence:
+    def test_counter_equivalence(self):
+        pipes = build_three_ways(COUNTER_SRC, "top")
+        for pipe in pipes:
+            pipe.set_inputs(rst=1)
+            pipe.step(1)
+            pipe.set_inputs(rst=0)
+            pipe.step(17)
+        outs = [pipe.outputs() for pipe in pipes]
+        assert outs[0] == outs[1] == outs[2] == {"c0": 17, "c1": 51}
+
+    @given(stimulus=st.lists(st.booleans(), min_size=1, max_size=25))
+    @settings(max_examples=15, deadline=None)
+    def test_random_reset_sequences_agree(self, stimulus):
+        pipes = build_three_ways(COUNTER_SRC, "top")
+        for rst in stimulus:
+            for pipe in pipes:
+                pipe.set_inputs(rst=int(rst))
+                pipe.step(1)
+        outs = [pipe.outputs() for pipe in pipes]
+        assert outs[0] == outs[1] == outs[2]
+
+    def test_memory_design_equivalence(self):
+        source = """
+module store (input clk, input we, input [3:0] a, input [7:0] d,
+              output [7:0] q);
+  reg [7:0] mem [0:15];
+  assign q = mem[a];
+  always @(posedge clk) begin
+    if (we) mem[a] <= d;
+  end
+endmodule
+module m (input clk, input we, input [3:0] a, input [7:0] d,
+          output [7:0] q);
+  store u (.clk(clk), .we(we), .a(a), .d(d), .q(q));
+endmodule
+"""
+        pipes = build_three_ways(source, "m")
+        for pipe in pipes:
+            for addr, data in ((1, 10), (5, 50), (1, 11)):
+                pipe.set_inputs(we=1, a=addr, d=data)
+                pipe.step(1)
+            pipe.set_inputs(we=0, a=1)
+        assert {p.eval()["q"] for p in pipes} == {11}
+
+    def test_flat_pgas_node_matches_shared(self, pgas1_netlist_library):
+        from repro.riscv import assemble
+        from repro.riscv.pgas import build_pgas_source
+
+        source, netlist, library = pgas1_netlist_library
+        prog = assemble("""
+    li t0, 7
+    li t1, 6
+    add t2, t0, t1
+    sd t2, 0x200(zero)
+    ecall
+""")
+        flat = compile_flat(elaborate(parse(source), "pgas_mesh_1x1"))
+        shared = Pipe(netlist.top, library)
+        inline = Pipe(flat.key, {flat.key: flat})
+
+        words = prog.as_mem64(4096)
+        shared.find("n_0.u_mem").write_memory("mem", 0, words)
+        spec = flat.mem_specs["n_0.u_mem.mem"]
+        inline.top.state[spec.slot][0 : len(words)] = words
+        inline.invalidate()
+
+        for pipe in (shared, inline):
+            pipe.set_inputs(rst=1)
+            pipe.step(2)
+            pipe.set_inputs(rst=0)
+            pipe.step(40)
+        assert shared.outputs() == inline.outputs()
+        assert shared.outputs()["all_halted"] == 1
+        got_shared = shared.find("n_0.u_mem").memory("mem")[0x200 // 8]
+        got_inline = inline.top.state[spec.slot][0x200 // 8]
+        assert got_shared == got_inline == 13
+
+
+class TestReplication:
+    def test_replicate_compiles_per_instance(self):
+        netlist = elaborate(parse(COUNTER_SRC), "top")
+        result = BaselineCompiler(mode="replicate").compile(netlist)
+        # top + 2 counters + 2 adders = 5 compiled units.
+        assert result.instances_compiled == 5
+        assert len(result.library) == 5
+
+    def test_replicated_code_objects_distinct(self):
+        netlist = elaborate(parse(COUNTER_SRC), "top")
+        result = BaselineCompiler(mode="replicate").compile(netlist)
+        pipe = result.make_pipe()
+        u0 = pipe.find("u0")
+        u1 = pipe.find("u1")
+        assert u0.code is not u1.code  # replication, not sharing
+
+    def test_replicate_total_source_grows_with_instances(self):
+        netlist = elaborate(parse(COUNTER_SRC), "top")
+        replicated = BaselineCompiler(mode="replicate").compile(netlist)
+        _, shared_lib = compile_design(COUNTER_SRC, "top")
+        shared_bytes = sum(len(m.source) for m in shared_lib.values())
+        assert replicated.total_code_bytes() > shared_bytes
+
+
+class TestBudget:
+    def test_zero_budget_times_out(self):
+        netlist = elaborate(parse(COUNTER_SRC), "top")
+        result = BaselineCompiler(mode="replicate", budget_seconds=0.0).compile(
+            netlist
+        )
+        assert result.timed_out
+        assert not result.succeeded
+        assert result.library == {}
+
+    def test_timed_out_pipe_raises(self):
+        netlist = elaborate(parse(COUNTER_SRC), "top")
+        result = BaselineCompiler(mode="replicate", budget_seconds=0.0).compile(
+            netlist
+        )
+        with pytest.raises(CompileBudgetExceeded):
+            result.make_pipe()
+
+    def test_inline_budget_times_out(self):
+        netlist = elaborate(parse(COUNTER_SRC), "top")
+        result = BaselineCompiler(mode="inline", budget_seconds=0.0).compile(
+            netlist
+        )
+        assert result.timed_out
+
+    def test_generous_budget_succeeds(self):
+        netlist = elaborate(parse(COUNTER_SRC), "top")
+        result = BaselineCompiler(mode="replicate", budget_seconds=60.0).compile(
+            netlist
+        )
+        assert result.succeeded
+
+
+class TestFlatMetadata:
+    def test_flat_reg_names_are_hierarchical(self):
+        netlist = elaborate(parse(COUNTER_SRC), "top")
+        flat = compile_flat(netlist)
+        assert "u0.count_q" in flat.reg_slots
+        assert "u1.count_q" in flat.reg_slots
+
+    def test_flat_has_no_children(self):
+        netlist = elaborate(parse(COUNTER_SRC), "top")
+        flat = compile_flat(netlist)
+        assert flat.child_insts == ()
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            BaselineCompiler(mode="wat")

@@ -1,0 +1,150 @@
+"""Golden ISS unit tests: instruction semantics in isolation."""
+
+import pytest
+
+from repro.riscv import encode, isa
+from repro.riscv.golden import GoldenCore
+
+
+def exec_words(words, max_instructions=100, **kwargs):
+    core = GoldenCore(**kwargs)
+    core.load_program(list(words) + [isa.ECALL])
+    core.run(max_instructions)
+    return core
+
+
+class TestALU:
+    def test_add_wraps_64(self):
+        core = GoldenCore()
+        core.set_reg(1, isa.MASK64)
+        core.load_program([
+            encode.encode_r(isa.OP_OP, 3, 0, 1, 1, 0),  # add x3,x1,x1
+            isa.ECALL,
+        ])
+        core.run(10)
+        assert core.reg(3) == isa.MASK64 - 1
+
+    def test_sub(self):
+        core = GoldenCore()
+        core.set_reg(1, 5)
+        core.set_reg(2, 7)
+        core.load_program([
+            encode.encode_r(isa.OP_OP, 3, 0, 1, 2, 0b0100000),
+            isa.ECALL,
+        ])
+        core.run(10)
+        assert core.reg(3) == isa.to_unsigned64(-2)
+
+    def test_sll_uses_six_bit_shamt(self):
+        core = GoldenCore()
+        core.set_reg(1, 1)
+        core.set_reg(2, 65)  # shamt = 65 & 63 = 1
+        core.load_program([
+            encode.encode_r(isa.OP_OP, 3, isa.F3_SLL, 1, 2, 0),
+            isa.ECALL,
+        ])
+        core.run(10)
+        assert core.reg(3) == 2
+
+    def test_sra_sign_fills(self):
+        core = GoldenCore()
+        core.set_reg(1, 1 << 63)
+        core.set_reg(2, 4)
+        core.load_program([
+            encode.encode_r(isa.OP_OP, 3, isa.F3_SRL_SRA, 1, 2, 0b0100000),
+            isa.ECALL,
+        ])
+        core.run(10)
+        assert core.reg(3) >> 59 == 0b11111
+
+    def test_x0_never_written(self):
+        core = GoldenCore()
+        core.load_program([
+            encode.encode_i(isa.OP_IMM, 0, 0, 0, 123),  # addi x0,x0,123
+            isa.ECALL,
+        ])
+        core.run(10)
+        assert core.reg(0) == 0
+
+
+class TestControl:
+    def test_jal_sets_link(self):
+        core = exec_words([encode.encode_j(isa.OP_JAL, 1, 8), isa.NOP])
+        assert core.reg(1) == 4
+
+    def test_jalr_clears_low_bit(self):
+        core = GoldenCore()
+        core.set_reg(5, 9)  # odd target
+        core.load_program([
+            encode.encode_i(isa.OP_JALR, 1, 0, 5, 0),
+            isa.ECALL,  # at 4 (skipped)
+            isa.ECALL,  # at 8 (landed on, 9 & ~1)
+        ])
+        core.step(1)
+        assert core.pc == 8
+
+    def test_branch_not_taken_falls_through(self):
+        core = GoldenCore()
+        core.set_reg(1, 1)
+        core.load_program([
+            encode.encode_b(isa.OP_BRANCH, isa.F3_BEQ, 1, 0, 8),
+            isa.ECALL,
+        ])
+        core.step(1)
+        assert core.pc == 4
+
+    def test_fence_is_noop(self):
+        core = exec_words([0x0000000F])  # fence
+        assert core.halted
+        assert core.instret == 2
+
+    def test_ebreak_halts(self):
+        core = GoldenCore()
+        core.load_program([isa.EBREAK])
+        core.run(10)
+        assert core.halted
+
+
+class TestMemory:
+    def test_little_endian_layout(self):
+        core = GoldenCore()
+        core.write(0x100, 0x0807060504030201, 8)
+        assert core.read(0x100, 1) == 0x01
+        assert core.read(0x107, 1) == 0x08
+
+    def test_remote_store_callback(self):
+        calls = []
+        core = GoldenCore(remote_store=lambda a, v, s: calls.append((a, v, s)))
+        core.set_reg(1, (1 << 24) | (3 << 15) | 0x100)  # node 3's window
+        core.set_reg(2, 0xDEAD)
+        core.load_program([
+            encode.encode_s(isa.OP_STORE, isa.F3_SD, 1, 2, 0),
+            isa.ECALL,
+        ])
+        core.run(10)
+        assert calls == [((1 << 24) | (3 << 15) | 0x100, 0xDEAD, 8)]
+
+    def test_remote_load_returns_zero(self):
+        core = GoldenCore()
+        core.write(0x100, 77, 8)
+        core.set_reg(1, (1 << 24) | (5 << 15) | 0x100)
+        core.load_program([
+            encode.encode_i(isa.OP_LOAD, 3, isa.F3_LD, 1, 0),
+            isa.ECALL,
+        ])
+        core.run(10)
+        assert core.reg(3) == 0
+
+    def test_global_self_address_is_local(self):
+        core = GoldenCore(node_id=4)
+        addr = (1 << 24) | (4 << 15) | 0x100
+        assert not core.is_remote(addr)
+
+    def test_instret_counts(self):
+        core = exec_words([isa.NOP, isa.NOP, isa.NOP])
+        assert core.instret == 4  # 3 nops + ecall
+
+    def test_dump_regs_named(self):
+        core = GoldenCore()
+        core.set_reg(2, 0x1000)
+        assert core.dump_regs()["sp"] == 0x1000

@@ -1,0 +1,133 @@
+"""End-to-end integration: the paper's debugging story on the real
+RISC-V workload.
+
+A developer runs a PGAS simulation, hits a bug deep into the run, fixes
+one pipeline-stage module, and gets an updated answer through checkpoint
+reload + replay — then background verification repairs the checkpoint
+history.  Exactly the Fig. 1(b) workflow.
+"""
+
+import pytest
+
+from repro.live.session import LiveSession
+from repro.riscv import build_pgas_source
+from repro.riscv.patches import get_patch
+from repro.riscv.programs import (
+    boot_program,
+    boot_program_spec,
+    busy_counter,
+    node_result,
+    reset_then_run,
+)
+
+# Counts DOWN from a large value, continuously publishing the counter.
+# `addi t0, t0, -1` is exactly what the id-imm-sign bug breaks: the
+# immediate zero-extends to +4095 and the countdown runs away upward.
+COUNTDOWN = """
+    li   s0, 1000000
+loop:
+    addi s0, s0, -1
+    sd   s0, 0x200(zero)
+    bnez s0, loop
+    ecall
+"""
+
+
+@pytest.fixture(scope="module")
+def buggy_session():
+    """A session whose design carries the immediate-sign bug, with the
+    countdown program and checkpoint history."""
+    source = get_patch("id-imm-sign").inject(build_pgas_source(1))
+    session = LiveSession(source, checkpoint_interval=50, reload_distance=60)
+    session.inst_pipe("uut", session.stage_handle_for("pgas_mesh_1x1"))
+    tb = session.load_testbench(
+        boot_program(COUNTDOWN, count=1),
+        factory=boot_program_spec(COUNTDOWN, count=1),
+    )
+    session.run(tb, "uut", 220)
+    return session, tb
+
+
+def expected_countdown(cycle: int) -> int:
+    """Reference counter value at a given cycle (fixed design).
+
+    The loop body runs addi/sd/bnez with a 2-cycle redirect penalty:
+    one decrement per 5 cycles after the ~7-cycle boot prologue.
+    """
+    iterations = max((cycle - 7) // 5 + 1, 0)
+    return 1_000_000 - iterations
+
+
+class TestLiveDebugLoop:
+    def test_bug_is_visible_before_fix(self, buggy_session):
+        session, _ = buggy_session
+        pipe = session.pipe("uut")
+        result = node_result(pipe, 0)
+        # Broken decode: the counter ran UP from 1,000,000.
+        assert result > 1_000_000
+
+    def test_fix_through_live_loop(self, buggy_session):
+        session, tb = buggy_session
+        pipe = session.pipe("uut")
+        stop_cycle = pipe.cycle
+        assert len(session.store("uut")) >= 3
+
+        patch = get_patch("id-imm-sign")
+        report = session.apply_change(patch.fix(session.compiler.source))
+
+        # The incremental path: only the decode stage recompiled.
+        assert report.recompiled_keys == ["rv_id"]
+        assert report.behavioral
+        assert report.checkpoint_cycle is not None
+        assert pipe.cycle == stop_cycle
+
+        # The fast estimate replayed from a stale (buggy-history)
+        # checkpoint: better than nothing, but still wrong — exactly
+        # the situation §III-F's background verification exists for.
+        estimate = node_result(pipe, 0)
+
+        verdict = session.verify_consistency("uut", repair=True)
+        assert not verdict.all_consistent
+        assert verdict.divergence_cycle == 0
+        assert session.verify_consistency("uut").all_consistent
+
+        fixed = node_result(pipe, 0)
+        assert fixed == expected_countdown(pipe.cycle)
+        assert fixed < 1_000_000  # counting down now
+        assert fixed != estimate or estimate < 1_000_000
+
+    def test_continue_running_after_fix(self, buggy_session):
+        session, tb = buggy_session
+        pipe = session.pipe("uut")
+        session.run(tb, "uut", 50)
+        assert node_result(pipe, 0) == expected_countdown(pipe.cycle)
+
+    def test_checkpoints_usable_after_repair(self, buggy_session):
+        session, tb = buggy_session
+        pipe = session.pipe("uut")
+        checkpoint = session.store("uut").nearest_before(pipe.cycle)
+        session.ldch("uut", checkpoint)
+        assert pipe.cycle == checkpoint.cycle
+        assert node_result(pipe, 0) == expected_countdown(pipe.cycle)
+
+
+class TestWhatIfExploration:
+    def test_copy_pipe_explores_alternate_future(self):
+        """Paper §III-A 'what if': copy the pipe, poke state, compare."""
+        session = LiveSession(build_pgas_source(1), checkpoint_interval=100)
+        session.inst_pipe("main", session.stage_handle_for("pgas_mesh_1x1"))
+        asm = busy_counter(1_000_000)
+        tb = session.load_testbench(boot_program(asm, count=1))
+        session.run(tb, "main", 100)
+
+        session.copy_pipe("whatif", "main")
+        whatif = session.pipe("whatif")
+        # Inject the "what if": force the loop counter forward.
+        core = whatif.find("n_0.u_core")
+        rf = core.find("u_id").memory("rf")
+        rf[9] = 5000  # s1 = loop count
+        whatif.invalidate()
+        session.run(tb, "whatif", 20)
+        session.run(tb, "main", 20)
+        assert node_result(whatif, 0) >= 5000
+        assert node_result(session.pipe("main"), 0) < 5000

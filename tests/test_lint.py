@@ -1,0 +1,171 @@
+"""Design lint tests."""
+
+import pytest
+
+from repro.hdl import elaborate, parse
+from repro.hdl.lint import (
+    CONSTANT_CONDITION,
+    EXTENSION,
+    TRUNCATION,
+    UNUSED,
+    Diagnostic,
+    lint_module,
+    lint_netlist,
+)
+
+
+def diags(source, top="m", kinds=None):
+    netlist = elaborate(parse(source), top)
+    return lint_netlist(netlist, kinds=kinds)
+
+
+class TestWidthDiagnostics:
+    def test_truncating_assign_flagged(self):
+        found = diags("""
+module m (input [15:0] a, output [7:0] y);
+  assign y = a;
+endmodule
+""")
+        assert any(d.kind == TRUNCATION and "'y'" in d.message for d in found)
+
+    def test_widening_assign_flagged_as_extension(self):
+        found = diags("""
+module m (input [3:0] a, output [15:0] y);
+  assign y = a;
+endmodule
+""")
+        assert any(d.kind == EXTENSION for d in found)
+
+    def test_equal_widths_clean(self):
+        found = diags("""
+module m (input [7:0] a, input [7:0] b, output [7:0] y);
+  assign y = a ^ b;
+endmodule
+""", kinds={TRUNCATION, EXTENSION})
+        assert found == []
+
+    def test_literal_assignment_not_extension(self):
+        # `q <= 0` is idiomatic; a bare literal never warns.
+        found = diags("""
+module m (input clk, output [31:0] y);
+  reg [31:0] q;
+  assign y = q;
+  always @(posedge clk) q <= 0;
+endmodule
+""", kinds={EXTENSION})
+        assert found == []
+
+    def test_seq_assignment_width_checked(self):
+        found = diags("""
+module m (input clk, input [31:0] d, output [7:0] y);
+  reg [7:0] q;
+  assign y = q;
+  always @(posedge clk) q <= d;
+endmodule
+""")
+        assert any(d.kind == TRUNCATION for d in found)
+
+    def test_concat_width_understood(self):
+        found = diags("""
+module m (input [3:0] a, input [3:0] b, output [7:0] y);
+  assign y = {a, b};
+endmodule
+""", kinds={TRUNCATION, EXTENSION})
+        assert found == []
+
+    def test_addition_carry_not_flagged(self):
+        # a + b is max-width by our rules; same-width target is clean.
+        found = diags("""
+module m (input [7:0] a, input [7:0] b, output [7:0] y);
+  assign y = a + b;
+endmodule
+""", kinds={TRUNCATION})
+        assert found == []
+
+
+class TestQualityDiagnostics:
+    def test_unused_signal_flagged(self):
+        found = diags("""
+module m (input a, output y);
+  wire dead;
+  assign dead = a;
+  assign y = a;
+endmodule
+""")
+        assert any(d.kind == UNUSED and "'dead'" in d.message for d in found)
+
+    def test_used_signals_clean(self):
+        found = diags("""
+module m (input a, output y);
+  wire mid;
+  assign mid = !a;
+  assign y = mid;
+endmodule
+""", kinds={UNUSED})
+        assert found == []
+
+    def test_constant_mux_select_flagged(self):
+        found = diags("""
+module m (input [7:0] a, input [7:0] b, output [7:0] y);
+  assign y = 1'b1 ? a : b;
+endmodule
+""")
+        assert any(d.kind == CONSTANT_CONDITION for d in found)
+
+    def test_constant_if_flagged(self):
+        found = diags("""
+module m (input clk, output [7:0] y);
+  reg [7:0] q;
+  assign y = q;
+  always @(posedge clk) begin
+    if (1'b0)
+      q <= 1;
+    else
+      q <= 2;
+  end
+endmodule
+""")
+        assert any(d.kind == CONSTANT_CONDITION for d in found)
+
+    def test_synthetic_begin_blocks_not_flagged(self):
+        # Anonymous begin/end blocks lower to if(1) internally; those
+        # must not be reported as constant conditions.
+        found = diags("""
+module m (input clk, input e, output [7:0] y);
+  reg [7:0] q;
+  assign y = q;
+  always @(posedge clk) begin
+    begin
+      if (e)
+        q <= q + 1;
+    end
+  end
+endmodule
+""", kinds={CONSTANT_CONDITION})
+        assert found == []
+
+
+class TestNetlistLint:
+    def test_clean_counter_design(self, counter_design):
+        netlist, _ = counter_design
+        found = lint_netlist(netlist, kinds={TRUNCATION, UNUSED})
+        assert found == []
+
+    def test_pgas_core_is_lint_clean_for_truncation(self, pgas1_netlist_library):
+        _, netlist, _ = pgas1_netlist_library
+        found = lint_netlist(netlist, kinds={TRUNCATION})
+        assert found == [], [str(d) for d in found]
+
+    def test_diagnostic_str(self):
+        diag = Diagnostic(TRUNCATION, "m", "msg", 7)
+        assert str(diag) == "[truncation] m:7: msg"
+
+    def test_kinds_filter(self):
+        found = diags("""
+module m (input [15:0] a, output [7:0] y);
+  wire dead;
+  assign dead = a[0];
+  assign y = a;
+endmodule
+""", kinds={UNUSED})
+        assert {d.kind for d in found} == {UNUSED}

@@ -1,0 +1,151 @@
+"""LiveCompiler tests: incremental recompilation and cache behaviour."""
+
+import pytest
+
+from repro.hdl.errors import HDLError
+from repro.live.compiler_live import LiveCompiler
+from tests.conftest import COUNTER_SRC
+
+
+class TestFullCompile:
+    def test_first_compile_builds_everything(self):
+        compiler = LiveCompiler(COUNTER_SRC)
+        result = compiler.compile_top("top")
+        assert sorted(result.report.recompiled_keys) == [
+            "adder#(W=8)", "counter#(W=8)", "top",
+        ]
+        assert result.report.reused_keys == []
+
+    def test_second_compile_reuses_everything(self):
+        compiler = LiveCompiler(COUNTER_SRC)
+        compiler.compile_top("top")
+        result = compiler.compile_top("top")
+        assert result.report.recompiled_keys == []
+        assert len(result.report.reused_keys) == 3
+
+    def test_different_tops_share_children(self):
+        compiler = LiveCompiler(COUNTER_SRC)
+        compiler.compile_top("counter")
+        result = compiler.compile_top("top")
+        assert "adder#(W=8)" in result.report.reused_keys
+        assert "top" in result.report.recompiled_keys
+
+
+class TestIncrementalRecompile:
+    def test_body_edit_recompiles_one_module(self):
+        compiler = LiveCompiler(COUNTER_SRC)
+        compiler.compile_top("top")
+        compiler.update_source(
+            COUNTER_SRC.replace("assign sum = a + b;", "assign sum = a - b;")
+        )
+        result = compiler.compile_top("top")
+        assert result.report.recompiled_keys == ["adder#(W=8)"]
+        assert sorted(result.report.reused_keys) == ["counter#(W=8)", "top"]
+
+    def test_comment_edit_recompiles_nothing(self):
+        compiler = LiveCompiler(COUNTER_SRC)
+        compiler.compile_top("top")
+        analysis = compiler.update_source(
+            COUNTER_SRC.replace("assign sum = a + b;",
+                                "assign sum = a + b;  // reviewed")
+        )
+        assert not analysis.behavioral
+        result = compiler.compile_top("top")
+        assert result.report.recompiled_keys == []
+
+    def test_interface_edit_recompiles_parent_chain(self):
+        # Widening the adder's port changes its interface: counter must
+        # recompile too, but top (whose child interface is unchanged)
+        # must not.
+        new = COUNTER_SRC.replace(
+            "module adder #(parameter W = 8) (\n  input clk,",
+            "module adder #(parameter W = 8) (\n  input clk,\n  input enable,",
+        ).replace(
+            "adder #(.W(W)) u_add (.clk(clk),",
+            "adder #(.W(W)) u_add (.clk(clk), .enable(1'b1),",
+        )
+        compiler = LiveCompiler(COUNTER_SRC)
+        compiler.compile_top("top")
+        compiler.update_source(new)
+        result = compiler.compile_top("top")
+        assert sorted(result.report.recompiled_keys) == [
+            "adder#(W=8)", "counter#(W=8)",
+        ]
+        assert result.report.reused_keys == ["top"]
+
+    def test_reverting_edit_hits_cache(self):
+        compiler = LiveCompiler(COUNTER_SRC)
+        first = compiler.compile_top("top")
+        compiler.update_source(COUNTER_SRC.replace("a + b", "a - b"))
+        compiler.compile_top("top")
+        compiler.update_source(COUNTER_SRC)
+        result = compiler.compile_top("top")
+        assert result.report.recompiled_keys == []
+        assert result.library["adder#(W=8)"] is first.library["adder#(W=8)"]
+
+    def test_syntax_error_keeps_old_source(self):
+        compiler = LiveCompiler(COUNTER_SRC)
+        compiler.compile_top("top")
+        with pytest.raises(HDLError):
+            compiler.update_source(
+                COUNTER_SRC.replace("assign sum = a + b;", "assign sum = ;")
+            )
+        # The old design still compiles fine.
+        result = compiler.compile_top("top")
+        assert result.library["top"] is not None
+
+    def test_added_module_compiles(self):
+        compiler = LiveCompiler(COUNTER_SRC)
+        compiler.compile_top("top")
+        compiler.update_source(COUNTER_SRC + """
+module widget (input clk, output y);
+  assign y = 1'b1;
+endmodule
+""")
+        result = compiler.compile_top("widget")
+        assert "widget" in result.report.recompiled_keys
+
+    def test_removed_module_disappears(self):
+        extended = COUNTER_SRC + "\nmodule extra (input clk); endmodule\n"
+        compiler = LiveCompiler(extended)
+        compiler.compile_top("extra")
+        compiler.update_source(COUNTER_SRC)
+        assert "extra" not in compiler.design.modules
+
+
+class TestCacheManagement:
+    def test_cache_grows_with_versions(self):
+        compiler = LiveCompiler(COUNTER_SRC)
+        compiler.compile_top("top")
+        baseline = compiler.cache_size()
+        compiler.update_source(COUNTER_SRC.replace("a + b", "a - b"))
+        compiler.compile_top("top")
+        assert compiler.cache_size() == baseline + 1
+
+    def test_evict_stale_bounds_population(self):
+        compiler = LiveCompiler(COUNTER_SRC)
+        compiler.compile_top("top")
+        variants = ["a - b", "a ^ b", "a & b", "a | b", "a * b", "a + b + 1"]
+        for variant in variants:
+            compiler.update_source(COUNTER_SRC.replace("a + b", variant))
+            compiler.compile_top("top")
+        evicted = compiler.evict_stale(keep_generations=2)
+        assert evicted > 0
+        # Current version still compiles from cache.
+        result = compiler.compile_top("top")
+        assert result.report.recompiled_keys == []
+
+
+class TestTimingFields:
+    def test_report_times_populated(self):
+        compiler = LiveCompiler(COUNTER_SRC)
+        result = compiler.compile_top("top")
+        report = result.report
+        assert report.elaborate_seconds > 0
+        assert report.codegen_seconds > 0
+        assert report.total_seconds >= report.codegen_seconds
+
+    def test_incremental_flag(self):
+        compiler = LiveCompiler(COUNTER_SRC)
+        assert not compiler.compile_top("top").report.was_incremental
+        assert compiler.compile_top("top").report.was_incremental

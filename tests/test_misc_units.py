@@ -1,0 +1,119 @@
+"""Small-unit coverage: reporting, IR identities, diagnostics lines."""
+
+import pytest
+
+from repro.bench.reporting import format_series, format_table
+from repro.hdl import elaborate, parse
+from repro.hdl.errors import ParseError
+from repro.ir.netlist import spec_key
+
+
+class TestSpecKey:
+    def test_no_params(self):
+        assert spec_key("adder", {}) == "adder"
+
+    def test_params_sorted(self):
+        assert spec_key("m", {"B": 2, "A": 1}) == "m#(A=1,B=2)"
+
+    def test_distinct_for_distinct_values(self):
+        assert spec_key("m", {"W": 8}) != spec_key("m", {"W": 9})
+
+
+class TestInstanceCount:
+    def test_diamond_counts_shared_spec_twice(self):
+        netlist = elaborate(parse("""
+module leaf (input clk); endmodule
+module branch (input clk);
+  leaf u (.clk(clk));
+endmodule
+module m (input clk);
+  branch a (.clk(clk));
+  branch b (.clk(clk));
+endmodule
+"""), "m")
+        counts = netlist.instance_count()
+        assert counts == {"m": 1, "branch": 2, "leaf": 2}
+
+    def test_subtree_counts(self):
+        netlist = elaborate(parse("""
+module leaf (input clk); endmodule
+module mid (input clk);
+  leaf x (.clk(clk));
+  leaf y (.clk(clk));
+endmodule
+module m (input clk);
+  mid u (.clk(clk));
+endmodule
+"""), "m")
+        assert netlist.instance_count("mid") == {"mid": 1, "leaf": 2}
+
+
+class TestFormatTable:
+    def test_alignment_and_na(self):
+        text = format_table(
+            "Demo", ["col a", "b"],
+            [[1, None], [22.5, "x"]],
+            row_labels=["r1", "r2"],
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert "NA" in text
+        assert "22.50" in text
+
+    def test_large_floats_get_thousands_separator(self):
+        text = format_table("t", ["v"], [[12345.6]])
+        assert "12,346" in text
+
+    def test_no_row_labels(self):
+        text = format_table("t", ["a", "b"], [[1, 2]])
+        assert "1" in text and "2" in text
+
+
+class TestFormatSeries:
+    def test_series_rendering(self):
+        text = format_series(
+            "Fig", {"line1": [(1, 0.5), (10, None)]},
+            x_label="cycles", y_label="s",
+        )
+        assert "-- line1" in text
+        assert "0.500" in text
+        assert "NA" in text
+
+
+class TestDiagnosticLineNumbers:
+    def test_parse_error_points_at_original_line(self):
+        # The syntax error sits on line 6 of the raw source; the
+        # preprocessor keeps line alignment so the parser reports 6.
+        source = """\
+`define W 8
+
+module m (
+  input [`W-1:0] a,
+  output y
+  assign oops
+);
+endmodule
+"""
+        with pytest.raises(ParseError) as exc:
+            parse(source)
+        assert "line 6" in str(exc.value)
+
+    def test_error_after_disabled_region_keeps_lines(self):
+        source = """\
+`ifdef NOPE
+wire skipped_a;
+wire skipped_b;
+`endif
+module m (input a
+"""
+        with pytest.raises(ParseError) as exc:
+            parse(source)
+        assert "line 5" in str(exc.value) or "line 6" in str(exc.value)
+
+    def test_elaboration_error_has_line(self):
+        from repro.hdl.errors import ElaborationError
+
+        source = "\n\n\nmodule m (input a, output y);\n  assign y = ghost;\nendmodule\n"
+        with pytest.raises(ElaborationError) as exc:
+            elaborate(parse(source), "m")
+        assert "line 5" in str(exc.value)

@@ -1,0 +1,296 @@
+"""Parser unit tests: grammar coverage and error reporting."""
+
+import pytest
+
+from repro.hdl import ast_nodes as ast
+from repro.hdl.errors import ParseError
+from repro.hdl.parser import parse, parse_expr
+
+
+def one_module(source, name="m"):
+    return parse(source).modules[name]
+
+
+class TestModuleStructure:
+    def test_empty_module(self):
+        m = one_module("module m (input clk); endmodule")
+        assert m.name == "m"
+        assert [p.name for p in m.ports] == ["clk"]
+
+    def test_module_without_ports(self):
+        m = one_module("module m (); endmodule")
+        assert m.ports == []
+
+    def test_multiple_modules(self):
+        d = parse("module a (input x); endmodule module b (input y); endmodule")
+        assert set(d.modules) == {"a", "b"}
+
+    def test_duplicate_module_rejected(self):
+        with pytest.raises(ParseError):
+            parse("module a (input x); endmodule module a (input y); endmodule")
+
+    def test_unterminated_module_rejected(self):
+        with pytest.raises(ParseError):
+            parse("module a (input x); wire w;")
+
+    def test_module_line_numbers(self):
+        d = parse("\n\nmodule a (input x); endmodule")
+        assert d.modules["a"].line == 3
+
+
+class TestPorts:
+    def test_directions_and_widths(self):
+        m = one_module(
+            "module m (input [7:0] a, output [15:0] b, input c); endmodule"
+        )
+        directions = [(p.direction, p.name) for p in m.ports]
+        assert directions == [("input", "a"), ("output", "b"), ("input", "c")]
+        assert isinstance(m.ports[0].msb, ast.Num)
+        assert m.ports[2].msb is None
+
+    def test_direction_carries_over_commas(self):
+        m = one_module("module m (input a, b, output c); endmodule")
+        assert [(p.direction, p.name) for p in m.ports] == [
+            ("input", "a"), ("input", "b"), ("output", "c"),
+        ]
+
+    def test_output_reg_port(self):
+        m = one_module("module m (input clk, output reg [3:0] q); endmodule")
+        assert m.ports[1].is_reg
+
+    def test_missing_direction_rejected(self):
+        with pytest.raises(ParseError):
+            parse("module m (a, b); endmodule")
+
+
+class TestParameters:
+    def test_header_parameters(self):
+        m = one_module("module m #(parameter W = 8, D = 4) (input clk); endmodule")
+        assert [(p.name, p.default.value) for p in m.params] == [("W", 8), ("D", 4)]
+
+    def test_repeated_parameter_keyword(self):
+        m = one_module(
+            "module m #(parameter W = 8, parameter D = 4) (input clk); endmodule"
+        )
+        assert [p.name for p in m.params] == ["W", "D"]
+
+    def test_body_parameter_and_localparam(self):
+        m = one_module(
+            "module m (input clk); parameter A = 1; localparam B = A + 1; endmodule"
+        )
+        assert [(p.name, p.is_local) for p in m.params] == [
+            ("A", False), ("B", True),
+        ]
+
+    def test_parameter_expression_default(self):
+        m = one_module("module m #(parameter W = 4 * 2 + 1) (input clk); endmodule")
+        assert isinstance(m.params[0].default, ast.Binary)
+
+
+class TestDeclarationsAndAssigns:
+    def test_wire_and_reg(self):
+        m = one_module(
+            "module m (input clk); wire [7:0] w; reg r, s; endmodule"
+        )
+        assert [(n.kind, n.name) for n in m.nets] == [
+            ("wire", "w"), ("reg", "r"), ("reg", "s"),
+        ]
+
+    def test_memory_declaration(self):
+        m = one_module(
+            "module m (input clk); reg [63:0] mem [0:4095]; endmodule"
+        )
+        assert m.nets[0].is_memory
+
+    def test_continuous_assign(self):
+        m = one_module("module m (input a, output y); assign y = a; endmodule")
+        assert m.assigns[0].target.name == "y"
+
+    def test_multiple_assigns_one_statement(self):
+        m = one_module(
+            "module m (input a, output x, output y); assign x = a, y = a; endmodule"
+        )
+        assert len(m.assigns) == 2
+
+
+class TestAlwaysBlocks:
+    def test_posedge_block(self):
+        m = one_module(
+            "module m (input clk); reg q; always @(posedge clk) q <= 1; endmodule"
+        )
+        assert m.always_blocks[0].kind == "seq"
+        assert m.always_blocks[0].clock == "clk"
+
+    def test_comb_block(self):
+        m = one_module(
+            "module m (input a); reg q; always @(*) q = a; endmodule"
+        )
+        assert m.always_blocks[0].kind == "comb"
+
+    def test_nonblocking_in_comb_rejected(self):
+        with pytest.raises(ParseError):
+            parse("module m (input a); reg q; always @(*) q <= a; endmodule")
+
+    def test_blocking_in_seq_rejected(self):
+        with pytest.raises(ParseError):
+            parse(
+                "module m (input clk); reg q; always @(posedge clk) q = 1; endmodule"
+            )
+
+    def test_if_else_chain(self):
+        m = one_module("""
+module m (input clk, input a, input b);
+  reg q;
+  always @(posedge clk) begin
+    if (a) q <= 1;
+    else if (b) q <= 0;
+    else q <= q;
+  end
+endmodule
+""")
+        stmt = m.always_blocks[0].body[0]
+        assert isinstance(stmt, ast.If)
+        assert isinstance(stmt.else_body[0], ast.If)
+
+    def test_case_with_default(self):
+        m = one_module("""
+module m (input clk, input [1:0] sel);
+  reg [3:0] q;
+  always @(posedge clk) begin
+    case (sel)
+      2'd0: q <= 1;
+      2'd1, 2'd2: q <= 2;
+      default: q <= 0;
+    endcase
+  end
+endmodule
+""")
+        case = m.always_blocks[0].body[0]
+        assert isinstance(case, ast.Case)
+        assert [len(labels) for labels, _ in case.arms] == [1, 2, 0]
+
+    def test_partial_bit_assign(self):
+        m = one_module("""
+module m (input clk, input [2:0] i);
+  reg [7:0] q;
+  always @(posedge clk) q[i] <= 1;
+endmodule
+""")
+        target = m.always_blocks[0].body[0].target
+        assert target.index is not None
+
+    def test_part_select_assign(self):
+        m = one_module("""
+module m (input clk);
+  reg [7:0] q;
+  always @(posedge clk) q[3:0] <= 4'd5;
+endmodule
+""")
+        target = m.always_blocks[0].body[0].target
+        assert target.msb is not None and target.lsb is not None
+
+
+class TestInstances:
+    def test_named_connections(self):
+        m = one_module("""
+module m (input clk, input [7:0] a, output [7:0] y);
+  child #(.W(8)) u0 (.clk(clk), .in(a), .out(y));
+endmodule
+""")
+        inst = m.instances[0]
+        assert inst.module == "child"
+        assert inst.name == "u0"
+        assert set(inst.connections) == {"clk", "in", "out"}
+        assert "W" in inst.param_overrides
+
+    def test_unconnected_port_dropped(self):
+        m = one_module("""
+module m (input clk);
+  child u0 (.clk(clk), .unused());
+endmodule
+""")
+        assert set(m.instances[0].connections) == {"clk"}
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        e = parse_expr("a + b * c")
+        assert e.op == "+"
+        assert e.right.op == "*"
+
+    def test_precedence_shift_vs_compare(self):
+        e = parse_expr("a << 2 < b")
+        assert e.op == "<"
+        assert e.left.op == "<<"
+
+    def test_logical_lowest(self):
+        e = parse_expr("a == b && c == d")
+        assert e.op == "&&"
+
+    def test_ternary_right_associative(self):
+        e = parse_expr("a ? b : c ? d : e")
+        assert isinstance(e, ast.Ternary)
+        assert isinstance(e.if_false, ast.Ternary)
+
+    def test_parentheses_override(self):
+        e = parse_expr("(a + b) * c")
+        assert e.op == "*"
+        assert e.left.op == "+"
+
+    def test_unary_operators(self):
+        for op in ("!", "~", "-", "&", "|", "^"):
+            e = parse_expr(f"{op}a")
+            assert isinstance(e, ast.Unary) and e.op == op
+
+    def test_unary_plus_is_noop(self):
+        assert isinstance(parse_expr("+a"), ast.Id)
+
+    def test_concat(self):
+        e = parse_expr("{a, b, 2'b01}")
+        assert isinstance(e, ast.Concat)
+        assert len(e.parts) == 3
+
+    def test_replication(self):
+        e = parse_expr("{4{a}}")
+        assert isinstance(e, ast.Repl)
+        assert e.count.value == 4
+
+    def test_replication_of_concat(self):
+        e = parse_expr("{2{a, b}}")
+        assert isinstance(e, ast.Repl)
+        assert isinstance(e.value, ast.Concat)
+
+    def test_nested_concat_with_replication(self):
+        e = parse_expr("{{52{x[31]}}, x[31:20]}")
+        assert isinstance(e, ast.Concat)
+        assert isinstance(e.parts[0], ast.Repl)
+        assert isinstance(e.parts[1], ast.Slice)
+
+    def test_bit_select(self):
+        e = parse_expr("a[3]")
+        assert isinstance(e, ast.Index)
+
+    def test_part_select(self):
+        e = parse_expr("a[7:4]")
+        assert isinstance(e, ast.Slice)
+
+    def test_indexed_part_select(self):
+        e = parse_expr("a[i +: 8]")
+        assert isinstance(e, ast.IndexedPart)
+        assert e.ascending
+
+    def test_indexed_part_select_descending(self):
+        e = parse_expr("a[i -: 8]")
+        assert not e.ascending
+
+    def test_signed_call(self):
+        e = parse_expr("$signed(a) >>> 2")
+        assert e.op == ">>>"
+        assert isinstance(e.left, ast.SysCall)
+
+    def test_unknown_syscall_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expr("$display(a)")
+
+    def test_single_element_braces_collapse(self):
+        assert isinstance(parse_expr("{a}"), ast.Id)

@@ -1,0 +1,96 @@
+"""Heterogeneous multicore runs: each node executes a different program
+and every node's final state is differentially checked against its own
+golden-model instance."""
+
+import pytest
+
+from repro.riscv import assemble
+from repro.riscv.golden import GoldenCore
+from repro.riscv.pgas import LOCAL_MEM_WORDS
+from repro.riscv.programs import (
+    RESULT_ADDR,
+    fibonacci,
+    memcopy,
+    sieve,
+    vector_sum,
+)
+
+
+def run_mesh_with_programs(pipe, sources, max_cycles=30_000):
+    pipe.reset_state()
+    programs = [assemble(src) for src in sources]
+    for i, program in enumerate(programs):
+        pipe.find(f"n_{i}.u_mem").write_memory(
+            "mem", 0, program.as_mem64(LOCAL_MEM_WORDS)
+        )
+    pipe.set_inputs(rst=1)
+    pipe.step(2)
+    pipe.set_inputs(rst=0)
+    halted = pipe.run_until(lambda p, o: o["all_halted"] == 1, max_cycles)
+    assert halted, "mesh did not halt"
+    return programs
+
+
+def golden_result(source, max_instructions=500_000):
+    program = assemble(source)
+    core = GoldenCore()
+    core.load_program(program.words)
+    core.run(max_instructions)
+    assert core.halted
+    return core
+
+
+class TestHeterogeneousMesh:
+    def test_four_different_programs(self, pgas2_pipe):
+        sources = [
+            fibonacci(15),
+            vector_sum([11, 22, 33, 44]),
+            sieve(30),
+            memcopy(words=8),
+        ]
+        # Seed node 3's copy source region first? memcopy copies zeros:
+        # checksum 0 is a valid (if dull) result; keep it simple.
+        run_mesh_with_programs(pgas2_pipe, sources)
+        for node, source in enumerate(sources):
+            golden = golden_result(source)
+            rtl = pgas2_pipe.find(f"n_{node}.u_mem").memory("mem")
+            assert rtl[RESULT_ADDR // 8] == golden.read(RESULT_ADDR, 8), (
+                f"node {node} result mismatch"
+            )
+
+    def test_full_state_matches_per_node(self, pgas2_pipe):
+        sources = [fibonacci(n) for n in (5, 10, 20, 25)]
+        run_mesh_with_programs(pgas2_pipe, sources)
+        for node, source in enumerate(sources):
+            golden = golden_result(source)
+            rf = pgas2_pipe.find(f"n_{node}.u_core.u_id").memory("rf")
+            for i in range(1, 32):
+                assert rf[i] == golden.regs[i], f"node {node} x{i}"
+            retired = pgas2_pipe.find(
+                f"n_{node}.u_core.u_wb"
+            ).peek_reg("retired_q")
+            assert retired == golden.instret, f"node {node} retire count"
+
+    def test_node_runtimes_independent(self, pgas2_pipe):
+        """Cores halt at different times; early finishers must freeze
+        while the rest keep running."""
+        sources = [
+            "ecall",                      # halts immediately
+            fibonacci(3),
+            fibonacci(30),                # the long pole
+            "nop\nnop\necall",
+        ]
+        run_mesh_with_programs(pgas2_pipe, sources)
+        retire = [
+            pgas2_pipe.find(f"n_{i}.u_core.u_wb").peek_reg("retired_q")
+            for i in range(4)
+        ]
+        assert retire[0] == 1
+        assert retire[3] == 3
+        assert retire[2] > retire[1] > retire[0]
+        golden = golden_result(fibonacci(30))
+        assert (
+            pgas2_pipe.find("n_2.u_mem").memory("mem")[RESULT_ADDR // 8]
+            == golden.read(RESULT_ADDR, 8)
+            == 832040
+        )

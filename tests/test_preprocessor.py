@@ -1,0 +1,104 @@
+"""Preprocessor tests: defines, conditionals, alignment, errors."""
+
+import pytest
+
+from repro.hdl.errors import PreprocessorError
+from repro.hdl.preprocessor import preprocess
+
+
+class TestDefine:
+    def test_simple_substitution(self):
+        out = preprocess("`define W 8\nwire [`W-1:0] x;")
+        assert "wire [8-1:0] x;" in out.text
+
+    def test_flag_define_defaults_to_one(self):
+        out = preprocess("`define FLAG\nassign x = `FLAG;")
+        assert "assign x = 1;" in out.text
+
+    def test_nested_macro_expansion(self):
+        out = preprocess("`define A 4\n`define B `A\nwire [`B:0] x;")
+        assert "wire [4:0] x;" in out.text
+
+    def test_undef_removes_macro(self):
+        source = "`define X 1\n`undef X\n`ifdef X\nwire a;\n`endif\nwire b;"
+        out = preprocess(source)
+        assert "wire a;" not in out.text
+        assert "wire b;" in out.text
+
+    def test_undefined_macro_use_rejected(self):
+        with pytest.raises(PreprocessorError):
+            preprocess("wire [`NOPE:0] x;")
+
+    def test_recursive_define_rejected(self):
+        with pytest.raises(PreprocessorError):
+            preprocess("`define A `B\n`define B `A\nwire [`A:0] x;")
+
+    def test_predefines_seed_the_table(self):
+        out = preprocess("wire [`W:0] x;", predefines={"W": "15"})
+        assert "wire [15:0] x;" in out.text
+
+    def test_source_define_overrides_predefine(self):
+        out = preprocess("`define W 7\nwire [`W:0] x;", predefines={"W": "15"})
+        assert "wire [7:0] x;" in out.text
+
+
+class TestConditionals:
+    def test_ifdef_taken(self):
+        out = preprocess("`define X\n`ifdef X\nwire a;\n`endif")
+        assert "wire a;" in out.text
+
+    def test_ifdef_not_taken(self):
+        out = preprocess("`ifdef X\nwire a;\n`endif\nwire b;")
+        assert "wire a;" not in out.text
+        assert "wire b;" in out.text
+
+    def test_ifndef(self):
+        out = preprocess("`ifndef X\nwire a;\n`endif")
+        assert "wire a;" in out.text
+
+    def test_else_branch(self):
+        out = preprocess("`ifdef X\nwire a;\n`else\nwire b;\n`endif")
+        assert "wire a;" not in out.text
+        assert "wire b;" in out.text
+
+    def test_nested_conditionals(self):
+        source = (
+            "`define A\n"
+            "`ifdef A\n`ifdef B\nwire ab;\n`else\nwire a_only;\n`endif\n`endif"
+        )
+        out = preprocess(source)
+        assert "wire a_only;" in out.text
+        assert "wire ab;" not in out.text
+
+    def test_define_inside_untaken_branch_ignored(self):
+        out = preprocess("`ifdef X\n`define Y 1\n`endif\n`ifdef Y\nwire y;\n`endif")
+        assert "wire y;" not in out.text
+
+    def test_unbalanced_endif_rejected(self):
+        with pytest.raises(PreprocessorError):
+            preprocess("`endif")
+
+    def test_unterminated_ifdef_rejected(self):
+        with pytest.raises(PreprocessorError):
+            preprocess("`ifdef X\nwire a;")
+
+    def test_duplicate_else_rejected(self):
+        with pytest.raises(PreprocessorError):
+            preprocess("`ifdef X\n`else\n`else\n`endif")
+
+
+class TestAlignment:
+    def test_line_count_preserved(self):
+        source = "`define W 8\nwire [`W:0] a;\n`ifdef X\nwire b;\n`endif\nwire c;"
+        out = preprocess(source)
+        assert len(out.text.splitlines()) == len(source.splitlines())
+
+    def test_directive_lines_recorded(self):
+        source = "wire a;\n`define W 8\nwire b;\n`ifdef W\nwire c;\n`endif"
+        out = preprocess(source)
+        assert out.directive_lines == [2, 4, 6]
+        assert out.first_directive_line() == 2
+
+    def test_macro_use_lines_recorded(self):
+        out = preprocess("`define W 8\nwire [`W:0] a;\nwire [`W:0] b;")
+        assert out.macros_used["W"] == [2, 3]

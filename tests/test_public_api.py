@@ -1,0 +1,90 @@
+"""Public-API integrity: every exported name resolves and the
+documented entry points work as advertised."""
+
+import importlib
+
+import pytest
+
+import repro
+from tests.conftest import COUNTER_SRC
+
+PACKAGES = [
+    "repro",
+    "repro.hdl",
+    "repro.ir",
+    "repro.codegen",
+    "repro.sim",
+    "repro.live",
+    "repro.baseline",
+    "repro.hostmodel",
+    "repro.riscv",
+    "repro.bench",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_exports_resolve(package):
+    module = importlib.import_module(package)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{package}.{name} missing"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_package_has_docstring(package):
+    module = importlib.import_module(package)
+    assert module.__doc__ and len(module.__doc__.strip()) > 20
+
+
+def test_version_string():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_compile_design_entry_point():
+    netlist, library = repro.compile_design(COUNTER_SRC, "top")
+    assert netlist.top in library
+    pipe = repro.Pipe(netlist.top, library)
+    pipe.set_inputs(rst=0)
+    pipe.step(3)
+    assert pipe.outputs()["c0"] == 3
+
+
+def test_compile_design_with_params():
+    source = """
+module m #(parameter W = 8) (input clk, output [W-1:0] y);
+  reg [W-1:0] q;
+  assign y = q;
+  always @(posedge clk) q <= q + 1;
+endmodule
+"""
+    netlist, library = repro.compile_design(source, "m", params={"W": 12})
+    assert netlist.top == "m#(W=12)"
+
+
+def test_readme_quickstart_flow():
+    """The exact flow the README shows."""
+    from repro import LiveSession
+    from repro.sim.testbench import hold_inputs
+
+    session = LiveSession(COUNTER_SRC)
+    pipe = session.inst_pipe("p0", session.stage_handle_for("top"))
+    tb = session.load_testbench(hold_inputs(rst=0))
+    session.run(tb, "p0", 1_000)
+
+    edited = COUNTER_SRC.replace("assign sum = a + b;",
+                                 "assign sum = a + b + 8'd1;")
+    report = session.apply_change(edited)
+    assert report.recompiled_keys == ["adder#(W=8)"]
+    assert report.total_seconds < 2.0
+    assert pipe.outputs()["c0"] > 0
+
+    verdict = session.verify_consistency("p0", repair=True)
+    assert verdict is not None
+
+
+def test_exceptions_exported_and_catchable():
+    from repro import HDLError, ParseError
+
+    with pytest.raises(HDLError):
+        repro.parse("module broken (")
+    with pytest.raises(ParseError):
+        repro.parse("module broken (")

@@ -1,0 +1,207 @@
+"""Regression-suite and Table I command-interpreter tests."""
+
+import pytest
+
+from repro.live.commands import CommandError, CommandInterpreter
+from repro.live.regression import RegressionSuite
+from repro.live.session import LiveSession
+from repro.sim.testbench import hold_inputs
+from tests.conftest import COUNTER_SRC
+
+BUGGY = COUNTER_SRC.replace("assign sum = a + b;", "assign sum = a + b + 8'd1;")
+
+
+def make_session(interval=10):
+    session = LiveSession(COUNTER_SRC, checkpoint_interval=interval)
+    session.inst_pipe("p0", session.stage_handle_for("top"))
+    tb = session.load_testbench(hold_inputs(rst=0))
+    return session, tb
+
+
+class TestRegressionSuite:
+    def _suite(self):
+        session, tb_handle = make_session()
+        session.run(tb_handle, "p0", 40)
+        suite = RegressionSuite(session, "p0")
+        tb = hold_inputs(rst=0)
+        suite.add(
+            "counts-from-reset", tb, cycles=10,
+            check=lambda p: p.outputs()["c0"] == 10,
+            start=None,
+            description="from power-on, c0 counts one per cycle",
+        )
+        suite.add(
+            "progresses-from-checkpoint", tb, cycles=5,
+            check=lambda p: p.outputs()["c0"] == 25,
+            start=20,
+            description="from the cycle-20 checkpoint, 5 more cycles",
+        )
+        suite.add(
+            "triple-rate", tb, cycles=7,
+            check=lambda p: p.outputs()["c1"] == 3 * p.outputs()["c0"],
+            start=None,
+        )
+        return session, tb_handle, suite
+
+    def test_all_pass_on_good_design(self):
+        session, _, suite = self._suite()
+        report = suite.run()
+        assert report.passed, report.summary()
+        assert len(report.results) == 3
+        assert report.design_version == session.version
+
+    def test_live_pipe_undisturbed(self):
+        session, _, suite = self._suite()
+        before = session.pipe("p0").outputs()
+        cycle_before = session.pipe("p0").cycle
+        suite.run()
+        assert session.pipe("p0").outputs() == before
+        assert session.pipe("p0").cycle == cycle_before
+
+    def test_catches_regression_after_hot_reload(self):
+        """The paper's workflow: hot-patch the design, re-run the batch."""
+        session, _, suite = self._suite()
+        assert suite.run().passed
+        session.apply_change(BUGGY)  # adder now adds an extra +1
+        report = suite.run()
+        assert not report.passed
+        failed = {r.name for r in report.failures}
+        assert "counts-from-reset" in failed
+        assert report.design_version == session.version
+
+    def test_selective_run(self):
+        _, _, suite = self._suite()
+        report = suite.run(names=["triple-rate"])
+        assert [r.name for r in report.results] == ["triple-rate"]
+
+    def test_crashing_check_is_a_failure(self):
+        session, tb_handle, suite = self._suite()
+        suite.add(
+            "explodes", hold_inputs(rst=0), cycles=1,
+            check=lambda p: 1 / 0,
+        )
+        report = suite.run(names=["explodes"])
+        assert not report.passed
+        assert "ZeroDivisionError" in report.results[0].error
+
+    def test_missing_checkpoint_start_fails_cleanly(self):
+        session, tb_handle = make_session(interval=1000)  # no checkpoints
+        suite = RegressionSuite(session, "p0")
+        suite.add("needs-cp", hold_inputs(rst=0), cycles=1,
+                  check=lambda p: True, start=500)
+        report = suite.run()
+        assert not report.passed
+        assert "no checkpoint" in report.results[0].error
+
+    def test_duplicate_case_rejected(self):
+        _, _, suite = self._suite()
+        from repro.hdl.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            suite.add("triple-rate", hold_inputs(rst=0), 1, lambda p: True)
+
+    def test_summary_renders(self):
+        _, _, suite = self._suite()
+        text = suite.run().summary()
+        assert "PASS" in text
+        assert "counts-from-reset" in text
+
+
+class TestCommandInterpreter:
+    def _interp(self, files=None):
+        session, tb_handle = make_session()
+        interp = CommandInterpreter(
+            session, read_file=(files or {}).__getitem__
+        )
+        return session, tb_handle, interp
+
+    def test_parse_splits_verb_and_operands(self):
+        verb, ops = CommandInterpreter.parse("run tb0, p0, 1000")
+        assert verb == "run"
+        assert ops == ["tb0", "p0", "1000"]
+
+    def test_parse_strips_comments(self):
+        verb, ops = CommandInterpreter.parse("chkp p0  # snapshot now")
+        assert (verb, ops) == ("chkp", ["p0"])
+
+    def test_run_command(self):
+        session, tb_handle, interp = self._interp()
+        result = interp.execute(f"run {tb_handle}, p0, 25")
+        assert result.value["c0"] == 25
+        assert session.pipe("p0").cycle == 25
+
+    def test_chkp_and_ldch_roundtrip(self, tmp_path):
+        session, tb_handle, interp = self._interp()
+        interp.execute(f"run {tb_handle}, p0, 15")
+        path = str(tmp_path / "cp.pkl")
+        interp.execute(f"chkp p0, {path}")
+        interp.execute(f"run {tb_handle}, p0, 10")
+        interp.execute(f"ldch p0, {path}")
+        assert session.pipe("p0").cycle == 15
+
+    def test_copy_pipe_command(self):
+        session, tb_handle, interp = self._interp()
+        interp.execute(f"run {tb_handle}, p0, 5")
+        interp.execute("copyPipe p1, p0")
+        assert session.pipe("p1").outputs()["c0"] == 5
+
+    def test_ldlib_command_reads_file(self):
+        files = {"/libs/extra.v": """
+module widget (input clk, output y);
+  assign y = 1'b1;
+endmodule
+"""}
+        session, _, interp = self._interp(files)
+        result = interp.execute("ldLib extra, /libs/extra.v")
+        assert result.value  # new handles registered
+        session.inst_pipe("w0", session.stage_handle_for("widget"))
+
+    def test_inst_pipe_command(self):
+        session, _, interp = self._interp()
+        handle = session.stage_handle_for("counter")
+        interp.execute(f"instPipe c0, {handle}")
+        assert "c0" in session.pipelines
+
+    def test_inst_stage_command(self):
+        session, _, interp = self._interp()
+        handle = session.stage_handle_for("adder")
+        interp.execute(f"instStage p0, u0.u_add, {handle}")
+        assert session.stages.handle_of("p0", "u0.u_add") == handle
+
+    def test_swap_stage_command(self):
+        session, tb_handle, interp = self._interp()
+        interp.execute(f"run {tb_handle}, p0, 8")
+        session.compiler.update_source(BUGGY)
+        result = interp.execute("swapStage p0, u0.u_add")
+        assert result.value.swapped_instances == 1
+
+    def test_script_runs_batch(self):
+        session, tb_handle, interp = self._interp()
+        results = interp.script(f"""
+# boot and snapshot
+run {tb_handle}, p0, 12
+chkp p0
+copyPipe scratch, p0
+""")
+        assert [r.command for r in results] == ["run", "chkp", "copyPipe"]
+        assert session.pipe("scratch").cycle == 12
+
+    def test_unknown_command_rejected(self):
+        _, _, interp = self._interp()
+        with pytest.raises(CommandError, match="unknown command"):
+            interp.execute("teleport p0")
+
+    def test_bad_arity_rejected(self):
+        _, _, interp = self._interp()
+        with pytest.raises(CommandError, match="usage"):
+            interp.execute("copyPipe p1")
+
+    def test_bad_cycle_count_rejected(self):
+        _, tb_handle, interp = self._interp()
+        with pytest.raises(CommandError, match="integer"):
+            interp.execute(f"run {tb_handle}, p0, soon")
+
+    def test_simulation_errors_become_command_errors(self):
+        _, tb_handle, interp = self._interp()
+        with pytest.raises(CommandError, match="unknown pipeline"):
+            interp.execute(f"run {tb_handle}, ghost, 5")

@@ -1,0 +1,109 @@
+"""Stateful property testing of the live loop.
+
+A Hypothesis state machine drives a LiveSession through random
+interleavings of run / edit / rewind / verify+repair and checks the
+one invariant that spans all of them: after repair, the pipeline's
+outputs equal an analytically computed ground truth (the counter's
+value is a pure function of the cycle count and the *current* adder
+delta, because repair re-executes the whole recorded history under the
+current design).
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.live.session import LiveSession
+from repro.sim.testbench import hold_inputs
+from tests.conftest import COUNTER_SRC
+
+DELTAS = [0, 1, 2, 5]
+
+
+def design_with_delta(delta: int) -> str:
+    if delta == 0:
+        return COUNTER_SRC
+    return COUNTER_SRC.replace(
+        "assign sum = a + b;", f"assign sum = a + b + 8'd{delta};"
+    )
+
+
+class LiveLoopMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self) -> None:
+        self.session = LiveSession(COUNTER_SRC, checkpoint_interval=7)
+        self.session.inst_pipe("p0", self.session.stage_handle_for("top"))
+        self.tb = self.session.load_testbench(hold_inputs(rst=0))
+        self.delta = 0  # current adder modification
+        self.repaired = True  # history currently consistent with design
+
+    # -- actions -------------------------------------------------------------
+
+    @rule(cycles=st.integers(min_value=1, max_value=23))
+    def run(self, cycles: int) -> None:
+        self.session.run(self.tb, "p0", cycles)
+
+    @rule(delta=st.sampled_from(DELTAS))
+    def edit(self, delta: int) -> None:
+        report = self.session.apply_change(design_with_delta(delta))
+        if delta != self.delta:
+            assert report.behavioral
+            self.repaired = False
+        else:
+            assert not report.behavioral
+        self.delta = delta
+
+    @rule()
+    def rewind_to_some_checkpoint(self) -> None:
+        store = self.session.store("p0")
+        if len(store):
+            self.session.ldch("p0", store.all()[0])
+
+    @rule()
+    def repair(self) -> None:
+        self.session.verify_consistency("p0", repair=True)
+        self.repaired = True
+
+    # -- invariants -----------------------------------------------------------
+
+    @invariant()
+    def history_covers_pipe_position(self) -> None:
+        ops = self.session.ops("p0")
+        end = ops[-1].end_cycle if ops else 0
+        assert self.session.pipe("p0").cycle <= end or not ops
+
+    @invariant()
+    def checkpoints_never_after_now(self) -> None:
+        pipe_cycle = self.session.pipe("p0").cycle
+        ops = self.session.ops("p0")
+        history_end = ops[-1].end_cycle if ops else 0
+        for checkpoint in self.session.checkpoints("p0"):
+            assert checkpoint.cycle <= history_end
+
+    @precondition(lambda self: self.repaired)
+    @invariant()
+    def repaired_outputs_match_analytic_model(self) -> None:
+        pipe = self.session.pipe("p0")
+        cycle = pipe.cycle
+        # The adder computes count + step + delta: u0 advances by
+        # 1+delta per cycle, u1 by 3+delta.
+        assert pipe.outputs()["c0"] == (cycle * (1 + self.delta)) & 0xFF
+        assert pipe.outputs()["c1"] == (cycle * (3 + self.delta)) & 0xFF
+
+    @precondition(lambda self: self.repaired)
+    @invariant()
+    def repaired_history_verifies(self) -> None:
+        report = self.session.verify_consistency("p0")
+        assert report.all_consistent
+
+
+LiveLoopMachine.TestCase.settings = settings(
+    max_examples=15, stateful_step_count=12, deadline=None
+)
+TestLiveLoopStateMachine = LiveLoopMachine.TestCase
