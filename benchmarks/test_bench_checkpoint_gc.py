@@ -1,7 +1,6 @@
 """Fig. 2(c): checkpoint garbage collection — bounded population,
 newest window intact, older tail thinned toward equal spacing."""
 
-import pytest
 
 from repro.bench.reporting import format_table
 from repro.live.checkpoint import Checkpoint, CheckpointStore, GCPolicy

@@ -5,7 +5,6 @@ and a <3 MB checkpoint for the 256-core PGAS.  We measure the same two
 quantities on this substrate.
 """
 
-import pytest
 
 from repro.bench.figures import checkpoint_overhead
 from repro.bench.reporting import format_table

@@ -3,7 +3,6 @@ parallel scaling."""
 
 import os
 
-import pytest
 
 from repro.bench.figures import consistency_scaling
 from repro.bench.reporting import format_table

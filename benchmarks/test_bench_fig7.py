@@ -5,16 +5,14 @@ LiveSim from checkpoint) and benchmarks the two compile flows whose
 offsets anchor them.
 """
 
-import pytest
 
+from repro.baseline import BaselineCompiler
 from repro.bench.figures import fig7_crossover_kilocycles, fig7_series
 from repro.bench.reporting import format_series
 from repro.bench.tables import table7
-from repro.bench.workloads import PGASWorkbench
 from repro.hdl import elaborate, parse
 from repro.live.compiler_live import LiveCompiler
 from repro.riscv.pgas import build_pgas_source, mesh_top_name
-from repro.baseline import BaselineCompiler
 
 from .conftest import emit
 
@@ -38,7 +36,7 @@ def test_fig7_report(benchmark, size_results, sizes):
     live = next(s for s in series if s.label == f"LiveSim {sizes[0]}x{sizes[0]} (full simulation)")
     veri = next(s for s in series if s.label == f"Verilator {sizes[0]}x{sizes[0]}")
     crossing = fig7_crossover_kilocycles(live, veri)
-    emit(f"1x1 crossover: Verilator passes LiveSim after "
+    emit("1x1 crossover: Verilator passes LiveSim after "
          f"{crossing:.0f} kilocycles" if crossing else
          "1x1 crossover: none (one flow dominates)")
     # The from-checkpoint line is flat and < 2 s at every size (the

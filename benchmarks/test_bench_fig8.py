@@ -9,7 +9,6 @@ LiveParser -> LiveCompiler -> swap every instance -> checkpoint reload
 
 import itertools
 
-import pytest
 
 from repro.bench.figures import fig8_bars
 from repro.bench.reporting import format_table

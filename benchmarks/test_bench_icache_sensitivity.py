@@ -7,7 +7,6 @@ must move the baseline's cliff to larger designs while leaving LiveSim
 sweeps the I$ size and checks exactly that.
 """
 
-import pytest
 
 from repro.bench.reporting import format_table
 from repro.codegen.cost import design_cost

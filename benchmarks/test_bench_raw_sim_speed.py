@@ -7,7 +7,6 @@ cycles/second per design size for the shared-code simulator, and the
 per-core aggregate ("global" speed, the paper's unit).
 """
 
-import pytest
 
 from repro.bench.reporting import format_table
 

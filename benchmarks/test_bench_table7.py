@@ -1,7 +1,6 @@
 """Table VII: KHz / IPC / I$ MPKI / D$ MPKI / BR MPKI per size and
 compilation style, via the host performance model."""
 
-import pytest
 
 from repro.bench.reporting import format_table
 from repro.bench.tables import table7, table7_formatted_rows

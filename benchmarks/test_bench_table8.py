@@ -1,7 +1,6 @@
 """Table VIII: compilation time — LiveSim hot reload vs LiveSim full vs
 the Verilator-like baseline (NA when the budget runs out)."""
 
-import pytest
 
 from repro.bench.reporting import format_table
 from repro.bench.tables import table8, table8_shape_checks

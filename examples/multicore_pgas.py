@@ -14,7 +14,7 @@ import sys
 from repro.live.session import LiveSession
 from repro.riscv import build_pgas_source
 from repro.riscv.pgas import mesh_top_name
-from repro.riscv.programs import boot_program, hop_count_ring, node_result
+from repro.riscv.programs import hop_count_ring, node_result
 
 
 def main() -> None:

@@ -68,7 +68,7 @@ def main() -> None:
     veri = next(s for s in series if s.label.startswith("Verilator"))
     crossing = fig7_crossover_kilocycles(live, veri)
     if crossing:
-        print(f"\n1x1 crossover: baseline passes LiveSim after "
+        print("\n1x1 crossover: baseline passes LiveSim after "
               f"{crossing:,.0f} kilocycles "
               "(paper: 76,000 kilocycles = 76M cycles)")
 
@@ -85,7 +85,7 @@ def main() -> None:
         ],
         row_labels=[f"{b.n}x{b.n}" for b in bars],
     ))
-    print(f"all sizes under the 2 s goal: "
+    print("all sizes under the 2 s goal: "
           f"{all(b.under_two_seconds for b in bars)}")
 
     # ---- §V-B -----------------------------------------------------------

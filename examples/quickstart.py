@@ -76,7 +76,7 @@ def main() -> None:
     #    every register; the nearest checkpoint reloads and history
     #    replays to where we were.
     report = session.apply_change(EDITED)
-    print(f"\nedit-run-debug report:")
+    print("\nedit-run-debug report:")
     print(f"  recompiled: {report.recompiled_keys}")
     print(f"  reused:     {report.reused_keys}")
     print(f"  swapped {report.swapped_instances} instances, "

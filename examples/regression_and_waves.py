@@ -17,7 +17,7 @@ from repro.live.commands import CommandInterpreter
 from repro.live.regression import RegressionSuite
 from repro.live.session import LiveSession
 from repro.sim import WaveformRecorder
-from repro.sim.testbench import hold_inputs, reset_sequence
+from repro.sim.testbench import reset_sequence
 
 DESIGN = """
 module lfsr #(parameter W = 16) (

@@ -15,6 +15,11 @@ Extra verbs beyond Table I:
     lint                lint the current design
     quit
 
+With ``--trace-json PATH`` the whole session runs under the
+:mod:`repro.obs` tracer and a ``repro.obs/v1`` span/metrics report is
+written to PATH on exit (per-phase spans for every live-loop
+iteration, compile cache hit/miss counters, checkpoint counters).
+
 Example script::
 
     instPipe p0, stage2          # stage2 = handle of the top module
@@ -30,6 +35,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from . import obs
 from .hdl.errors import HDLError
 from .live.commands import CommandError, CommandInterpreter
 from .live.session import LiveSession
@@ -50,6 +56,9 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--reset-cycles", type=int, default=2,
                         help="cycles the built-in tb0 asserts rst "
                              "(0 disables the reset testbench)")
+    parser.add_argument("--trace-json", metavar="PATH",
+                        help="enable tracing and write the repro.obs/v1 "
+                             "span/metrics report to PATH on exit")
     return parser
 
 
@@ -197,6 +206,9 @@ class Shell:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    if args.trace_json:
+        obs.enable()
+        obs.reset()
     try:
         with open(args.design) as fh:
             source = fh.read()
@@ -209,12 +221,30 @@ def main(argv: Optional[List[str]] = None) -> int:
     except (OSError, HDLError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
-    if args.script:
-        with open(args.script) as fh:
-            shell.run_script(fh.read())
-    else:  # pragma: no cover - interactive
-        shell.repl()
-    return 0
+    trace_failed = False
+    try:
+        if args.script:
+            with open(args.script) as fh:
+                shell.run_script(fh.read())
+        else:  # pragma: no cover - interactive
+            shell.repl()
+    finally:
+        if args.trace_json:
+            report = obs.report(meta={
+                "tool": "python -m repro",
+                "design": args.design,
+                "top": shell.top,
+                "script": args.script,
+            })
+            try:
+                obs.write_report(args.trace_json, report)
+            except OSError as exc:
+                print(f"error: cannot write trace: {exc}", file=sys.stderr)
+                trace_failed = True
+            else:
+                print(f"trace written to {args.trace_json}",
+                      file=sys.stderr)
+    return 1 if trace_failed else 0
 
 
 if __name__ == "__main__":

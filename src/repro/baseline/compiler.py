@@ -23,6 +23,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from .. import obs
 from ..codegen.flatgen import compile_flat
 from ..codegen.pygen import CompiledModule, compile_module
 from ..hdl.errors import CompileBudgetExceeded
@@ -85,6 +86,17 @@ class BaselineCompiler:
         result = BaselineResult(
             mode=self.mode, top_key=None, budget_seconds=self.budget_seconds
         )
+        with obs.span("baseline.compile", mode=self.mode):
+            self._compile_into(netlist, result, started)
+        result.compile_seconds = time.perf_counter() - started
+        obs.incr("baseline.instances_compiled", result.instances_compiled)
+        if result.timed_out:
+            obs.incr("baseline.timeouts")
+        return result
+
+    def _compile_into(
+        self, netlist: Netlist, result: BaselineResult, started: float
+    ) -> None:
         try:
             if self.mode == INLINE:
                 flat = compile_flat(
@@ -103,8 +115,6 @@ class BaselineCompiler:
             result.timed_out = True
             result.top_key = None
             result.library = {}
-        result.compile_seconds = time.perf_counter() - started
-        return result
 
     # -- replicate mode -----------------------------------------------------------
 
@@ -170,7 +180,7 @@ class BaselineCompiler:
         elapsed = time.perf_counter() - started
         if elapsed > self.budget_seconds:
             raise CompileBudgetExceeded(
-                f"baseline compile exceeded budget "
+                "baseline compile exceeded budget "
                 f"({elapsed:.1f}s > {self.budget_seconds:.1f}s)",
                 elapsed=elapsed,
                 budget=self.budget_seconds,

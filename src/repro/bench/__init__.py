@@ -5,7 +5,7 @@ structures; the ``benchmarks/`` pytest-benchmark suite and the
 ``examples/`` scripts both print through :mod:`repro.bench.reporting`.
 """
 
+from .reporting import format_series, format_table
 from .workloads import PGASWorkbench, SizeResult
-from .reporting import format_table, format_series
 
 __all__ = ["PGASWorkbench", "SizeResult", "format_table", "format_series"]

@@ -1,0 +1,8 @@
+"""``python -m repro.bench`` — see :mod:`repro.bench.run`."""
+
+import sys
+
+from .run import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -175,7 +175,6 @@ def checkpoint_overhead(
     (paper §V-B: 'varied from 10 to 20%')."""
     bench = PGASWorkbench(n, checkpoint_interval=interval)
     session = bench.build_session()
-    pipe = session.pipe("uut")
     tb = bench.tb_handle
     assert tb is not None
     store = session.store("uut")

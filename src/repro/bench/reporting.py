@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import List, Mapping, Optional, Sequence
 
 
 def format_table(
@@ -44,6 +44,38 @@ def format_table(
     for row in body:
         lines.append("  ".join(t.rjust(widths[j]) for j, t in enumerate(row)))
     return "\n".join(lines)
+
+
+def format_phase_breakdown(
+    title: str,
+    phases: Mapping[str, Mapping[str, float]],
+    total_seconds: Optional[float] = None,
+) -> str:
+    """Render per-phase totals (:func:`repro.obs.aggregate_phases`
+    output) as a table: phase, call count, seconds, share of total.
+
+    ``total_seconds`` defaults to the sum over phases; pass the root
+    span's duration to show shares of the true wall-clock instead.
+    """
+    names = sorted(phases, key=lambda n: -float(phases[n]["total_s"]))
+    budget = total_seconds
+    if budget is None:
+        budget = sum(float(phases[n]["total_s"]) for n in names)
+    rows = []
+    for name in names:
+        seconds = float(phases[name]["total_s"])
+        share = (100.0 * seconds / budget) if budget > 0 else None
+        rows.append([
+            int(phases[name]["count"]),
+            seconds * 1e3,
+            None if share is None else share,
+        ])
+    return format_table(
+        title,
+        ["calls", "ms", "% of total"],
+        rows,
+        row_labels=names,
+    )
 
 
 def format_series(

@@ -1,0 +1,288 @@
+"""Bench CLI: ``python -m repro.bench`` — one command, one artifact.
+
+Runs a subset of the paper's artifacts (fig7/fig8/table7/table8) at
+the requested mesh sizes, under the :mod:`repro.obs` tracer, and
+emits a single JSON document (``repro.bench/v1``) that embeds the
+``repro.obs/v1`` trace/metrics report.  The same artifact serves:
+
+* humans — phase-breakdown and latency tables are printed;
+* CI — ``--baseline PATH --max-regression 0.25`` compares the fig7
+  per-edit hot-reload latency against a checked-in baseline JSON and
+  exits non-zero on a regression.
+
+Wall-clock latencies are machine-dependent, so each run also times a
+fixed pure-Python calibration loop.  When the current host is slower
+than the baseline's host, the allowance is scaled up by the
+calibration ratio (never down — a faster host must still fit the
+baseline budget).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import asdict
+from typing import Dict, List, Optional, Sequence
+
+from .. import obs
+from .figures import fig7_crossover_kilocycles, fig7_series, fig8_bars
+from .reporting import format_phase_breakdown, format_table
+from .tables import erd_phase_rows, table7, table8, table8_shape_checks
+from .workloads import collect_sizes
+
+BENCH_SCHEMA_ID = "repro.bench/v1"
+DEFAULT_TARGETS = ("fig7", "table7")
+KNOWN_TARGETS = ("fig7", "fig8", "table7", "table8")
+MAX_CALIBRATION_SCALE = 4.0
+
+
+def calibrate(loops: int = 2_000_000) -> float:
+    """Seconds for a fixed pure-Python workload (host-speed probe)."""
+    started = time.perf_counter()
+    total = 0
+    for i in range(loops):
+        total += i & 0xFF
+    elapsed = time.perf_counter() - started
+    assert total >= 0
+    return elapsed
+
+
+def run_bench(
+    sizes: Sequence[int],
+    targets: Sequence[str],
+    sim_cycles: int = 60,
+    baseline_budget_s: float = 30.0,
+) -> Dict:
+    """Collect the requested artifacts into a ``repro.bench/v1`` dict."""
+    obs.enable()
+    obs.reset()
+    payload: Dict = {
+        "schema": BENCH_SCHEMA_ID,
+        "generated_unix_s": time.time(),
+        "python": sys.version.split()[0],
+        "calibration_s": calibrate(),
+        "sizes": list(sizes),
+        "targets": list(targets),
+    }
+
+    results = collect_sizes(
+        sizes=sizes,
+        sim_cycles=sim_cycles,
+        baseline_budget_s=baseline_budget_s,
+        measure_baseline_speed=False,
+        hot_reload_repeats=5,
+    )
+
+    if "fig7" in targets:
+        per_edit = {
+            str(r.n): r.livesim_hot_reload_s
+            for r in results
+            if r.livesim_hot_reload_s is not None
+        }
+        rows = table7(sizes=list(sizes), trace_cycles=5)
+        series = fig7_series(results, table7_rows=rows)
+        n0 = sizes[0]
+        live = next(
+            s for s in series
+            if s.label == f"LiveSim {n0}x{n0} (full simulation)"
+        )
+        veri = next(
+            s for s in series if s.label == f"Verilator {n0}x{n0}"
+        )
+        payload["fig7"] = {
+            "per_edit_latency_s": per_edit,
+            "full_compile_s": {
+                str(r.n): r.livesim_full_compile_s for r in results
+            },
+            "baseline_compile_s": {
+                str(r.n): r.baseline_compile_s for r in results
+            },
+            "crossover_kilocycles": fig7_crossover_kilocycles(live, veri),
+        }
+
+    if "fig8" in targets:
+        payload["fig8"] = [asdict(bar) for bar in fig8_bars(results)]
+
+    if "table7" in targets:
+        rows = table7(sizes=list(sizes), trace_cycles=5)
+        payload["table7"] = [
+            {
+                "n": row.n,
+                "livesim": row.livesim.row(),
+                "verilator": row.verilator.row() if row.verilator else None,
+            }
+            for row in rows
+        ]
+
+    if "table8" in targets:
+        rows8 = table8(results)
+        payload["table8"] = [asdict(row) for row in rows8]
+        payload["table8_checks"] = table8_shape_checks(rows8)
+
+    erd = [
+        (f"{r.n}x{r.n}", r.erd_report)
+        for r in results
+        if r.erd_report is not None
+    ]
+    if erd:
+        columns, rows_, labels = erd_phase_rows(erd)
+        payload["erd_phases_ms"] = {
+            label: dict(zip(columns, row))
+            for label, row in zip(labels, rows_)
+        }
+
+    payload["trace"] = obs.report(meta={"tool": "python -m repro.bench"})
+    return payload
+
+
+# -- regression gate ---------------------------------------------------------
+
+
+def compare_to_baseline(
+    current: Dict, baseline: Dict, max_regression: float
+) -> List[str]:
+    """Fig7 per-edit latency gate; returns failure messages (empty = ok)."""
+    failures: List[str] = []
+    base_fig7 = (baseline.get("fig7") or {}).get("per_edit_latency_s") or {}
+    cur_fig7 = (current.get("fig7") or {}).get("per_edit_latency_s") or {}
+    if not base_fig7:
+        return ["baseline JSON has no fig7.per_edit_latency_s data"]
+
+    scale = 1.0
+    base_cal = baseline.get("calibration_s")
+    cur_cal = current.get("calibration_s")
+    if base_cal and cur_cal:
+        scale = max(1.0, min(cur_cal / base_cal, MAX_CALIBRATION_SCALE))
+
+    for size, base_latency in sorted(base_fig7.items()):
+        latency = cur_fig7.get(size)
+        if latency is None:
+            failures.append(f"fig7: size {size} missing from current run")
+            continue
+        allowed = base_latency * (1.0 + max_regression) * scale
+        if latency > allowed:
+            failures.append(
+                f"fig7: per-edit latency regressed at {size}x{size}: "
+                f"{latency * 1e3:.1f} ms > allowed {allowed * 1e3:.1f} ms "
+                f"(baseline {base_latency * 1e3:.1f} ms, "
+                f"host-speed scale {scale:.2f})"
+            )
+    return failures
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+def _print_summary(payload: Dict, out) -> None:
+    fig7 = payload.get("fig7")
+    if fig7:
+        sizes = sorted(fig7["per_edit_latency_s"], key=int)
+        print(format_table(
+            "Fig. 7 — per-edit hot-reload latency (the <2 s loop)",
+            ["per-edit ms", "full compile ms"],
+            [
+                [
+                    fig7["per_edit_latency_s"][s] * 1e3,
+                    fig7["full_compile_s"][s] * 1e3,
+                ]
+                for s in sizes
+            ],
+            row_labels=[f"{s}x{s}" for s in sizes],
+        ), file=out)
+        print(file=out)
+    phases = obs.aggregate_phases(payload["trace"])
+    if phases:
+        print(format_phase_breakdown(
+            "Live-loop phase breakdown (traced)", phases
+        ), file=out)
+        print(file=out)
+    counters = payload["trace"]["metrics"]["counters"]
+    if counters:
+        print(format_table(
+            "Counters",
+            ["value"],
+            [[counters[name]] for name in sorted(counters)],
+            row_labels=sorted(counters),
+        ), file=out)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="LiveSim bench runner: JSON artifact + CI gate",
+    )
+    parser.add_argument("targets", nargs="*", default=None,
+                        help=f"artifacts to run {KNOWN_TARGETS} "
+                             f"(default: {' '.join(DEFAULT_TARGETS)})")
+    parser.add_argument("--sizes", default="1,2",
+                        help="comma-separated mesh sizes (default: 1,2)")
+    parser.add_argument("--sim-cycles", type=int, default=60,
+                        help="cycles simulated before the edit")
+    parser.add_argument("--baseline-budget", type=float, default=30.0,
+                        help="baseline-compiler budget in seconds")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the repro.bench/v1 artifact to PATH")
+    parser.add_argument("--baseline", metavar="PATH",
+                        help="compare against this repro.bench/v1 JSON")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="allowed fractional fig7 latency regression "
+                             "vs --baseline (default: 0.25)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the human-readable summary")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    args = _build_parser().parse_args(argv)
+    targets = tuple(args.targets) or DEFAULT_TARGETS
+    unknown = [t for t in targets if t not in KNOWN_TARGETS]
+    if unknown:
+        print(f"error: unknown targets {unknown} "
+              f"(know {list(KNOWN_TARGETS)})", file=sys.stderr)
+        return 2
+    try:
+        sizes = tuple(int(x) for x in args.sizes.split(",") if x.strip())
+    except ValueError:
+        print(f"error: bad --sizes {args.sizes!r}", file=sys.stderr)
+        return 2
+    if not sizes:
+        print("error: --sizes selected nothing", file=sys.stderr)
+        return 2
+
+    payload = run_bench(
+        sizes,
+        targets,
+        sim_cycles=args.sim_cycles,
+        baseline_budget_s=args.baseline_budget,
+    )
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"bench artifact written to {args.json}", file=sys.stderr)
+    if not args.quiet:
+        _print_summary(payload, out)
+
+    if args.baseline:
+        try:
+            with open(args.baseline) as fh:
+                baseline = json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read baseline: {exc}", file=sys.stderr)
+            return 2
+        failures = compare_to_baseline(
+            payload, baseline, args.max_regression
+        )
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print(
+            "regression gate passed "
+            f"(max allowed +{args.max_regression * 100:.0f}%)",
+            file=sys.stderr,
+        )
+    return 0

@@ -99,6 +99,31 @@ def table8(results: Sequence[SizeResult]) -> List[Table8Row]:
     ]
 
 
+ERD_PHASES = ("parse", "compile", "swap", "reload", "replay")
+
+
+def erd_phase_rows(
+    reports: Sequence[Tuple[str, "object"]],
+) -> Tuple[List[str], List[list], List[str]]:
+    """Phase-breakdown table data for labelled ERD reports.
+
+    ``reports`` is ``[(label, ERDReport), ...]``; returns ``(columns,
+    rows, row_labels)`` for :func:`repro.bench.reporting.format_table`
+    — one row per edit, one column per live-loop phase (milliseconds)
+    plus the total.  This is the Fig. 8 stacked bar as a table.
+    """
+    columns = [f"{phase} ms" for phase in ERD_PHASES] + ["total ms"]
+    rows: List[list] = []
+    labels: List[str] = []
+    for label, report in reports:
+        labels.append(label)
+        rows.append([
+            getattr(report, f"{phase}_seconds") * 1e3
+            for phase in ERD_PHASES
+        ] + [report.total_seconds * 1e3])
+    return columns, rows, labels
+
+
 def table8_shape_checks(rows: List[Table8Row]) -> Dict[str, bool]:
     """The qualitative claims Table VIII makes (used by tests and
     EXPERIMENTS.md):

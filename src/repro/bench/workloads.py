@@ -5,7 +5,7 @@ measured simulation speeds, cost models."""
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..baseline import BaselineCompiler, BaselineResult
@@ -143,11 +143,11 @@ class PGASWorkbench:
         measure_baseline: bool = True,
         measure_baseline_speed: bool = True,
         patch_name: str = "id-imm-sign",
+        hot_reload_repeats: int = 1,
     ) -> SizeResult:
         result = SizeResult(n=self.n, cores=self.cores)
-        session = self.build_session()
+        self.build_session()
         result.livesim_full_compile_s = self.full_compile_seconds
-        pipe = session.pipe("uut")
 
         self.run(5)  # boot: load the program, come out of reset
         started = time.perf_counter()
@@ -157,6 +157,13 @@ class PGASWorkbench:
 
         self.run(run_cycles if run_cycles is not None else 3 * self.checkpoint_interval)
         report = self.hot_reload(patch_name)
+        # Repeats alternate the patch (fix/inject) — each is a fresh,
+        # never-before-compiled edit.  Keeping the fastest iteration
+        # makes the per-edit latency stable enough for CI gating.
+        for _ in range(max(hot_reload_repeats - 1, 0)):
+            candidate = self.hot_reload(patch_name)
+            if candidate.total_seconds < report.total_seconds:
+                report = candidate
         result.erd_report = report
         result.livesim_hot_reload_s = report.total_seconds
 

@@ -15,8 +15,8 @@ contrasts (Fig. 4):
 costs from the IR for the host performance model (Table VII).
 """
 
-from .pygen import CompiledModule, compile_netlist, compile_module
-from .cost import ModuleCost, module_cost, design_cost, DesignCost
+from .cost import DesignCost, ModuleCost, design_cost, module_cost
+from .pygen import CompiledModule, compile_module, compile_netlist
 
 __all__ = [
     "CompiledModule",

@@ -26,7 +26,7 @@ Styles:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from ..hdl import ast_nodes as ast
 from ..ir.netlist import ModuleIR, Netlist

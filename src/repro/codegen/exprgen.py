@@ -24,7 +24,7 @@ has no X state).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, List, Optional
 
 from ..hdl import ast_nodes as ast
 from ..hdl.errors import CodegenError, WidthError
@@ -298,7 +298,6 @@ class ExprGen:
 
     def _gen_concat(self, expr: ast.Concat) -> str:
         parts: List[str] = []
-        shift = 0
         widths = [self.width_of(p) for p in expr.parts]
         total = sum(widths)
         offset = total

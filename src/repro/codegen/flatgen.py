@@ -26,7 +26,7 @@ from __future__ import annotations
 import hashlib
 import linecache
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..hdl import ast_nodes as ast

@@ -46,6 +46,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
+from .. import obs
 from ..hdl import ast_nodes as ast
 from ..hdl.consteval import stmt_reads_writes
 from ..hdl.errors import CodegenError
@@ -553,16 +554,18 @@ def compile_module(
 ) -> CompiledModule:
     """Compile one specialization into a :class:`CompiledModule`."""
     started = time.perf_counter()
-    compiler = _ModuleCompiler(ir, netlist, mux_style)
-    source = compiler.generate()
-    filename = f"<lhdl:{ir.key}>"
-    code = compile(source, filename, "exec")
-    namespace: Dict[str, object] = {}
-    exec(code, namespace)  # noqa: S102 - generated, trusted code
-    linecache.cache[filename] = (
-        len(source), None, source.splitlines(keepends=True), filename
-    )
+    with obs.span("codegen.module", key=ir.key):
+        compiler = _ModuleCompiler(ir, netlist, mux_style)
+        source = compiler.generate()
+        filename = f"<lhdl:{ir.key}>"
+        code = compile(source, filename, "exec")
+        namespace: Dict[str, object] = {}
+        exec(code, namespace)  # noqa: S102 - generated, trusted code
+        linecache.cache[filename] = (
+            len(source), None, source.splitlines(keepends=True), filename
+        )
     elapsed = time.perf_counter() - started
+    obs.incr("codegen.modules_compiled")
     reg_slots = {
         name: sig.state_index
         for name, sig in ir.signals.items()

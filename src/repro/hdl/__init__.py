@@ -15,9 +15,9 @@ from .errors import (
     WidthError,
 )
 from .lexer import behavioral_fingerprint, tokenize
+from .lint import Diagnostic, lint_module, lint_netlist
 from .parser import parse, parse_expr
 from .preprocessor import preprocess
-from .lint import Diagnostic, lint_module, lint_netlist
 from .source_regions import SourceRegion, module_regions, split_regions
 
 __all__ = [

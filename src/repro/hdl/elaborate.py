@@ -10,17 +10,9 @@ Fig. 4d) is built on.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
 
-from . import ast_nodes as ast
-from .consteval import (
-    eval_const,
-    expr_reads,
-    fold_params,
-    fold_stmts,
-    stmt_reads_writes,
-)
-from .errors import ElaborationError, WidthError
+from ..ir.dataflow import compute_output_deps
 from ..ir.netlist import (
     CombAssignIR,
     CombBlockIR,
@@ -32,8 +24,16 @@ from ..ir.netlist import (
     SignalIR,
     spec_key,
 )
-from ..ir.dataflow import compute_output_deps
 from ..ir.schedule import schedule_module
+from . import ast_nodes as ast
+from .consteval import (
+    eval_const,
+    expr_reads,
+    fold_params,
+    fold_stmts,
+    stmt_reads_writes,
+)
+from .errors import ElaborationError, WidthError
 
 
 class Elaborator:

@@ -16,11 +16,11 @@ Usage::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, List, Optional, Set
+from typing import List, Optional, Set
 
+from ..ir.netlist import ModuleIR, Netlist
 from . import ast_nodes as ast
 from .consteval import stmt_reads_writes
-from ..ir.netlist import ModuleIR, Netlist
 
 TRUNCATION = "truncation"
 EXTENSION = "extension"

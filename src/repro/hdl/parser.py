@@ -24,7 +24,7 @@ from . import ast_nodes as ast
 from .errors import ParseError
 from .lexer import tokenize
 from .preprocessor import preprocess
-from .tokens import EOF, IDENT, KEYWORD, NUMBER, OP, PUNCT, SIZED_NUMBER, SYSCALL, Token
+from .tokens import EOF, IDENT, NUMBER, OP, SIZED_NUMBER, SYSCALL, Token
 
 # Binary operator precedence: higher binds tighter.
 _BINARY_PRECEDENCE: Dict[str, int] = {

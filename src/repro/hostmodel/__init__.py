@@ -16,10 +16,10 @@ calibrated against the paper's 1x1 column; the *shape* across design
 sizes is the reproduction target.
 """
 
-from .cache import CacheConfig, CacheSim, CacheStats
 from .branch import BranchPredictor
-from .trace import TraceSynthesizer, HostTraceStats
+from .cache import CacheConfig, CacheSim, CacheStats
 from .perf import HostMachine, PerfModel, PerfResult
+from .trace import HostTraceStats, TraceSynthesizer
 
 __all__ = [
     "CacheConfig",

@@ -9,8 +9,8 @@ same instruction counts the IPC model uses.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List
+from dataclasses import dataclass
+from typing import List
 
 
 @dataclass(frozen=True)

@@ -15,7 +15,6 @@ across sizes and styles comes entirely from the model.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from ..codegen.cost import DesignCost
 from .cache import CacheConfig

@@ -20,8 +20,8 @@ are reproducible.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 from ..codegen.cost import DesignCost
 from .branch import BranchPredictor, BranchStats

@@ -15,25 +15,25 @@
 * :mod:`repro.live.session` — the LiveSession command API (Table I).
 """
 
-from .tables import ObjectLibraryTable, PipelineTable, StageTable, ObjectEntry
-from .parser_live import LiveParser, LiveParseResult
-from .compiler_live import LiveCompiler, CompileReport
-from .transform import (
-    RegisterTransform,
-    RegisterTransformHistory,
-    TransformOp,
-    guess_transforms,
-)
-from .hotreload import HotReloader, SwapReport
 from .checkpoint import Checkpoint, CheckpointStore, GCPolicy
-from .consistency import ConsistencyChecker, ConsistencyReport
-from .session import ERDReport, LiveSession
 from .commands import CommandError, CommandInterpreter, CommandResult
+from .compiler_live import CompileReport, LiveCompiler
+from .consistency import ConsistencyChecker, ConsistencyReport
+from .hotreload import HotReloader, SwapReport
+from .parser_live import LiveParser, LiveParseResult
 from .regression import (
     CaseResult,
     RegressionCase,
     RegressionReport,
     RegressionSuite,
+)
+from .session import ERDReport, LiveSession
+from .tables import ObjectEntry, ObjectLibraryTable, PipelineTable, StageTable
+from .transform import (
+    RegisterTransform,
+    RegisterTransformHistory,
+    TransformOp,
+    guess_transforms,
 )
 
 __all__ = [

@@ -17,9 +17,10 @@ from __future__ import annotations
 
 import pickle
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import List, Optional
 
+from .. import obs
 from ..hdl.errors import SimulationError
 from ..sim.pipeline import Pipe, PipeSnapshot
 
@@ -90,8 +91,10 @@ class CheckpointStore:
     def take(self, pipe: Pipe, version: str, op_index: int) -> Checkpoint:
         """Capture the pipe state now (the Fig. 2a 'fork & save')."""
         started = time.perf_counter()
-        snapshot = pipe.snapshot()
+        with obs.span("checkpoint", cycle=pipe.cycle):
+            snapshot = pipe.snapshot()
         elapsed = time.perf_counter() - started
+        obs.incr("checkpoint.taken")
         checkpoint = Checkpoint(
             id=self._next_id,
             cycle=pipe.cycle,
@@ -163,7 +166,10 @@ class CheckpointStore:
         """Drop checkpoints past ``cycle`` (post-divergence cleanup)."""
         before = len(self._checkpoints)
         self._checkpoints = [c for c in self._checkpoints if c.cycle <= cycle]
-        return before - len(self._checkpoints)
+        dropped = before - len(self._checkpoints)
+        if dropped:
+            obs.incr("checkpoint.invalidated", dropped)
+        return dropped
 
     def clear(self) -> None:
         self._checkpoints = []
@@ -187,6 +193,7 @@ class CheckpointStore:
                 c for c in self._checkpoints if c.id not in victim_ids
             ]
             self.total_collected += len(victims)
+            obs.incr("checkpoint.collected", len(victims))
         return len(victims)
 
     # -- persistence -----------------------------------------------------------------

@@ -130,7 +130,7 @@ class CommandInterpreter:
         try:
             cycles = int(cycles_text, 0)
         except ValueError:
-            raise CommandError(f"cycles must be an integer, got "
+            raise CommandError("cycles must be an integer, got "
                                f"{cycles_text!r}") from None
         if cycles < 0:
             raise CommandError("cycles must be non-negative")

@@ -17,8 +17,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from .. import obs
 from ..codegen.pygen import CompiledModule, compile_module
 from ..hdl.elaborate import elaborate
 from ..hdl.errors import HDLError
@@ -89,6 +90,12 @@ class LiveCompiler:
         good source in place.
         """
         started = time.perf_counter()
+        with obs.span("parse"):
+            return self._update_source(new_source, started)
+
+    def _update_source(
+        self, new_source: str, started: float
+    ) -> LiveParseResult:
         result = self.parser.analyze(new_source)
         if not result.behavioral:
             # Comments/whitespace only: commit the text, keep everything.
@@ -141,7 +148,8 @@ class LiveCompiler:
         self._last_parse_seconds = 0.0
 
         started = time.perf_counter()
-        netlist = elaborate(self._design, top, params)
+        with obs.span("elaborate", top=top):
+            netlist = elaborate(self._design, top, params)
         report.elaborate_seconds = time.perf_counter() - started
 
         started = time.perf_counter()
@@ -163,15 +171,19 @@ class LiveCompiler:
             if cached is not None:
                 library[key] = cached
                 report.reused_keys.append(key)
+                obs.incr("compile.cache_hits")
                 return cached
             compiled = compile_module(ir, netlist, self._mux_style)
             self._cache[cache_key] = compiled
             library[key] = compiled
             report.recompiled_keys.append(key)
+            obs.incr("compile.cache_misses")
             return compiled
 
-        visit(netlist.top)
+        with obs.span("codegen", top=top):
+            visit(netlist.top)
         report.codegen_seconds = time.perf_counter() - started
+        obs.gauge("compile.cache_size", len(self._cache))
         return CompileResult(netlist=netlist, library=library, report=report)
 
     # -- cache maintenance ---------------------------------------------------------
@@ -193,4 +205,7 @@ class LiveCompiler:
                 for key in keys[: len(keys) - keep_generations]:
                     del self._cache[key]
                     evicted += 1
+        if evicted:
+            obs.incr("compile.cache_evicted", evicted)
+            obs.gauge("compile.cache_size", len(self._cache))
         return evicted

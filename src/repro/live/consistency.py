@@ -23,6 +23,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..hdl.errors import SimulationError
 from ..sim.pipeline import Pipe, PipeSnapshot
 from ..sim.testbench import Testbench
@@ -135,31 +136,38 @@ class ConsistencyChecker:
         process.
         """
         started = time.perf_counter()
-        segments = self.make_segments(checkpoints)
-        report = ConsistencyReport(workers=max(workers, 1))
-        if not segments:
+        with obs.span("consistency.verify", workers=max(workers, 1)):
+            segments = self.make_segments(checkpoints)
+            report = ConsistencyReport(workers=max(workers, 1))
+            if not segments:
+                report.wall_seconds = time.perf_counter() - started
+                return report
+            if workers > 1 and worker_context is not None:
+                report.segments = self._verify_parallel(
+                    segments, ops, workers, worker_context
+                )
+            else:
+                report.workers = 1
+                report.segments = [
+                    self._verify_segment(segment, ops) for segment in segments
+                ]
             report.wall_seconds = time.perf_counter() - started
-            return report
-        if workers > 1 and worker_context is not None:
-            report.segments = self._verify_parallel(
-                segments, ops, workers, worker_context
-            )
-        else:
-            report.workers = 1
-            report.segments = [
-                self._verify_segment(segment, ops) for segment in segments
-            ]
-        report.wall_seconds = time.perf_counter() - started
+        obs.incr("consistency.segments_verified", len(report.segments))
+        divergent = sum(1 for s in report.segments if not s.consistent)
+        if divergent:
+            obs.incr("consistency.divergences", divergent)
         return report
 
     def _verify_segment(
         self, segment: _Segment, ops: Sequence[SessionOp]
     ) -> SegmentResult:
         seg_started = time.perf_counter()
-        pipe = self._build_pipe()
-        result = _run_segment(
-            pipe, segment, ops, self._tb_lookup, self._transform_for
-        )
+        with obs.span("consistency.segment", index=segment.index,
+                      end_cycle=segment.end_cycle):
+            pipe = self._build_pipe()
+            result = _run_segment(
+                pipe, segment, ops, self._tb_lookup, self._transform_for
+            )
         result.seconds = time.perf_counter() - seg_started
         return result
 
@@ -188,8 +196,19 @@ class ConsistencyChecker:
                                     pickle.dumps(batch))
                     )
             results: List[SegmentResult] = []
-            for future in futures:
-                results.extend(future.result())
+            for worker_index, future in enumerate(futures):
+                batch_results = future.result()
+                # Workers time their own segments; surface each as a
+                # completed span under the verify span so the trace
+                # shows the per-worker breakdown.
+                for result in batch_results:
+                    obs.record(
+                        "consistency.segment",
+                        int(result.seconds * 1e9),
+                        index=result.index,
+                        worker=worker_index,
+                    )
+                results.extend(batch_results)
         results.sort(key=lambda r: r.index)
         return results
 

@@ -20,9 +20,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from ..codegen.pygen import CompiledModule
+from .. import obs
 from ..hdl.errors import HDLError, SimulationError
 from ..sim.pipeline import Pipe
 from ..sim.testbench import Testbench
@@ -32,7 +32,6 @@ from .consistency import ConsistencyChecker, ConsistencyReport, WorkerContext
 from .hotreload import HotReloader, SwapReport
 from .replay import SessionOp, replay_ops
 from .tables import (
-    PIPE,
     STAGE,
     TESTBENCH,
     ObjectEntry,
@@ -402,13 +401,27 @@ class LiveSession:
         module), the session's source and every pipe are left exactly
         as they were.
         """
+        with obs.span("apply_change", version=self.version):
+            return self._apply_change(
+                new_source, transforms, verify, verify_workers
+            )
+
+    def _apply_change(
+        self,
+        new_source: str,
+        transforms: Optional[Dict[str, RegisterTransform]],
+        verify: bool,
+        verify_workers: int,
+    ) -> ERDReport:
         old_source = self.compiler.source
         parse_result = self.compiler.update_source(new_source)
         report = ERDReport(
             behavioral=parse_result.behavioral, version=self.version
         )
         report.parse_seconds = parse_result.parse_seconds
+        obs.incr("live.apply_changes")
         if not parse_result.behavioral:
+            obs.incr("live.non_behavioral_edits")
             return report
 
         new_version = self._next_version()
@@ -421,11 +434,13 @@ class LiveSession:
         try:
             for name, session in self._pipe_sessions.items():
                 started = time.perf_counter()
-                compile_results[name] = self.compiler.compile_top(
-                    session.module, session.params
-                )
+                with obs.span("compile", pipe=name):
+                    compile_results[name] = self.compiler.compile_top(
+                        session.module, session.params
+                    )
                 report.compile_seconds += time.perf_counter() - started
         except HDLError:
+            obs.incr("live.rolled_back_edits")
             self.compiler.update_source(old_source)
             raise
 
@@ -445,31 +460,40 @@ class LiveSession:
             reloader = HotReloader(version_transforms)
             stop_cycle = session.pipe.cycle
             started = time.perf_counter()
-            swap = reloader.swap_pipe(session.pipe, result.library)
+            with obs.span("swap", pipe=name):
+                swap = reloader.swap_pipe(session.pipe, result.library)
             report.swap_seconds += time.perf_counter() - started
             report.swapped_instances += swap.swapped_instances
+            obs.incr("live.swapped_instances", swap.swapped_instances)
 
             started = time.perf_counter()
-            checkpoint = session.store.reload_candidate(
-                stop_cycle, self.reload_distance
-            )
-            self._retarget_store(session, result, version_transforms, new_version)
-            if checkpoint is not None:
-                session.pipe.restore_transformed(
-                    checkpoint.snapshot, lambda module: None
+            with obs.span("reload", pipe=name):
+                checkpoint = session.store.reload_candidate(
+                    stop_cycle, self.reload_distance
                 )
-                session.pipe.cycle = checkpoint.cycle
-                report.checkpoint_cycle = checkpoint.cycle
-            else:
-                session.pipe.reset_state()
+                self._retarget_store(
+                    session, result, version_transforms, new_version
+                )
+                if checkpoint is not None:
+                    session.pipe.restore_transformed(
+                        checkpoint.snapshot, lambda module: None
+                    )
+                    session.pipe.cycle = checkpoint.cycle
+                    report.checkpoint_cycle = checkpoint.cycle
+                    obs.incr("live.checkpoint_reloads")
+                else:
+                    session.pipe.reset_state()
+                    obs.incr("live.reset_reloads")
             report.reload_seconds += time.perf_counter() - started
 
             started = time.perf_counter()
-            replayed = replay_ops(
-                session.pipe, session.ops, stop_cycle, self._testbench
-            )
+            with obs.span("replay", pipe=name, stop_cycle=stop_cycle):
+                replayed = replay_ops(
+                    session.pipe, session.ops, stop_cycle, self._testbench
+                )
             report.replay_seconds += time.perf_counter() - started
             report.cycles_replayed += replayed
+            obs.incr("live.cycles_replayed", replayed)
             report.pipes_updated.append(name)
 
         self.history.add_version(
@@ -479,10 +503,11 @@ class LiveSession:
 
         if verify:
             started = time.perf_counter()
-            for name in report.pipes_updated:
-                report.consistency[name] = self.verify_consistency(
-                    name, workers=verify_workers, repair=True
-                )
+            with obs.span("verify", workers=verify_workers):
+                for name in report.pipes_updated:
+                    report.consistency[name] = self.verify_consistency(
+                        name, workers=verify_workers, repair=True
+                    )
             report.verify_seconds = time.perf_counter() - started
         return report
 

@@ -1,0 +1,58 @@
+"""Counters and gauges for the live loop.
+
+Counters accumulate (cache hits, checkpoints taken, cycles replayed);
+gauges hold the latest value of a level (cache size, store bytes).
+The registry is always on — an increment is one dict operation, cheap
+enough for every hot path that wants one — and is snapshot into the
+JSON report next to the span tree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Union
+
+Number = Union[int, float]
+
+
+class MetricsRegistry:
+    """Flat, dot-named counters and gauges."""
+
+    __slots__ = ("counters", "gauges")
+
+    def __init__(self):
+        self.counters: Dict[str, Number] = {}
+        self.gauges: Dict[str, Number] = {}
+
+    # -- counters ------------------------------------------------------------
+
+    def incr(self, name: str, amount: Number = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def counter(self, name: str) -> Number:
+        return self.counters.get(name, 0)
+
+    # -- gauges --------------------------------------------------------------
+
+    def gauge(self, name: str, value: Number) -> None:
+        self.gauges[name] = value
+
+    def gauge_value(self, name: str, default: Number = 0) -> Number:
+        return self.gauges.get(name, default)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, Dict[str, Number]]:
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+        }
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry in (counters add, gauges overwrite)."""
+        for name, value in other.counters.items():
+            self.incr(name, value)
+        self.gauges.update(other.gauges)
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()

@@ -1,0 +1,141 @@
+"""JSON trace/metrics report with a stable schema (``repro.obs/v1``).
+
+The one artifact both humans (``python -m repro --trace-json``) and CI
+(the bench-smoke regression gate) consume::
+
+    {
+      "schema": "repro.obs/v1",
+      "meta": {...},                      # free-form caller context
+      "spans": [                          # forest of completed spans
+        {"name": str, "start_ns": int, "duration_ns": int,
+         "attrs": {...}, "children": [...]},
+        ...
+      ],
+      "metrics": {"counters": {...}, "gauges": {...}}
+    }
+
+``validate_report`` is the schema contract: tests round-trip through it
+and CI artifacts are validated before the regression comparison.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from .metrics import MetricsRegistry
+from .span import Tracer
+
+SCHEMA_ID = "repro.obs/v1"
+
+
+def build_report(
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    meta: Optional[Dict] = None,
+) -> Dict:
+    """Assemble the report dict from a tracer and a metrics registry."""
+    spans = [span.to_dict() for span in (tracer.roots if tracer else [])]
+    metric_dump = metrics.as_dict() if metrics else {"counters": {}, "gauges": {}}
+    return {
+        "schema": SCHEMA_ID,
+        "meta": dict(meta or {}),
+        "spans": spans,
+        "metrics": metric_dump,
+    }
+
+
+def write_report(path: str, report: Dict) -> None:
+    validate_report(report)
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_report(path: str) -> Dict:
+    with open(path) as fh:
+        report = json.load(fh)
+    validate_report(report)
+    return report
+
+
+def validate_report(report: Dict) -> None:
+    """Raise ``ValueError`` unless ``report`` matches the v1 schema."""
+    if not isinstance(report, dict):
+        raise ValueError("report must be a dict")
+    if report.get("schema") != SCHEMA_ID:
+        raise ValueError(
+            f"unknown schema {report.get('schema')!r} (want {SCHEMA_ID!r})"
+        )
+    for key in ("meta", "spans", "metrics"):
+        if key not in report:
+            raise ValueError(f"report missing key {key!r}")
+    if not isinstance(report["meta"], dict):
+        raise ValueError("meta must be a dict")
+    if not isinstance(report["spans"], list):
+        raise ValueError("spans must be a list")
+    for span in report["spans"]:
+        _validate_span(span, "spans")
+    metrics = report["metrics"]
+    if not isinstance(metrics, dict):
+        raise ValueError("metrics must be a dict")
+    for section in ("counters", "gauges"):
+        values = metrics.get(section)
+        if not isinstance(values, dict):
+            raise ValueError(f"metrics.{section} must be a dict")
+        for name, value in values.items():
+            if not isinstance(name, str):
+                raise ValueError(f"metrics.{section} key {name!r} not a str")
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ValueError(
+                    f"metrics.{section}[{name!r}] must be a number"
+                )
+
+
+def _validate_span(span: Dict, where: str) -> None:
+    if not isinstance(span, dict):
+        raise ValueError(f"{where}: span must be a dict")
+    name = span.get("name")
+    if not isinstance(name, str) or not name:
+        raise ValueError(f"{where}: span name must be a non-empty str")
+    here = f"{where}.{name}"
+    for key in ("start_ns", "duration_ns"):
+        value = span.get(key)
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            raise ValueError(f"{here}: {key} must be a non-negative int")
+    if not isinstance(span.get("attrs"), dict):
+        raise ValueError(f"{here}: attrs must be a dict")
+    children = span.get("children")
+    if not isinstance(children, list):
+        raise ValueError(f"{here}: children must be a list")
+    for child in children:
+        _validate_span(child, here)
+
+
+# -- aggregation helpers -----------------------------------------------------
+
+
+def aggregate_phases(report: Dict) -> Dict[str, Dict[str, float]]:
+    """Fold the span forest into per-name totals.
+
+    Returns ``{name: {"count": int, "total_s": float}}``; nested
+    occurrences of the same name all count (a name is a phase label,
+    not a path).
+    """
+    totals: Dict[str, Dict[str, float]] = {}
+
+    def visit(span: Dict) -> None:
+        entry = totals.setdefault(span["name"], {"count": 0, "total_s": 0.0})
+        entry["count"] += 1
+        entry["total_s"] += span["duration_ns"] / 1e9
+        for child in span["children"]:
+            visit(child)
+
+    for span in report["spans"]:
+        visit(span)
+    return totals
+
+
+def span_names(report: Dict) -> List[str]:
+    """Every distinct span name in the report (sorted)."""
+    return sorted(aggregate_phases(report))

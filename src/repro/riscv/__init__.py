@@ -8,17 +8,17 @@ differential testing, and the curated bug/fix patch library used by the
 Fig. 8 hot-reload bench.
 """
 
-from .isa import Reg
-from .assembler import assemble, AsmError
-from .golden import GoldenCore
+from .assembler import AsmError, assemble
 from .cosim import Cosim, CosimResult, Divergence, cosim_program
-from .rtl import CORE_MODULES_SOURCE, core_source
+from .golden import GoldenCore
+from .isa import Reg
 from .pgas import (
     LOCAL_MEM_BYTES,
     build_pgas_source,
     global_address,
     mesh_top_name,
 )
+from .rtl import CORE_MODULES_SOURCE, core_source
 
 __all__ = [
     "Reg",

@@ -21,7 +21,7 @@ Example::
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from . import encode, isa
@@ -428,7 +428,6 @@ class Assembler:
         words = self._li_sequence(rd, isa.sign_extend(upper, 32), line)
         remaining = 32
         chunk_bits = [11, 11, 10]
-        shifted = lower
         for bits in chunk_bits:
             remaining -= bits
             chunk = (lower >> remaining) & ((1 << bits) - 1)

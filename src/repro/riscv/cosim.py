@@ -15,7 +15,7 @@ rerunning anything from cycle 0.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from ..hdl.errors import SimulationError
@@ -119,7 +119,6 @@ class Cosim:
         """
         divergence: Optional[Divergence] = None
         start_cycle = self._pipe.cycle
-        visible = self._last_retired  # retires whose rf writes landed
         drain = 0
         while self._pipe.cycle - start_cycle < max_cycles:
             retired_before = self._rtl_retired()

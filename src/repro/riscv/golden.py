@@ -12,7 +12,7 @@ locally, mirroring the node's behaviour.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional
 
 from . import encode, isa
 from .isa import MASK64

@@ -14,7 +14,7 @@ Result-mailbox convention used by every program here::
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from ..sim.pipeline import Pipe
 from ..sim.testbench import CallbackTestbench, Testbench

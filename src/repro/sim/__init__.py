@@ -1,8 +1,8 @@
 """Simulation kernel: instances, pipelines, testbenches, waveforms."""
 
-from .stage import StageInst, StateSnapshot
 from .pipeline import Pipe
-from .testbench import Testbench, CallbackTestbench, VectorTestbench
+from .stage import StageInst, StateSnapshot
+from .testbench import CallbackTestbench, Testbench, VectorTestbench
 from .waveform import Probe, Trace, WaveformRecorder
 
 __all__ = [

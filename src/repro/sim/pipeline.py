@@ -9,7 +9,7 @@ combinational logic, compute pending register values) followed by
 from __future__ import annotations
 
 import copy
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from ..codegen.pygen import CompiledModule
 from ..hdl.errors import ConvergenceError, SimulationError
@@ -93,7 +93,7 @@ class Pipe:
                 previous = result
             else:
                 raise ConvergenceError(
-                    f"combinational logic did not settle in "
+                    "combinational logic did not settle in "
                     f"{self.max_passes} passes (comb loop?)"
                 )
         outputs = dict(zip(top.code.outputs, result))

@@ -9,7 +9,7 @@ reload the same operations can be replayed against the patched design.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence
 
 from .pipeline import Pipe
 

@@ -14,7 +14,7 @@ re-running the full simulation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..hdl.errors import SimulationError
 from .pipeline import Pipe

@@ -10,8 +10,8 @@ from __future__ import annotations
 import pytest
 
 from repro import compile_design
-from repro.hdl import elaborate, parse
 from repro.codegen.pygen import compile_netlist
+from repro.hdl import elaborate, parse
 from repro.riscv.pgas import build_pgas_source, mesh_top_name
 from repro.sim import Pipe
 

@@ -3,10 +3,10 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro import compile_design
 from repro.live.checkpoint import Checkpoint, CheckpointStore, GCPolicy
 from repro.sim import Pipe
 from tests.conftest import COUNTER_SRC
-from repro import compile_design
 
 
 def make_pipe():
@@ -78,7 +78,6 @@ class TestSelection:
     def _store_with_cycles(self, cycles):
         pipe = make_pipe()
         store = CheckpointStore(interval=1)
-        last = pipe.cycle
         for cycle in cycles:
             pipe.step(cycle - pipe.cycle)
             store.take(pipe, "1.0", 0)

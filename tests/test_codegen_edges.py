@@ -59,7 +59,6 @@ endmodule
     def test_256_term_reduction_chain(self):
         # Regression: flat emission of long associative chains (CPython
         # rejects deeply nested parentheses).
-        terms = " + ".join(f"a[{i}]" for i in range(256 % 64 or 64))
         wide = " & ".join(f"b{i}" for i in range(200))
         decls = "\n".join(f"  wire b{i};\n  assign b{i} = a[{i % 64}];"
                           for i in range(200))

@@ -10,8 +10,8 @@ from repro.hdl.consteval import (
     stmt_reads_writes,
 )
 from repro.hdl.errors import ElaborationError
-from repro.hdl.parser import Parser, parse_expr
 from repro.hdl.lexer import tokenize
+from repro.hdl.parser import Parser, parse_expr
 
 
 def ev(text, **env):

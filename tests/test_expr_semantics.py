@@ -8,7 +8,6 @@ against a reference model.
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import compile_design

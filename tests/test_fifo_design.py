@@ -8,7 +8,6 @@ stimulus — then hot-reloads a capacity change mid-stream.
 
 from collections import deque
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import compile_design

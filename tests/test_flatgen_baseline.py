@@ -73,7 +73,6 @@ endmodule
 
     def test_flat_pgas_node_matches_shared(self, pgas1_netlist_library):
         from repro.riscv import assemble
-        from repro.riscv.pgas import build_pgas_source
 
         source, netlist, library = pgas1_netlist_library
         prog = assemble("""

@@ -10,7 +10,6 @@ compiler bug.
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import compile_design

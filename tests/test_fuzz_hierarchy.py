@@ -9,7 +9,6 @@ agree cycle-for-cycle under random stimulus.
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import compile_design

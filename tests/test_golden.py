@@ -1,6 +1,5 @@
 """Golden ISS unit tests: instruction semantics in isolation."""
 
-import pytest
 
 from repro.riscv import encode, isa
 from repro.riscv.golden import GoldenCore

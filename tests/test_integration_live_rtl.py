@@ -17,7 +17,6 @@ from repro.riscv.programs import (
     boot_program_spec,
     busy_counter,
     node_result,
-    reset_then_run,
 )
 
 # Counts DOWN from a large value, continuously publishing the counter.

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.hdl.errors import LexError
-from repro.hdl.lexer import Lexer, behavioral_fingerprint, tokenize
+from repro.hdl.lexer import behavioral_fingerprint, tokenize
 from repro.hdl.tokens import (
     EOF, IDENT, KEYWORD, NUMBER, OP, PUNCT, SIZED_NUMBER, SYSCALL,
 )

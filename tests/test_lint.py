@@ -1,6 +1,5 @@
 """Design lint tests."""
 
-import pytest
 
 from repro.hdl import elaborate, parse
 from repro.hdl.lint import (
@@ -9,7 +8,6 @@ from repro.hdl.lint import (
     TRUNCATION,
     UNUSED,
     Diagnostic,
-    lint_module,
     lint_netlist,
 )
 

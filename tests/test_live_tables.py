@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro import compile_design
 from repro.hdl.errors import SimulationError
 from repro.live.tables import (
     PIPE,
@@ -13,7 +14,6 @@ from repro.live.tables import (
     StageTable,
 )
 from repro.sim import Pipe
-from repro import compile_design
 from tests.conftest import COUNTER_SRC
 
 

@@ -1,0 +1,298 @@
+"""repro.obs: spans, metrics, the report schema, and live-loop wiring."""
+
+import gc
+import io
+
+import pytest
+
+from repro import obs
+from repro.__main__ import Shell, main
+from repro.obs import (
+    MetricsRegistry,
+    NullTracer,
+    Span,
+    Tracer,
+    aggregate_phases,
+    build_report,
+    load_report,
+    validate_report,
+    write_report,
+)
+from repro.obs.span import NULL_SPAN, NULL_TRACER
+from tests.conftest import COUNTER_SRC
+
+EDITED = COUNTER_SRC.replace("assign sum = a + b;", "assign sum = a + b + 8'd1;")
+
+LIVE_PHASES = ("parse", "compile", "swap", "reload", "replay")
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    """Every test starts and ends with tracing off and state cleared."""
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+class TestTracer:
+    def test_nesting_builds_a_tree(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner", step=1):
+                pass
+            with tracer.span("inner", step=2):
+                pass
+        with tracer.span("second"):
+            pass
+        assert [s.name for s in tracer.roots] == ["outer", "second"]
+        outer = tracer.roots[0]
+        assert [c.name for c in outer.children] == ["inner", "inner"]
+        assert outer.children[0].attrs == {"step": 1}
+        assert tracer.current() is None
+
+    def test_children_fit_inside_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("a"):
+                sum(range(1000))
+            with tracer.span("b"):
+                sum(range(1000))
+        outer = tracer.roots[0]
+        child_total = sum(c.duration_ns for c in outer.children)
+        assert 0 < child_total <= outer.duration_ns
+
+    def test_find_by_name_across_the_forest(self):
+        tracer = Tracer()
+        with tracer.span("edit"):
+            with tracer.span("compile"):
+                pass
+        with tracer.span("compile"):
+            pass
+        assert len(tracer.find("compile")) == 2
+        assert tracer.find("nope") == []
+
+    def test_record_attaches_externally_measured_span(self):
+        tracer = Tracer()
+        with tracer.span("verify"):
+            recorded = tracer.record("segment", 1_000_000, index=3)
+        assert recorded.duration_ns == 1_000_000
+        assert recorded.attrs == {"index": 3}
+        verify = tracer.roots[0]
+        assert [c.name for c in verify.children] == ["segment"]
+
+    def test_exception_unwinds_the_stack(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError("boom")
+        assert tracer.current() is None
+        assert tracer.roots[0].children[0].end_ns > 0
+
+    def test_reset_clears_the_forest(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        tracer.reset()
+        assert tracer.roots == []
+
+
+class TestNullTracer:
+    def test_span_is_one_shared_singleton(self):
+        tracer = NullTracer()
+        assert tracer.span("a") is NULL_SPAN
+        assert tracer.span("b", attr=1) is NULL_SPAN
+        assert tracer.record("c", 123) is None
+
+    def test_disabled_facade_allocates_no_spans(self):
+        assert not obs.enabled()
+        gc.collect()
+        before = sum(1 for o in gc.get_objects() if isinstance(o, Span))
+        for i in range(200):
+            with obs.span("hot_path", iteration=i):
+                pass
+        gc.collect()
+        after = sum(1 for o in gc.get_objects() if isinstance(o, Span))
+        assert after == before
+
+    def test_enable_disable_swaps_tracers(self):
+        tracer = obs.enable()
+        assert obs.enabled() and obs.get_tracer() is tracer
+        with obs.span("recorded"):
+            pass
+        assert [s.name for s in tracer.roots] == ["recorded"]
+        obs.disable()
+        assert not obs.enabled()
+        assert obs.get_tracer() is NULL_TRACER
+
+
+class TestMetrics:
+    def test_counters_accumulate(self):
+        metrics = MetricsRegistry()
+        metrics.incr("edits")
+        metrics.incr("edits", 4)
+        assert metrics.counter("edits") == 5
+        assert metrics.counter("never") == 0
+
+    def test_gauges_overwrite(self):
+        metrics = MetricsRegistry()
+        metrics.gauge("cache_size", 2)
+        metrics.gauge("cache_size", 7)
+        assert metrics.gauge_value("cache_size") == 7
+
+    def test_as_dict_is_a_snapshot(self):
+        metrics = MetricsRegistry()
+        metrics.incr("a")
+        snapshot = metrics.as_dict()
+        metrics.incr("a")
+        assert snapshot == {"counters": {"a": 1}, "gauges": {}}
+
+    def test_reset(self):
+        metrics = MetricsRegistry()
+        metrics.incr("a")
+        metrics.gauge("g", 1)
+        metrics.reset()
+        assert metrics.as_dict() == {"counters": {}, "gauges": {}}
+
+
+class TestReportSchema:
+    def _sample_report(self):
+        tracer = Tracer()
+        with tracer.span("edit", version="1.1"):
+            with tracer.span("compile"):
+                pass
+        metrics = MetricsRegistry()
+        metrics.incr("compile.cache_misses", 3)
+        metrics.gauge("compile.cache_size", 3)
+        return build_report(tracer, metrics, meta={"tool": "test"})
+
+    def test_round_trip_through_disk(self, tmp_path):
+        report = self._sample_report()
+        path = tmp_path / "trace.json"
+        write_report(str(path), report)
+        loaded = load_report(str(path))
+        assert loaded == report
+        assert loaded["schema"] == "repro.obs/v1"
+        assert loaded["meta"] == {"tool": "test"}
+        assert loaded["spans"][0]["name"] == "edit"
+        assert loaded["spans"][0]["children"][0]["name"] == "compile"
+        assert loaded["metrics"]["counters"]["compile.cache_misses"] == 3
+
+    def test_validate_rejects_bad_documents(self):
+        good = self._sample_report()
+        with pytest.raises(ValueError, match="schema"):
+            validate_report({**good, "schema": "repro.obs/v0"})
+        with pytest.raises(ValueError, match="missing key"):
+            validate_report({"schema": "repro.obs/v1", "meta": {},
+                             "spans": []})
+        bad_span = self._sample_report()
+        bad_span["spans"][0]["duration_ns"] = -5
+        with pytest.raises(ValueError, match="duration_ns"):
+            validate_report(bad_span)
+        bad_metric = self._sample_report()
+        bad_metric["metrics"]["counters"]["flag"] = True
+        with pytest.raises(ValueError, match="must be a number"):
+            validate_report(bad_metric)
+
+    def test_aggregate_phases_counts_nested_names(self):
+        tracer = Tracer()
+        with tracer.span("edit"):
+            with tracer.span("compile"):
+                pass
+        with tracer.span("compile"):
+            pass
+        report = build_report(tracer, MetricsRegistry())
+        phases = aggregate_phases(report)
+        assert phases["compile"]["count"] == 2
+        assert phases["edit"]["count"] == 1
+        assert phases["compile"]["total_s"] >= 0.0
+
+
+class TestLiveLoopIntegration:
+    def _edit_session(self):
+        obs.enable()
+        obs.reset()
+        shell = Shell(COUNTER_SRC, "top", checkpoint_interval=10,
+                      reset_cycles=1, out=io.StringIO())
+        handle = shell.session.stage_handle_for("top")
+        shell.run_script(f"instPipe p0, {handle}\nrun tb0, p0, 30")
+        erd = shell.session.apply_change(EDITED)
+        assert erd.behavioral
+        return obs.report(meta={"test": "integration"})
+
+    def test_apply_change_emits_the_phase_spans(self):
+        report = self._edit_session()
+        apply_spans = [s for s in report["spans"]
+                       if s["name"] == "apply_change"]
+        assert len(apply_spans) == 1
+        child_names = {c["name"] for c in apply_spans[0]["children"]}
+        assert set(LIVE_PHASES) <= child_names
+
+    def test_phase_durations_sum_within_total(self):
+        report = self._edit_session()
+        apply_span = next(s for s in report["spans"]
+                          if s["name"] == "apply_change")
+        child_total = sum(c["duration_ns"]
+                          for c in apply_span["children"])
+        assert 0 < child_total <= apply_span["duration_ns"]
+
+    def test_counters_track_the_live_loop(self):
+        report = self._edit_session()
+        counters = report["metrics"]["counters"]
+        assert counters["live.apply_changes"] == 1
+        assert counters["compile.cache_misses"] >= 1
+        assert counters["compile.cache_hits"] >= 1
+        assert counters["checkpoint.taken"] >= 1
+        assert counters["live.cycles_replayed"] >= 1
+        assert counters["live.swapped_instances"] >= 1
+        assert report["metrics"]["gauges"]["compile.cache_size"] >= 1
+
+
+class TestTraceJsonCLI:
+    def test_trace_json_writes_a_valid_artifact(self, tmp_path):
+        design = tmp_path / "design.v"
+        design.write_text(COUNTER_SRC)
+        edited = tmp_path / "edited.v"
+        edited.write_text(EDITED)
+        script = tmp_path / "session.lsim"
+        script.write_text(
+            f"instPipe p0, stage2\nrun tb0, p0, 30\nreload {edited}\n"
+        )
+        trace = tmp_path / "trace.json"
+        rc = main([str(design), "--top", "top",
+                   "--script", str(script),
+                   "--checkpoint-interval", "10",
+                   "--reset-cycles", "1",
+                   "--trace-json", str(trace)])
+        assert rc == 0
+
+        report = load_report(str(trace))  # validates the schema
+        assert report["meta"]["design"] == str(design)
+        assert report["meta"]["top"] == "top"
+
+        phases = aggregate_phases(report)
+        for name in LIVE_PHASES + ("apply_change", "checkpoint"):
+            assert name in phases, f"missing span {name!r}"
+
+        # Phase durations nest inside — so sum within — the edit total.
+        def find_span(spans, name):
+            for span in spans:
+                if span["name"] == name:
+                    return span
+                found = find_span(span["children"], name)
+                if found is not None:
+                    return found
+            return None
+
+        apply_span = find_span(report["spans"], "apply_change")
+        phase_total = sum(c["duration_ns"] for c in apply_span["children"]
+                          if c["name"] in LIVE_PHASES)
+        assert 0 < phase_total <= apply_span["duration_ns"]
+
+        counters = report["metrics"]["counters"]
+        assert counters["live.apply_changes"] == 1
+        assert counters["compile.cache_misses"] >= 1
+        assert counters["compile.cache_hits"] >= 1
+        assert counters["checkpoint.taken"] >= 1

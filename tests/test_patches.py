@@ -7,10 +7,10 @@ logic, not dead code.
 
 import pytest
 
+from repro.codegen.pygen import compile_netlist
+from repro.hdl import elaborate, parse
 from repro.riscv import assemble, build_pgas_source
 from repro.riscv.patches import PATCHES, get_patch, single_stage_patches
-from repro.hdl import elaborate, parse
-from repro.codegen.pygen import compile_netlist
 from repro.sim import Pipe
 
 # Programs chosen to expose each bug; result read from 0x200.

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.riscv import assemble, build_pgas_source, global_address
+from repro.riscv import build_pgas_source, global_address
 from repro.riscv.pgas import GLOBAL_FLAG, LOCAL_MEM_BYTES, mesh_top_name
 from repro.riscv.programs import (
     RESULT_ADDR,

@@ -2,7 +2,6 @@
 and every node's final state is differentially checked against its own
 golden-model instance."""
 
-import pytest
 
 from repro.riscv import assemble
 from repro.riscv.golden import GoldenCore

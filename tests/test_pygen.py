@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro import compile_design
-from repro.codegen.pygen import CACHE_SLOTS, compile_module
+from repro.codegen.pygen import CACHE_SLOTS
 from repro.sim import Pipe, StageInst
 
 

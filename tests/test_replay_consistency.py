@@ -5,7 +5,7 @@ import pytest
 from repro import compile_design
 from repro.hdl.errors import SimulationError
 from repro.live.checkpoint import CheckpointStore
-from repro.live.consistency import ConsistencyChecker, WorkerContext
+from repro.live.consistency import ConsistencyChecker
 from repro.live.replay import SessionOp, replay_ops, trim_ops
 from repro.sim import Pipe
 from repro.sim.testbench import CallbackTestbench, hold_inputs
@@ -59,7 +59,6 @@ class TestReplayOps:
 
     def test_testbench_rebased_to_op_start(self):
         pipe = make_pipe()
-        seen = []
 
         class RecordingTB(CallbackTestbench):
             def __init__(self):

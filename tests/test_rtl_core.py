@@ -8,7 +8,6 @@ must agree — including on randomly generated programs.
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.riscv import assemble
@@ -16,7 +15,6 @@ from repro.riscv.golden import GoldenCore
 from repro.riscv.programs import (
     fibonacci,
     memcopy,
-    node_result,
     sieve,
     vector_sum,
 )

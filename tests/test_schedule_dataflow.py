@@ -3,9 +3,9 @@ early binding, fixpoint detection."""
 
 import pytest
 
+from repro import compile_design
 from repro.hdl import elaborate, parse
 from repro.hdl.errors import ConvergenceError
-from repro import compile_design
 from repro.sim import Pipe
 
 

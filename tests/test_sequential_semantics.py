@@ -4,7 +4,6 @@ assignments, two-phase evaluation ordering."""
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import compile_design

@@ -1,6 +1,5 @@
 """Multi-pipe sessions and cache lifecycle across many edits."""
 
-import pytest
 
 from repro.live.session import LiveSession
 from repro.sim.testbench import hold_inputs

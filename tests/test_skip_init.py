@@ -7,7 +7,6 @@ after the expensive boot can seed a *fresh* session — even one whose
 design has since been edited, thanks to the Table V transform rules.
 """
 
-import pytest
 
 from repro.live.checkpoint import CheckpointStore
 from repro.live.session import LiveSession

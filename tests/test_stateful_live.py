@@ -10,6 +10,7 @@ current design).
 """
 
 from hypothesis import settings
+from hypothesis import strategies as st
 from hypothesis.stateful import (
     RuleBasedStateMachine,
     initialize,
@@ -17,7 +18,6 @@ from hypothesis.stateful import (
     precondition,
     rule,
 )
-from hypothesis import strategies as st
 
 from repro.live.session import LiveSession
 from repro.sim.testbench import hold_inputs
@@ -80,7 +80,6 @@ class LiveLoopMachine(RuleBasedStateMachine):
 
     @invariant()
     def checkpoints_never_after_now(self) -> None:
-        pipe_cycle = self.session.pipe("p0").cycle
         ops = self.session.ops("p0")
         history_end = ops[-1].end_cycle if ops else 0
         for checkpoint in self.session.checkpoints("p0"):
