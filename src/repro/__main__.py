@@ -9,11 +9,17 @@ the paper's Table I command syntax plus a few session-level verbs::
 Extra verbs beyond Table I:
 
     reload <path>       re-read the design source and run the live loop
-    verify <pipe>       checkpoint-consistency verification (+repair)
+    verify <pipe>       checkpoint-consistency verification (+repair);
+                        blocking — it shadows the interpreter's
+                        background ``verify``, which needs testbench
+                        factory specs the shell's built-in tb lacks
     regs <pipe>, <path> dump an instance's registers
     outputs <pipe>      print the pipe's current outputs
     lint                lint the current design
     quit
+
+plus the interpreter conveniences (``peek``, ``verifyStatus``,
+``verifyWait``, …) from :mod:`repro.live.commands`.
 
 With ``--trace-json PATH`` the whole session runs under the
 :mod:`repro.obs` tracer and a ``repro.obs/v1`` span/metrics report is

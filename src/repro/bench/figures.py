@@ -7,6 +7,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from .tables import Table7Row, table7
 from .workloads import PGASWorkbench, SizeResult
 
@@ -244,4 +245,82 @@ def consistency_scaling(
         parallel = session.verify_consistency("uut", workers=workers)
         result.parallel_wall_s[workers] = parallel.wall_seconds
         result.all_consistent &= parallel.all_consistent
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Fig. 6 with the persistent pool: speedup vs workers, warm-cache effect
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class VerifyPoolScalingResult:
+    """Serial vs pooled verification, cold (workers must compile) and
+    warm (design served from the per-worker fingerprint cache)."""
+
+    n: int
+    checkpoints: int
+    segments: int
+    serial_wall_s: float
+    cold_wall_s: Dict[int, float] = field(default_factory=dict)
+    warm_wall_s: Dict[int, float] = field(default_factory=dict)
+    worker_compiles: Dict[int, int] = field(default_factory=dict)
+    cache_hits: Dict[int, int] = field(default_factory=dict)
+    all_consistent: bool = True
+
+    def speedup(self, workers: int) -> Optional[float]:
+        wall = self.warm_wall_s.get(workers)
+        if not wall:
+            return None
+        return self.serial_wall_s / wall
+
+
+def verify_pool_scaling(
+    n: int = 1,
+    run_cycles: int = 320,
+    interval: int = 40,
+    worker_counts: Sequence[int] = (2, 4),
+) -> VerifyPoolScalingResult:
+    """Fig.-6-style speedup-vs-workers using the persistent pool.
+
+    For each worker count the pool is started cold (first verify pays
+    one compile per worker) and then reused warm (every segment hits
+    the worker-side design cache) — the warm number is what a user sees
+    re-verifying after the first edit of a session.
+    """
+    bench = PGASWorkbench(n, checkpoint_interval=interval)
+    session = bench.build_session()
+    tb = bench.tb_handle
+    assert tb is not None
+    session.run(tb, "uut", run_cycles)
+    metrics = obs.get_metrics()
+    try:
+        serial = session.verify_consistency("uut", workers=1)
+        result = VerifyPoolScalingResult(
+            n=n,
+            checkpoints=len(session.store("uut")),
+            segments=len(serial.segments),
+            serial_wall_s=serial.wall_seconds,
+            all_consistent=serial.all_consistent,
+        )
+        for workers in worker_counts:
+            session.reset_verifier_pool()  # cold start for this count
+            compiles_before = metrics.counter("consistency.worker_compiles")
+            hits_before = metrics.counter("consistency.worker_cache_hits")
+            cold = session.verify_consistency("uut", workers=workers)
+            warm = session.verify_consistency("uut", workers=workers)
+            result.cold_wall_s[workers] = cold.wall_seconds
+            result.warm_wall_s[workers] = warm.wall_seconds
+            result.worker_compiles[workers] = (
+                metrics.counter("consistency.worker_compiles")
+                - compiles_before
+            )
+            result.cache_hits[workers] = (
+                metrics.counter("consistency.worker_cache_hits") - hits_before
+            )
+            result.all_consistent &= (
+                cold.all_consistent and warm.all_consistent
+            )
+    finally:
+        session.close()
     return result

@@ -27,14 +27,19 @@ from dataclasses import asdict
 from typing import Dict, List, Optional, Sequence
 
 from .. import obs
-from .figures import fig7_crossover_kilocycles, fig7_series, fig8_bars
+from .figures import (
+    fig7_crossover_kilocycles,
+    fig7_series,
+    fig8_bars,
+    verify_pool_scaling,
+)
 from .reporting import format_phase_breakdown, format_table
 from .tables import erd_phase_rows, table7, table8, table8_shape_checks
 from .workloads import collect_sizes
 
 BENCH_SCHEMA_ID = "repro.bench/v1"
 DEFAULT_TARGETS = ("fig7", "table7")
-KNOWN_TARGETS = ("fig7", "fig8", "table7", "table8")
+KNOWN_TARGETS = ("fig6", "fig7", "fig8", "table7", "table8")
 MAX_CALIBRATION_SCALE = 4.0
 
 
@@ -101,6 +106,14 @@ def run_bench(
             },
             "crossover_kilocycles": fig7_crossover_kilocycles(live, veri),
         }
+
+    if "fig6" in targets:
+        # Report-only (no regression gate): parallel verification wall
+        # time vs workers on the persistent pool, cold and warm.
+        scaling = verify_pool_scaling(
+            n=sizes[0], run_cycles=320, interval=40, worker_counts=(2, 4)
+        )
+        payload["fig6"] = asdict(scaling)
 
     if "fig8" in targets:
         payload["fig8"] = [asdict(bar) for bar in fig8_bars(results)]
@@ -176,6 +189,25 @@ def compare_to_baseline(
 
 
 def _print_summary(payload: Dict, out) -> None:
+    fig6 = payload.get("fig6")
+    if fig6:
+        rows = [["serial", round(fig6["serial_wall_s"], 3), "", ""]]
+        for workers in sorted(fig6["warm_wall_s"]):
+            warm = fig6["warm_wall_s"][workers]
+            rows.append([
+                workers,
+                round(fig6["cold_wall_s"][workers], 3),
+                round(warm, 3),
+                round(fig6["serial_wall_s"] / warm, 2) if warm else "",
+            ])
+        print(format_table(
+            "Fig. 6 — consistency verification vs workers "
+            f"({fig6['segments']} segments, persistent pool)",
+            ["cold s", "warm s", "warm speedup"],
+            [row[1:] for row in rows],
+            row_labels=[str(row[0]) for row in rows],
+        ), file=out)
+        print(file=out)
     fig7 = payload.get("fig7")
     if fig7:
         sizes = sorted(fig7["per_edit_latency_s"], key=int)

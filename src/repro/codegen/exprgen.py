@@ -82,6 +82,11 @@ class ExprGen:
         if isinstance(expr, ast.Id):
             width = self._resolver.signal_width(expr.name)
             if width is None:
+                if self._maybe_memory_width(expr.name) is not None:
+                    raise CodegenError(
+                        f"memory {expr.name!r} used without an index",
+                        expr.line,
+                    )
                 raise CodegenError(f"unknown signal {expr.name!r}", expr.line)
             return width
         if isinstance(expr, ast.Unary):
@@ -208,13 +213,28 @@ class ExprGen:
     # matters beyond aesthetics: a 256-term reduction (e.g. the
     # all-halted AND of a 256-core mesh) would otherwise nest past
     # CPython's parenthesis limit.  Masking distributes over + and *
-    # modulo 2**w, so flattening preserves semantics.
+    # modulo 2**w only when every node in the chain has the same width
+    # w, so those chains stop at any sub-node of a narrower width (its
+    # mask drops carry bits the wider sum must not see, e.g. the inner
+    # add of ``c + (a + a)`` with 8-bit ``a`` and 16-bit ``c``).
+    # Bitwise chains can't carry past their operands' widths, so they
+    # flatten unconditionally.
     _FLATTENABLE = frozenset({"+", "*", "&", "|", "^"})
 
-    def _collect_chain(self, expr: ast.Expr, op: str, out: List[ast.Expr]) -> None:
-        if isinstance(expr, ast.Binary) and expr.op == op:
-            self._collect_chain(expr.left, op, out)
-            self._collect_chain(expr.right, op, out)
+    def _collect_chain(
+        self,
+        expr: ast.Expr,
+        op: str,
+        out: List[ast.Expr],
+        width: Optional[int] = None,
+    ) -> None:
+        if (
+            isinstance(expr, ast.Binary)
+            and expr.op == op
+            and (width is None or self.width_of(expr) == width)
+        ):
+            self._collect_chain(expr.left, op, out, width)
+            self._collect_chain(expr.right, op, out, width)
         else:
             out.append(expr)
 
@@ -222,7 +242,8 @@ class ExprGen:
         op = expr.op
         if op in self._FLATTENABLE:
             operands: List[ast.Expr] = []
-            self._collect_chain(expr, op, operands)
+            chain_width = self.width_of(expr) if op in ("+", "*") else None
+            self._collect_chain(expr, op, operands, chain_width)
             if len(operands) > 2:
                 width = max(self.width_of(o) for o in operands)
                 joined = f" {op} ".join(f"({self.gen(o)})" for o in operands)

@@ -18,7 +18,14 @@
 from .checkpoint import Checkpoint, CheckpointStore, GCPolicy
 from .commands import CommandError, CommandInterpreter, CommandResult
 from .compiler_live import CompileReport, LiveCompiler
-from .consistency import ConsistencyChecker, ConsistencyReport
+from .consistency import (
+    BackgroundVerifier,
+    ConsistencyChecker,
+    ConsistencyReport,
+    VerifierPool,
+    VerifyJob,
+    VerifyStatus,
+)
 from .hotreload import HotReloader, SwapReport
 from .parser_live import LiveParser, LiveParseResult
 from .regression import (
@@ -54,8 +61,12 @@ __all__ = [
     "Checkpoint",
     "CheckpointStore",
     "GCPolicy",
+    "BackgroundVerifier",
     "ConsistencyChecker",
     "ConsistencyReport",
+    "VerifierPool",
+    "VerifyJob",
+    "VerifyStatus",
     "ERDReport",
     "LiveSession",
     "CommandInterpreter",

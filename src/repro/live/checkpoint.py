@@ -16,6 +16,7 @@ and its cost is measured and reported by the overhead bench exactly as
 from __future__ import annotations
 
 import pickle
+import threading
 import time
 from dataclasses import dataclass
 from typing import List, Optional
@@ -54,20 +55,32 @@ class GCPolicy:
         older = checkpoints[: -self.keep_latest]
         if len(older) <= self.older_budget:
             return []
-        # Keep `older_budget` roughly equally spaced by cycle.
+        # Keep `older_budget` roughly equally spaced by cycle.  Each
+        # target claims a *distinct* checkpoint: with clustered cycles
+        # several targets would otherwise resolve to the same nearest
+        # checkpoint and the keep set would shrink below the budget,
+        # deleting more than the policy promises.
         first = older[0].cycle
         last = older[-1].cycle
         span = max(last - first, 1)
+        budget = min(self.older_budget, len(older))
+        remaining = list(older)
         keep_ids = set()
-        for i in range(self.older_budget):
-            target = first + span * i / max(self.older_budget - 1, 1)
-            best = min(older, key=lambda c: abs(c.cycle - target))
+        for i in range(budget):
+            target = first + span * i / max(budget - 1, 1)
+            best = min(remaining, key=lambda c: abs(c.cycle - target))
             keep_ids.add(best.id)
+            remaining.remove(best)
         return [c for c in older if c.id not in keep_ids]
 
 
 class CheckpointStore:
-    """Ordered collection of checkpoints for one pipeline session."""
+    """Ordered collection of checkpoints for one pipeline session.
+
+    Mutation is guarded by a reentrant lock: the background verifier's
+    collector thread invalidates post-divergence checkpoints while the
+    session thread may be capturing new ones.
+    """
 
     def __init__(
         self,
@@ -82,6 +95,7 @@ class CheckpointStore:
         self.enabled = enabled
         self._checkpoints: List[Checkpoint] = []
         self._next_id = 0
+        self._lock = threading.RLock()
         self.total_capture_seconds = 0.0
         self.total_captured = 0
         self.total_collected = 0
@@ -95,19 +109,20 @@ class CheckpointStore:
             snapshot = pipe.snapshot()
         elapsed = time.perf_counter() - started
         obs.incr("checkpoint.taken")
-        checkpoint = Checkpoint(
-            id=self._next_id,
-            cycle=pipe.cycle,
-            snapshot=snapshot,
-            version=version,
-            op_index=op_index,
-            capture_seconds=elapsed,
-        )
-        self._next_id += 1
-        self._insert(checkpoint)
-        self.total_capture_seconds += elapsed
-        self.total_captured += 1
-        self.gc()
+        with self._lock:
+            checkpoint = Checkpoint(
+                id=self._next_id,
+                cycle=pipe.cycle,
+                snapshot=snapshot,
+                version=version,
+                op_index=op_index,
+                capture_seconds=elapsed,
+            )
+            self._next_id += 1
+            self._insert(checkpoint)
+            self.total_capture_seconds += elapsed
+            self.total_captured += 1
+            self.gc()
         return checkpoint
 
     def maybe_take(self, pipe: Pipe, version: str, op_index: int) -> Optional[Checkpoint]:
@@ -126,11 +141,13 @@ class CheckpointStore:
 
     def _insert(self, checkpoint: Checkpoint) -> None:
         # Keep sorted by cycle; same-cycle recapture replaces.
-        self._checkpoints = [
-            c for c in self._checkpoints if c.cycle != checkpoint.cycle
-        ]
-        self._checkpoints.append(checkpoint)
-        self._checkpoints.sort(key=lambda c: c.cycle)
+        with self._lock:
+            replaced = [
+                c for c in self._checkpoints if c.cycle != checkpoint.cycle
+            ]
+            replaced.append(checkpoint)
+            replaced.sort(key=lambda c: c.cycle)
+            self._checkpoints = replaced
 
     # -- selection ------------------------------------------------------------
 
@@ -138,13 +155,16 @@ class CheckpointStore:
         return len(self._checkpoints)
 
     def all(self) -> List[Checkpoint]:
-        return list(self._checkpoints)
+        with self._lock:
+            return list(self._checkpoints)
 
     def cycles(self) -> List[int]:
-        return [c.cycle for c in self._checkpoints]
+        with self._lock:
+            return [c.cycle for c in self._checkpoints]
 
     def nearest_before(self, cycle: int) -> Optional[Checkpoint]:
-        candidates = [c for c in self._checkpoints if c.cycle <= cycle]
+        with self._lock:
+            candidates = [c for c in self._checkpoints if c.cycle <= cycle]
         return candidates[-1] if candidates else None
 
     def reload_candidate(
@@ -155,7 +175,8 @@ class CheckpointStore:
         Never returns a checkpoint after ``stop_cycle``.
         """
         target = max(stop_cycle - distance, 0)
-        candidates = [c for c in self._checkpoints if c.cycle <= stop_cycle]
+        with self._lock:
+            candidates = [c for c in self._checkpoints if c.cycle <= stop_cycle]
         if not candidates:
             return None
         # Ties break toward the later checkpoint: same distance from
@@ -164,57 +185,88 @@ class CheckpointStore:
 
     def invalidate_after(self, cycle: int) -> int:
         """Drop checkpoints past ``cycle`` (post-divergence cleanup)."""
-        before = len(self._checkpoints)
-        self._checkpoints = [c for c in self._checkpoints if c.cycle <= cycle]
-        dropped = before - len(self._checkpoints)
+        with self._lock:
+            before = len(self._checkpoints)
+            self._checkpoints = [
+                c for c in self._checkpoints if c.cycle <= cycle
+            ]
+            dropped = before - len(self._checkpoints)
         if dropped:
             obs.incr("checkpoint.invalidated", dropped)
         return dropped
 
     def clear(self) -> None:
-        self._checkpoints = []
+        with self._lock:
+            self._checkpoints = []
 
     def replace_snapshot(self, checkpoint_id: int, snapshot: PipeSnapshot,
                          version: str) -> None:
-        for checkpoint in self._checkpoints:
-            if checkpoint.id == checkpoint_id:
-                checkpoint.snapshot = snapshot
-                checkpoint.version = version
-                return
+        with self._lock:
+            for checkpoint in self._checkpoints:
+                if checkpoint.id == checkpoint_id:
+                    checkpoint.snapshot = snapshot
+                    checkpoint.version = version
+                    return
         raise SimulationError(f"no checkpoint with id {checkpoint_id}")
 
     # -- GC ------------------------------------------------------------------------
 
     def gc(self) -> int:
-        victims = self.policy.select_victims(self._checkpoints)
+        with self._lock:
+            victims = self.policy.select_victims(self._checkpoints)
+            if victims:
+                victim_ids = {c.id for c in victims}
+                self._checkpoints = [
+                    c for c in self._checkpoints if c.id not in victim_ids
+                ]
+                self.total_collected += len(victims)
         if victims:
-            victim_ids = {c.id for c in victims}
-            self._checkpoints = [
-                c for c in self._checkpoints if c.id not in victim_ids
-            ]
-            self.total_collected += len(victims)
             obs.incr("checkpoint.collected", len(victims))
         return len(victims)
 
     # -- persistence -----------------------------------------------------------------
 
     def save(self, path: str) -> None:
-        with open(path, "wb") as fh:
-            pickle.dump(
-                {
-                    "interval": self.interval,
-                    "checkpoints": self._checkpoints,
-                    "next_id": self._next_id,
+        with self._lock:
+            payload = {
+                "interval": self.interval,
+                "checkpoints": list(self._checkpoints),
+                "next_id": self._next_id,
+                "stats": {
+                    "total_captured": self.total_captured,
+                    "total_capture_seconds": self.total_capture_seconds,
+                    "total_collected": self.total_collected,
                 },
-                fh,
-            )
+            }
+        with open(path, "wb") as fh:
+            pickle.dump(payload, fh)
 
     def load(self, path: str) -> None:
+        """Restore a saved store, including its overhead statistics.
+
+        Files written before stats were persisted derive
+        ``total_captured``/``total_capture_seconds`` from the
+        checkpoints themselves.  The current GC policy is re-applied
+        immediately: a file saved under a looser policy must not leave
+        the store over budget.
+        """
         with open(path, "rb") as fh:
             data = pickle.load(fh)  # noqa: S301 - local trusted file
-        self.interval = data["interval"]
-        self._checkpoints = data["checkpoints"]
-        self._next_id = data["next_id"]
+        with self._lock:
+            self.interval = data["interval"]
+            self._checkpoints = list(data["checkpoints"])
+            self._next_id = data["next_id"]
+            stats = data.get("stats") or {}
+            self.total_captured = stats.get(
+                "total_captured", len(self._checkpoints)
+            )
+            self.total_capture_seconds = stats.get(
+                "total_capture_seconds",
+                sum(c.capture_seconds for c in self._checkpoints),
+            )
+            self.total_collected = stats.get("total_collected", 0)
+            self.gc()
 
     def total_bytes(self) -> int:
-        return sum(c.total_bytes() for c in self._checkpoints)
+        with self._lock:
+            return sum(c.total_bytes() for c in self._checkpoints)

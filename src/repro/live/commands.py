@@ -13,6 +13,13 @@ accepts the paper's command syntax verbatim::
     ldch pipe-name, path
     swapStage pipe-name, stage-name
 
+plus session conveniences beyond Table I::
+
+    peek pipe-name              current outputs, no cycles advanced
+    verify pipe-name [, workers]   start a background verification
+    verifyStatus pipe-name      progress / verdict of the latest verify
+    verifyWait pipe-name        block until the verify report lands
+
 Comments start with ``#``; blank lines are ignored; ``script`` runs a
 multi-line batch and returns each command's result.
 """
@@ -55,6 +62,10 @@ class CommandInterpreter:
             "chkp": self._chkp,
             "ldch": self._ldch,
             "swapstage": self._swap_stage,
+            "peek": self._peek,
+            "verify": self._verify,
+            "verifystatus": self._verify_status,
+            "verifywait": self._verify_wait,
         }
 
     # -- parsing -----------------------------------------------------------
@@ -158,6 +169,33 @@ class CommandInterpreter:
         if len(operands) == 3:
             self._session.objects.get(operands[2])
         return self._session.swap_stage(pipe_name, stage_name)
+
+    def _peek(self, operands: List[str]) -> Dict[str, int]:
+        self._need(operands, 1, 1, "peek pipe-name")
+        return self._session.peek(operands[0])
+
+    def _verify(self, operands: List[str]):
+        self._need(operands, 1, 2, "verify pipe-name [, workers]")
+        pipe_name = operands[0]
+        workers = 2
+        if len(operands) == 2:
+            try:
+                workers = int(operands[1], 0)
+            except ValueError:
+                raise CommandError("workers must be an integer, got "
+                                   f"{operands[1]!r}") from None
+            if workers < 1:
+                raise CommandError("workers must be positive")
+        self._session.verify_background(pipe_name, workers=workers)
+        return self._session.verify_status(pipe_name)
+
+    def _verify_status(self, operands: List[str]):
+        self._need(operands, 1, 1, "verifyStatus pipe-name")
+        return self._session.verify_status(operands[0])
+
+    def _verify_wait(self, operands: List[str]):
+        self._need(operands, 1, 1, "verifyWait pipe-name")
+        return self._session.wait_for_verify(operands[0])
 
 
 def _read_text_file(path: str) -> str:

@@ -28,7 +28,15 @@ from ..sim.pipeline import Pipe
 from ..sim.testbench import Testbench
 from .checkpoint import CheckpointStore, GCPolicy
 from .compiler_live import CompileResult, LiveCompiler
-from .consistency import ConsistencyChecker, ConsistencyReport, WorkerContext
+from .consistency import (
+    BackgroundVerifier,
+    ConsistencyChecker,
+    ConsistencyReport,
+    VerifierPool,
+    VerifyJob,
+    VerifyStatus,
+    WorkerContext,
+)
 from .hotreload import HotReloader, SwapReport
 from .replay import SessionOp, replay_ops
 from .tables import (
@@ -68,6 +76,10 @@ class ERDReport:
     # background verification verdict (post-repair state is correct).
     consistency: Dict[str, "ConsistencyReport"] = field(default_factory=dict)
     verify_seconds: float = 0.0
+    # Pipes whose verification was kicked off in the background
+    # (apply_change(verify="background")); verdicts arrive later via
+    # LiveSession.verify_status / wait_for_verify.
+    background_verifies: List[str] = field(default_factory=list)
 
     @property
     def total_seconds(self) -> float:
@@ -127,7 +139,32 @@ class LiveSession:
         self._testbenches: Dict[str, Testbench] = {}
         self._tb_specs: Dict[str, Tuple[str, Dict]] = {}
         self._version_counter = 0
+        self._verifier_pool: Optional[VerifierPool] = None
+        self._verify_jobs: Dict[str, VerifyJob] = {}
+        self._verify_reports: Dict[str, ConsistencyReport] = {}
         self._register_source_modules("design")
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down the verification subsystem (jobs + worker pool).
+
+        Safe to call multiple times; the session stays usable for
+        simulation, and the pool respawns on the next parallel verify.
+        """
+        for name in list(self._verify_jobs):
+            self.cancel_verify(name)
+        if self._verifier_pool is not None:
+            self._verifier_pool.shutdown()
+
+    def __enter__(self) -> "LiveSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
 
     # ------------------------------------------------------------------
     # Table I commands
@@ -318,6 +355,8 @@ class LiveSession:
         user is rewinding and will write new history from there.
         """
         session = self._session(pipe_name)
+        # Rewinding rewrites the history the verifier is replaying.
+        self.cancel_verify(pipe_name)
         if isinstance(checkpoint_or_path, str):
             store = CheckpointStore(interval=session.store.interval)
             store.load(checkpoint_or_path)
@@ -373,7 +412,7 @@ class LiveSession:
         self,
         new_source: str,
         transforms: Optional[Dict[str, RegisterTransform]] = None,
-        verify: bool = False,
+        verify: "bool | str" = False,
         verify_workers: int = 1,
     ) -> ERDReport:
         """Execute one edit-run-debug iteration.
@@ -393,8 +432,11 @@ class LiveSession:
         the cost of re-executing the history, which is what the fast
         estimate exists to hide.  ``verify_seconds`` is reported
         separately from the ERD total for exactly that reason.
-        Without it, verification stays explicit via
-        :meth:`verify_consistency`.
+        ``verify="background"`` instead kicks verification off on the
+        persistent worker pool and returns immediately — the paper's
+        actual §III-F behaviour; poll :meth:`verify_status` or
+        :meth:`wait_for_verify` for the verdict.  Without either,
+        verification stays explicit via :meth:`verify_consistency`.
 
         The change is transactional: if any pipe's recompile fails
         (syntax error, elaboration error, a deleted-but-instantiated
@@ -410,7 +452,7 @@ class LiveSession:
         self,
         new_source: str,
         transforms: Optional[Dict[str, RegisterTransform]],
-        verify: bool,
+        verify: "bool | str",
         verify_workers: int,
     ) -> ERDReport:
         old_source = self.compiler.source
@@ -443,6 +485,12 @@ class LiveSession:
             obs.incr("live.rolled_back_edits")
             self.compiler.update_source(old_source)
             raise
+
+        # The edit supersedes any in-flight verification: its verdict
+        # would describe the *old* design, and phase 2 is about to
+        # retarget the very checkpoints it is reading.
+        for name in self._pipe_sessions:
+            self.cancel_verify(name)
 
         # Phase 2: swap, reload, replay.
         for name, session in self._pipe_sessions.items():
@@ -501,7 +549,14 @@ class LiveSession:
         )
         self.version = new_version
 
-        if verify:
+        if verify == "background":
+            # Paper §III-F: the user keeps simulating while stored
+            # checkpoints are re-verified.  Kick the jobs off and
+            # return immediately; verdicts land via verify_status().
+            for name in report.pipes_updated:
+                self.verify_background(name, workers=verify_workers)
+                report.background_verifies.append(name)
+        elif verify:
             started = time.perf_counter()
             with obs.span("verify", workers=verify_workers):
                 for name in report.pipes_updated:
@@ -573,30 +628,149 @@ class LiveSession:
             transform_for=lambda module: None,
         )
         context = None
+        pool = None
         if workers > 1:
-            missing = [
-                h
-                for op in session.ops
-                for h in [op.tb_handle]
-                if h not in self._tb_specs
-            ]
-            if missing:
+            context = self._worker_context(session)
+            if context is None:
                 workers = 1  # no rebuild recipe: fall back to serial
             else:
-                context = WorkerContext(
-                    source=self.compiler.source,
-                    top=session.module,
-                    params=session.params,
-                    mux_style=self._mux_style,
-                    tb_specs=dict(self._tb_specs),
-                )
+                pool = self._ensure_verifier_pool(workers)
         report = checker.verify(
             session.store.all(), session.ops, workers=workers,
-            worker_context=context,
+            worker_context=context, pool=pool,
         )
         if repair and not report.all_consistent:
             self._repair(session, report)
         return report
+
+    def verify_background(
+        self,
+        pipe_name: str,
+        workers: int = 2,
+        on_complete=None,
+    ) -> VerifyJob:
+        """Verify checkpoint deltas without blocking the session.
+
+        Segments run on the persistent worker pool; session commands
+        keep executing while results stream in.  When the job finishes,
+        a divergence invalidates checkpoints past ``divergence_cycle``
+        exactly like the blocking path — the pipe's *visible* state is
+        left alone (the user may be mid-run); re-establish it with
+        ``verify_consistency(..., repair=True)`` if needed.
+        ``on_complete(report)`` fires on the collector thread.
+
+        A background verify for a pipe supersedes that pipe's previous
+        in-flight job, and any behavioural edit supersedes all jobs.
+        """
+        session = self._session(pipe_name)
+        if session.compile_result is None:
+            raise SimulationError(f"pipe {pipe_name!r} was never compiled")
+        context = self._worker_context(session)
+        if context is None:
+            raise SimulationError(
+                "background verification needs testbench factory specs; "
+                "pass factory= to load_testbench"
+            )
+        self.cancel_verify(pipe_name)
+        pool = self._ensure_verifier_pool(workers)
+        segments = ConsistencyChecker.make_segments(session.store.all())
+        verify_version = self.version
+
+        def _done(job: VerifyJob, report: ConsistencyReport) -> None:
+            self._on_verify_complete(pipe_name, verify_version, job, report)
+            if on_complete is not None:
+                on_complete(report)
+
+        job = BackgroundVerifier(pool).start(
+            segments,
+            session.ops,
+            context,
+            on_complete=_done,
+            label=f"verify-{pipe_name}",
+        )
+        self._verify_jobs[pipe_name] = job
+        return job
+
+    def _on_verify_complete(
+        self,
+        pipe_name: str,
+        verify_version: str,
+        job: VerifyJob,
+        report: ConsistencyReport,
+    ) -> None:
+        self._verify_reports[pipe_name] = report
+        if job.superseded or self.version != verify_version:
+            return  # verdict describes a design that is no longer live
+        if report.all_consistent:
+            return
+        session = self._pipe_sessions.get(pipe_name)
+        if session is None:
+            return
+        divergence = report.divergence_cycle or 0
+        session.store.invalidate_after(
+            divergence - 1 if divergence > 0 else -1
+        )
+        obs.incr("consistency.background_invalidations")
+
+    def verify_status(self, pipe_name: str) -> VerifyStatus:
+        """Verdict / progress of the pipe's latest background verify."""
+        self._session(pipe_name)  # validate the name
+        job = self._verify_jobs.get(pipe_name)
+        if job is not None:
+            return job.status()
+        return VerifyStatus(state="idle")
+
+    def wait_for_verify(
+        self, pipe_name: str, timeout: Optional[float] = None
+    ) -> Optional[ConsistencyReport]:
+        """Block until the pipe's background verify lands (None on
+        timeout or when none was ever started)."""
+        job = self._verify_jobs.get(pipe_name)
+        if job is None:
+            return self._verify_reports.get(pipe_name)
+        return job.result(timeout)
+
+    def cancel_verify(self, pipe_name: str) -> int:
+        """Cancel the pipe's in-flight background verify, if any.
+        Returns the number of segments revoked before they ran."""
+        job = self._verify_jobs.get(pipe_name)
+        if job is None:
+            return 0
+        return job.cancel()
+
+    def reset_verifier_pool(self) -> None:
+        """Tear down the persistent pool (workers exit, caches drop).
+        The next parallel verify spawns a fresh one."""
+        if self._verifier_pool is not None:
+            self._verifier_pool.shutdown()
+            self._verifier_pool = None
+
+    def _ensure_verifier_pool(self, workers: int) -> VerifierPool:
+        if self._verifier_pool is None:
+            self._verifier_pool = VerifierPool(workers)
+        elif workers > self._verifier_pool.workers:
+            # Grow to the widest request; never shrink implicitly — a
+            # resize kills warm workers and their design caches.
+            self._verifier_pool.resize(workers)
+        return self._verifier_pool
+
+    def _worker_context(self, session: _PipeSession) -> Optional[WorkerContext]:
+        """Rebuild recipe for worker processes; None when a testbench
+        in the session history has no factory spec."""
+        missing = [
+            op.tb_handle
+            for op in session.ops
+            if op.tb_handle not in self._tb_specs
+        ]
+        if missing:
+            return None
+        return WorkerContext(
+            source=self.compiler.source,
+            top=session.module,
+            params=session.params,
+            mux_style=self._mux_style,
+            tb_specs=dict(self._tb_specs),
+        )
 
     def _repair(self, session: _PipeSession, report: ConsistencyReport) -> None:
         divergence = report.divergence_cycle or 0
@@ -628,6 +802,10 @@ class LiveSession:
 
     def pipe(self, name: str) -> Pipe:
         return self._session(name).pipe
+
+    def peek(self, pipe_name: str) -> Dict[str, int]:
+        """Current output values without advancing the simulation."""
+        return self._session(pipe_name).pipe.outputs()
 
     def checkpoints(self, pipe_name: str):
         return self._session(pipe_name).store.all()

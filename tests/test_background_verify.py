@@ -1,0 +1,189 @@
+"""Background verification (§III-F: "re-verified in the background").
+
+The slow class drives real worker pools on the PGAS mesh: session
+commands must keep running while a verify is in flight, a superseding
+edit must cancel pending segments, and a divergence must invalidate
+the checkpoints past the divergence cycle.  The cheap class covers the
+``verify``/``verifyStatus``/``verifyWait``/``peek`` command plumbing
+without ever spawning a process pool.
+"""
+
+import pytest
+
+from repro import obs
+from repro.hdl.errors import SimulationError
+from repro.live.commands import CommandError, CommandInterpreter
+from repro.live.session import LiveSession
+from repro.riscv import build_pgas_source
+from repro.riscv.patches import get_patch
+from repro.riscv.programs import boot_program, boot_program_spec
+from repro.sim.testbench import hold_inputs
+from tests.conftest import COUNTER_SRC
+
+# Counts DOWN via `addi s0, s0, -1` — sensitive to the id-imm-sign bug,
+# so buggy-design checkpoints diverge from fixed-design replay.
+ASM = """
+    li   s0, 1000000
+loop:
+    addi s0, s0, -1
+    sd   s0, 0x200(zero)
+    bnez s0, loop
+    ecall
+"""
+
+
+def make_session(source=None, cycles=170):
+    session = LiveSession(
+        source or build_pgas_source(1),
+        checkpoint_interval=40,
+        reload_distance=50,
+    )
+    session.inst_pipe("uut", session.stage_handle_for("pgas_mesh_1x1"))
+    tb = session.load_testbench(
+        boot_program(ASM, count=1), factory=boot_program_spec(ASM, count=1)
+    )
+    session.run(tb, "uut", cycles)
+    return session, tb
+
+
+@pytest.mark.slow
+class TestBackgroundVerify:
+    def test_session_commands_do_not_block(self):
+        session, tb = make_session()
+        try:
+            job = session.verify_background("uut", workers=2)
+            # Commands return while the workers are still compiling the
+            # design — the whole point of moving verification off the
+            # session thread.
+            outs = session.peek("uut")
+            assert isinstance(outs, dict) and outs
+            assert not job.done()
+            assert session.verify_status("uut").state == "running"
+            session.run(tb, "uut", 10)  # simulation advances mid-verify
+            report = session.wait_for_verify("uut", timeout=300)
+            assert report is not None
+            assert report.all_consistent
+            assert session.verify_status("uut").state == "consistent"
+            assert session.pipe("uut").cycle == 180
+        finally:
+            session.close()
+
+    def test_superseding_edit_cancels_pending_segments(self):
+        # One worker over many segments: an edit landing mid-verify
+        # revokes the segments that have not started and marks the job
+        # superseded, so its (stale) verdict is never acted on.
+        buggy = get_patch("id-imm-sign").inject(build_pgas_source(1))
+        session, _ = make_session(buggy, cycles=410)
+        try:
+            metrics = obs.get_metrics()
+            cancelled0 = metrics.counter("consistency.segments_cancelled")
+            superseded0 = metrics.counter("consistency.jobs_superseded")
+            job = session.verify_background("uut", workers=1)
+            session.apply_change(get_patch("id-imm-sign").fix(buggy))
+            assert job.superseded
+            report = job.result(timeout=300)
+            assert report is not None
+            assert report.status == "cancelled"
+            assert report.cancelled_segments > 0
+            assert session.verify_status("uut").state == "cancelled"
+            assert (
+                metrics.counter("consistency.segments_cancelled") > cancelled0
+            )
+            assert (
+                metrics.counter("consistency.jobs_superseded") > superseded0
+            )
+            # Superseded verdicts must not invalidate checkpoints, even
+            # though the completed segments did observe the divergence.
+            assert len(session.store("uut")) > 0
+        finally:
+            session.close()
+
+    def test_divergence_invalidates_checkpoints(self):
+        # apply_change(verify="background") wires the verify into the
+        # edit itself; the divergent verdict must drop every checkpoint
+        # past the divergence cycle (here: all of them).
+        buggy = get_patch("id-imm-sign").inject(build_pgas_source(1))
+        session, _ = make_session(buggy)
+        try:
+            metrics = obs.get_metrics()
+            invalidated0 = metrics.counter(
+                "consistency.background_invalidations"
+            )
+            erd = session.apply_change(
+                get_patch("id-imm-sign").fix(buggy), verify="background"
+            )
+            assert "uut" in erd.background_verifies
+            report = session.wait_for_verify("uut", timeout=300)
+            assert report is not None
+            assert not report.all_consistent
+            assert report.divergence_cycle == 0
+            assert session.verify_status("uut").state == "divergent"
+            assert len(session.store("uut")) == 0
+            assert (
+                metrics.counter("consistency.background_invalidations")
+                == invalidated0 + 1
+            )
+        finally:
+            session.close()
+
+
+def make_counter_interp(interval=10):
+    session = LiveSession(COUNTER_SRC, checkpoint_interval=interval)
+    session.inst_pipe("p0", session.stage_handle_for("top"))
+    tb = session.load_testbench(hold_inputs(rst=0))
+    interp = CommandInterpreter(session, read_file={}.__getitem__)
+    return session, tb, interp
+
+
+class TestVerifyCommands:
+    def test_verifystatus_idle_before_any_verify(self):
+        _, _, interp = make_counter_interp()
+        status = interp.execute("verifyStatus p0").value
+        assert status.state == "idle"
+        assert status.total_segments == 0
+
+    def test_verifystatus_unknown_pipe_rejected(self):
+        _, _, interp = make_counter_interp()
+        with pytest.raises(CommandError):
+            interp.execute("verifyStatus nope")
+
+    def test_peek_command_reads_outputs(self):
+        _, tb, interp = make_counter_interp()
+        interp.execute(f"run {tb}, p0, 5")
+        outs = interp.execute("peek p0").value
+        assert outs["c0"] == 5
+
+    def test_peek_does_not_advance(self):
+        session, tb, interp = make_counter_interp()
+        interp.execute(f"run {tb}, p0, 5")
+        interp.execute("peek p0")
+        assert session.pipe("p0").cycle == 5
+
+    def test_verify_needs_factory_spec(self):
+        # hold_inputs was loaded without factory=..., so background
+        # verification has no rebuild recipe for worker processes.
+        _, tb, interp = make_counter_interp()
+        interp.execute(f"run {tb}, p0, 15")
+        with pytest.raises(CommandError, match="factory"):
+            interp.execute("verify p0")
+
+    def test_verify_rejects_bad_worker_counts(self):
+        _, _, interp = make_counter_interp()
+        with pytest.raises(CommandError):
+            interp.execute("verify p0, 0")
+        with pytest.raises(CommandError):
+            interp.execute("verify p0, soon")
+
+    def test_verifywait_without_job_returns_none(self):
+        _, _, interp = make_counter_interp()
+        assert interp.execute("verifyWait p0").value is None
+
+    def test_verify_background_requires_compiled_pipe(self):
+        session = LiveSession(COUNTER_SRC, checkpoint_interval=10)
+        with pytest.raises(SimulationError):
+            session.verify_background("ghost")
+
+    def test_close_is_idempotent_and_context_manager_closes(self):
+        with LiveSession(COUNTER_SRC, checkpoint_interval=10) as session:
+            session.inst_pipe("p0", session.stage_handle_for("top"))
+        session.close()  # second close is a no-op

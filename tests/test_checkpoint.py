@@ -164,6 +164,26 @@ class TestGCPolicy:
         # Invariant 3: victims only ever come from the older section.
         assert all(v in cps[:-20] for v in victims)
 
+    def test_clustered_cycles_keep_full_budget(self):
+        # Clustered cycles used to collapse the keep set: several
+        # equally-spaced targets resolved to the same nearest
+        # checkpoint, so fewer than older_budget survived.
+        policy = GCPolicy(keep_latest=2, older_budget=4)
+        cps = self._fake_checkpoints([0, 1, 2, 3, 1000, 2000, 2001])
+        victims = policy.select_victims(cps)
+        older = cps[:-2]
+        survivors = len(older) - len(victims)
+        assert survivors == 4  # exactly min(older_budget, len(older))
+
+    def test_keep_set_never_collapses(self):
+        # Degenerate span: every older checkpoint at the same cycle.
+        # Every target resolves to the same nearest checkpoint unless
+        # the keep set dedupes, so the old code kept exactly one.
+        policy = GCPolicy(keep_latest=1, older_budget=3)
+        cps = self._fake_checkpoints([7, 7, 7, 7, 7, 900])
+        victims = policy.select_victims(cps)
+        assert len(cps[:-1]) - len(victims) == 3
+
     def test_store_gc_applies_policy(self):
         pipe = make_pipe()
         store = CheckpointStore(
@@ -199,3 +219,65 @@ class TestPersistence:
         store = CheckpointStore(interval=10)
         store.take(pipe, "1.0", 0)
         assert store.total_bytes() > 0
+
+    def test_load_preserves_overhead_stats(self, tmp_path):
+        # A session reload must not zero the §V-B overhead accounting.
+        pipe = make_pipe()
+        store = CheckpointStore(
+            interval=1, policy=GCPolicy(keep_latest=3, older_budget=2)
+        )
+        for _ in range(10):
+            pipe.step(1)
+            store.take(pipe, "1.0", 0)
+        assert store.total_collected > 0
+        path = str(tmp_path / "checkpoints.pkl")
+        store.save(path)
+
+        loaded = CheckpointStore(interval=99)
+        loaded.load(path)
+        assert loaded.total_captured == store.total_captured == 10
+        assert loaded.total_capture_seconds == store.total_capture_seconds
+        assert loaded.total_collected == store.total_collected
+
+    def test_load_reapplies_current_policy(self, tmp_path):
+        # A store saved under a loose policy must be GC'd on load when
+        # the loading store's policy is tighter.
+        pipe = make_pipe()
+        loose = CheckpointStore(interval=1)
+        for _ in range(12):
+            pipe.step(1)
+            loose.take(pipe, "1.0", 0)
+        path = str(tmp_path / "checkpoints.pkl")
+        loose.save(path)
+
+        tight = CheckpointStore(
+            interval=1, policy=GCPolicy(keep_latest=3, older_budget=2)
+        )
+        tight.load(path)
+        assert len(tight) <= 5
+        assert tight.total_collected > 0
+
+    def test_load_legacy_file_derives_stats(self, tmp_path):
+        # Files written before stats were persisted still load, with
+        # capture stats derived from the checkpoints themselves.
+        import pickle
+
+        pipe = make_pipe()
+        store = CheckpointStore(interval=10)
+        pipe.step(2)
+        store.take(pipe, "1.0", 0)
+        path = str(tmp_path / "legacy.pkl")
+        with open(path, "wb") as fh:
+            pickle.dump(
+                {
+                    "interval": store.interval,
+                    "checkpoints": store.all(),
+                    "next_id": 1,
+                },
+                fh,
+            )
+        loaded = CheckpointStore(interval=99)
+        loaded.load(path)
+        assert loaded.total_captured == 1
+        assert loaded.total_capture_seconds > 0
+        assert loaded.total_collected == 0

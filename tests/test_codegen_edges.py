@@ -74,6 +74,52 @@ endmodule
         assert pipe.eval()["y"] == 0
 
 
+class TestMixedWidthChains:
+    # Chain flattening must stop at narrower sub-nodes: the inner
+    # node's mask drops carry bits the wider sum must not see.
+
+    def test_narrow_inner_add_masks_before_widening(self):
+        pipe = build("""
+module m (input [7:0] a, input [15:0] c, output [15:0] y);
+  assign y = c + (a + a);
+endmodule
+""")
+        # (255 + 255) & 0xFF = 254; (65535 + 254) & 0xFFFF = 253.
+        # Flattening to (c + a + a) & 0xFFFF would give 509.
+        pipe.set_inputs(a=255, c=65535)
+        assert pipe.eval()["y"] == 253
+
+    def test_narrow_inner_mul_masks_before_widening(self):
+        pipe = build("""
+module m (input [3:0] a, input [15:0] c, output [15:0] y);
+  assign y = c * (a * a);
+endmodule
+""")
+        # (15 * 15) & 0xF = 1; 7 * 1 = 7.
+        pipe.set_inputs(a=15, c=7)
+        assert pipe.eval()["y"] == 7
+
+    def test_uniform_width_chain_still_flattens_correctly(self):
+        pipe = build("""
+module m (input [7:0] a, input [7:0] b, input [7:0] c, output [7:0] y);
+  assign y = a + b + c;
+endmodule
+""")
+        pipe.set_inputs(a=200, b=100, c=50)
+        assert pipe.eval()["y"] == (200 + 100 + 50) & 0xFF
+
+    def test_wide_first_operand_flattens(self):
+        # ((c + a) + b): every internal node is already 16 bits wide,
+        # so the chain may flatten — masks distribute at equal width.
+        pipe = build("""
+module m (input [7:0] a, input [7:0] b, input [15:0] c, output [15:0] y);
+  assign y = (c + a) + b;
+endmodule
+""")
+        pipe.set_inputs(a=255, b=255, c=65535)
+        assert pipe.eval()["y"] == (65535 + 255 + 255) & 0xFFFF
+
+
 class TestDegenerateModules:
     def test_module_with_no_logic(self):
         pipe = build("module m (input clk, input a, output y); assign y = a; endmodule")

@@ -6,6 +6,7 @@ top, testbench factory specs) and verify disjoint checkpoint batches.
 
 import pytest
 
+from repro import obs
 from repro.live.session import LiveSession
 from repro.riscv import build_pgas_source
 from repro.riscv.patches import get_patch
@@ -41,20 +42,26 @@ def make_session(source=None):
 class TestParallelVerification:
     def test_parallel_matches_serial_consistent(self):
         session, _ = make_session()
-        serial = session.verify_consistency("uut", workers=1)
-        parallel = session.verify_consistency("uut", workers=2)
-        assert serial.all_consistent
-        assert parallel.all_consistent
-        assert len(parallel.segments) == len(serial.segments)
-        assert parallel.workers == 2
+        try:
+            serial = session.verify_consistency("uut", workers=1)
+            parallel = session.verify_consistency("uut", workers=2)
+            assert serial.all_consistent
+            assert parallel.all_consistent
+            assert len(parallel.segments) == len(serial.segments)
+            assert parallel.workers == 2
+        finally:
+            session.close()
 
     def test_parallel_finds_divergence(self):
         buggy = get_patch("id-imm-sign").inject(build_pgas_source(1))
         session, _ = make_session(buggy)
-        session.apply_change(get_patch("id-imm-sign").fix(buggy))
-        parallel = session.verify_consistency("uut", workers=2)
-        assert not parallel.all_consistent
-        assert parallel.divergence_cycle == 0
+        try:
+            session.apply_change(get_patch("id-imm-sign").fix(buggy))
+            parallel = session.verify_consistency("uut", workers=2)
+            assert not parallel.all_consistent
+            assert parallel.divergence_cycle == 0
+        finally:
+            session.close()
 
     def test_missing_factory_falls_back_to_serial(self):
         session = LiveSession(build_pgas_source(1), checkpoint_interval=40)
@@ -64,3 +71,45 @@ class TestParallelVerification:
         report = session.verify_consistency("uut", workers=4)
         assert report.workers == 1  # graceful fallback
         assert report.all_consistent
+
+    def test_workers_exceed_segments(self):
+        # More workers than segments: dynamic scheduling leaves the
+        # surplus idle, and every result still carries a valid dense
+        # worker index (the old batch splitter attributed by batch
+        # position, which broke down here).
+        session, _ = make_session()
+        try:
+            report = session.verify_consistency("uut", workers=6)
+            assert report.all_consistent
+            assert 1 <= len(report.segments) < 6
+            used = {s.worker for s in report.segments}
+            assert all(w >= 0 for w in used)
+            assert len(used) <= len(report.segments)
+        finally:
+            session.close()
+
+    def test_warm_pool_compiles_once_per_worker(self):
+        # Verifying twice against an unchanged design must compile the
+        # design exactly once per worker: the second pass is served
+        # entirely from the worker-side fingerprint caches.
+        session, _ = make_session()
+        try:
+            metrics = obs.get_metrics()
+            compiles0 = metrics.counter("consistency.worker_compiles")
+            hits0 = metrics.counter("consistency.worker_cache_hits")
+            first = session.verify_consistency("uut", workers=2)
+            second = session.verify_consistency("uut", workers=2)
+            assert first.all_consistent and second.all_consistent
+            used = {s.worker for s in first.segments}
+            used |= {s.worker for s in second.segments}
+            total_compiles = (
+                metrics.counter("consistency.worker_compiles") - compiles0
+            )
+            assert total_compiles == len(used)
+            assert total_compiles <= 2
+            # Every other segment was a cache hit.
+            total_segments = len(first.segments) + len(second.segments)
+            hits = metrics.counter("consistency.worker_cache_hits") - hits0
+            assert hits == total_segments - total_compiles
+        finally:
+            session.close()
