@@ -65,6 +65,11 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--trace-json", metavar="PATH",
                         help="enable tracing and write the repro.obs/v1 "
                              "span/metrics report to PATH on exit")
+    parser.add_argument("--store", metavar="DIR",
+                        help="on-disk compile-artifact store: compiled "
+                             "modules are persisted here and reused "
+                             "across runs (and by the repro.server "
+                             "service) instead of recompiling")
     return parser
 
 
@@ -73,12 +78,13 @@ class Shell:
 
     def __init__(self, source: str, top: Optional[str],
                  checkpoint_interval: int, reset_cycles: int,
-                 out=None):
+                 out=None, artifact_store=None):
         # Resolve stdout lazily so output redirection (and pytest's
         # capture) set up after import still takes effect.
         self._out = out if out is not None else sys.stdout
         self.session = LiveSession(
-            source, checkpoint_interval=checkpoint_interval
+            source, checkpoint_interval=checkpoint_interval,
+            artifact_store=artifact_store,
         )
         modules = list(self.session.compiler.design.modules)
         if not modules:
@@ -215,6 +221,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.trace_json:
         obs.enable()
         obs.reset()
+    artifact_store = None
+    if args.store:
+        from .server.store import ArtifactStore
+
+        artifact_store = ArtifactStore(args.store)
     try:
         with open(args.design) as fh:
             source = fh.read()
@@ -223,6 +234,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.top,
             checkpoint_interval=args.checkpoint_interval,
             reset_cycles=args.reset_cycles,
+            artifact_store=artifact_store,
         )
     except (OSError, HDLError) as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -116,7 +116,13 @@ class CommandInterpreter:
     def _ld_lib(self, operands: List[str]) -> List[str]:
         self._need(operands, 2, 2, "ldLib name, path")
         name, path = operands
-        source = self._read_file(path)
+        try:
+            source = self._read_file(path)
+        except OSError as exc:
+            # A bad path is a user typo, not a session failure: surface
+            # it as a CommandError so callers (the shell, the server)
+            # report it on the same channel as every other bad command.
+            raise CommandError(f"ldLib: cannot read {path!r}: {exc}") from exc
         return self._session.ld_lib(name, source)
 
     def _inst_pipe(self, operands: List[str]):

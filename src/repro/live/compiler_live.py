@@ -60,12 +60,27 @@ class CompileResult:
 class LiveCompiler:
     """Owns the evolving design source and the compilation cache."""
 
-    def __init__(self, source: str, mux_style: str = "branch"):
+    def __init__(
+        self,
+        source: str,
+        mux_style: str = "branch",
+        store=None,
+    ):
+        """``store`` is an optional on-disk artifact store (duck-typed
+        ``load(cache_key)`` / ``save(cache_key, module)``, see
+        :class:`repro.server.store.ArtifactStore`).  The in-memory
+        cache reads through it and writes behind it, so artifacts
+        survive restarts and are shared across sessions."""
         self.parser = LiveParser(source)
         self._design = parse(source)
         self._mux_style = mux_style
         self._cache: Dict[CacheKey, CompiledModule] = {}
+        self._store = store
         self._last_parse_seconds = 0.0
+
+    @property
+    def artifact_store(self):
+        return self._store
 
     @property
     def source(self) -> str:
@@ -173,11 +188,23 @@ class LiveCompiler:
                 report.reused_keys.append(key)
                 obs.incr("compile.cache_hits")
                 return cached
+            if self._store is not None:
+                stored = self._store.load(cache_key)
+                if stored is not None:
+                    # Disk hit: the generated code is reused with zero
+                    # codegen, exactly like a memory hit — it just also
+                    # worked across a restart or another session.
+                    self._cache[cache_key] = stored
+                    library[key] = stored
+                    report.reused_keys.append(key)
+                    return stored
             compiled = compile_module(ir, netlist, self._mux_style)
             self._cache[cache_key] = compiled
             library[key] = compiled
             report.recompiled_keys.append(key)
             obs.incr("compile.cache_misses")
+            if self._store is not None:
+                self._store.save(cache_key, compiled)
             return compiled
 
         with obs.span("codegen", top=top):

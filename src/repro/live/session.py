@@ -123,8 +123,11 @@ class LiveSession:
         gc_policy: Optional[GCPolicy] = None,
         checkpoints_enabled: bool = True,
         initial_version: str = "1.0",
+        artifact_store=None,
     ):
-        self.compiler = LiveCompiler(source, mux_style=mux_style)
+        self.compiler = LiveCompiler(
+            source, mux_style=mux_style, store=artifact_store
+        )
         self.objects = ObjectLibraryTable()
         self.pipelines = PipelineTable()
         self.stages = StageTable(self.pipelines)

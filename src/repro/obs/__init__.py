@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Union
 
-from .metrics import MetricsRegistry
+from .metrics import Histogram, MetricsRegistry
 from .report import (
     SCHEMA_ID,
     aggregate_phases,
@@ -47,6 +47,8 @@ __all__ = [
     "gauge",
     "get_metrics",
     "get_tracer",
+    "histogram",
+    "Histogram",
     "incr",
     "load_report",
     "record",
@@ -122,6 +124,11 @@ def incr(name: str, amount: Union[int, float] = 1) -> None:
 
 def gauge(name: str, value: Union[int, float]) -> None:
     _metrics.gauge(name, value)
+
+
+def histogram(name: str, value: Union[int, float]) -> None:
+    """Record one observation of a distribution (latency, size, ...)."""
+    _metrics.histogram(name, value)
 
 
 # -- reporting ---------------------------------------------------------------

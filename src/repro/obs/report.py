@@ -36,7 +36,11 @@ def build_report(
 ) -> Dict:
     """Assemble the report dict from a tracer and a metrics registry."""
     spans = [span.to_dict() for span in (tracer.roots if tracer else [])]
-    metric_dump = metrics.as_dict() if metrics else {"counters": {}, "gauges": {}}
+    metric_dump = (
+        metrics.as_dict()
+        if metrics
+        else {"counters": {}, "gauges": {}, "histograms": {}}
+    )
     return {
         "schema": SCHEMA_ID,
         "meta": dict(meta or {}),
@@ -89,6 +93,25 @@ def validate_report(report: Dict) -> None:
             if not isinstance(value, (int, float)) or isinstance(value, bool):
                 raise ValueError(
                     f"metrics.{section}[{name!r}] must be a number"
+                )
+    # Histograms entered the schema after v1 shipped; reports written
+    # before then simply lack the section, so it stays optional.
+    histograms = metrics.get("histograms", {})
+    if not isinstance(histograms, dict):
+        raise ValueError("metrics.histograms must be a dict")
+    for name, stats in histograms.items():
+        if not isinstance(name, str):
+            raise ValueError(f"metrics.histograms key {name!r} not a str")
+        if not isinstance(stats, dict):
+            raise ValueError(f"metrics.histograms[{name!r}] must be a dict")
+        for stat, value in stats.items():
+            if not isinstance(stat, str):
+                raise ValueError(
+                    f"metrics.histograms[{name!r}] key {stat!r} not a str"
+                )
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ValueError(
+                    f"metrics.histograms[{name!r}][{stat!r}] must be a number"
                 )
 
 

@@ -1,0 +1,70 @@
+"""Multi-session LiveSim service with a shared compile-artifact store.
+
+The production face of the reproduction: a long-lived process serving
+many concurrent edit-run-debug sessions over a JSON-lines socket
+protocol, backed by an on-disk content-addressed store of compiled
+modules so compile work survives restarts and is shared across users.
+
+* :mod:`repro.server.protocol` — request/response/event framing
+  (``repro.server/v1``).
+* :mod:`repro.server.store` — the on-disk artifact store
+  :class:`~repro.server.store.ArtifactStore` that
+  :class:`~repro.live.compiler_live.LiveCompiler` reads through.
+* :mod:`repro.server.service` — :class:`SessionManager` (one
+  :class:`~repro.live.session.LiveSession` per named session behind a
+  per-session lock) and :class:`LiveSimServer` (threaded socket
+  front-end with idle eviction and graceful shutdown).
+* :mod:`repro.server.client` — blocking :class:`LiveSimClient` and the
+  ``python -m repro.server.client`` REPL.
+
+Run a server::
+
+    python -m repro.server --port 7391 --store /var/cache/livesim
+"""
+
+from .protocol import (
+    PROTOCOL_VERSION,
+    Event,
+    ProtocolError,
+    Request,
+    Response,
+)
+from .service import (
+    DEFAULT_PORT,
+    DuplicateSessionError,
+    LiveSimServer,
+    ManagedSession,
+    SessionManager,
+    UnknownSessionError,
+)
+from .store import STORE_FORMAT, ArtifactStore, key_digest
+
+
+def __getattr__(name):
+    # Lazy so ``python -m repro.server.client`` does not import the
+    # client module twice (once via the package, once as __main__).
+    if name in ("LiveSimClient", "ServerError"):
+        from . import client
+
+        return getattr(client, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "ArtifactStore",
+    "DEFAULT_PORT",
+    "DuplicateSessionError",
+    "Event",
+    "LiveSimClient",
+    "LiveSimServer",
+    "ManagedSession",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "Request",
+    "Response",
+    "STORE_FORMAT",
+    "ServerError",
+    "SessionManager",
+    "UnknownSessionError",
+    "key_digest",
+]

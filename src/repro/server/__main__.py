@@ -1,0 +1,66 @@
+"""Command-line entry point: ``python -m repro.server``.
+
+Starts the multi-session LiveSim service and blocks until SIGINT or a
+client sends ``shutdown``.  The listening address is printed on stdout
+(one line, machine-parseable) so wrappers that bind port 0 can discover
+the real port::
+
+    $ python -m repro.server --port 0 --store /tmp/livesim-store
+    livesim server listening on 127.0.0.1:43251
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .service import DEFAULT_PORT, LiveSimServer
+from .store import ArtifactStore
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server",
+        description="LiveSim multi-session server "
+                    "(JSON-lines protocol repro.server/v1)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT,
+                        help=f"listen port (default {DEFAULT_PORT}; "
+                             "0 picks a free port)")
+    parser.add_argument("--store", metavar="DIR",
+                        help="on-disk compile-artifact store shared by "
+                             "all sessions (and across restarts)")
+    parser.add_argument("--idle-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="evict sessions idle longer than this")
+    parser.add_argument("--checkpoint-interval", type=int, default=10_000)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    store = ArtifactStore(args.store) if args.store else None
+    server = LiveSimServer(
+        host=args.host,
+        port=args.port,
+        artifact_store=store,
+        idle_timeout=args.idle_timeout,
+        checkpoint_interval=args.checkpoint_interval,
+    )
+    host, port = server.start()
+    print(f"livesim server listening on {host}:{port}", flush=True)
+    if store is not None:
+        print(f"artifact store: {store.root} "
+              f"({len(store)} artifacts)", file=sys.stderr, flush=True)
+    try:
+        server.serve_forever()
+    finally:
+        server.shutdown()
+        print("livesim server stopped", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,711 @@
+"""Multi-session LiveSim service: many users, one simulator process.
+
+The paper's workflow is one designer in one process; the service turns
+that into infrastructure: a threaded JSON-lines socket server where
+each *named session* owns a full :class:`~repro.live.session.LiveSession`
+(design source, pipes, checkpoints, background verification) behind a
+per-session lock, so independent sessions make progress concurrently
+while commands within one session stay serialized.
+
+Layering::
+
+    _Connection  -- one socket, reads requests / writes responses+events
+    LiveSimServer -- accept loop, dispatch, idle reaper, shutdown
+    SessionManager -- named LiveSession + CommandInterpreter registry
+
+All sessions share one on-disk :class:`~repro.server.store.ArtifactStore`
+(when configured), so the second session compiling a design the first
+one already compiled — or a warm restart of the whole server — loads
+artifacts from disk instead of running codegen.
+
+Observability: ``server.requests`` / ``server.request_errors``
+counters, ``server.sessions`` / ``server.connections`` gauges, and
+``server.request_seconds`` + per-command ``server.cmd.<name>.seconds``
+latency histograms.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from .. import obs
+from ..hdl.errors import HDLError, SimulationError
+from ..live.checkpoint import Checkpoint
+from ..live.commands import CommandError, CommandInterpreter
+from ..live.consistency import ConsistencyReport
+from ..live.session import ERDReport, LiveSession
+from ..sim.pipeline import Pipe
+from ..sim.testbench import reset_sequence
+from . import protocol
+from .protocol import (
+    PROTOCOL_VERSION,
+    Event,
+    ProtocolError,
+    Request,
+    Response,
+    encode_event,
+    encode_response,
+    error_response,
+    ok_response,
+    to_jsonable,
+)
+
+DEFAULT_PORT = 7391
+
+
+class UnknownSessionError(KeyError):
+    """Request names a session that does not exist."""
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep it plain
+        return self.args[0] if self.args else "unknown session"
+
+
+class DuplicateSessionError(ValueError):
+    """``open`` names a session that already exists."""
+
+
+# -- result summarization ----------------------------------------------------
+
+
+def summarize(value: Any) -> Any:
+    """Command result -> compact JSON-safe summary for the wire.
+
+    Heavyweight simulator objects shrink to the fields a client acts
+    on; small dataclasses pass through :func:`protocol.to_jsonable`.
+    """
+    if isinstance(value, Pipe):
+        return {
+            "_type": "Pipe",
+            "name": value.name,
+            "cycle": value.cycle,
+            "outputs": value.outputs(),
+        }
+    if isinstance(value, Checkpoint):
+        return {
+            "_type": "Checkpoint",
+            "id": value.id,
+            "cycle": value.cycle,
+            "version": value.version,
+            "bytes": value.total_bytes(),
+        }
+    if isinstance(value, ConsistencyReport):
+        return {
+            "_type": "ConsistencyReport",
+            "all_consistent": value.all_consistent,
+            "divergence_cycle": value.divergence_cycle,
+            "segments": len(value.segments),
+            "cancelled_segments": value.cancelled_segments,
+            "status": value.status,
+            "workers": value.workers,
+            "wall_seconds": value.wall_seconds,
+        }
+    if isinstance(value, ERDReport):
+        return {
+            "_type": "ERDReport",
+            "behavioral": value.behavioral,
+            "version": value.version,
+            "parse_seconds": value.parse_seconds,
+            "compile_seconds": value.compile_seconds,
+            "swap_seconds": value.swap_seconds,
+            "reload_seconds": value.reload_seconds,
+            "replay_seconds": value.replay_seconds,
+            "total_seconds": value.total_seconds,
+            "within_two_seconds": value.within_two_seconds,
+            "cycles_replayed": value.cycles_replayed,
+            "checkpoint_cycle": value.checkpoint_cycle,
+            "recompiled_keys": list(value.recompiled_keys),
+            "reused_keys": list(value.reused_keys),
+            "swapped_instances": value.swapped_instances,
+            "pipes_updated": list(value.pipes_updated),
+            "background_verifies": list(value.background_verifies),
+            "consistency": {
+                name: summarize(report)
+                for name, report in value.consistency.items()
+            },
+        }
+    if isinstance(value, list):
+        return [summarize(item) for item in value]
+    return to_jsonable(value)
+
+
+# -- session registry --------------------------------------------------------
+
+
+class ManagedSession:
+    """One named LiveSession plus its interpreter and serialization lock."""
+
+    def __init__(self, name: str, session: LiveSession,
+                 tb_handle: Optional[str], clock):
+        self.name = name
+        self.session = session
+        self.interp = CommandInterpreter(session)
+        self.tb_handle = tb_handle
+        self.lock = threading.RLock()
+        self._clock = clock
+        self.created = clock()
+        self.last_used = self.created
+        self.commands = 0
+
+    def touch(self) -> None:
+        self.last_used = self._clock()
+        self.commands += 1
+
+    def idle_seconds(self) -> float:
+        return self._clock() - self.last_used
+
+
+class SessionManager:
+    """Registry of named sessions with idle eviction.
+
+    ``clock`` is injectable (monotonic seconds) so eviction is testable
+    without real waiting.
+    """
+
+    def __init__(
+        self,
+        artifact_store=None,
+        checkpoint_interval: int = 10_000,
+        idle_timeout: Optional[float] = None,
+        clock=time.monotonic,
+    ):
+        self.artifact_store = artifact_store
+        self.checkpoint_interval = checkpoint_interval
+        self.idle_timeout = idle_timeout
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._sessions: Dict[str, ManagedSession] = {}
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def open(
+        self,
+        name: str,
+        source: str,
+        reset_cycles: int = 2,
+    ) -> Dict[str, Any]:
+        """Create a named session from LHDL source text.
+
+        Registers a ``reset_sequence`` testbench (with a factory spec,
+        so background verification can rebuild it in worker processes)
+        unless ``reset_cycles`` is negative.
+        """
+        if not name:
+            raise DuplicateSessionError("session name must be non-empty")
+        with self._lock:
+            if name in self._sessions:
+                raise DuplicateSessionError(
+                    f"session {name!r} already exists"
+                )
+        session = LiveSession(
+            source,
+            checkpoint_interval=self.checkpoint_interval,
+            artifact_store=self.artifact_store,
+        )
+        tb_handle = None
+        if reset_cycles >= 0:
+            tb_handle = session.load_testbench(
+                reset_sequence("rst", cycles=reset_cycles),
+                factory=(
+                    "repro.sim.testbench:reset_sequence",
+                    {"reset_name": "rst", "cycles": reset_cycles},
+                ),
+            )
+        managed = ManagedSession(name, session, tb_handle, self._clock)
+        with self._lock:
+            if name in self._sessions:  # lost a creation race
+                session.close()
+                raise DuplicateSessionError(
+                    f"session {name!r} already exists"
+                )
+            self._sessions[name] = managed
+            count = len(self._sessions)
+        obs.incr("server.sessions_opened")
+        obs.gauge("server.sessions", count)
+        from ..live.tables import STAGE
+
+        handles = {
+            str(entry.payload): entry.handle
+            for entry in session.objects.by_type(STAGE)
+        }
+        return {
+            "session": name,
+            "modules": sorted(session.compiler.design.modules),
+            "handles": handles,
+            "tb": tb_handle,
+            "reset_cycles": reset_cycles,
+        }
+
+    def get(self, name: str) -> ManagedSession:
+        with self._lock:
+            managed = self._sessions.get(name)
+        if managed is None:
+            raise UnknownSessionError(f"unknown session {name!r}")
+        return managed
+
+    def close(self, name: str) -> bool:
+        with self._lock:
+            managed = self._sessions.pop(name, None)
+            count = len(self._sessions)
+        if managed is None:
+            raise UnknownSessionError(f"unknown session {name!r}")
+        with managed.lock:
+            managed.session.close()
+        obs.incr("server.sessions_closed")
+        obs.gauge("server.sessions", count)
+        return True
+
+    def close_all(self) -> None:
+        with self._lock:
+            sessions = list(self._sessions.values())
+            self._sessions.clear()
+        for managed in sessions:
+            with managed.lock:
+                managed.session.close()
+        obs.gauge("server.sessions", 0)
+
+    def evict_idle(self) -> List[str]:
+        """Close sessions idle past ``idle_timeout``.
+
+        A session whose lock is held (mid-command) is never evicted,
+        whatever its timestamp says.
+        """
+        if self.idle_timeout is None:
+            return []
+        evicted = []
+        with self._lock:
+            candidates = [
+                (name, managed)
+                for name, managed in self._sessions.items()
+                if managed.idle_seconds() > self.idle_timeout
+            ]
+        for name, managed in candidates:
+            if not managed.lock.acquire(blocking=False):
+                continue
+            try:
+                with self._lock:
+                    if self._sessions.get(name) is not managed:
+                        continue
+                    if managed.idle_seconds() <= self.idle_timeout:
+                        continue
+                    del self._sessions[name]
+                managed.session.close()
+                evicted.append(name)
+            finally:
+                managed.lock.release()
+        if evicted:
+            obs.incr("server.sessions_evicted", len(evicted))
+            with self._lock:
+                obs.gauge("server.sessions", len(self._sessions))
+        return evicted
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._sessions)
+
+    def describe(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            sessions = list(self._sessions.values())
+        return [
+            {
+                "session": managed.name,
+                "modules": len(managed.session.compiler.design.modules),
+                "pipes": sorted(managed.session.pipelines.names()),
+                "commands": managed.commands,
+                "idle_seconds": managed.idle_seconds(),
+                "version": managed.session.version,
+            }
+            for managed in sessions
+        ]
+
+
+# -- connections -------------------------------------------------------------
+
+
+class _Connection:
+    """One client socket: request reader plus thread-safe writer."""
+
+    def __init__(self, sock: socket.socket, peer: str):
+        self.sock = sock
+        self.peer = peer
+        self.closed = False
+        self._wlock = threading.Lock()
+
+    def send_line(self, text: str) -> bool:
+        with self._wlock:
+            if self.closed:
+                return False
+            try:
+                self.sock.sendall(text.encode("utf-8"))
+                return True
+            except OSError:
+                self.closed = True
+                return False
+
+    def send_response(self, response: Response) -> bool:
+        return self.send_line(encode_response(response))
+
+    def send_event(self, name: str, session: str, data: Dict) -> bool:
+        return self.send_line(
+            encode_event(Event(name=name, session=session, data=data))
+        )
+
+    def close(self) -> None:
+        with self._wlock:
+            self.closed = True
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class LiveSimServer:
+    """Threaded JSON-lines socket front-end over a SessionManager."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        artifact_store=None,
+        idle_timeout: Optional[float] = None,
+        checkpoint_interval: int = 10_000,
+        verify_poll: float = 0.05,
+        reaper_interval: Optional[float] = None,
+    ):
+        self.manager = SessionManager(
+            artifact_store=artifact_store,
+            checkpoint_interval=checkpoint_interval,
+            idle_timeout=idle_timeout,
+        )
+        self._host = host
+        self._port = port
+        self._verify_poll = verify_poll
+        self._reaper_interval = reaper_interval or (
+            min(idle_timeout / 2.0, 1.0) if idle_timeout else None
+        )
+        self._listener: Optional[socket.socket] = None
+        self._stop = threading.Event()
+        self._threads: List[threading.Thread] = []
+        self._conn_lock = threading.Lock()
+        self._connections: List[_Connection] = []
+        self.address: Optional[Tuple[str, int]] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> Tuple[str, int]:
+        """Bind, listen, and spawn the accept (and reaper) threads."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self._host, self._port))
+        listener.listen(32)
+        self._listener = listener
+        self.address = listener.getsockname()[:2]
+        accept = threading.Thread(
+            target=self._accept_loop, name="livesim-accept", daemon=True
+        )
+        accept.start()
+        self._threads.append(accept)
+        if self._reaper_interval is not None:
+            reaper = threading.Thread(
+                target=self._reaper_loop, name="livesim-reaper", daemon=True
+            )
+            reaper.start()
+            self._threads.append(reaper)
+        return self.address
+
+    def serve_forever(self) -> None:
+        if self._listener is None:
+            self.start()
+        try:
+            while not self._stop.wait(0.2):
+                pass
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            pass
+        finally:
+            self.shutdown()
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        """Stop accepting, close every connection and session, join
+        worker threads.  Idempotent; callable from a handler thread."""
+        if self._stop.is_set() and self._listener is None:
+            return
+        self._stop.set()
+        listener, self._listener = self._listener, None
+        if listener is not None:
+            # A blocked accept() is not reliably woken by close() alone;
+            # poke it with a throwaway connection first.
+            if self.address is not None:
+                try:
+                    socket.create_connection(self.address, timeout=1).close()
+                except OSError:
+                    pass
+            try:
+                listener.close()
+            except OSError:
+                pass
+        with self._conn_lock:
+            connections = list(self._connections)
+        for conn in connections:
+            conn.close()
+        self.manager.close_all()
+        current = threading.current_thread()
+        for thread in self._threads:
+            if thread is not current:
+                thread.join(timeout)
+        obs.gauge("server.connections", 0)
+
+    # -- accept / reap -------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        listener = self._listener
+        while not self._stop.is_set() and listener is not None:
+            try:
+                sock, addr = listener.accept()
+            except OSError:
+                return  # listener closed: shutting down
+            if self._stop.is_set():  # the shutdown wake-up poke
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+                return
+            conn = _Connection(sock, f"{addr[0]}:{addr[1]}")
+            with self._conn_lock:
+                self._connections.append(conn)
+                obs.gauge("server.connections", len(self._connections))
+            thread = threading.Thread(
+                target=self._serve_connection,
+                args=(conn,),
+                name=f"livesim-conn-{conn.peer}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _reaper_loop(self) -> None:
+        while not self._stop.wait(self._reaper_interval):
+            self.manager.evict_idle()
+
+    # -- per-connection ------------------------------------------------------
+
+    def _serve_connection(self, conn: _Connection) -> None:
+        obs.incr("server.connections_accepted")
+        rfile = conn.sock.makefile("rb")
+        try:
+            while not self._stop.is_set():
+                line = rfile.readline(protocol.MAX_LINE_BYTES + 2)
+                if not line:
+                    return
+                if len(line) > protocol.MAX_LINE_BYTES:
+                    conn.send_response(error_response(
+                        -1, "protocol",
+                        f"line exceeds {protocol.MAX_LINE_BYTES} bytes",
+                    ))
+                    return
+                if not line.strip():
+                    continue
+                try:
+                    message = protocol.decode(line)
+                except ProtocolError as exc:
+                    conn.send_response(
+                        error_response(-1, "protocol", str(exc))
+                    )
+                    continue
+                if not isinstance(message, Request):
+                    conn.send_response(error_response(
+                        -1, "protocol", "only requests flow client->server"
+                    ))
+                    continue
+                response, stop_after = self._handle_request(conn, message)
+                conn.send_response(response)
+                if stop_after:
+                    threading.Thread(
+                        target=self.shutdown, daemon=True
+                    ).start()
+                    return
+        finally:
+            try:
+                rfile.close()
+            except OSError:
+                pass
+            conn.close()
+            with self._conn_lock:
+                if conn in self._connections:
+                    self._connections.remove(conn)
+                obs.gauge("server.connections", len(self._connections))
+
+    def _handle_request(
+        self, conn: _Connection, request: Request
+    ) -> Tuple[Response, bool]:
+        started = time.perf_counter()
+        obs.incr("server.requests")
+        stop_after = False
+        try:
+            value, stop_after = self._dispatch(conn, request)
+            response = ok_response(request.id, value)
+        except CommandError as exc:
+            response = error_response(request.id, "command", str(exc))
+        except UnknownSessionError as exc:
+            response = error_response(request.id, "unknown-session", str(exc))
+        except DuplicateSessionError as exc:
+            response = error_response(
+                request.id, "duplicate-session", str(exc)
+            )
+        except HDLError as exc:
+            response = error_response(request.id, "hdl", str(exc))
+        except SimulationError as exc:
+            response = error_response(request.id, "simulation", str(exc))
+        except ProtocolError as exc:
+            response = error_response(request.id, "protocol", str(exc))
+        except Exception as exc:  # a bug must not kill the connection
+            response = error_response(
+                request.id, "internal", f"{type(exc).__name__}: {exc}"
+            )
+        if not response.ok:
+            obs.incr("server.request_errors")
+        elapsed = time.perf_counter() - started
+        obs.histogram("server.request_seconds", elapsed)
+        obs.histogram(f"server.cmd.{request.cmd}.seconds", elapsed)
+        return response, stop_after
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _dispatch(
+        self, conn: _Connection, request: Request
+    ) -> Tuple[Any, bool]:
+        cmd = request.cmd
+        params = request.params
+        if cmd == "ping":
+            return {"pong": True, "protocol": PROTOCOL_VERSION}, False
+        if cmd == "open":
+            return self._cmd_open(params), False
+        if cmd == "cmd":
+            return self._cmd_execute(conn, params), False
+        if cmd == "reload":
+            return self._cmd_reload(conn, params), False
+        if cmd == "sessions":
+            return self.manager.describe(), False
+        if cmd == "stats":
+            return self._cmd_stats(), False
+        if cmd == "close":
+            name = self._str_param(params, "session")
+            self.manager.close(name)
+            return {"closed": name}, False
+        if cmd == "shutdown":
+            return {"stopping": True, "sessions": self.manager.count}, True
+        raise ProtocolError(
+            f"unknown server command {cmd!r}; expected one of "
+            "['close', 'cmd', 'open', 'ping', 'reload', 'sessions', "
+            "'shutdown', 'stats']"
+        )
+
+    @staticmethod
+    def _str_param(params: Dict, name: str) -> str:
+        value = params.get(name)
+        if not isinstance(value, str) or not value:
+            raise ProtocolError(f"{name!r} must be a non-empty string")
+        return value
+
+    def _cmd_open(self, params: Dict) -> Dict:
+        name = self._str_param(params, "session")
+        source = self._str_param(params, "source")
+        reset_cycles = params.get("reset_cycles", 2)
+        if not isinstance(reset_cycles, int) or isinstance(reset_cycles, bool):
+            raise ProtocolError("'reset_cycles' must be an integer")
+        return self.manager.open(name, source, reset_cycles=reset_cycles)
+
+    def _cmd_execute(self, conn: _Connection, params: Dict) -> Any:
+        name = self._str_param(params, "session")
+        line = self._str_param(params, "line")
+        managed = self.manager.get(name)
+        with managed.lock:
+            result = managed.interp.execute(line)
+            managed.touch()
+        verb = result.command.lower()
+        if verb == "verify":
+            pipe = CommandInterpreter.parse(line)[1][0]
+            self._watch_verify(conn, managed, pipe)
+        return summarize(result.value)
+
+    def _cmd_reload(self, conn: _Connection, params: Dict) -> Any:
+        name = self._str_param(params, "session")
+        source = self._str_param(params, "source")
+        verify = params.get("verify", False)
+        if verify not in (False, True, "background"):
+            raise ProtocolError(
+                "'verify' must be true, false, or \"background\""
+            )
+        managed = self.manager.get(name)
+        with managed.lock:
+            report = managed.session.apply_change(source, verify=verify)
+            managed.touch()
+        for pipe in report.background_verifies:
+            self._watch_verify(conn, managed, pipe)
+        return summarize(report)
+
+    def _cmd_stats(self) -> Dict:
+        stats: Dict[str, Any] = {
+            "protocol": PROTOCOL_VERSION,
+            "sessions": self.manager.count,
+            "metrics": obs.get_metrics().as_dict(),
+        }
+        store = self.manager.artifact_store
+        if store is not None:
+            stats["store"] = {
+                "root": store.root,
+                "artifacts": len(store),
+                "bytes": store.total_bytes(),
+            }
+        return stats
+
+    # -- background-verify event streaming -----------------------------------
+
+    def _watch_verify(
+        self, conn: _Connection, managed: ManagedSession, pipe: str
+    ) -> None:
+        """Stream ``verify_status`` events for one pipe's background
+        verification to the connection that started it, until the job
+        leaves the running state (or the connection/server dies)."""
+
+        def loop() -> None:
+            last = None
+            while not self._stop.is_set() and not conn.closed:
+                try:
+                    status = managed.session.verify_status(pipe)
+                except SimulationError:
+                    return  # pipe vanished (session closed / renamed)
+                snapshot = (
+                    status.state,
+                    status.completed_segments,
+                    status.cancelled_segments,
+                )
+                if snapshot != last:
+                    data = to_jsonable(status)
+                    data["pipe"] = pipe
+                    if not conn.send_event(
+                        "verify_status", managed.name, data
+                    ):
+                        return
+                    last = snapshot
+                if status.state != "running":
+                    return
+                self._stop.wait(self._verify_poll)
+
+        thread = threading.Thread(
+            target=loop, name=f"livesim-verify-{managed.name}", daemon=True
+        )
+        thread.start()
+        self._threads.append(thread)

@@ -1,0 +1,219 @@
+"""Content-addressed on-disk store for compiled-module artifacts.
+
+:class:`~repro.live.compiler_live.LiveCompiler` caches compiled modules
+in memory keyed by ``(spec, fingerprint, child_fps, mux_style)`` — the
+exact conditions under which a compiled module is reusable.  This store
+persists those artifacts under the same key so they outlive the
+process: a warm server restart, or a second session compiling the same
+design, loads the generated code from disk instead of running codegen.
+
+A :class:`CompiledModule` holds three exec'd function objects that
+cannot be pickled; everything else (including the generated Python
+``source``) can.  ``save`` pickles the picklable fields; ``load``
+unpickles them and re-``exec``'s the stored source — the cheap half of
+compilation (the expensive half, IR scheduling + code generation, is
+what the store skips).
+
+Writes are atomic (tmp file in the same directory + ``os.replace``) so
+concurrent sessions — or a crash mid-write — can never publish a torn
+artifact.  The store is a cache: every failure path (corrupt file,
+version skew, full disk) degrades to a miss and the compiler recompiles.
+
+Counters: ``compile.store_hits`` / ``compile.store_misses`` /
+``compile.store_writes`` / ``compile.store_errors``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import linecache
+import os
+import pickle
+import tempfile
+from typing import Optional, Sequence, Tuple
+
+from .. import obs
+from ..codegen.pygen import CompiledModule
+
+# Bumped whenever the pickled payload layout or the CompiledModule
+# field set changes; artifacts with another format read as misses.
+STORE_FORMAT = "repro.store/v1"
+
+# CompiledModule fields persisted to disk — everything except the
+# three function objects, which are rebuilt from ``source`` on load.
+_PICKLED_FIELDS = (
+    "key",
+    "name",
+    "ir",
+    "source",
+    "inputs",
+    "comb_input_ports",
+    "outputs",
+    "num_regs",
+    "state_size",
+    "reg_slots",
+    "reg_widths",
+    "mem_specs",
+    "child_insts",
+    "interface_fp",
+    "source_hash",
+    "compile_seconds",
+    "mux_style",
+)
+
+
+def key_digest(cache_key: Sequence) -> str:
+    """Stable content address for one compiler cache key."""
+    spec, fingerprint, child_fps, mux_style = cache_key
+    canonical = json.dumps(
+        [spec, fingerprint, list(child_fps), mux_style]
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+class ArtifactStore:
+    """Hash-keyed directory of pickled compile artifacts."""
+
+    def __init__(self, root: str):
+        self.root = root
+
+    # -- paths ---------------------------------------------------------------
+
+    def path_for(self, cache_key: Sequence) -> str:
+        digest = key_digest(cache_key)
+        return os.path.join(self.root, digest[:2], digest + ".pkl")
+
+    # -- read-through --------------------------------------------------------
+
+    def load(self, cache_key: Sequence) -> Optional[CompiledModule]:
+        """Rehydrate the artifact for ``cache_key`` or None on a miss."""
+        path = self.path_for(cache_key)
+        try:
+            with open(path, "rb") as fh:
+                payload = pickle.load(fh)
+        except FileNotFoundError:
+            obs.incr("compile.store_misses")
+            return None
+        except (OSError, pickle.UnpicklingError, EOFError,
+                AttributeError, ImportError) as exc:
+            obs.incr("compile.store_errors")
+            obs.incr("compile.store_misses")
+            _note_error(f"load {path}: {exc}")
+            return None
+        module = self._rehydrate(cache_key, payload)
+        if module is None:
+            obs.incr("compile.store_misses")
+            return None
+        obs.incr("compile.store_hits")
+        return module
+
+    def _rehydrate(self, cache_key: Sequence, payload) -> Optional[CompiledModule]:
+        if not isinstance(payload, dict):
+            obs.incr("compile.store_errors")
+            return None
+        if payload.get("format") != STORE_FORMAT:
+            return None  # version skew, not corruption: silent miss
+        if tuple(payload.get("cache_key", ())) != tuple(cache_key):
+            # Digest collision or a tampered file; never serve it.
+            obs.incr("compile.store_errors")
+            return None
+        fields = payload.get("fields")
+        if not isinstance(fields, dict) or set(fields) != set(_PICKLED_FIELDS):
+            obs.incr("compile.store_errors")
+            return None
+        source = fields["source"]
+        filename = f"<lhdl:{fields['key']}>"
+        try:
+            namespace: dict = {}
+            exec(compile(source, filename, "exec"), namespace)  # noqa: S102
+            module = CompiledModule(
+                eval_out_fn=namespace["eval_out"],
+                eval_seq_fn=namespace["eval_seq"],
+                tick_fn=namespace["tick"],
+                **fields,
+            )
+        except Exception as exc:  # corrupt source: degrade to a miss
+            obs.incr("compile.store_errors")
+            _note_error(f"rehydrate {fields.get('key')}: {exc}")
+            return None
+        linecache.cache[filename] = (
+            len(source), None, source.splitlines(keepends=True), filename
+        )
+        return module
+
+    # -- write-behind --------------------------------------------------------
+
+    def save(self, cache_key: Sequence, module: CompiledModule) -> bool:
+        """Persist one artifact; returns False (and counts an error)
+        when the write fails — the store never breaks a compile."""
+        path = self.path_for(cache_key)
+        payload = {
+            "format": STORE_FORMAT,
+            "cache_key": tuple(cache_key),
+            "fields": {
+                name: getattr(module, name) for name in _PICKLED_FIELDS
+            },
+        }
+        try:
+            directory = os.path.dirname(path)
+            os.makedirs(directory, exist_ok=True)
+            fd, tmp_path = tempfile.mkstemp(
+                dir=directory, prefix=".tmp-", suffix=".pkl"
+            )
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp_path, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass
+                raise
+        except (OSError, pickle.PicklingError, TypeError) as exc:
+            obs.incr("compile.store_errors")
+            _note_error(f"save {path}: {exc}")
+            return False
+        obs.incr("compile.store_writes")
+        return True
+
+    # -- maintenance ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._artifact_paths())
+
+    def total_bytes(self) -> int:
+        return sum(os.path.getsize(p) for p in self._artifact_paths())
+
+    def clear(self) -> int:
+        """Delete every artifact; returns the number removed."""
+        removed = 0
+        for path in self._artifact_paths():
+            try:
+                os.unlink(path)
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def _artifact_paths(self) -> Tuple[str, ...]:
+        paths = []
+        if not os.path.isdir(self.root):
+            return ()
+        for shard in sorted(os.listdir(self.root)):
+            shard_dir = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith(".pkl") and not name.startswith(".tmp-"):
+                    paths.append(os.path.join(shard_dir, name))
+        return tuple(paths)
+
+
+def _note_error(message: str) -> None:
+    """Last-error breadcrumb for debugging without a logging setup."""
+    _note_error.last = message  # type: ignore[attr-defined]
+
+
+_note_error.last = ""  # type: ignore[attr-defined]

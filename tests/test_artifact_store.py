@@ -1,0 +1,222 @@
+"""On-disk compile-artifact store tests: round trip, corruption
+tolerance, and the LiveCompiler read-through/write-behind path."""
+
+import os
+import pickle
+
+from repro import obs
+from repro.live.compiler_live import LiveCompiler
+from repro.server.store import ArtifactStore, key_digest
+from tests.conftest import COUNTER_SRC
+
+
+def _compile_one(store=None):
+    compiler = LiveCompiler(COUNTER_SRC, store=store)
+    result = compiler.compile_top("top")
+    return compiler, result
+
+
+def _one_cache_key(compiler, spec="adder#(W=8)"):
+    for cache_key in compiler._cache:
+        if cache_key[0] == spec:
+            return cache_key
+    raise AssertionError(f"no cache key for {spec}")
+
+
+class TestKeyDigest:
+    def test_stable_and_distinct(self):
+        key_a = ("top", "fp1", ("c1", "c2"), "branch")
+        assert key_digest(key_a) == key_digest(("top", "fp1",
+                                                ("c1", "c2"), "branch"))
+        assert key_digest(key_a) != key_digest(("top", "fp2",
+                                                ("c1", "c2"), "branch"))
+        assert key_digest(key_a) != key_digest(("top", "fp1",
+                                                ("c1",), "branch"))
+        assert key_digest(key_a) != key_digest(("top", "fp1",
+                                                ("c1", "c2"), "table"))
+
+    def test_list_and_tuple_child_fps_agree(self):
+        assert key_digest(("m", "fp", ("a",), "branch")) == key_digest(
+            ["m", "fp", ["a"], "branch"]
+        )
+
+
+class TestRoundTrip:
+    def test_save_load_rebuilds_working_module(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        compiler, result = _compile_one()
+        cache_key = _one_cache_key(compiler)
+        module = compiler._cache[cache_key]
+        assert store.save(cache_key, module)
+        loaded = store.load(cache_key)
+        assert loaded is not None
+        assert loaded.key == module.key
+        assert loaded.source == module.source
+        assert loaded.source_hash == module.source_hash
+        assert loaded.reg_widths == module.reg_widths
+        # The rehydrated functions actually compute: adder sums inputs.
+        state = loaded.make_state()
+        out = loaded.eval_out_fn(state, (), 5, 7)
+        assert out == (12,)
+
+    def test_missing_is_a_miss(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        metrics = obs.get_metrics()
+        before = metrics.counter("compile.store_misses")
+        assert store.load(("nope", "fp", (), "branch")) is None
+        assert metrics.counter("compile.store_misses") == before + 1
+
+    def test_len_and_clear(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        compiler, _ = _compile_one()
+        for cache_key, module in compiler._cache.items():
+            store.save(cache_key, module)
+        assert len(store) == 3
+        assert store.total_bytes() > 0
+        assert store.clear() == 3
+        assert len(store) == 0
+
+
+class TestCorruptionTolerance:
+    def test_truncated_file_is_a_counted_miss(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        compiler, _ = _compile_one()
+        cache_key = _one_cache_key(compiler)
+        store.save(cache_key, compiler._cache[cache_key])
+        path = store.path_for(cache_key)
+        with open(path, "wb") as fh:
+            fh.write(b"\x80\x04garbage")
+        metrics = obs.get_metrics()
+        errors = metrics.counter("compile.store_errors")
+        assert store.load(cache_key) is None
+        assert metrics.counter("compile.store_errors") == errors + 1
+
+    def test_format_skew_is_a_silent_miss(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        compiler, _ = _compile_one()
+        cache_key = _one_cache_key(compiler)
+        store.save(cache_key, compiler._cache[cache_key])
+        path = store.path_for(cache_key)
+        with open(path, "rb") as fh:
+            payload = pickle.load(fh)
+        payload["format"] = "repro.store/v0"
+        with open(path, "wb") as fh:
+            pickle.dump(payload, fh)
+        metrics = obs.get_metrics()
+        errors = metrics.counter("compile.store_errors")
+        assert store.load(cache_key) is None
+        # Version skew is expected across upgrades — not an error.
+        assert metrics.counter("compile.store_errors") == errors
+
+    def test_key_mismatch_never_served(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        compiler, _ = _compile_one()
+        key_a = _one_cache_key(compiler, "adder#(W=8)")
+        key_b = _one_cache_key(compiler, "top")
+        store.save(key_a, compiler._cache[key_a])
+        # Copy a's artifact into b's address (a forged/colliding file).
+        os.makedirs(os.path.dirname(store.path_for(key_b)), exist_ok=True)
+        with open(store.path_for(key_a), "rb") as src:
+            data = src.read()
+        with open(store.path_for(key_b), "wb") as dst:
+            dst.write(data)
+        assert store.load(key_b) is None
+
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        compiler, _ = _compile_one()
+        for cache_key, module in compiler._cache.items():
+            store.save(cache_key, module)
+        leftovers = [
+            name
+            for _, _, names in os.walk(str(tmp_path))
+            for name in names
+            if name.startswith(".tmp-")
+        ]
+        assert leftovers == []
+
+    def test_unwritable_root_degrades_gracefully(self, tmp_path):
+        blocked = tmp_path / "blocked"
+        blocked.write_text("a file, not a directory")
+        store = ArtifactStore(str(blocked))
+        compiler, _ = _compile_one()
+        cache_key = _one_cache_key(compiler)
+        metrics = obs.get_metrics()
+        errors = metrics.counter("compile.store_errors")
+        assert not store.save(cache_key, compiler._cache[cache_key])
+        assert metrics.counter("compile.store_errors") == errors + 1
+
+
+class TestCompilerReadThrough:
+    def test_cold_compile_populates_store(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        metrics = obs.get_metrics()
+        writes = metrics.counter("compile.store_writes")
+        _compile_one(store)
+        assert len(store) == 3
+        assert metrics.counter("compile.store_writes") == writes + 3
+
+    def test_warm_restart_skips_codegen(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        _compile_one(store)
+        metrics = obs.get_metrics()
+        compiled = metrics.counter("codegen.modules_compiled")
+        hits = metrics.counter("compile.store_hits")
+        # A fresh compiler (fresh process, conceptually) on the same
+        # design: everything loads from disk, zero codegen.
+        compiler, result = _compile_one(ArtifactStore(str(tmp_path)))
+        assert result.report.recompiled_keys == []
+        assert len(result.report.reused_keys) == 3
+        assert metrics.counter("codegen.modules_compiled") == compiled
+        assert metrics.counter("compile.store_hits") == hits + 3
+        # And the rehydrated library simulates correctly.
+        from repro.sim import Pipe
+
+        pipe = Pipe(result.netlist.top, result.library)
+        pipe.set_inputs(rst=1)
+        pipe.step(1)
+        pipe.set_inputs(rst=0)
+        pipe.step(10)
+        assert pipe.outputs() == {"c0": 10, "c1": 30}
+
+    def test_edit_hits_store_for_unchanged_modules(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        compiler, _ = _compile_one(store)
+        # Second compiler, edited design: only the edited module is
+        # recompiled; unchanged modules come from disk.
+        compiler2 = LiveCompiler(COUNTER_SRC,
+                                 store=ArtifactStore(str(tmp_path)))
+        compiler2.update_source(
+            COUNTER_SRC.replace("assign sum = a + b;",
+                                "assign sum = a - b;")
+        )
+        metrics = obs.get_metrics()
+        compiled = metrics.counter("codegen.modules_compiled")
+        result = compiler2.compile_top("top")
+        assert result.report.recompiled_keys == ["adder#(W=8)"]
+        assert sorted(result.report.reused_keys) == ["counter#(W=8)", "top"]
+        assert metrics.counter("codegen.modules_compiled") == compiled + 1
+        # The edited module's artifact is now persisted too.
+        assert len(ArtifactStore(str(tmp_path))) == 4
+
+    def test_memory_cache_wins_over_store(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        compiler, _ = _compile_one(store)
+        metrics = obs.get_metrics()
+        hits = metrics.counter("compile.store_hits")
+        mem_hits = metrics.counter("compile.cache_hits")
+        result = compiler.compile_top("top")
+        assert len(result.report.reused_keys) == 3
+        assert metrics.counter("compile.store_hits") == hits
+        assert metrics.counter("compile.cache_hits") == mem_hits + 3
+
+    def test_evict_stale_leaves_disk_artifacts(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        compiler, _ = _compile_one(store)
+        for variant in ["a - b", "a ^ b"]:
+            compiler.update_source(COUNTER_SRC.replace("a + b", variant))
+            compiler.compile_top("top")
+        on_disk = len(store)
+        assert compiler.evict_stale(keep_generations=1) > 0
+        # The in-memory trim is a RAM bound; durable artifacts stay.
+        assert len(store) == on_disk

@@ -196,6 +196,8 @@ class TestCIWorkflow:
                     / ".github" / "workflows" / "ci.yml")
         with open(workflow) as fh:
             doc = yaml.safe_load(fh)
-        assert set(doc["jobs"]) == {"lint", "test", "bench-smoke"}
+        assert set(doc["jobs"]) == {
+            "lint", "test", "bench-smoke", "server-smoke",
+        }
         matrix = doc["jobs"]["test"]["strategy"]["matrix"]
         assert matrix["python-version"] == ["3.10", "3.11", "3.12"]

@@ -135,6 +135,61 @@ class TestCacheManagement:
         result = compiler.compile_top("top")
         assert result.report.recompiled_keys == []
 
+    def test_evict_stale_keeps_newest_generations_per_spec(self):
+        """Eviction is per spec key in insertion order: the newest
+        ``keep_generations`` versions of each module survive."""
+        compiler = LiveCompiler(COUNTER_SRC)
+        compiler.compile_top("top")
+        # Four adder generations; counter/top each stay at one.
+        variants = ["a - b", "a ^ b", "a & b"]
+        for variant in variants:
+            compiler.update_source(COUNTER_SRC.replace("a + b", variant))
+            compiler.compile_top("top")
+        assert compiler.cache_size() == 3 + len(variants)
+        evicted = compiler.evict_stale(keep_generations=2)
+        # Only the adder spec exceeded the bound: 4 generations -> 2.
+        assert evicted == 2
+        assert compiler.cache_size() == 3 + len(variants) - 2
+        # The two *newest* generations were kept: the current source
+        # ("a & b") and the previous one ("a ^ b") compile fully from
+        # cache, while an evicted older generation recompiles.
+        result = compiler.compile_top("top")
+        assert result.report.recompiled_keys == []
+        compiler.update_source(COUNTER_SRC.replace("a + b", "a ^ b"))
+        assert compiler.compile_top("top").report.recompiled_keys == []
+        compiler.update_source(COUNTER_SRC.replace("a + b", "a - b"))
+        result = compiler.compile_top("top")
+        assert result.report.recompiled_keys == ["adder#(W=8)"]
+
+    def test_evict_stale_counts_evictions(self):
+        from repro import obs
+
+        compiler = LiveCompiler(COUNTER_SRC)
+        compiler.compile_top("top")
+        for variant in ["a - b", "a ^ b", "a & b"]:
+            compiler.update_source(COUNTER_SRC.replace("a + b", variant))
+            compiler.compile_top("top")
+        metrics = obs.get_metrics()
+        before = metrics.counter("compile.cache_evicted")
+        evicted = compiler.evict_stale(keep_generations=1)
+        assert evicted == 3
+        assert metrics.counter("compile.cache_evicted") == before + 3
+        assert metrics.gauge_value("compile.cache_size") == compiler.cache_size()
+
+    def test_evict_stale_noop_below_bound(self):
+        from repro import obs
+
+        compiler = LiveCompiler(COUNTER_SRC)
+        compiler.compile_top("top")
+        metrics = obs.get_metrics()
+        before = metrics.counter("compile.cache_evicted")
+        size = compiler.cache_size()
+        assert compiler.evict_stale(keep_generations=4) == 0
+        # The no-op path touches neither the cache nor the counter.
+        assert compiler.cache_size() == size
+        assert metrics.counter("compile.cache_evicted") == before
+        assert compiler.compile_top("top").report.recompiled_keys == []
+
 
 class TestTimingFields:
     def test_report_times_populated(self):

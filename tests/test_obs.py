@@ -147,14 +147,71 @@ class TestMetrics:
         metrics.incr("a")
         snapshot = metrics.as_dict()
         metrics.incr("a")
-        assert snapshot == {"counters": {"a": 1}, "gauges": {}}
+        assert snapshot == {
+            "counters": {"a": 1}, "gauges": {}, "histograms": {},
+        }
 
     def test_reset(self):
         metrics = MetricsRegistry()
         metrics.incr("a")
         metrics.gauge("g", 1)
+        metrics.histogram("h", 1.5)
         metrics.reset()
-        assert metrics.as_dict() == {"counters": {}, "gauges": {}}
+        assert metrics.as_dict() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+
+    def test_histogram_stats(self):
+        metrics = MetricsRegistry()
+        for value in range(1, 101):
+            metrics.histogram("latency", value)
+        stats = metrics.histogram_stats("latency")
+        assert stats["count"] == 100
+        assert stats["sum"] == 5050
+        assert stats["min"] == 1 and stats["max"] == 100
+        assert stats["p50"] == 50
+        assert stats["p95"] == 95
+        assert stats["p99"] == 99
+        # Unknown histograms read as empty, not KeyError.
+        assert metrics.histogram_stats("nope")["count"] == 0
+
+    def test_histogram_single_observation(self):
+        metrics = MetricsRegistry()
+        metrics.histogram("h", 7)
+        stats = metrics.histogram_stats("h")
+        assert stats == {
+            "count": 1, "sum": 7, "min": 7, "max": 7,
+            "p50": 7, "p95": 7, "p99": 7,
+        }
+
+    def test_histogram_window_is_bounded(self):
+        from repro.obs.metrics import HISTOGRAM_WINDOW, Histogram
+
+        hist = Histogram()
+        for value in range(3 * HISTOGRAM_WINDOW):
+            hist.observe(value)
+        assert len(hist.window) == HISTOGRAM_WINDOW
+        # count/sum/min/max stay exact over the full lifetime even
+        # though percentiles only see the most recent window.
+        assert hist.count == 3 * HISTOGRAM_WINDOW
+        assert hist.min == 0
+        assert hist.max == 3 * HISTOGRAM_WINDOW - 1
+        assert hist.percentile(50) >= 2 * HISTOGRAM_WINDOW
+
+    def test_histogram_merge(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        for value in (1, 2, 3):
+            a.histogram("h", value)
+        for value in (10, 20):
+            b.histogram("h", value)
+        b.histogram("only_b", 5)
+        a.merge(b)
+        stats = a.histogram_stats("h")
+        assert stats["count"] == 5
+        assert stats["sum"] == 36
+        assert stats["min"] == 1 and stats["max"] == 20
+        assert a.histogram_stats("only_b")["count"] == 1
 
 
 class TestReportSchema:
@@ -195,6 +252,27 @@ class TestReportSchema:
         bad_metric["metrics"]["counters"]["flag"] = True
         with pytest.raises(ValueError, match="must be a number"):
             validate_report(bad_metric)
+        bad_hist = self._sample_report()
+        bad_hist["metrics"]["histograms"]["h"] = {"count": "lots"}
+        with pytest.raises(ValueError, match="histograms"):
+            validate_report(bad_hist)
+
+    def test_histograms_section_is_optional(self):
+        # Reports written before histograms existed must still load.
+        report = self._sample_report()
+        del report["metrics"]["histograms"]
+        validate_report(report)
+
+    def test_histograms_round_trip(self, tmp_path):
+        metrics = MetricsRegistry()
+        metrics.histogram("server.request_seconds", 0.25)
+        report = build_report(None, metrics, meta={"tool": "test"})
+        path = tmp_path / "hist.json"
+        write_report(str(path), report)
+        loaded = load_report(str(path))
+        stats = loaded["metrics"]["histograms"]["server.request_seconds"]
+        assert stats["count"] == 1
+        assert stats["max"] == 0.25
 
     def test_aggregate_phases_counts_nested_names(self):
         tracer = Tracer()

@@ -145,6 +145,15 @@ class TestCommandInterpreter:
         interp.execute("copyPipe p1, p0")
         assert session.pipe("p1").outputs()["c0"] == 5
 
+    def test_ldlib_bad_path_is_a_command_error(self):
+        # The default file reader's OSError must surface as a
+        # CommandError (a user typo must not crash a server
+        # connection), with the offending path in the message.
+        session, _, _ = self._interp()
+        interp = CommandInterpreter(session)
+        with pytest.raises(CommandError, match="/no/such/lib.v"):
+            interp.execute("ldLib extra, /no/such/lib.v")
+
     def test_ldlib_command_reads_file(self):
         files = {"/libs/extra.v": """
 module widget (input clk, output y);

@@ -1,0 +1,148 @@
+"""Wire-protocol framing tests (repro.server/v1)."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.server import protocol
+from repro.server.protocol import (
+    Event,
+    ProtocolError,
+    Request,
+    Response,
+    decode,
+    encode_event,
+    encode_request,
+    encode_response,
+    error_response,
+    ok_response,
+    to_jsonable,
+)
+
+
+class TestRoundTrip:
+    def test_request(self):
+        request = Request(id=7, cmd="cmd",
+                          params={"session": "a", "line": "peek p0"})
+        decoded = decode(encode_request(request))
+        assert decoded == request
+
+    def test_ok_response(self):
+        response = ok_response(3, {"c0": 42})
+        decoded = decode(encode_response(response))
+        assert decoded == Response(id=3, ok=True, value={"c0": 42})
+
+    def test_error_response(self):
+        response = error_response(9, "command", "unknown command 'zap'")
+        decoded = decode(encode_response(response))
+        assert not decoded.ok
+        assert decoded.error == {
+            "type": "command", "message": "unknown command 'zap'",
+        }
+
+    def test_event(self):
+        event = Event(name="verify_status", session="alice",
+                      data={"state": "running"})
+        decoded = decode(encode_event(event))
+        assert decoded == event
+
+    def test_one_line_per_message(self):
+        line = encode_request(Request(id=1, cmd="ping"))
+        assert line.endswith("\n")
+        assert "\n" not in line[:-1]
+
+    def test_bytes_input(self):
+        line = encode_request(Request(id=1, cmd="ping")).encode()
+        assert decode(line) == Request(id=1, cmd="ping")
+
+
+class TestRejects:
+    def test_not_json(self):
+        with pytest.raises(ProtocolError, match="not JSON"):
+            decode("instPipe p0, stage0\n")
+
+    def test_not_an_object(self):
+        with pytest.raises(ProtocolError, match="object"):
+            decode("[1, 2, 3]\n")
+
+    def test_unclassifiable(self):
+        with pytest.raises(ProtocolError, match="neither"):
+            decode('{"hello": "world"}\n')
+
+    def test_request_without_int_id(self):
+        with pytest.raises(ProtocolError, match="id"):
+            decode('{"cmd": "ping", "id": "one"}\n')
+        with pytest.raises(ProtocolError, match="id"):
+            decode('{"cmd": "ping", "id": true}\n')
+
+    def test_empty_cmd(self):
+        with pytest.raises(ProtocolError, match="cmd"):
+            decode('{"cmd": "", "id": 1}\n')
+
+    def test_oversized_line(self):
+        big = json.dumps(
+            {"id": 1, "cmd": "open", "source": "x" * protocol.MAX_LINE_BYTES}
+        )
+        with pytest.raises(ProtocolError, match="exceeds"):
+            decode(big)
+
+    def test_bad_utf8(self):
+        with pytest.raises(ProtocolError, match="UTF-8"):
+            decode(b'{"cmd": "ping", "id": 1, "x": "\xff\xfe"}\n')
+
+    def test_error_response_needs_error_object(self):
+        with pytest.raises(ProtocolError, match="error"):
+            decode('{"id": 1, "ok": false}\n')
+
+
+class TestToJsonable:
+    def test_scalars_pass_through(self):
+        for value in (None, True, 3, 2.5, "s"):
+            assert to_jsonable(value) == value
+
+    def test_containers_recurse(self):
+        assert to_jsonable({"a": (1, 2), "b": {3, 1}}) == {
+            "a": [1, 2], "b": [1, 3],
+        }
+        assert to_jsonable([{"k": frozenset(["b", "a"])}]) == [
+            {"k": ["a", "b"]}
+        ]
+
+    def test_dataclasses_are_tagged(self):
+        @dataclasses.dataclass
+        class Thing:
+            name: str
+            sizes: tuple
+
+        out = to_jsonable(Thing(name="t", sizes=(1, 2)))
+        assert out == {"_type": "Thing", "name": "t", "sizes": [1, 2]}
+
+    def test_non_string_keys_coerced(self):
+        assert to_jsonable({1: "a"}) == {"1": "a"}
+
+    def test_unknown_objects_fall_back_to_repr(self):
+        class Opaque:
+            def __repr__(self):
+                return "<opaque>"
+
+        assert to_jsonable(Opaque()) == "<opaque>"
+
+    def test_depth_capped(self):
+        nested = value = {}
+        for _ in range(20):
+            value["next"] = {}
+            value = value["next"]
+        out = to_jsonable(nested)
+        # Must terminate and produce *something* JSON-safe.
+        json.dumps(out)
+
+    def test_result_is_json_serializable(self):
+        from repro.live.hotreload import SwapReport
+
+        report = SwapReport(swapped_instances=2,
+                            modules_changed={"b", "a"})
+        out = to_jsonable(report)
+        json.dumps(out)
+        assert out["modules_changed"] == ["a", "b"]
+        assert out["_type"] == "SwapReport"

@@ -236,7 +236,8 @@ def check_lambda_assignment(
 
 
 def check_late_imports(
-    path: Path, tree: ast.Module, findings: List[Finding]
+    path: Path, tree: ast.Module, lines: List[str],
+    findings: List[Finding],
 ) -> None:
     seen_code = False
     for node in tree.body:
@@ -247,7 +248,7 @@ def check_late_imports(
         if isinstance(node, ast.ImportFrom) and node.module == "__future__":
             continue
         if isinstance(node, (ast.Import, ast.ImportFrom)):
-            if seen_code:
+            if seen_code and "# noqa" not in lines[node.lineno - 1]:
                 findings.append(Finding(
                     path, node.lineno, "E402",
                     "module-level import not at top of file",
@@ -411,7 +412,7 @@ def check_file(path: Path) -> List[Finding]:
     check_unused_imports(path, tree, lines, findings)
     check_fstrings(path, text, findings)
     check_lambda_assignment(path, tree, findings)
-    check_late_imports(path, tree, findings)
+    check_late_imports(path, tree, lines, findings)
     check_unused_locals(path, tree, findings)
     check_redefinitions(path, tree, findings)
     check_import_order(path, tree, lines, findings)

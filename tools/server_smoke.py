@@ -1,0 +1,200 @@
+#!/usr/bin/env python
+"""End-to-end smoke test for the LiveSim server over a real socket.
+
+Starts ``python -m repro.server`` as a subprocess on an ephemeral port
+with an on-disk artifact store, drives a scripted client session
+(ldLib / instPipe / run / chkp / swapStage / verify), asserts a clean
+shutdown, then restarts the server on the same store and checks the
+warm path: the same design compiles entirely from disk artifacts.
+
+Exit code 0 means every step passed.  Used by the ``server-smoke`` CI
+job; also runnable by hand::
+
+    PYTHONPATH=src python tools/server_smoke.py
+"""
+
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO, "src")
+sys.path.insert(0, SRC)
+
+from repro.server.client import LiveSimClient  # noqa: E402
+
+DESIGN = """
+module adder #(parameter W = 8) (
+  input clk,
+  input [W-1:0] a,
+  input [W-1:0] b,
+  output [W-1:0] sum
+);
+  assign sum = a + b;
+endmodule
+
+module counter #(parameter W = 8) (
+  input clk,
+  input rst,
+  input [W-1:0] step,
+  output [W-1:0] count
+);
+  reg [W-1:0] count_q;
+  wire [W-1:0] next;
+  adder #(.W(W)) u_add (.clk(clk), .a(count_q), .b(step), .sum(next));
+  assign count = count_q;
+  always @(posedge clk) begin
+    if (rst)
+      count_q <= 0;
+    else
+      count_q <= next;
+  end
+endmodule
+
+module top (
+  input clk,
+  input rst,
+  output [7:0] c0,
+  output [7:0] c1
+);
+  counter #(.W(8)) u0 (.clk(clk), .rst(rst), .step(8'd1), .count(c0));
+  counter #(.W(8)) u1 (.clk(clk), .rst(rst), .step(8'd3), .count(c1));
+endmodule
+"""
+
+# Same adder interface, +1 behaviour: loading this library is an edit
+# (duplicate modules replace), and swapStage hot-swaps it into a pipe.
+PATCH = """
+module adder #(parameter W = 8) (
+  input clk,
+  input [W-1:0] a,
+  input [W-1:0] b,
+  output [W-1:0] sum
+);
+  assign sum = a + b + 8'd1;
+endmodule
+"""
+
+LISTEN_RE = re.compile(r"livesim server listening on ([\d.]+):(\d+)")
+
+
+def check(condition, label):
+    status = "ok" if condition else "FAIL"
+    print(f"  [{status}] {label}")
+    if not condition:
+        raise SystemExit(f"smoke step failed: {label}")
+
+
+def start_server(store):
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.server", "--port", "0",
+         "--store", store],
+        cwd=REPO,
+        env={**os.environ, "PYTHONPATH": SRC},
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        sys.stdout.write(f"  server: {line}")
+        match = LISTEN_RE.search(line)
+        if match:
+            return proc, match.group(1), int(match.group(2))
+    proc.kill()
+    raise SystemExit("server never announced its port")
+
+
+def stop_server(proc, client):
+    client.shutdown_server()
+    client.close()
+    output = proc.stdout.read()
+    for line in output.splitlines():
+        sys.stdout.write(f"  server: {line}\n")
+    code = proc.wait(timeout=30)
+    check(code == 0, f"server exited cleanly (code {code})")
+    check("livesim server stopped" in output, "server logged its stop")
+
+
+def cold_session(host, port, patch_path):
+    client = LiveSimClient(host, port, timeout=60.0)
+    info = client.open_session("smoke", DESIGN)
+    check(info["handles"].get("top") == "stage2", "open: top is stage2")
+    client.command("smoke", "instPipe p0, stage2")
+    result = client.command("smoke", "run tb0, p0, 200")
+    check(result["c0"] == 198, f"run: c0={result['c0']} (want 198)")
+    cp = client.command("smoke", "chkp p0")
+    check(cp["cycle"] == 200, "chkp at cycle 200")
+    client.command("smoke", f"ldLib patch, {patch_path}")
+    swap = client.command("smoke", "swapStage p0, u0.u_add")
+    check(swap["swapped_instances"] == 1, "swapStage: 1 instance swapped")
+    # The patched adder adds +1: c0 now steps by 2 per cycle.
+    result = client.command("smoke", "run tb0, p0, 10")
+    check(result["c0"] == 198 + 20,
+          f"patched run: c0={result['c0']} (want 218)")
+    client.command("smoke", "verify p0")
+    event = client.wait_event(
+        "verify_status",
+        predicate=lambda e: e.data["state"] != "running",
+        timeout=60.0,
+    )
+    check(event.data["state"] == "consistent",
+          f"verify: state={event.data['state']}")
+    report = client.command("smoke", "verifyWait p0")
+    check(report["all_consistent"] is True, "verifyWait: all consistent")
+    stats = client.stats()
+    check(stats["store"]["artifacts"] >= 3,
+          f"store holds {stats['store']['artifacts']} artifacts")
+    return client
+
+
+def warm_session(host, port):
+    client = LiveSimClient(host, port, timeout=60.0)
+    client.open_session("warm", DESIGN)
+    client.command("warm", "instPipe p0, stage2")
+    result = client.command("warm", "run tb0, p0, 50")
+    check(result["c0"] == 48, "warm run: rehydrated modules simulate")
+    hits = client.stats()["metrics"]["counters"].get(
+        "compile.store_hits", 0
+    )
+    check(hits >= 3, f"warm restart: compile.store_hits={hits} (want >=3)")
+    return client
+
+
+def main():
+    with tempfile.TemporaryDirectory(prefix="livesim-smoke-") as tmp:
+        store = os.path.join(tmp, "artifacts")
+        patch_path = os.path.join(tmp, "patch.v")
+        with open(patch_path, "w") as fh:
+            fh.write(PATCH)
+
+        print("[1/2] cold server: scripted session")
+        proc, host, port = start_server(store)
+        try:
+            client = cold_session(host, port, patch_path)
+        except BaseException:
+            proc.kill()
+            raise
+        stop_server(proc, client)
+
+        print("[2/2] warm restart: same store, zero recompiles")
+        proc, host, port = start_server(store)
+        try:
+            client = warm_session(host, port)
+        except BaseException:
+            proc.kill()
+            raise
+        stop_server(proc, client)
+
+    print("server smoke: all steps passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
