@@ -1,0 +1,39 @@
+// Clean two-counter design (the repo's canonical example): the
+// analyzer should report nothing here — it anchors the CI baseline's
+// "no false positives" side.
+module adder #(parameter W = 8) (
+  input clk,
+  input [W-1:0] a,
+  input [W-1:0] b,
+  output [W-1:0] sum
+);
+  assign sum = a + b;
+endmodule
+
+module counter #(parameter W = 8) (
+  input clk,
+  input rst,
+  input [W-1:0] step,
+  output [W-1:0] count
+);
+  reg [W-1:0] count_q;
+  wire [W-1:0] next;
+  adder #(.W(W)) u_add (.clk(clk), .a(count_q), .b(step), .sum(next));
+  assign count = count_q;
+  always @(posedge clk) begin
+    if (rst)
+      count_q <= 0;
+    else
+      count_q <= next;
+  end
+endmodule
+
+module top (
+  input clk,
+  input rst,
+  output [7:0] c0,
+  output [7:0] c1
+);
+  counter #(.W(8)) u0 (.clk(clk), .rst(rst), .step(8'd1), .count(c0));
+  counter #(.W(8)) u1 (.clk(clk), .rst(rst), .step(8'd3), .count(c1));
+endmodule

@@ -1,0 +1,49 @@
+// Deliberate analyzer pitfalls in one module: every construct here
+// parses, elaborates, and simulates — the bugs are only visible to
+// static analysis, which is the point of the CI baseline.
+module pitfalls(
+    input clk,
+    input [7:0] a,
+    input [7:0] b,
+    input sel,
+    output [7:0] y
+);
+  reg [7:0] lat;
+  reg [7:0] shared;
+  reg [7:0] merged;
+  reg [7:0] dead;
+
+  // latch: lat is only assigned when sel is true
+  always @(*) begin
+    if (sel)
+      lat = a;
+  end
+
+  // multi-driver: shared is written by two clocked blocks
+  always @(posedge clk) begin
+    shared <= a;
+  end
+  always @(posedge clk) begin
+    shared <= b;
+  end
+
+  // nb-race: merged is partially assigned here and fully written
+  // below — the part-select merge reads the pending value, so the
+  // result depends on block evaluation order
+  always @(posedge clk) begin
+    merged[3:0] <= a[3:0];
+  end
+  always @(posedge clk) begin
+    merged <= b;
+  end
+
+  // dead branch: the condition folds to 0
+  always @(posedge clk) begin
+    if (8'd0)
+      dead <= a;
+    else
+      dead <= b;
+  end
+
+  assign y = lat ^ shared ^ merged ^ dead;
+endmodule

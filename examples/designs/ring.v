@@ -1,0 +1,23 @@
+// A combinational ring: ack depends on grant depends on req depends
+// on ack.  The simulator tolerates it (fixpoint evaluation), which is
+// exactly why the analyzer must flag it — the cycle is real hardware
+// feedback with no register in the path.
+module ring(
+    input clk,
+    input [3:0] a,
+    output [3:0] out
+);
+  wire [3:0] req;
+  wire [3:0] grant;
+  wire [3:0] ack;
+  reg [3:0] out_q;
+
+  assign req = ack & a;
+  assign grant = req | 4'b0001;
+  assign ack = grant & 4'b0111;
+
+  always @(posedge clk) begin
+    out_q <= req;
+  end
+  assign out = out_q;
+endmodule

@@ -8,14 +8,18 @@ the paper's Table I command syntax plus a few session-level verbs::
 
 Extra verbs beyond Table I:
 
-    reload <path>       re-read the design source and run the live loop
+    reload <path> [, force]
+                        re-read the design source and run the live
+                        loop; the static-analysis gate refuses a swap
+                        introducing a new error-class finding (e.g. a
+                        combinational loop) unless ``force`` is given
     verify <pipe>       checkpoint-consistency verification (+repair);
                         blocking — it shadows the interpreter's
                         background ``verify``, which needs testbench
                         factory specs the shell's built-in tb lacks
     regs <pipe>, <path> dump an instance's registers
     outputs <pipe>      print the pipe's current outputs
-    lint                lint the current design
+    lint [pipe]         static analysis findings (repro.analyze)
     quit
 
 plus the interpreter conveniences (``peek``, ``verifyStatus``,
@@ -112,11 +116,16 @@ class Shell:
     # -- extra verbs -----------------------------------------------------------
 
     def _cmd_reload(self, operands: List[str]) -> None:
-        if len(operands) != 1:
-            raise CommandError("usage: reload <path>")
+        if not 1 <= len(operands) <= 2:
+            raise CommandError("usage: reload <path> [, force]")
+        override = False
+        if len(operands) == 2:
+            if operands[1].lower() != "force":
+                raise CommandError("usage: reload <path> [, force]")
+            override = True
         with open(operands[0]) as fh:
             source = fh.read()
-        report = self.session.apply_change(source)
+        report = self.session.apply_change(source, override_gate=override)
         if not report.behavioral:
             self._print("no behavioural change (comments/whitespace only)")
             return
@@ -127,6 +136,11 @@ class Shell:
             f"from checkpoint @ {report.checkpoint_cycle}; "
             f"total {report.total_seconds * 1e3:.1f} ms"
         )
+        for diag in report.new_findings:
+            self._print(f"  new finding: {diag.severity} {diag}")
+        if report.gate_overridden:
+            self._print("  gate overridden: blocking findings accepted "
+                        "into the baseline")
 
     def _cmd_verify(self, operands: List[str]) -> None:
         if len(operands) != 1:
@@ -155,18 +169,24 @@ class Shell:
         self._print(f"  cycle {pipe.cycle}: {pipe.outputs()}")
 
     def _cmd_lint(self, operands: List[str]) -> None:
-        from .hdl.elaborate import elaborate
-        from .hdl.lint import lint_netlist
-        from .hdl.parser import parse
+        if len(operands) > 1:
+            raise CommandError("usage: lint [pipe]")
+        pipe_name = operands[0] if operands else None
+        report = self.session.lint(pipe_name)
+        if not report.analyzed_keys and not report.reused_keys:
+            # No pipes instantiated yet: analyze the top design
+            # one-shot (uncached) instead of reporting nothing.
+            from .hdl.elaborate import elaborate
+            from .hdl.parser import parse
 
-        netlist = elaborate(
-            parse(self.session.compiler.source), self.top
-        )
-        findings = lint_netlist(netlist)
-        if not findings:
+            netlist = elaborate(
+                parse(self.session.compiler.source), self.top
+            )
+            report = self.session.analyzer.analyze_netlist(netlist)
+        if not report.diagnostics:
             self._print("lint clean")
-        for diag in findings:
-            self._print(f"  {diag}")
+        for diag in report.diagnostics:
+            self._print(f"  {diag.severity:<7} {diag}")
 
     EXTRA = {
         "reload": _cmd_reload,

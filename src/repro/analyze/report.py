@@ -1,0 +1,106 @@
+"""The ``repro.analyze/v1`` JSON report: build, write, load, diff.
+
+One report covers one or more designs::
+
+    {
+      "schema": "repro.analyze/v1",
+      "designs": [
+        {"design": "examples/designs/pitfalls.v", "top": "pitfalls",
+         "counts": {"error": 1, "warning": 2, "info": 1},
+         "findings": [{"kind": "...", "severity": "...", "module": "...",
+                       "line": 12, "message": "...", "path": ["a", "b"]}]}
+      ],
+      "meta": {...}
+    }
+
+The CI baseline gate (:func:`diff_reports`) compares finding
+*identities* — ``(design, kind, module, message)``, deliberately not
+line numbers — so reformatting a design does not churn the baseline,
+while a new false positive or a silently-lost detection both fail the
+build (same spirit as the bench regression gate).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .diagnostics import Diagnostic, count_by_severity, sort_diagnostics
+
+SCHEMA_ID = "repro.analyze/v1"
+
+FindingIdentity = Tuple[str, str, str, str]  # design, kind, module, message
+
+
+def design_entry(
+    design: str, top: str, diagnostics: Sequence[Diagnostic]
+) -> Dict:
+    ordered = sort_diagnostics(list(diagnostics))
+    return {
+        "design": design,
+        "top": top,
+        "counts": count_by_severity(ordered),
+        "findings": [d.to_json() for d in ordered],
+    }
+
+
+def build_report(
+    designs: List[Dict], meta: Optional[Dict] = None
+) -> Dict:
+    return {
+        "schema": SCHEMA_ID,
+        "designs": designs,
+        "meta": dict(meta or {}),
+    }
+
+
+def write_report(path: str, report: Dict) -> None:
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_report(path: str) -> Dict:
+    with open(path) as fh:
+        report = json.load(fh)
+    validate_report(report)
+    return report
+
+
+def validate_report(report: Dict) -> None:
+    if not isinstance(report, dict) or report.get("schema") != SCHEMA_ID:
+        raise ValueError(
+            f"not a {SCHEMA_ID} report: schema="
+            f"{report.get('schema') if isinstance(report, dict) else None!r}"
+        )
+    designs = report.get("designs")
+    if not isinstance(designs, list):
+        raise ValueError("report 'designs' must be a list")
+    for entry in designs:
+        if not isinstance(entry, dict) or "design" not in entry:
+            raise ValueError("each design entry needs a 'design' path")
+        if not isinstance(entry.get("findings", []), list):
+            raise ValueError("design 'findings' must be a list")
+
+
+def finding_identities(report: Dict) -> Set[FindingIdentity]:
+    identities: Set[FindingIdentity] = set()
+    for entry in report.get("designs", []):
+        design = str(entry.get("design", ""))
+        for finding in entry.get("findings", []):
+            identities.add((
+                design,
+                str(finding.get("kind", "")),
+                str(finding.get("module", "")),
+                str(finding.get("message", "")),
+            ))
+    return identities
+
+
+def diff_reports(
+    baseline: Dict, current: Dict
+) -> Tuple[List[FindingIdentity], List[FindingIdentity]]:
+    """Returns ``(new, missing)`` finding identities vs the baseline."""
+    base = finding_identities(baseline)
+    cur = finding_identities(current)
+    return sorted(cur - base), sorted(base - cur)

@@ -1,222 +1,59 @@
-"""Design lint: width and quality diagnostics over elaborated IR.
+"""Deprecated shim over :mod:`repro.analyze`.
 
-The elaborator is deliberately permissive where Verilog is (implicit
-truncation and zero-extension are legal and common), but silent width
-mismatches are also the classic source of the bugs LiveSim exists to
-debug.  The linter reports them — plus unused signals and constant
-conditions — without rejecting the design.
-
-Usage::
+The four original lint checks (truncation, extension, unused-signal,
+constant-condition) now live in :mod:`repro.analyze.checks` alongside
+the semantic analyses (combinational loops, multiple drivers, latch
+inference, scheduling races, dead branches).  This module keeps the
+old import surface working::
 
     from repro.hdl.lint import lint_netlist
     for diag in lint_netlist(netlist):
         print(diag)
+
+New code should use :class:`repro.analyze.Analyzer` directly — it adds
+severities, per-specialization caching, and the hot-reload gate.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Optional, Set
 
+from ..analyze.checks import (
+    CONSTANT_CONDITION,
+    EXTENSION,
+    TRUNCATION,
+    UNUSED,
+    CheckContext,
+    ConstantConditionCheck,
+    UnusedSignalCheck,
+    WidthCheck,
+)
+from ..analyze.diagnostics import Diagnostic, sort_diagnostics
 from ..ir.netlist import ModuleIR, Netlist
-from . import ast_nodes as ast
-from .consteval import stmt_reads_writes
 
-TRUNCATION = "truncation"
-EXTENSION = "extension"
-UNUSED = "unused-signal"
-CONSTANT_CONDITION = "constant-condition"
+__all__ = [
+    "CONSTANT_CONDITION",
+    "EXTENSION",
+    "TRUNCATION",
+    "UNUSED",
+    "Diagnostic",
+    "lint_module",
+    "lint_netlist",
+]
 
-
-@dataclass(frozen=True)
-class Diagnostic:
-    """One lint finding."""
-
-    kind: str
-    module: str
-    message: str
-    line: int = 0
-
-    def __str__(self) -> str:
-        where = f"{self.module}:{self.line}" if self.line else self.module
-        return f"[{self.kind}] {where}: {self.message}"
+# The historical check set, in the historical report order.
+_LEGACY_CHECKS = (WidthCheck, ConstantConditionCheck, UnusedSignalCheck)
+_LEGACY_KINDS = {TRUNCATION, EXTENSION, UNUSED, CONSTANT_CONDITION}
 
 
-class _WidthOracle:
-    """Width inference over folded expressions (mirrors codegen rules)."""
-
-    def __init__(self, ir: ModuleIR):
-        self._ir = ir
-
-    def width(self, expr: ast.Expr) -> Optional[int]:
-        if isinstance(expr, ast.Num):
-            return expr.width  # None for bare decimals: context-sized
-        if isinstance(expr, ast.Id):
-            sig = self._ir.signals.get(expr.name)
-            return sig.width if sig else None
-        if isinstance(expr, ast.Unary):
-            if expr.op in ("!", "&", "|", "^"):
-                return 1
-            return self.width(expr.operand)
-        if isinstance(expr, ast.Binary):
-            if expr.op in ("==", "!=", "===", "!==", "<", "<=", ">", ">=",
-                           "&&", "||"):
-                return 1
-            if expr.op in ("<<", ">>", ">>>", "<<<"):
-                return self.width(expr.left)
-            left = self.width(expr.left)
-            right = self.width(expr.right)
-            if left is None or right is None:
-                return left if right is None else right
-            return max(left, right)
-        if isinstance(expr, ast.Ternary):
-            left = self.width(expr.if_true)
-            right = self.width(expr.if_false)
-            if left is None or right is None:
-                return left if right is None else right
-            return max(left, right)
-        if isinstance(expr, ast.Concat):
-            widths = [self.width(p) for p in expr.parts]
-            if any(w is None for w in widths):
-                return None
-            return sum(widths)  # type: ignore[arg-type]
-        if isinstance(expr, ast.Repl):
-            if isinstance(expr.count, ast.Num):
-                inner = self.width(expr.value)
-                if inner is not None:
-                    return expr.count.value * inner
-            return None
-        if isinstance(expr, ast.Index):
-            if expr.base in self._ir.memories:
-                return self._ir.memories[expr.base].width
-            return 1
-        if isinstance(expr, ast.Slice):
-            if isinstance(expr.msb, ast.Num) and isinstance(expr.lsb, ast.Num):
-                return expr.msb.value - expr.lsb.value + 1
-            return None
-        if isinstance(expr, ast.IndexedPart):
-            if isinstance(expr.width, ast.Num):
-                return expr.width.value
-            return None
-        if isinstance(expr, ast.SysCall):
-            if expr.func in ("$signed", "$unsigned") and expr.args:
-                return self.width(expr.args[0])
-            return None
-        return None
-
-
-def _lint_assign_width(
-    ir: ModuleIR,
-    oracle: _WidthOracle,
-    target_name: str,
-    value: ast.Expr,
-    line: int,
-    out: List[Diagnostic],
-) -> None:
-    target = ir.signals.get(target_name)
-    if target is None:
-        return
-    width = oracle.width(value)
-    if width is None:
-        return
-    if width > target.width:
-        out.append(Diagnostic(
-            TRUNCATION, ir.name,
-            f"assignment to {target_name!r} truncates a {width}-bit value "
-            f"to {target.width} bits",
-            line,
-        ))
-    elif width < target.width and not isinstance(value, ast.Num):
-        out.append(Diagnostic(
-            EXTENSION, ir.name,
-            f"assignment to {target_name!r} zero-extends a {width}-bit "
-            f"value to {target.width} bits",
-            line,
-        ))
-
-
-def _lint_stmts(
-    ir: ModuleIR,
-    oracle: _WidthOracle,
-    stmts: List[ast.Stmt],
-    out: List[Diagnostic],
-) -> None:
-    for stmt in stmts:
-        if isinstance(stmt, (ast.NonBlocking, ast.Blocking)):
-            target = stmt.target
-            if (target.index is None and target.msb is None
-                    and target.name in ir.signals):
-                _lint_assign_width(
-                    ir, oracle, target.name, stmt.value, stmt.line, out
-                )
-        elif isinstance(stmt, ast.If):
-            if isinstance(stmt.cond, ast.Num):
-                # Flattened begin/end blocks come through as if(1) with
-                # no else: those are synthetic, not user constants.
-                if not (stmt.cond.value == 1 and not stmt.else_body):
-                    out.append(Diagnostic(
-                        CONSTANT_CONDITION, ir.name,
-                        f"if-condition is the constant {stmt.cond.value}",
-                        stmt.line,
-                    ))
-            _lint_stmts(ir, oracle, stmt.then_body, out)
-            _lint_stmts(ir, oracle, stmt.else_body, out)
-        elif isinstance(stmt, ast.Case):
-            for _, body in stmt.arms:
-                _lint_stmts(ir, oracle, body, out)
-
-
-def _collect_reads(ir: ModuleIR) -> Set[str]:
-    reads: Set[str] = set()
-    for assign in ir.comb_assigns:
-        reads |= set(assign.reads)
-    for block in ir.comb_blocks:
-        reads |= set(block.reads) | set(block.defines)
-    for inst in ir.instances:
-        reads |= set(inst.reads)
-    for seq in ir.seq_blocks:
-        r, w = stmt_reads_writes(seq.body)
-        reads |= r | w
-    reads |= set(ir.outputs)
-    return reads
-
-
-def lint_module(ir: ModuleIR) -> List[Diagnostic]:
-    """Lint one elaborated module specialization."""
+def lint_module(ir: ModuleIR, netlist: Optional[Netlist] = None) -> List[Diagnostic]:
+    """Lint one elaborated module specialization (legacy checks only)."""
+    fallback = Netlist(top=ir.key, modules={ir.key: ir})
+    ctx = CheckContext(netlist if netlist is not None else fallback)
     out: List[Diagnostic] = []
-    oracle = _WidthOracle(ir)
-
-    for assign in ir.comb_assigns:
-        _lint_assign_width(
-            ir, oracle, assign.target.name, assign.value, assign.line, out
-        )
-        if isinstance(assign.value, ast.Ternary) and isinstance(
-            assign.value.cond, ast.Num
-        ):
-            out.append(Diagnostic(
-                CONSTANT_CONDITION, ir.name,
-                f"mux select for {assign.target.name!r} is the constant "
-                f"{assign.value.cond.value}",
-                assign.line,
-            ))
-    for block in ir.comb_blocks:
-        _lint_stmts(ir, oracle, block.body, out)
-    for seq in ir.seq_blocks:
-        _lint_stmts(ir, oracle, seq.body, out)
-
-    used = _collect_reads(ir)
-    for name, sig in ir.signals.items():
-        if sig.kind in ("input", "output"):
-            continue
-        if name in ir.clock_names:
-            continue
-        if name not in used:
-            out.append(Diagnostic(
-                UNUSED, ir.name,
-                f"signal {name!r} is never read",
-                sig.line,
-            ))
-    return out
+    for check_cls in _LEGACY_CHECKS:
+        out.extend(check_cls().run(ir, ctx))
+    return sort_diagnostics(out)
 
 
 def lint_netlist(
@@ -225,11 +62,12 @@ def lint_netlist(
 ) -> List[Diagnostic]:
     """Lint every unique specialization in a netlist.
 
-    ``kinds`` filters the reported diagnostic kinds (default: all).
+    ``kinds`` filters the reported diagnostic kinds (default: the four
+    legacy kinds).  Deprecated: prefer
+    ``repro.analyze.Analyzer().analyze_netlist(netlist)``.
     """
     out: List[Diagnostic] = []
     for ir in netlist.modules.values():
-        out.extend(lint_module(ir))
-    if kinds is not None:
-        out = [d for d in out if d.kind in kinds]
-    return out
+        out.extend(lint_module(ir, netlist))
+    wanted = _LEGACY_KINDS if kinds is None else kinds
+    return [d for d in out if d.kind in wanted]

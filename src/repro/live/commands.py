@@ -16,6 +16,7 @@ accepts the paper's command syntax verbatim::
 plus session conveniences beyond Table I::
 
     peek pipe-name              current outputs, no cycles advanced
+    lint [pipe-name]            static analysis findings (repro.analyze)
     verify pipe-name [, workers]   start a background verification
     verifyStatus pipe-name      progress / verdict of the latest verify
     verifyWait pipe-name        block until the verify report lands
@@ -63,6 +64,7 @@ class CommandInterpreter:
             "ldch": self._ldch,
             "swapstage": self._swap_stage,
             "peek": self._peek,
+            "lint": self._lint,
             "verify": self._verify,
             "verifystatus": self._verify_status,
             "verifywait": self._verify_wait,
@@ -179,6 +181,11 @@ class CommandInterpreter:
     def _peek(self, operands: List[str]) -> Dict[str, int]:
         self._need(operands, 1, 1, "peek pipe-name")
         return self._session.peek(operands[0])
+
+    def _lint(self, operands: List[str]):
+        self._need(operands, 0, 1, "lint [pipe-name]")
+        pipe_name = operands[0] if operands else None
+        return self._session.lint(pipe_name)
 
     def _verify(self, operands: List[str]):
         self._need(operands, 1, 2, "verify pipe-name [, workers]")

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Tuple
 
 from .. import obs
 from ..codegen.pygen import CompiledModule, compile_module
+from ..hdl.ast_nodes import shift_lines
 from ..hdl.elaborate import elaborate
 from ..hdl.errors import HDLError
 from ..hdl.parser import parse
@@ -119,23 +120,29 @@ class LiveCompiler:
             result.parse_seconds = self._last_parse_seconds
             return result
 
+        regions = self._module_regions(new_source)
         incremental_ok = (
             not result.directive_changed
             and not result.removed_modules
             and all(
-                "`" not in self._new_region_text(new_source, name)
+                name in regions and "`" not in regions[name].text
                 for name in result.changed_modules | result.added_modules
             )
         )
         if incremental_ok:
             for name in result.changed_modules | result.added_modules:
-                text = self._new_region_text(new_source, name)
-                sub_design = parse(text)
+                region = regions[name]
+                sub_design = parse(region.text)
                 if name not in sub_design.modules:
                     raise HDLError(
                         f"edited region no longer defines module {name!r}"
                     )
-                self._design.modules[name] = sub_design.modules[name]
+                module_ast = sub_design.modules[name]
+                # The standalone sub-parse numbered lines from 1; shift
+                # them back to file coordinates so diagnostics point at
+                # the user's actual source.
+                shift_lines(module_ast, region.start_line - 1)
+                self._design.modules[name] = module_ast
         else:
             design = parse(new_source)
             self._design = design
@@ -146,11 +153,10 @@ class LiveCompiler:
         result.parse_seconds = self._last_parse_seconds
         return result
 
-    def _new_region_text(self, new_source: str, name: str) -> str:
+    def _module_regions(self, new_source: str) -> dict:
         from ..hdl.source_regions import module_regions
 
-        region = module_regions(new_source).get(name)
-        return region.text if region is not None else ""
+        return module_regions(new_source)
 
     # -- compilation ---------------------------------------------------------------
 

@@ -23,6 +23,14 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from .. import obs
+from ..analyze import (
+    AnalysisReport,
+    Analyzer,
+    Diagnostic,
+    GatePolicy,
+    evaluate_gate,
+    sort_diagnostics,
+)
 from ..hdl.errors import HDLError, SimulationError
 from ..sim.pipeline import Pipe
 from ..sim.testbench import Testbench
@@ -80,6 +88,14 @@ class ERDReport:
     # (apply_change(verify="background")); verdicts arrive later via
     # LiveSession.verify_status / wait_for_verify.
     background_verifies: List[str] = field(default_factory=list)
+    # Static analysis over the post-edit design (repro.analyze):
+    # findings, cache accounting, and whether the gate was overridden.
+    analyze_seconds: float = 0.0
+    analyzed_keys: List[str] = field(default_factory=list)
+    analysis_reused_keys: List[str] = field(default_factory=list)
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    new_findings: List[Diagnostic] = field(default_factory=list)
+    gate_overridden: bool = False
 
     @property
     def total_seconds(self) -> float:
@@ -124,10 +140,20 @@ class LiveSession:
         checkpoints_enabled: bool = True,
         initial_version: str = "1.0",
         artifact_store=None,
+        analyzer: Optional[Analyzer] = None,
+        gate_policy: Optional[GatePolicy] = None,
     ):
         self.compiler = LiveCompiler(
             source, mux_style=mux_style, store=artifact_store
         )
+        self.analyzer = analyzer if analyzer is not None else Analyzer()
+        self.gate_policy = (
+            gate_policy if gate_policy is not None else GatePolicy()
+        )
+        # Per-pipe accepted findings: the gate blocks only findings
+        # *new* relative to this baseline (seeded at inst_pipe,
+        # advanced by every successful apply_change).
+        self._analysis_baseline: Dict[str, List[Diagnostic]] = {}
         self.objects = ObjectLibraryTable()
         self.pipelines = PipelineTable()
         self.stages = StageTable(self.pipelines)
@@ -268,6 +294,12 @@ class LiveSession:
         self._pipe_sessions[name] = session
         self.pipelines.add(name, stage_handle, pipe)
         self._register_stages(name, pipe)
+        # Seed the gate baseline: findings present at instantiation are
+        # accepted and never block a later edit.
+        analysis = self.analyzer.analyze_netlist(
+            result.netlist, fingerprint_of=self.compiler.parser.fingerprint
+        )
+        self._analysis_baseline[name] = list(analysis.diagnostics)
         return pipe
 
     def _register_stages(self, pipe_name: str, pipe: Pipe) -> None:
@@ -314,6 +346,9 @@ class LiveSession:
         self._pipe_sessions[new_name] = session
         self.pipelines.add(new_name, old.handle, clone)
         self._register_stages(new_name, clone)
+        self._analysis_baseline[new_name] = list(
+            self._analysis_baseline.get(old_name, [])
+        )
         return clone
 
     def run(self, tb_handle: str, pipe_name: str, cycles: int) -> Dict[str, int]:
@@ -417,6 +452,7 @@ class LiveSession:
         transforms: Optional[Dict[str, RegisterTransform]] = None,
         verify: "bool | str" = False,
         verify_workers: int = 1,
+        override_gate: bool = False,
     ) -> ERDReport:
         """Execute one edit-run-debug iteration.
 
@@ -441,6 +477,16 @@ class LiveSession:
         :meth:`wait_for_verify` for the verdict.  Without either,
         verification stays explicit via :meth:`verify_consistency`.
 
+        Between compile and swap the static analyzer
+        (:mod:`repro.analyze`) runs over every pipe's new netlist —
+        fingerprint-cached, so only edited modules are re-analyzed —
+        and the session's :class:`~repro.analyze.GatePolicy` may refuse
+        the swap when the edit introduces a new error-class finding
+        (e.g. a combinational loop).  A refusal raises
+        :class:`~repro.analyze.GateBlockedError` and rolls back exactly
+        like a compile failure; ``override_gate=True`` forces the swap
+        through and re-baselines the accepted findings.
+
         The change is transactional: if any pipe's recompile fails
         (syntax error, elaboration error, a deleted-but-instantiated
         module), the session's source and every pipe are left exactly
@@ -448,7 +494,8 @@ class LiveSession:
         """
         with obs.span("apply_change", version=self.version):
             return self._apply_change(
-                new_source, transforms, verify, verify_workers
+                new_source, transforms, verify, verify_workers,
+                override_gate,
             )
 
     def _apply_change(
@@ -457,6 +504,7 @@ class LiveSession:
         transforms: Optional[Dict[str, RegisterTransform]],
         verify: "bool | str",
         verify_workers: int,
+        override_gate: bool = False,
     ) -> ERDReport:
         old_source = self.compiler.source
         parse_result = self.compiler.update_source(new_source)
@@ -476,6 +524,7 @@ class LiveSession:
         # so a failure rolls back cleanly.
         version_transforms: Dict[str, RegisterTransform] = dict(transforms or {})
         compile_results: Dict[str, CompileResult] = {}
+        analysis_results: Dict[str, AnalysisReport] = {}
         try:
             for name, session in self._pipe_sessions.items():
                 started = time.perf_counter()
@@ -484,6 +533,13 @@ class LiveSession:
                         session.module, session.params
                     )
                 report.compile_seconds += time.perf_counter() - started
+            # Static analysis + gate: still before any state is touched,
+            # so a refused swap rolls back like a failed compile.
+            started = time.perf_counter()
+            self._analyze_and_gate(
+                compile_results, analysis_results, report, override_gate
+            )
+            report.analyze_seconds = time.perf_counter() - started
         except HDLError:
             obs.incr("live.rolled_back_edits")
             self.compiler.update_source(old_source)
@@ -552,6 +608,11 @@ class LiveSession:
         )
         self.version = new_version
 
+        # The swap landed: its findings become the accepted baseline
+        # (including any the user forced through with override_gate).
+        for name, analysis in analysis_results.items():
+            self._analysis_baseline[name] = list(analysis.diagnostics)
+
         if verify == "background":
             # Paper §III-F: the user keeps simulating while stored
             # checkpoints are re-verified.  Kick the jobs off and
@@ -602,6 +663,86 @@ class LiveSession:
                     checkpoint.snapshot.state, module_name_of, transforms
                 )
             checkpoint.version = new_version
+
+    # ------------------------------------------------------------------
+    # Static analysis (repro.analyze)
+    # ------------------------------------------------------------------
+
+    def _analyze_and_gate(
+        self,
+        compile_results: Dict[str, CompileResult],
+        analysis_results: Dict[str, AnalysisReport],
+        report: ERDReport,
+        override_gate: bool,
+    ) -> None:
+        """Analyze every pipe's new netlist and apply the gate policy.
+
+        Raises :class:`~repro.analyze.GateBlockedError` (an
+        :class:`HDLError`) when a new blocking finding appears and
+        ``override_gate`` is False; the caller's rollback handles it.
+        """
+        seen: set = set()
+        for name in self._pipe_sessions:
+            analysis = self.analyzer.analyze_netlist(
+                compile_results[name].netlist,
+                fingerprint_of=self.compiler.parser.fingerprint,
+            )
+            analysis_results[name] = analysis
+            report.analyzed_keys.extend(analysis.analyzed_keys)
+            report.analysis_reused_keys.extend(analysis.reused_keys)
+            for diag in analysis.diagnostics:
+                if (diag.identity(), diag.line) not in seen:
+                    seen.add((diag.identity(), diag.line))
+                    report.diagnostics.append(diag)
+            decision = evaluate_gate(
+                self.gate_policy,
+                self._analysis_baseline.get(name, []),
+                analysis.diagnostics,
+                override=override_gate,
+            )
+            report.new_findings.extend(decision.new_findings)
+            if decision.blocking and decision.overridden:
+                report.gate_overridden = True
+                obs.incr("analyze.gate_overrides")
+            if not decision.allowed:
+                obs.incr("analyze.gate_blocks")
+                decision.raise_if_blocked()
+        report.diagnostics = sort_diagnostics(report.diagnostics)
+
+    def lint(self, pipe_name: Optional[str] = None) -> AnalysisReport:
+        """Run the static analyzer over the current design.
+
+        Analyzes one pipe's netlist, or every instantiated pipe when
+        ``pipe_name`` is None.  Results come from the analyzer's
+        fingerprint cache, so an unchanged design re-analyzes nothing
+        (``reused_keys`` says so).
+        """
+        names = (
+            [pipe_name] if pipe_name is not None
+            else list(self._pipe_sessions)
+        )
+        started = time.perf_counter()
+        merged = AnalysisReport()
+        seen: set = set()
+        for name in names:
+            session = self._session(name)
+            result = session.compile_result
+            if result is None:
+                raise SimulationError(f"pipe {name!r} was never compiled")
+            analysis = self.analyzer.analyze_netlist(
+                result.netlist,
+                fingerprint_of=self.compiler.parser.fingerprint,
+            )
+            merged.top = merged.top or analysis.top
+            merged.analyzed_keys.extend(analysis.analyzed_keys)
+            merged.reused_keys.extend(analysis.reused_keys)
+            for diag in analysis.diagnostics:
+                if (diag.identity(), diag.line) not in seen:
+                    seen.add((diag.identity(), diag.line))
+                    merged.diagnostics.append(diag)
+        merged.diagnostics = sort_diagnostics(merged.diagnostics)
+        merged.seconds = time.perf_counter() - started
+        return merged
 
     # ------------------------------------------------------------------
     # Consistency verification (§III-F)

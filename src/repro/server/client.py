@@ -180,9 +180,11 @@ class LiveSimClient:
         return self.request("cmd", session=session, line=line)
 
     def reload(self, session: str, source: str,
-               verify: "bool | str" = False) -> Any:
+               verify: "bool | str" = False,
+               override: bool = False) -> Any:
         return self.request(
-            "reload", session=session, source=source, verify=verify
+            "reload", session=session, source=source, verify=verify,
+            override=override,
         )
 
     def sessions(self) -> Any:

@@ -32,6 +32,7 @@ import time
 from typing import Any, Dict, List, Optional, Tuple
 
 from .. import obs
+from ..analyze import AnalysisReport, GateBlockedError, count_by_severity
 from ..hdl.errors import HDLError, SimulationError
 from ..live.checkpoint import Checkpoint
 from ..live.commands import CommandError, CommandInterpreter
@@ -125,6 +126,22 @@ def summarize(value: Any) -> Any:
                 name: summarize(report)
                 for name, report in value.consistency.items()
             },
+            "analyze_seconds": value.analyze_seconds,
+            "analyzed_keys": list(value.analyzed_keys),
+            "analysis_reused_keys": list(value.analysis_reused_keys),
+            "findings": [d.to_json() for d in value.diagnostics],
+            "new_findings": [d.to_json() for d in value.new_findings],
+            "gate_overridden": value.gate_overridden,
+        }
+    if isinstance(value, AnalysisReport):
+        return {
+            "_type": "AnalysisReport",
+            "top": value.top,
+            "counts": value.counts,
+            "analyzed_keys": list(value.analyzed_keys),
+            "reused_keys": list(value.reused_keys),
+            "seconds": value.seconds,
+            "findings": [d.to_json() for d in value.diagnostics],
         }
     if isinstance(value, list):
         return [summarize(item) for item in value]
@@ -564,6 +581,17 @@ class LiveSimServer:
             response = error_response(
                 request.id, "duplicate-session", str(exc)
             )
+        except GateBlockedError as exc:
+            # Before HDLError (its base): a refused swap is a distinct
+            # client-visible outcome carrying the blocking findings.
+            response = Response(
+                id=request.id, ok=False,
+                error={
+                    "type": "gate",
+                    "message": str(exc),
+                    "findings": [d.to_json() for d in exc.diagnostics],
+                },
+            )
         except HDLError as exc:
             response = error_response(request.id, "hdl", str(exc))
         except SimulationError as exc:
@@ -648,10 +676,25 @@ class LiveSimServer:
             raise ProtocolError(
                 "'verify' must be true, false, or \"background\""
             )
+        override = params.get("override", False)
+        if not isinstance(override, bool):
+            raise ProtocolError("'override' must be a boolean")
         managed = self.manager.get(name)
         with managed.lock:
-            report = managed.session.apply_change(source, verify=verify)
+            report = managed.session.apply_change(
+                source, verify=verify, override_gate=override
+            )
             managed.touch()
+        if report.behavioral:
+            # Findings stream to the initiating connection like
+            # verify_status events do; the response stays compact.
+            conn.send_event("lint_findings", name, {
+                "version": report.version,
+                "counts": count_by_severity(report.diagnostics),
+                "findings": [d.to_json() for d in report.diagnostics],
+                "new_findings": [d.to_json() for d in report.new_findings],
+                "gate_overridden": report.gate_overridden,
+            })
         for pipe in report.background_verifies:
             self._watch_verify(conn, managed, pipe)
         return summarize(report)

@@ -3,9 +3,11 @@
 
 Starts ``python -m repro.server`` as a subprocess on an ephemeral port
 with an on-disk artifact store, drives a scripted client session
-(ldLib / instPipe / run / chkp / swapStage / verify), asserts a clean
-shutdown, then restarts the server on the same store and checks the
-warm path: the same design compiles entirely from disk artifacts.
+(ldLib / instPipe / run / chkp / swapStage / lint / verify, plus a
+reload refused by the static-analysis gate and forced with override),
+asserts a clean shutdown, then restarts the server on the same store
+and checks the warm path: the same design compiles entirely from disk
+artifacts.
 
 Exit code 0 means every step passed.  Used by the ``server-smoke`` CI
 job; also runnable by hand::
@@ -24,7 +26,7 @@ REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 SRC = os.path.join(REPO, "src")
 sys.path.insert(0, SRC)
 
-from repro.server.client import LiveSimClient  # noqa: E402
+from repro.server.client import LiveSimClient, ServerError  # noqa: E402
 
 DESIGN = """
 module adder #(parameter W = 8) (
@@ -77,6 +79,17 @@ module adder #(parameter W = 8) (
   assign sum = a + b + 8'd1;
 endmodule
 """
+
+# DESIGN with a combinational feedback loop added to top: the gate
+# must refuse this reload (a *new* error finding) until overridden.
+# The loop converges under fixpoint evaluation (fb is monotonically
+# masked), so the forced swap still simulates.
+LOOP_DESIGN = DESIGN.replace(
+    "  counter #(.W(8)) u1 (.clk(clk), .rst(rst), .step(8'd3), .count(c1));",
+    "  counter #(.W(8)) u1 (.clk(clk), .rst(rst), .step(8'd3), .count(c1));\n"
+    "  wire [7:0] fb;\n"
+    "  assign fb = fb & c0;",
+)
 
 LISTEN_RE = re.compile(r"livesim server listening on ([\d.]+):(\d+)")
 
@@ -148,6 +161,31 @@ def cold_session(host, port, patch_path):
           f"verify: state={event.data['state']}")
     report = client.command("smoke", "verifyWait p0")
     check(report["all_consistent"] is True, "verifyWait: all consistent")
+
+    # Static analysis over the socket: the design is clean.
+    lint = client.command("smoke", "lint p0")
+    check(lint["_type"] == "AnalysisReport" and lint["findings"] == [],
+          "lint: clean design, no findings")
+    check(lint["analyzed_keys"] or lint["reused_keys"],
+          "lint: analyzer covered the netlist")
+
+    # A reload introducing a comb loop is refused by the gate...
+    try:
+        client.reload("smoke", LOOP_DESIGN)
+        check(False, "gate: comb-loop reload was refused")
+    except ServerError as exc:
+        check(exc.kind == "gate" and "comb-loop" in exc.message,
+              f"gate: comb-loop reload refused ([{exc.kind}])")
+    outputs = client.command("smoke", "peek p0")
+    check(outputs["c0"] == 218, "gate: blocked reload rolled back")
+    # ...and lands when forced with override.
+    forced = client.reload("smoke", LOOP_DESIGN, override=True)
+    check(forced["gate_overridden"] is True, "gate: override accepted")
+    check(any(f["kind"] == "comb-loop" for f in forced["new_findings"]),
+          "gate: override reports the comb-loop finding")
+    event = client.wait_event("lint_findings", timeout=30.0)
+    check(any(f["kind"] == "comb-loop" for f in event.data["findings"]),
+          "lint_findings event streams the comb-loop")
     stats = client.stats()
     check(stats["store"]["artifacts"] >= 3,
           f"store holds {stats['store']['artifacts']} artifacts")
