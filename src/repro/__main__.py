@@ -49,6 +49,7 @@ from . import obs
 from .hdl.errors import HDLError
 from .live.commands import CommandError, CommandInterpreter
 from .live.session import LiveSession
+from .sanitize import SanitizerError
 from .sim.testbench import reset_sequence
 
 
@@ -215,6 +216,11 @@ class Shell:
                 result = self.interp.execute(stripped)
                 if result.value is not None:
                     self._print(f"  {result.value}")
+        except SanitizerError as exc:
+            # A trap names the offending module/signal/line; the
+            # session itself is still usable (switch to `san report`
+            # to keep simulating past the finding).
+            self._print(f"sanitizer trap: {exc}")
         except (CommandError, HDLError, OSError) as exc:
             self._print(f"error: {exc}")
         return True

@@ -35,11 +35,11 @@ from .figures import (
 )
 from .reporting import format_phase_breakdown, format_table
 from .tables import erd_phase_rows, table7, table8, table8_shape_checks
-from .workloads import collect_sizes
+from .workloads import collect_sizes, sanitizer_overhead
 
 BENCH_SCHEMA_ID = "repro.bench/v1"
 DEFAULT_TARGETS = ("fig7", "table7")
-KNOWN_TARGETS = ("fig6", "fig7", "fig8", "table7", "table8")
+KNOWN_TARGETS = ("fig6", "fig7", "fig8", "table7", "table8", "sanitize")
 MAX_CALIBRATION_SCALE = 4.0
 
 
@@ -72,13 +72,15 @@ def run_bench(
         "targets": list(targets),
     }
 
-    results = collect_sizes(
-        sizes=sizes,
-        sim_cycles=sim_cycles,
-        baseline_budget_s=baseline_budget_s,
-        measure_baseline_speed=False,
-        hot_reload_repeats=5,
-    )
+    results = []
+    if any(t in targets for t in ("fig7", "fig8", "table8")):
+        results = collect_sizes(
+            sizes=sizes,
+            sim_cycles=sim_cycles,
+            baseline_budget_s=baseline_budget_s,
+            measure_baseline_speed=False,
+            hot_reload_repeats=5,
+        )
 
     if "fig7" in targets:
         per_edit = {
@@ -128,6 +130,15 @@ def run_bench(
             }
             for row in rows
         ]
+
+    if "sanitize" in targets:
+        # Report-only (no regression gate): ``san report`` slowdown vs
+        # clean codegen on the same mesh, plus the per-check hit
+        # counters (nonzero findings on the clean corpus = real bug).
+        overhead = sanitizer_overhead(n=sizes[0], sim_cycles=sim_cycles)
+        entry = asdict(overhead)
+        entry["slowdown"] = overhead.slowdown
+        payload["sanitize"] = entry
 
     if "table8" in targets:
         rows8 = table8(results)
@@ -222,6 +233,26 @@ def _print_summary(payload: Dict, out) -> None:
                 for s in sizes
             ],
             row_labels=[f"{s}x{s}" for s in sizes],
+        ), file=out)
+        print(file=out)
+    sanitize = payload.get("sanitize")
+    if sanitize:
+        slowdown = sanitize.get("slowdown")
+        rows = [
+            ["clean", round(sanitize["clean_sim_hz"], 1),
+             round(sanitize["clean_compile_s"] * 1e3, 1)],
+            ["report", round(sanitize["sanitized_sim_hz"], 1),
+             round(sanitize["sanitized_compile_s"] * 1e3, 1)],
+        ]
+        print(format_table(
+            f"Sanitizer overhead ({sanitize['n']}x{sanitize['n']} mesh, "
+            f"slowdown {slowdown:.2f}x, "
+            f"{sanitize['findings']} findings)"
+            if slowdown else
+            f"Sanitizer overhead ({sanitize['n']}x{sanitize['n']} mesh)",
+            ["sim Hz", "compile ms"],
+            [row[1:] for row in rows],
+            row_labels=[str(row[0]) for row in rows],
         ), file=out)
         print(file=out)
     phases = obs.aggregate_phases(payload["trace"])

@@ -48,6 +48,7 @@ class PGASWorkbench:
         checkpoint_interval: int = 50,
         baseline_budget_s: Optional[float] = 20.0,
         program: str = "counter",
+        sanitize: str = "off",
     ):
         self.n = n
         self.cores = n * n
@@ -56,6 +57,7 @@ class PGASWorkbench:
         self.checkpoint_interval = checkpoint_interval
         self.baseline_budget_s = baseline_budget_s
         self._program = program
+        self._sanitize = sanitize
         self.session: Optional[LiveSession] = None
         self.tb_handle: Optional[str] = None
 
@@ -66,6 +68,7 @@ class PGASWorkbench:
         session = LiveSession(
             self.source,
             checkpoint_interval=self.checkpoint_interval,
+            sanitize=self._sanitize,
         )
         started = time.perf_counter()
         session.inst_pipe("uut", session.stage_handle_for(self.top))
@@ -201,3 +204,60 @@ def collect_sizes(
         bench = PGASWorkbench(n, baseline_budget_s=baseline_budget_s)
         results.append(bench.collect(sim_cycles=sim_cycles, **kwargs))
     return results
+
+
+@dataclass
+class SanitizerOverheadResult:
+    """``report``-mode slowdown vs clean codegen on the fig7 workload."""
+
+    n: int
+    cores: int
+    clean_sim_hz: float = 0.0
+    sanitized_sim_hz: float = 0.0
+    clean_compile_s: float = 0.0
+    sanitized_compile_s: float = 0.0
+    hits: Dict[str, int] = None  # type: ignore[assignment]
+    findings: int = 0
+
+    @property
+    def slowdown(self) -> Optional[float]:
+        """clean Hz / sanitized Hz (>= 1.0 when instrumentation costs)."""
+        if self.sanitized_sim_hz <= 0:
+            return None
+        return self.clean_sim_hz / self.sanitized_sim_hz
+
+
+def sanitizer_overhead(
+    n: int = 1, sim_cycles: int = 150
+) -> SanitizerOverheadResult:
+    """Measure ``san report`` overhead on the fig7-style PGAS workload.
+
+    Builds the same mesh twice — clean and with sanitize=report — runs
+    both through the session path, and reports simulated cycles/second
+    for each plus the per-check hit counters (a clean corpus should
+    show zero findings; nonzero here means real signal, not noise).
+    """
+    result = SanitizerOverheadResult(n=n, cores=n * n, hits={})
+
+    clean = PGASWorkbench(n, baseline_budget_s=None)
+    session = clean.build_session()
+    result.clean_compile_s = clean.full_compile_seconds
+    clean.run(5)
+    started = time.perf_counter()
+    clean.run(sim_cycles)
+    elapsed = time.perf_counter() - started
+    result.clean_sim_hz = sim_cycles / elapsed if elapsed else 0.0
+    session.close()
+
+    sanitized = PGASWorkbench(n, baseline_budget_s=None, sanitize="report")
+    session = sanitized.build_session()
+    result.sanitized_compile_s = sanitized.full_compile_seconds
+    sanitized.run(5)
+    started = time.perf_counter()
+    sanitized.run(sim_cycles)
+    elapsed = time.perf_counter() - started
+    result.sanitized_sim_hz = sim_cycles / elapsed if elapsed else 0.0
+    result.hits = session.sanitize_runtime.counters()
+    result.findings = len(session.sanitize_runtime.findings)
+    session.close()
+    return result

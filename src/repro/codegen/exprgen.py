@@ -36,7 +36,19 @@ def mask_of(width: int) -> int:
 
 
 class Resolver:
-    """Maps signal/memory names to Python references for one scope."""
+    """Maps signal/memory names to Python references for one scope.
+
+    The three optional hooks are the sanitizer's instrumentation points
+    (see :mod:`repro.sanitize`); they default to None, which generates
+    the clean, uninstrumented code:
+
+    * ``reg_read_hook(name, ref_code, line)`` — wrap a register read;
+      return the replacement expression, or None to keep ``ref_code``.
+    * ``mem_read_hook(name, index_code, line)`` — replace an indexed
+      memory read entirely (bound + word-poison checked access).
+    * ``index_bound_hook(name, index_code, bound, line)`` — wrap a
+      dynamic bit/part-select index with a bound check.
+    """
 
     def __init__(
         self,
@@ -45,12 +57,18 @@ class Resolver:
         memory_ref: Callable[[str], Optional[str]],
         memory_width: Callable[[str], int],
         memory_depth: Callable[[str], int],
+        reg_read_hook: Optional[Callable[[str, str, int], Optional[str]]] = None,
+        mem_read_hook: Optional[Callable[[str, str, int], str]] = None,
+        index_bound_hook: Optional[Callable[[str, str, int, int], str]] = None,
     ):
         self.signal_ref = signal_ref
         self.signal_width = signal_width
         self.memory_ref = memory_ref
         self.memory_width = memory_width
         self.memory_depth = memory_depth
+        self.reg_read_hook = reg_read_hook
+        self.mem_read_hook = mem_read_hook
+        self.index_bound_hook = index_bound_hook
 
 
 class ExprGen:
@@ -161,7 +179,7 @@ class ExprGen:
                 raise CodegenError(
                     f"memory {expr.name!r} used without an index", expr.line
                 )
-            return self._resolver.signal_ref(expr.name)
+            return self._signal_read(expr.name, expr.line)
         if isinstance(expr, ast.Unary):
             return self._gen_unary(expr)
         if isinstance(expr, ast.Binary):
@@ -184,6 +202,17 @@ class ExprGen:
             raise CodegenError(f"non-constant {expr.func} call", expr.line)
         raise CodegenError(f"cannot generate {type(expr).__name__}",
                            getattr(expr, "line", 0))
+
+    def _signal_read(self, name: str, line: int) -> str:
+        """Resolve a signal read, routed through the sanitizer's
+        register-read hook when one is installed."""
+        ref = self._resolver.signal_ref(name)
+        hook = self._resolver.reg_read_hook
+        if hook is not None:
+            wrapped = hook(name, ref, line)
+            if wrapped is not None:
+                return f"({wrapped})"
+        return ref
 
     def sext(self, code: str, width: int) -> str:
         """Sign-extend a masked ``width``-bit value to a Python int."""
@@ -343,12 +372,29 @@ class ExprGen:
             return f"(({index_code}) & {depth - 1})"
         return f"(({index_code}) % {depth})"
 
+    def _bound_checked(self, name: str, index_code: str, bound: int,
+                       index_expr: ast.Expr, line: int) -> str:
+        """Wrap a dynamic select index with the oob hook (constant
+        indices are the static analyzer's domain and stay clean)."""
+        hook = self._resolver.index_bound_hook
+        if hook is None or isinstance(index_expr, ast.Num) or bound < 1:
+            return index_code
+        return hook(name, index_code, bound, line)
+
     def _gen_index(self, expr: ast.Index) -> str:
         mem_ref = self._resolver.memory_ref(expr.base)
         index_code = self.gen(expr.index)
         if mem_ref is not None:
+            hook = self._resolver.mem_read_hook
+            if hook is not None:
+                return hook(expr.base, index_code, expr.line)
             return f"{mem_ref}[{self._mem_index_code(expr.base, index_code, expr.line)}]"
-        base = self._resolver.signal_ref(expr.base)
+        base = self._signal_read(expr.base, expr.line)
+        width = self._resolver.signal_width(expr.base)
+        if width is not None:
+            index_code = self._bound_checked(
+                expr.base, index_code, width, expr.index, expr.line
+            )
         return f"((({base}) >> ({index_code})) & 1)"
 
     def _gen_slice(self, expr: ast.Slice) -> str:
@@ -356,7 +402,7 @@ class ExprGen:
         lsb = self._const(expr.lsb, "slice lsb")
         if msb < lsb:
             raise WidthError(f"slice [{msb}:{lsb}] is reversed", expr.line)
-        base = self._resolver.signal_ref(expr.base)
+        base = self._signal_read(expr.base, expr.line)
         width = msb - lsb + 1
         if lsb == 0:
             return f"(({base}) & {mask_of(width)})"
@@ -364,8 +410,17 @@ class ExprGen:
 
     def _gen_indexed_part(self, expr: ast.IndexedPart) -> str:
         width = self._const(expr.width, "indexed part width")
-        base = self._resolver.signal_ref(expr.base)
+        base = self._signal_read(expr.base, expr.line)
         start = self.gen(expr.start)
+        base_width = self._resolver.signal_width(expr.base)
+        if base_width is not None:
+            # Ascending reads [start, start+width-1]; descending reads
+            # [start-width+1, start] — either way the extreme touched
+            # bit must stay below the declared width.
+            bound = base_width - width + 1 if expr.ascending else base_width
+            start = self._bound_checked(
+                expr.base, start, bound, expr.start, expr.line
+            )
         if expr.ascending:
             return f"((({base}) >> ({start})) & {mask_of(width)})"
         return f"((({base}) >> (({start}) - {width - 1})) & {mask_of(width)})"
@@ -383,6 +438,8 @@ class StmtGen:
         mem_write: Callable[[str, str, str, int], None],
         is_memory: Callable[[str], bool],
         target_width: Callable[[str], int],
+        trunc_hook: Optional[Callable[[str, int, int, str], str]] = None,
+        write_note: Optional[Callable[[str, Optional[int], int], None]] = None,
     ):
         """Callbacks:
 
@@ -393,6 +450,12 @@ class StmtGen:
         * ``mem_write(name, addr_code, value_code, line)`` — memory
           word write.
         * ``target_width(name)`` — declared width of a target signal.
+        * ``trunc_hook(value_code, declared, line, name)`` — optional
+          sanitizer replacement for the silent truncation mask; returns
+          the complete (still masked) value expression.
+        * ``write_note(name, mask_or_None, line)`` — optional sanitizer
+          notification emitted before each register write (None mask
+          means the full declared width).
         """
         self._exprgen = exprgen
         self._emitter = emitter
@@ -401,6 +464,8 @@ class StmtGen:
         self._mem_write = mem_write
         self._is_memory = is_memory
         self._target_width = target_width
+        self._trunc_hook = trunc_hook
+        self._write_note = write_note
 
     def gen_stmts(self, stmts: List[ast.Stmt]) -> None:
         for stmt in stmts:
@@ -443,6 +508,13 @@ class StmtGen:
                 f"((({current}) & ~(1 << {idx}))"
                 f" | ({val} << {idx})) & {mask_of(declared)}"
             )
+            if self._write_note is not None:
+                note_mask = (
+                    (1 << target.index.value) & mask_of(declared)
+                    if isinstance(target.index, ast.Num)
+                    else None  # dynamic bit: conservatively full width
+                )
+                self._write_note(target.name, note_mask, stmt.line)
             self._write_target(ast.LValue(name=target.name, line=target.line), merged)
             return
         if target.msb is not None:
@@ -455,10 +527,23 @@ class StmtGen:
                 f"(({current}) & {hole})"
                 f" | ((({value_code}) & {mask_of(width)}) << {lsb})"
             )
+            if self._write_note is not None:
+                self._write_note(
+                    target.name,
+                    (mask_of(width) << lsb) & mask_of(declared),
+                    stmt.line,
+                )
             self._write_target(ast.LValue(name=target.name, line=target.line), merged)
             return
         if value_width > declared:
-            value_code = f"(({value_code}) & {mask_of(declared)})"
+            if self._trunc_hook is not None:
+                value_code = self._trunc_hook(
+                    value_code, declared, stmt.line, target.name
+                )
+            else:
+                value_code = f"(({value_code}) & {mask_of(declared)})"
+        if self._write_note is not None:
+            self._write_note(target.name, None, stmt.line)
         self._write_target(target, value_code)
 
     def _gen_if(self, stmt: ast.If) -> None:

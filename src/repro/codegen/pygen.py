@@ -64,6 +64,7 @@ class MemSpec:
     depth: int
     slot: int  # state index of the contents list
     pending_slot: int  # state index of the pending-writes list
+    poison_slot: int = -1  # word-poison bitmap slot (sanitized builds only)
 
 
 @dataclass
@@ -95,10 +96,30 @@ class CompiledModule:
     source_hash: str
     compile_seconds: float
     mux_style: str
+    # Sanitized builds (repro.sanitize) extend the state layout past
+    # ``base = 2*NR + CACHE_SLOTS + 2*NM`` with:
+    #   [base]          register poison bitmap (bit i <-> reg slot i)
+    #   [base+1 + j]    memory j word-poison bitmap
+    #   [base+1 + NM]   per-cycle nonblocking-write dict
+    sanitize: bool = False
 
     @property
     def cache_key_slot(self) -> int:
         return 2 * self.num_regs
+
+    @property
+    def sanitize_base(self) -> int:
+        return 2 * self.num_regs + CACHE_SLOTS + 2 * len(self.mem_specs)
+
+    @property
+    def reg_poison_slot(self) -> int:
+        return self.sanitize_base if self.sanitize else -1
+
+    @property
+    def nw_slot(self) -> int:
+        if not self.sanitize:
+            return -1
+        return self.sanitize_base + 1 + len(self.mem_specs)
 
     def make_state(self) -> list:
         state: list = [0] * (2 * self.num_regs)
@@ -108,6 +129,11 @@ class CompiledModule:
             state.append([0] * spec.depth)
         for spec in ordered:
             state.append([])
+        if self.sanitize:
+            # Cold start is defined power-on zero: all poison clear.
+            state.append(0)  # register poison bitmap
+            state.extend(0 for _ in ordered)  # per-memory word poison
+            state.append({})  # nonblocking writes this cycle
         return state
 
 
@@ -117,10 +143,12 @@ class CompiledModule:
 
 
 class _ModuleCompiler:
-    def __init__(self, ir: ModuleIR, netlist: Netlist, mux_style: str):
+    def __init__(self, ir: ModuleIR, netlist: Netlist, mux_style: str,
+                 sanitize: bool = False):
         self._ir = ir
         self._netlist = netlist
         self._mux_style = mux_style
+        self._sanitize = sanitize
         self._emit = FunctionEmitter()
         self._comb_ports = list(ir.comb_input_ports)
         if ir.needs_fixpoint:
@@ -129,6 +157,14 @@ class _ModuleCompiler:
             # be deferred reliably — fall back to the conservative ABI.
             self._comb_ports = list(ir.inputs)
         base = 2 * ir.num_regs + CACHE_SLOTS
+        nm = len(ir.memories)
+        sbase = base + 2 * nm  # start of the sanitizer slots
+        self._poison_slot = sbase if sanitize else -1
+        self._nw_slot = sbase + 1 + nm if sanitize else -1
+        # Instrumentation sites (module, signal, file-absolute line),
+        # emitted as a literal _SAN_I table inside the generated source
+        # so store rehydration carries them for free.
+        self._san_infos: List[Tuple[str, str, int]] = []
         self._mem_slot: Dict[str, MemSpec] = {}
         for i, mem in enumerate(
             sorted(ir.memories.values(), key=lambda m: m.mem_index)
@@ -138,7 +174,8 @@ class _ModuleCompiler:
                 width=mem.width,
                 depth=mem.depth,
                 slot=base + i,
-                pending_slot=base + len(ir.memories) + i,
+                pending_slot=base + nm + i,
+                poison_slot=sbase + 1 + i if sanitize else -1,
             )
 
     @property
@@ -180,12 +217,61 @@ class _ModuleCompiler:
             spec = self._mem_slot.get(name)
             return f"_m_{name}" if spec is not None else None
 
-        return Resolver(
+        resolver = Resolver(
             signal_ref=signal_ref,
             signal_width=signal_width,
             memory_ref=memory_ref,
             memory_width=lambda n: self._mem_slot[n].width,
             memory_depth=lambda n: self._mem_slot[n].depth,
+        )
+        if self._sanitize:
+            self._attach_sanitize_hooks(resolver)
+        return resolver
+
+    # -- sanitizer instrumentation (repro.sanitize) ---------------------------
+
+    def _san_info(self, signal: str, line: int) -> str:
+        """Register one instrumentation site; returns its table ref."""
+        self._san_infos.append((self._ir.name, signal, line))
+        return f"_SAN_I[{len(self._san_infos) - 1}]"
+
+    def _attach_sanitize_hooks(self, resolver: Resolver) -> None:
+        ir = self._ir
+
+        def reg_read_hook(name: str, ref: str, line: int) -> Optional[str]:
+            sig = ir.signals.get(name)
+            if sig is None or sig.state_index is None:
+                return None  # inputs and comb wires carry no poison
+            return (
+                f"_san.rr(s[{self._poison_slot}], {sig.state_index}, "
+                f"{ref}, {self._san_info(name, line)})"
+            )
+
+        def mem_read_hook(name: str, index_code: str, line: int) -> str:
+            spec = self._mem_slot[name]
+            return (
+                f"_san.mr(_m_{name}, s[{spec.poison_slot}], "
+                f"({index_code}), {self._san_info(name, line)})"
+            )
+
+        def index_bound_hook(
+            name: str, index_code: str, bound: int, line: int
+        ) -> str:
+            return (
+                f"_san.ob(({index_code}), {bound}, "
+                f"{self._san_info(name, line)})"
+            )
+
+        resolver.reg_read_hook = reg_read_hook
+        resolver.mem_read_hook = mem_read_hook
+        resolver.index_bound_hook = index_bound_hook
+
+    def _trunc_hook(self, value_code: str, declared: int, line: int,
+                    target: str) -> str:
+        mask = mask_of(declared)
+        return (
+            f"(_san.tr(({value_code}), {mask}, "
+            f"{self._san_info(target, line)}) & {mask})"
         )
 
     # -- generation ------------------------------------------------------------
@@ -196,6 +282,11 @@ class _ModuleCompiler:
         self._gen_eval_seq()
         self._emit.blank()
         self._gen_tick()
+        if self._sanitize:
+            # Module-level, after the defs: the hooks index it at call
+            # time, so ordering relative to the functions is free.
+            self._emit.blank()
+            self._emit.line(f"_SAN_I = {self._san_infos!r}")
         return self._emit.source()
 
     def _arg_list(self, ports: List[str]) -> str:
@@ -309,7 +400,14 @@ class _ModuleCompiler:
         code = exprgen.gen(assign.value)
         width = self._ir.signals[assign.target.name].width
         if exprgen.width_of(assign.value) > width:
-            code = f"(({code}) & {mask_of(width)})"
+            if self._sanitize:
+                code = self._trunc_hook(
+                    code, width,
+                    getattr(assign.target, "line", 0),
+                    assign.target.name,
+                )
+            else:
+                code = f"(({code}) & {mask_of(width)})"
         self._emit.line(f"v_{assign.target.name} = {code}")
 
     def _gen_comb_block(self, exprgen: ExprGen, index: int) -> None:
@@ -326,6 +424,7 @@ class _ModuleCompiler:
             mem_write=self._forbid_comb_mem_write,
             is_memory=lambda name: name in self._mem_slot,
             target_width=lambda name: self._ir.signals[name].width,
+            trunc_hook=self._trunc_hook if self._sanitize else None,
         )
         stmtgen.gen_stmts(comb.body)
 
@@ -442,6 +541,11 @@ class _ModuleCompiler:
                     self._emit.line(f"_pw_{name} = s[{spec.pending_slot}]")
                     self._emit.line(f"del _pw_{name}[:]")
                     wrote = True
+            if self._sanitize and ir.seq_blocks and ir.num_regs:
+                # Fresh per-cycle write tracking for the nb-conflict
+                # check and tick's poison clearing.
+                self._emit.line(f"s[{self._nw_slot}].clear()")
+                wrote = True
             self._bind_registered_child_outputs()
             self._gen_comb_body(exprgen)
             wrote = wrote or bool(ir.schedule) or bool(ir.instances)
@@ -450,8 +554,8 @@ class _ModuleCompiler:
                     f"s[{ir.num_regs}:{2 * ir.num_regs}] = s[0:{ir.num_regs}]"
                 )
                 wrote = True
-            for seq in ir.seq_blocks:
-                self._gen_seq_block(exprgen, seq)
+            for block_id, seq in enumerate(ir.seq_blocks):
+                self._gen_seq_block(exprgen, seq, block_id)
                 wrote = True
             for index, inst in enumerate(ir.instances):
                 child = self._netlist.modules[inst.child_key]
@@ -484,7 +588,7 @@ class _ModuleCompiler:
                 return True
         return False
 
-    def _gen_seq_block(self, exprgen: ExprGen, seq) -> None:
+    def _gen_seq_block(self, exprgen: ExprGen, seq, block_id: int = 0) -> None:
         num_regs = self._ir.num_regs
 
         def write_target(target: ast.LValue, code: str) -> None:
@@ -502,6 +606,12 @@ class _ModuleCompiler:
 
         def mem_write(name: str, addr: str, value: str, line: int) -> None:
             spec = self._mem_slot[name]
+            if self._sanitize:
+                # Bound-check the address before the wrap hides it.
+                addr = (
+                    f"_san.ob(({addr}), {spec.depth}, "
+                    f"{self._san_info(name, line)})"
+                )
             if spec.depth & (spec.depth - 1) == 0:
                 addr_code = f"({addr}) & {spec.depth - 1}"
             else:
@@ -509,6 +619,15 @@ class _ModuleCompiler:
             self._emit.line(
                 f"_pw_{name}.append(({addr_code}, "
                 f"({value}) & {mask_of(spec.width)}))"
+            )
+
+        def write_note(name: str, wmask: Optional[int], line: int) -> None:
+            sig = self._ir.signals[name]
+            full = mask_of(sig.width)
+            mask = full if wmask is None else (wmask & full)
+            self._emit.line(
+                f"_san.nw(s[{self._nw_slot}], {sig.state_index}, "
+                f"{block_id}, {mask}, {self._san_info(name, line)})"
             )
 
         stmtgen = StmtGen(
@@ -519,6 +638,8 @@ class _ModuleCompiler:
             mem_write=mem_write,
             is_memory=lambda name: name in self._mem_slot,
             target_width=lambda name: self._ir.signals[name].width,
+            trunc_hook=self._trunc_hook if self._sanitize else None,
+            write_note=write_note if self._sanitize else None,
         )
         stmtgen.gen_stmts(seq.body)
 
@@ -533,6 +654,16 @@ class _ModuleCompiler:
                     f"s[0:{ir.num_regs}] = s[{ir.num_regs}:{2 * ir.num_regs}]"
                 )
             self._emit.line(f"s[{cache_slot}] = None")
+            if self._sanitize and ir.num_regs and ir.seq_blocks:
+                # A register written this cycle (nw-dict key) is defined
+                # from here on: clear its poison bit at commit.  The dict
+                # itself is cleared at the start of the next eval_seq.
+                self._emit.line(f"_nw = s[{self._nw_slot}]")
+                with block(self._emit, "if _nw:"):
+                    self._emit.line(f"_p = s[{self._poison_slot}]")
+                    with block(self._emit, "for _i in _nw:"):
+                        self._emit.line("_p &= ~(1 << _i)")
+                    self._emit.line(f"s[{self._poison_slot}] = _p")
             for name, spec in self._mem_slot.items():
                 if not self._memory_written(name):
                     continue
@@ -541,6 +672,10 @@ class _ModuleCompiler:
                     self._emit.line(f"_m = s[{spec.slot}]")
                     with block(self._emit, "for _a, _v in _pw:"):
                         self._emit.line("_m[_a] = _v")
+                        if self._sanitize:
+                            self._emit.line(
+                                f"s[{spec.poison_slot}] &= ~(1 << _a)"
+                            )
                     self._emit.line("del _pw[:]")
             if ir.instances:
                 with block(self._emit, "for _c in ch:"):
@@ -551,15 +686,24 @@ def compile_module(
     ir: ModuleIR,
     netlist: Netlist,
     mux_style: str = "branch",
+    sanitize: bool = False,
+    runtime: object = None,
 ) -> CompiledModule:
-    """Compile one specialization into a :class:`CompiledModule`."""
+    """Compile one specialization into a :class:`CompiledModule`.
+
+    With ``sanitize=True`` the generated source is instrumented with
+    calls into ``runtime`` (a :class:`repro.sanitize.SanitizerRuntime`),
+    bound as the module-global ``_san`` at exec time.
+    """
     started = time.perf_counter()
-    with obs.span("codegen.module", key=ir.key):
-        compiler = _ModuleCompiler(ir, netlist, mux_style)
+    with obs.span("codegen.module", key=ir.key, sanitize=sanitize):
+        compiler = _ModuleCompiler(ir, netlist, mux_style, sanitize=sanitize)
         source = compiler.generate()
-        filename = f"<lhdl:{ir.key}>"
+        # Distinct linecache entries for clean vs sanitized builds of
+        # the same specialization.
+        filename = f"<lhdl:{ir.key}:san>" if sanitize else f"<lhdl:{ir.key}>"
         code = compile(source, filename, "exec")
-        namespace: Dict[str, object] = {}
+        namespace: Dict[str, object] = {"_san": runtime} if sanitize else {}
         exec(code, namespace)  # noqa: S102 - generated, trusted code
         linecache.cache[filename] = (
             len(source), None, source.splitlines(keepends=True), filename
@@ -584,7 +728,10 @@ def compile_module(
         comb_input_ports=tuple(compiler.comb_ports),
         outputs=tuple(ir.outputs),
         num_regs=ir.num_regs,
-        state_size=2 * ir.num_regs + CACHE_SLOTS + 2 * len(ir.memories),
+        state_size=(
+            2 * ir.num_regs + CACHE_SLOTS + 2 * len(ir.memories)
+            + (len(ir.memories) + 2 if sanitize else 0)
+        ),
         reg_slots=reg_slots,  # type: ignore[arg-type]
         reg_widths={name: ir.signals[name].width for name in reg_slots},
         mem_specs=mem_specs,
@@ -593,11 +740,15 @@ def compile_module(
         source_hash=hashlib.sha256(source.encode()).hexdigest(),
         compile_seconds=elapsed,
         mux_style=mux_style,
+        sanitize=sanitize,
     )
 
 
 def compile_netlist(
-    netlist: Netlist, mux_style: str = "branch"
+    netlist: Netlist,
+    mux_style: str = "branch",
+    sanitize: bool = False,
+    runtime: object = None,
 ) -> Dict[str, CompiledModule]:
     """Compile every specialization in ``netlist`` (bottom-up).
 
@@ -613,7 +764,9 @@ def compile_netlist(
         ir = netlist.modules[key]
         for inst in ir.instances:
             visit(inst.child_key)
-        compiled[key] = compile_module(ir, netlist, mux_style)
+        compiled[key] = compile_module(
+            ir, netlist, mux_style, sanitize=sanitize, runtime=runtime
+        )
 
     visit(netlist.top)
     return compiled

@@ -16,6 +16,7 @@ severities, per-specialization caching, and the hot-reload gate.
 
 from __future__ import annotations
 
+import warnings
 from typing import List, Optional, Set
 
 from ..analyze.checks import (
@@ -45,9 +46,18 @@ __all__ = [
 _LEGACY_CHECKS = (WidthCheck, ConstantConditionCheck, UnusedSignalCheck)
 _LEGACY_KINDS = {TRUNCATION, EXTENSION, UNUSED, CONSTANT_CONDITION}
 
+_DEPRECATION_MESSAGE = (
+    "repro.hdl.lint is deprecated; use repro.analyze.Analyzer instead "
+    "(it adds severities, per-specialization caching, and the "
+    "hot-reload gate)"
+)
+
+warnings.warn(_DEPRECATION_MESSAGE, DeprecationWarning, stacklevel=2)
+
 
 def lint_module(ir: ModuleIR, netlist: Optional[Netlist] = None) -> List[Diagnostic]:
     """Lint one elaborated module specialization (legacy checks only)."""
+    warnings.warn(_DEPRECATION_MESSAGE, DeprecationWarning, stacklevel=2)
     fallback = Netlist(top=ir.key, modules={ir.key: ir})
     ctx = CheckContext(netlist if netlist is not None else fallback)
     out: List[Diagnostic] = []
@@ -66,6 +76,7 @@ def lint_netlist(
     legacy kinds).  Deprecated: prefer
     ``repro.analyze.Analyzer().analyze_netlist(netlist)``.
     """
+    warnings.warn(_DEPRECATION_MESSAGE, DeprecationWarning, stacklevel=2)
     out: List[Diagnostic] = []
     for ir in netlist.modules.values():
         out.extend(lint_module(ir, netlist))

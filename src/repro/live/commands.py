@@ -17,6 +17,8 @@ plus session conveniences beyond Table I::
 
     peek pipe-name              current outputs, no cycles advanced
     lint [pipe-name]            static analysis findings (repro.analyze)
+    san [off|report|trap]       toggle the runtime sanitizer / show
+                                mode + per-check hit counters
     verify pipe-name [, workers]   start a background verification
     verifyStatus pipe-name      progress / verdict of the latest verify
     verifyWait pipe-name        block until the verify report lands
@@ -31,6 +33,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..hdl.errors import SimulationError
+from ..sanitize import SanitizerError
 from .session import LiveSession
 
 
@@ -65,6 +68,7 @@ class CommandInterpreter:
             "swapstage": self._swap_stage,
             "peek": self._peek,
             "lint": self._lint,
+            "san": self._san,
             "verify": self._verify,
             "verifystatus": self._verify_status,
             "verifywait": self._verify_wait,
@@ -96,6 +100,12 @@ class CommandInterpreter:
             )
         try:
             value = handler(operands)
+        except SanitizerError:
+            # A sanitizer trap is a *finding about the design*, not a
+            # malformed command: let it propagate with its module,
+            # signal, and line intact (the shell and server give it a
+            # dedicated error taxonomy).
+            raise
         except SimulationError as exc:
             raise CommandError(f"{verb}: {exc}") from exc
         return CommandResult(command=verb, value=value)
@@ -186,6 +196,12 @@ class CommandInterpreter:
         self._need(operands, 0, 1, "lint [pipe-name]")
         pipe_name = operands[0] if operands else None
         return self._session.lint(pipe_name)
+
+    def _san(self, operands: List[str]):
+        self._need(operands, 0, 1, "san [off|report|trap]")
+        if not operands:
+            return self._session.sanitize_status()
+        return self._session.set_sanitize(operands[0].lower())
 
     def _verify(self, operands: List[str]):
         self._need(operands, 1, 2, "verify pipe-name [, workers]")

@@ -28,7 +28,10 @@ from ..hdl.parser import parse
 from ..ir.netlist import Netlist
 from .parser_live import LiveParseResult, LiveParser
 
-CacheKey = Tuple[str, str, Tuple[str, ...], str]
+# (spec key, module fingerprint, child interface fps, mux style,
+#  sanitize flag) — sanitized and clean artifacts coexist in the cache
+# and in the artifact store.
+CacheKey = Tuple[str, str, Tuple[str, ...], str, bool]
 
 
 @dataclass
@@ -41,6 +44,7 @@ class CompileReport:
     parse_seconds: float = 0.0
     elaborate_seconds: float = 0.0
     codegen_seconds: float = 0.0
+    sanitize: bool = False
 
     @property
     def total_seconds(self) -> float:
@@ -66,18 +70,38 @@ class LiveCompiler:
         source: str,
         mux_style: str = "branch",
         store=None,
+        sanitize: bool = False,
+        sanitize_runtime=None,
     ):
         """``store`` is an optional on-disk artifact store (duck-typed
         ``load(cache_key)`` / ``save(cache_key, module)``, see
         :class:`repro.server.store.ArtifactStore`).  The in-memory
         cache reads through it and writes behind it, so artifacts
-        survive restarts and are shared across sessions."""
+        survive restarts and are shared across sessions.
+
+        With ``sanitize=True``, compiles emit instrumented code bound
+        to ``sanitize_runtime`` (a
+        :class:`repro.sanitize.SanitizerRuntime`).  The flag is part of
+        the cache key, so clean and sanitized artifacts coexist and
+        toggling is a cache hit after the first compile."""
         self.parser = LiveParser(source)
         self._design = parse(source)
         self._mux_style = mux_style
         self._cache: Dict[CacheKey, CompiledModule] = {}
         self._store = store
+        self._sanitize = sanitize
+        self._sanitize_runtime = sanitize_runtime
         self._last_parse_seconds = 0.0
+
+    @property
+    def sanitize(self) -> bool:
+        return self._sanitize
+
+    def set_sanitize(self, enabled: bool, runtime=None) -> None:
+        """Switch instrumented codegen on/off for subsequent compiles."""
+        self._sanitize = enabled
+        if runtime is not None:
+            self._sanitize_runtime = runtime
 
     @property
     def artifact_store(self):
@@ -164,7 +188,7 @@ class LiveCompiler:
         self, top: str, params: Optional[Dict[str, int]] = None
     ) -> CompileResult:
         """Elaborate + compile ``top``, reusing cached modules."""
-        report = CompileReport(top=top)
+        report = CompileReport(top=top, sanitize=self._sanitize)
         report.parse_seconds = self._last_parse_seconds
         self._last_parse_seconds = 0.0
 
@@ -187,7 +211,9 @@ class LiveCompiler:
             child_fps = tuple(
                 visit(inst.child_key).interface_fp for inst in ir.instances
             )
-            cache_key: CacheKey = (key, fps[ir.name], child_fps, self._mux_style)
+            cache_key: CacheKey = (
+                key, fps[ir.name], child_fps, self._mux_style, self._sanitize
+            )
             cached = self._cache.get(cache_key)
             if cached is not None:
                 library[key] = cached
@@ -195,7 +221,14 @@ class LiveCompiler:
                 obs.incr("compile.cache_hits")
                 return cached
             if self._store is not None:
-                stored = self._store.load(cache_key)
+                if self._sanitize:
+                    # Rehydrated instrumented code must rebind this
+                    # session's sanitizer runtime.
+                    stored = self._store.load(
+                        cache_key, sanitize_runtime=self._sanitize_runtime
+                    )
+                else:
+                    stored = self._store.load(cache_key)
                 if stored is not None:
                     # Disk hit: the generated code is reused with zero
                     # codegen, exactly like a memory hit — it just also
@@ -204,7 +237,13 @@ class LiveCompiler:
                     library[key] = stored
                     report.reused_keys.append(key)
                     return stored
-            compiled = compile_module(ir, netlist, self._mux_style)
+            compiled = compile_module(
+                ir,
+                netlist,
+                self._mux_style,
+                sanitize=self._sanitize,
+                runtime=self._sanitize_runtime if self._sanitize else None,
+            )
             self._cache[cache_key] = compiled
             library[key] = compiled
             report.recompiled_keys.append(key)

@@ -196,6 +196,32 @@ class HotReloader:
                 new_state[slot + num_regs] = value
                 report.registers_migrated += 1
 
+        old_sanitized = getattr(old_code, "sanitize", False)
+        if new_code.sanitize:
+            # State this reload *introduces* (registers with no migrated
+            # value) is poison — the sanitizer's uninit-read check fires
+            # if the new logic reads it before writing it.  Same-name
+            # migrated registers carry the old poison bit; renames drop
+            # it (documented limitation).
+            old_poison = (
+                inst.state[old_code.reg_poison_slot] if old_sanitized else 0
+            )
+            # A CREATE op materializes a value the simulation never
+            # computed — poisoned just like a register with no migrated
+            # value at all.
+            created = {
+                op.name for op in transform.ops if op.kind == "create"
+            }
+            pbits = 0
+            for name, slot in new_code.reg_slots.items():
+                if name not in migrated or name in created:
+                    pbits |= 1 << slot
+                else:
+                    old_slot = old_code.reg_slots.get(name)
+                    if old_slot is not None and (old_poison >> old_slot) & 1:
+                        pbits |= 1 << slot
+            new_state[new_code.reg_poison_slot] = pbits
+
         # Memories follow the same rules, keyed by (possibly renamed)
         # name; shrunk widths mask, changed depths copy the overlap.
         name_map = {name: name for name in old_code.mem_specs}
@@ -204,6 +230,7 @@ class HotReloader:
                 name_map[op.name] = op.new_name
             elif op.kind == "delete":
                 name_map.pop(op.name, None)
+        copied: Dict[str, tuple] = {}
         for old_name, new_name in name_map.items():
             old_spec = old_code.mem_specs[old_name]
             new_spec = new_code.mem_specs.get(new_name)
@@ -217,6 +244,23 @@ class HotReloader:
                 new_words[0:count] = [w & mask for w in old_words[0:count]]
             else:
                 new_words[0:count] = old_words[0:count]
+            copied[new_name] = (
+                count,
+                inst.state[old_spec.poison_slot] if old_sanitized else 0,
+            )
             report.memories_migrated += 1
+
+        if new_code.sanitize:
+            for name, spec in new_code.mem_specs.items():
+                carried = copied.get(name)
+                if carried is None:
+                    # Brand-new memory: every word is fresh state.
+                    poison = (1 << spec.depth) - 1
+                else:
+                    count, old_bits = carried
+                    # Grown tail is fresh; copied words keep old poison.
+                    poison = ((1 << spec.depth) - 1) & ~((1 << count) - 1)
+                    poison |= old_bits & ((1 << count) - 1)
+                new_state[spec.poison_slot] = poison
 
         inst.state = new_state

@@ -32,6 +32,7 @@ from ..analyze import (
     sort_diagnostics,
 )
 from ..hdl.errors import HDLError, SimulationError
+from ..sanitize import SANITIZE_MODES, SanitizerRuntime
 from ..sim.pipeline import Pipe
 from ..sim.testbench import Testbench
 from .checkpoint import CheckpointStore, GCPolicy
@@ -96,6 +97,13 @@ class ERDReport:
     diagnostics: List[Diagnostic] = field(default_factory=list)
     new_findings: List[Diagnostic] = field(default_factory=list)
     gate_overridden: bool = False
+    # Sanitizer accounting.  Sanitized and clean compiles populate
+    # *different* cache entries, so bench ablation rows must not mix
+    # them: recompiled/reused_keys above hold the union, these two hold
+    # the sanitized subset.
+    sanitize: bool = False
+    sanitized_recompiled_keys: List[str] = field(default_factory=list)
+    sanitized_reused_keys: List[str] = field(default_factory=list)
 
     @property
     def total_seconds(self) -> float:
@@ -142,9 +150,24 @@ class LiveSession:
         artifact_store=None,
         analyzer: Optional[Analyzer] = None,
         gate_policy: Optional[GatePolicy] = None,
+        sanitize: str = "off",
     ):
+        if sanitize not in SANITIZE_MODES:
+            raise SimulationError(
+                f"unknown sanitize mode {sanitize!r}; expected one of "
+                f"{SANITIZE_MODES}"
+            )
+        # One runtime per session, forever: instrumented code exec'd at
+        # any point binds this exact object, so mode flips are live in
+        # already-compiled modules.
+        self.sanitize_runtime = SanitizerRuntime(mode=sanitize)
+        self._sanitize_mode = sanitize
         self.compiler = LiveCompiler(
-            source, mux_style=mux_style, store=artifact_store
+            source,
+            mux_style=mux_style,
+            store=artifact_store,
+            sanitize=sanitize != "off",
+            sanitize_runtime=self.sanitize_runtime,
         )
         self.analyzer = analyzer if analyzer is not None else Analyzer()
         self.gate_policy = (
@@ -509,7 +532,9 @@ class LiveSession:
         old_source = self.compiler.source
         parse_result = self.compiler.update_source(new_source)
         report = ERDReport(
-            behavioral=parse_result.behavioral, version=self.version
+            behavioral=parse_result.behavioral,
+            version=self.version,
+            sanitize=self.compiler.sanitize,
         )
         report.parse_seconds = parse_result.parse_seconds
         obs.incr("live.apply_changes")
@@ -551,12 +576,22 @@ class LiveSession:
         for name in self._pipe_sessions:
             self.cancel_verify(name)
 
-        # Phase 2: swap, reload, replay.
+        # Phase 2: swap, reload, replay.  Sanitizer findings raised by
+        # the replay (e.g. an uninit read of state this very edit
+        # introduced) are collected from this high-water mark.
+        san_mark = len(self.sanitize_runtime.findings)
         for name, session in self._pipe_sessions.items():
             old_result = session.compile_result
             result = compile_results[name]
             report.recompiled_keys.extend(result.report.recompiled_keys)
             report.reused_keys.extend(result.report.reused_keys)
+            if result.report.sanitize:
+                report.sanitized_recompiled_keys.extend(
+                    result.report.recompiled_keys
+                )
+                report.sanitized_reused_keys.extend(
+                    result.report.reused_keys
+                )
 
             if old_result is not None and transforms is None:
                 self._guess_version_transforms(
@@ -612,6 +647,21 @@ class LiveSession:
         # (including any the user forced through with override_gate).
         for name, analysis in analysis_results.items():
             self._analysis_baseline[name] = list(analysis.diagnostics)
+
+        # Sanitizer findings surfaced during the replay join the static
+        # diagnostics — one unified stream — and enter the baselines so
+        # the next edit's gate doesn't re-report them as new.
+        fresh = self.sanitize_runtime.findings[san_mark:]
+        if fresh:
+            seen = {(d.identity(), d.line) for d in report.diagnostics}
+            for diag in fresh:
+                if (diag.identity(), diag.line) not in seen:
+                    seen.add((diag.identity(), diag.line))
+                    report.diagnostics.append(diag)
+                    report.new_findings.append(diag)
+            report.diagnostics = sort_diagnostics(report.diagnostics)
+            for name in self._analysis_baseline:
+                self._analysis_baseline[name].extend(fresh)
 
         if verify == "background":
             # Paper §III-F: the user keeps simulating while stored
@@ -740,9 +790,71 @@ class LiveSession:
                 if (diag.identity(), diag.line) not in seen:
                     seen.add((diag.identity(), diag.line))
                     merged.diagnostics.append(diag)
+        # Runtime sanitizer findings ride the same surface as the
+        # static checks — one diagnostics stream for the user.
+        for diag in self.sanitize_runtime.findings:
+            if (diag.identity(), diag.line) not in seen:
+                seen.add((diag.identity(), diag.line))
+                merged.diagnostics.append(diag)
         merged.diagnostics = sort_diagnostics(merged.diagnostics)
         merged.seconds = time.perf_counter() - started
         return merged
+
+    # ------------------------------------------------------------------
+    # Runtime sanitizer (repro.sanitize)
+    # ------------------------------------------------------------------
+
+    def set_sanitize(self, mode: str) -> Dict[str, object]:
+        """Switch the sanitizer mode for this session.
+
+        ``report`` <-> ``trap`` is a pure runtime flip.  Crossing the
+        ``off`` boundary recompiles every pipe with (or without)
+        instrumentation — a cache hit after the first toggle, since the
+        sanitize flag is part of the compile cache key — and hot swaps
+        the new library in, preserving all state.
+        """
+        if mode not in SANITIZE_MODES:
+            raise SimulationError(
+                f"unknown sanitize mode {mode!r}; expected one of "
+                f"{SANITIZE_MODES}"
+            )
+        previous = self._sanitize_mode
+        self.sanitize_runtime.mode = mode
+        self._sanitize_mode = mode
+        want = mode != "off"
+        recompiled: List[str] = []
+        swapped: List[str] = []
+        if want != self.compiler.sanitize:
+            with obs.span("sanitize.toggle", mode=mode):
+                self.compiler.set_sanitize(
+                    want, runtime=self.sanitize_runtime
+                )
+                reloader = HotReloader()
+                for name, session in self._pipe_sessions.items():
+                    result = self.compiler.compile_top(
+                        session.module, session.params
+                    )
+                    recompiled.extend(result.report.recompiled_keys)
+                    reloader.swap_pipe(session.pipe, result.library)
+                    session.compile_result = result
+                    swapped.append(name)
+        obs.incr("sanitize.toggles")
+        return {
+            "mode": mode,
+            "previous": previous,
+            "recompiled_keys": recompiled,
+            "swapped_pipes": swapped,
+        }
+
+    @property
+    def sanitize_mode(self) -> str:
+        return self._sanitize_mode
+
+    def sanitize_status(self) -> Dict[str, object]:
+        """Mode, per-check hit counters, and finding count."""
+        status = self.sanitize_runtime.status()
+        status["instrumented"] = self.compiler.sanitize
+        return status
 
     # ------------------------------------------------------------------
     # Consistency verification (§III-F)

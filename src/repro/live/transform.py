@@ -135,6 +135,8 @@ def translate_snapshot(
 
     module = module_name_of.get(snap.key, snap.key)
     transform = transform_for.get(module)
+    reg_poison = set(getattr(snap, "reg_poison", ()))
+    mem_poison = dict(getattr(snap, "mem_poison", {}))
     if transform is None or transform.is_identity():
         regs = dict(snap.regs)
         mems = {name: list(words) for name, words in snap.mems.items()}
@@ -150,6 +152,21 @@ def translate_snapshot(
             new_name: list(snap.mems[old_name])
             for old_name, new_name in name_map.items()
         }
+        # Sanitizer shadow state follows the rename/delete/create ops:
+        # a *created* register holds a value the simulation never
+        # computed, so it reads as poisoned until first written.
+        for op in transform.ops:
+            if op.kind == RENAME:
+                if op.name in reg_poison:
+                    reg_poison.discard(op.name)
+                    reg_poison.add(op.new_name)
+                if op.name in mem_poison:
+                    mem_poison[op.new_name] = mem_poison.pop(op.name)
+            elif op.kind == DELETE:
+                reg_poison.discard(op.name)
+                mem_poison.pop(op.name, None)
+            elif op.kind == CREATE:
+                reg_poison.add(op.name)
     return StateSnapshot(
         key=snap.key,
         name=snap.name,
@@ -159,6 +176,8 @@ def translate_snapshot(
             translate_snapshot(child, module_name_of, transform_for)
             for child in snap.children
         ],
+        reg_poison=tuple(sorted(reg_poison & set(regs))),
+        mem_poison=mem_poison,
     )
 
 

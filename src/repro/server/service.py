@@ -38,6 +38,7 @@ from ..live.checkpoint import Checkpoint
 from ..live.commands import CommandError, CommandInterpreter
 from ..live.consistency import ConsistencyReport
 from ..live.session import ERDReport, LiveSession
+from ..sanitize import SanitizerError
 from ..sim.pipeline import Pipe
 from ..sim.testbench import reset_sequence
 from . import protocol
@@ -132,6 +133,11 @@ def summarize(value: Any) -> Any:
             "findings": [d.to_json() for d in value.diagnostics],
             "new_findings": [d.to_json() for d in value.new_findings],
             "gate_overridden": value.gate_overridden,
+            "sanitize": value.sanitize,
+            "sanitized_recompiled_keys": list(
+                value.sanitized_recompiled_keys
+            ),
+            "sanitized_reused_keys": list(value.sanitized_reused_keys),
         }
     if isinstance(value, AnalysisReport):
         return {
@@ -594,6 +600,20 @@ class LiveSimServer:
             )
         except HDLError as exc:
             response = error_response(request.id, "hdl", str(exc))
+        except SanitizerError as exc:
+            # Before SimulationError (its base): a trap carries the
+            # offending site so clients can jump to the source line.
+            response = Response(
+                id=request.id, ok=False,
+                error={
+                    "type": "sanitizer",
+                    "message": str(exc),
+                    "kind": exc.kind,
+                    "module": exc.module,
+                    "signal": exc.signal,
+                    "line": exc.line,
+                },
+            )
         except SimulationError as exc:
             response = error_response(request.id, "simulation", str(exc))
         except ProtocolError as exc:

@@ -38,7 +38,9 @@ from ..codegen.pygen import CompiledModule
 
 # Bumped whenever the pickled payload layout or the CompiledModule
 # field set changes; artifacts with another format read as misses.
-STORE_FORMAT = "repro.store/v1"
+# v2: CompiledModule grew a ``sanitize`` field and the cache key a
+# sanitize flag (clean and instrumented artifacts coexist).
+STORE_FORMAT = "repro.store/v2"
 
 # CompiledModule fields persisted to disk — everything except the
 # three function objects, which are rebuilt from ``source`` on load.
@@ -60,16 +62,32 @@ _PICKLED_FIELDS = (
     "source_hash",
     "compile_seconds",
     "mux_style",
+    "sanitize",
 )
 
 
 def key_digest(cache_key: Sequence) -> str:
-    """Stable content address for one compiler cache key."""
-    spec, fingerprint, child_fps, mux_style = cache_key
-    canonical = json.dumps(
-        [spec, fingerprint, list(child_fps), mux_style]
-    )
+    """Stable content address for one compiler cache key.
+
+    Legacy 4-tuple keys (pre-sanitizer) digest identically to the
+    equivalent 5-tuple with ``sanitize=False``.
+    """
+    spec, fingerprint, child_fps, mux_style = cache_key[:4]
+    sanitize = bool(cache_key[4]) if len(cache_key) > 4 else False
+    parts = [spec, fingerprint, list(child_fps), mux_style]
+    if sanitize:
+        # Appended only when set, so clean keys keep their v1 address.
+        parts.append("sanitize")
+    canonical = json.dumps(parts)
     return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def _normalize_key(cache_key: Sequence) -> tuple:
+    """Canonical 5-tuple form (legacy 4-tuples get sanitize=False)."""
+    key = tuple(cache_key)
+    if len(key) == 4:
+        key = key + (False,)
+    return key
 
 
 class ArtifactStore:
@@ -86,8 +104,15 @@ class ArtifactStore:
 
     # -- read-through --------------------------------------------------------
 
-    def load(self, cache_key: Sequence) -> Optional[CompiledModule]:
-        """Rehydrate the artifact for ``cache_key`` or None on a miss."""
+    def load(
+        self, cache_key: Sequence, sanitize_runtime=None
+    ) -> Optional[CompiledModule]:
+        """Rehydrate the artifact for ``cache_key`` or None on a miss.
+
+        ``sanitize_runtime`` must be the session's
+        :class:`repro.sanitize.SanitizerRuntime` when loading an
+        instrumented artifact — the stored source calls ``_san`` hooks.
+        """
         path = self.path_for(cache_key)
         try:
             with open(path, "rb") as fh:
@@ -101,20 +126,24 @@ class ArtifactStore:
             obs.incr("compile.store_misses")
             _note_error(f"load {path}: {exc}")
             return None
-        module = self._rehydrate(cache_key, payload)
+        module = self._rehydrate(cache_key, payload, sanitize_runtime)
         if module is None:
             obs.incr("compile.store_misses")
             return None
         obs.incr("compile.store_hits")
         return module
 
-    def _rehydrate(self, cache_key: Sequence, payload) -> Optional[CompiledModule]:
+    def _rehydrate(
+        self, cache_key: Sequence, payload, sanitize_runtime=None
+    ) -> Optional[CompiledModule]:
         if not isinstance(payload, dict):
             obs.incr("compile.store_errors")
             return None
         if payload.get("format") != STORE_FORMAT:
             return None  # version skew, not corruption: silent miss
-        if tuple(payload.get("cache_key", ())) != tuple(cache_key):
+        if _normalize_key(payload.get("cache_key", ())) != _normalize_key(
+            cache_key
+        ):
             # Digest collision or a tampered file; never serve it.
             obs.incr("compile.store_errors")
             return None
@@ -123,9 +152,24 @@ class ArtifactStore:
             obs.incr("compile.store_errors")
             return None
         source = fields["source"]
-        filename = f"<lhdl:{fields['key']}>"
+        sanitized = bool(fields.get("sanitize"))
+        if sanitized and sanitize_runtime is None:
+            # An instrumented artifact without a runtime to bind would
+            # crash at eval time; treat as a miss and recompile.
+            obs.incr("compile.store_errors")
+            _note_error(
+                f"rehydrate {fields.get('key')}: sanitized artifact "
+                "loaded without a sanitize_runtime"
+            )
+            return None
+        filename = (
+            f"<lhdl:{fields['key']}:san>" if sanitized
+            else f"<lhdl:{fields['key']}>"
+        )
         try:
-            namespace: dict = {}
+            namespace: dict = (
+                {"_san": sanitize_runtime} if sanitized else {}
+            )
             exec(compile(source, filename, "exec"), namespace)  # noqa: S102
             module = CompiledModule(
                 eval_out_fn=namespace["eval_out"],
@@ -150,7 +194,7 @@ class ArtifactStore:
         path = self.path_for(cache_key)
         payload = {
             "format": STORE_FORMAT,
-            "cache_key": tuple(cache_key),
+            "cache_key": _normalize_key(cache_key),
             "fields": {
                 name: getattr(module, name) for name in _PICKLED_FIELDS
             },

@@ -30,6 +30,11 @@ class StateSnapshot:
     regs: Dict[str, int]
     mems: Dict[str, List[int]]
     children: List["StateSnapshot"] = field(default_factory=list)
+    # Sanitizer shadow state (empty for clean builds and legacy
+    # pickles — read with getattr defaults): names of poisoned regs and
+    # per-memory word-poison bitmaps.
+    reg_poison: Tuple[str, ...] = ()
+    mem_poison: Dict[str, int] = field(default_factory=dict)
 
     def total_bytes(self) -> int:
         """Rough payload size (8 bytes per register/memory word).
@@ -133,6 +138,8 @@ class StageInst:
         self.state[slot] = value & mask
         # Keep pending consistent so a poke survives an eval-less tick.
         self.state[slot + self.code.num_regs] = value & mask
+        if self.code.sanitize:
+            self.state[self.code.reg_poison_slot] &= ~(1 << slot)
         self.state[2 * self.code.num_regs] = None  # invalidate memo
 
     def memory(self, name: str) -> List[int]:
@@ -148,6 +155,20 @@ class StageInst:
 
     def snapshot(self) -> StateSnapshot:
         state = self.state
+        reg_poison: Tuple[str, ...] = ()
+        mem_poison: Dict[str, int] = {}
+        if self.code.sanitize:
+            pbits = state[self.code.reg_poison_slot]
+            reg_poison = tuple(
+                name
+                for name, slot in self.code.reg_slots.items()
+                if (pbits >> slot) & 1
+            )
+            mem_poison = {
+                name: state[spec.poison_slot]
+                for name, spec in self.code.mem_specs.items()
+                if state[spec.poison_slot]
+            }
         return StateSnapshot(
             key=self.code.key,
             name=self.name,
@@ -159,6 +180,8 @@ class StageInst:
                 for name, spec in self.code.mem_specs.items()
             },
             children=[child.snapshot() for child in self.children],
+            reg_poison=reg_poison,
+            mem_poison=mem_poison,
         )
 
     def restore(self, snap: StateSnapshot) -> None:
@@ -187,6 +210,11 @@ class StageInst:
                 raise SimulationError(f"snapshot memory {name!r} mismatch")
             self.state[spec.slot][:] = words
             del self.state[spec.pending_slot][:]
+        if self.code.sanitize:
+            self._restore_poison(
+                getattr(snap, "reg_poison", ()),
+                getattr(snap, "mem_poison", {}),
+            )
         self.state[2 * num_regs] = None  # invalidate memo
         if len(snap.children) != len(self.children):
             raise SimulationError("snapshot child count mismatch")
@@ -215,6 +243,26 @@ class StageInst:
             value = migrated.get(name, 0) & ((1 << self.code.reg_widths[name]) - 1)
             self.state[slot] = value
             self.state[slot + num_regs] = value
+        if self.code.sanitize:
+            # Registers the translated snapshot never carried are fresh
+            # state: mark them poisoned ("skip_init"-style restore).  A
+            # CREATE op materializes a value the simulation never
+            # computed, so it counts as fresh too; carried snapshot
+            # poison survives under its (possibly renamed) name.
+            carried = set(getattr(snap, "reg_poison", ()))
+            created = set()
+            for op in getattr(transform, "ops", ()) or ():
+                if op.kind == "create":
+                    created.add(op.name)
+                elif op.kind == "rename" and op.name in carried:
+                    carried.discard(op.name)
+                    carried.add(op.new_name)
+            fresh = tuple(
+                name
+                for name in self.code.reg_slots
+                if name not in migrated or name in created or name in carried
+            )
+            self._restore_poison(fresh, {})
         name_map = {name: name for name in snap.mems}
         if transform is not None:
             for op in getattr(transform, "ops", ()):
@@ -225,17 +273,31 @@ class StageInst:
         translated = {
             new_name: snap.mems[old_name] for old_name, new_name in name_map.items()
         }
+        if self.code.sanitize:
+            snap_mem_poison = getattr(snap, "mem_poison", {})
+            old_name_of = {new: old for old, new in name_map.items()}
         for name, spec in self.code.mem_specs.items():
             target = self.state[spec.slot]
             words = translated.get(name)
             if words is None:
                 target[:] = [0] * spec.depth
+                if self.code.sanitize:
+                    # A memory the snapshot never had is all fresh state.
+                    self.state[spec.poison_slot] = (1 << spec.depth) - 1
             else:
                 count = min(len(words), spec.depth)
                 mask = (1 << spec.width) - 1
                 target[0:count] = [w & mask for w in words[0:count]]
                 if count < spec.depth:
                     target[count:] = [0] * (spec.depth - count)
+                if self.code.sanitize:
+                    # Depth growth beyond the snapshotted words is fresh;
+                    # carried word poison covers the copied range.
+                    poison = ((1 << spec.depth) - 1) & ~((1 << count) - 1)
+                    poison |= snap_mem_poison.get(
+                        old_name_of.get(name, name), 0
+                    ) & ((1 << count) - 1)
+                    self.state[spec.poison_slot] = poison
             del self.state[spec.pending_slot][:]
         self.state[2 * num_regs] = None  # invalidate memo
         for child in self.children:
@@ -244,6 +306,24 @@ class StageInst:
                 child.restore_transformed(child_snap, transform_for)
             else:
                 child.reset_state()
+
+    def _restore_poison(
+        self,
+        reg_poison: Tuple[str, ...],
+        mem_poison: Dict[str, int],
+    ) -> None:
+        """Replace the sanitizer shadow state from snapshot form."""
+        pbits = 0
+        for name in reg_poison:
+            slot = self.code.reg_slots.get(name)
+            if slot is not None:
+                pbits |= 1 << slot
+        self.state[self.code.reg_poison_slot] = pbits
+        for name, spec in self.code.mem_specs.items():
+            self.state[spec.poison_slot] = mem_poison.get(name, 0) & (
+                (1 << spec.depth) - 1
+            )
+        self.state[self.code.nw_slot].clear()
 
     def reset_state(self) -> None:
         """Zero all registers and memories (power-on state)."""
@@ -287,6 +367,10 @@ class StageInst:
         spec = self.code.mem_specs[name]
         mask = (1 << spec.width) - 1
         target[offset : offset + len(words)] = [w & mask for w in words]
+        if self.code.sanitize:
+            self.state[spec.poison_slot] &= ~(
+                ((1 << len(words)) - 1) << offset
+            )
         self.invalidate_cache()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

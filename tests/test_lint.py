@@ -167,3 +167,48 @@ module m (input [15:0] a, output [7:0] y);
 endmodule
 """, kinds={UNUSED})
         assert {d.kind for d in found} == {UNUSED}
+
+
+class TestDeprecationShim:
+    def test_lint_functions_warn(self):
+        import pytest
+
+        with pytest.warns(DeprecationWarning, match="repro.analyze.Analyzer"):
+            diags("""
+module m (input clk, input a, output y);
+  assign y = a;
+endmodule
+""")
+
+    def test_package_import_stays_silent(self):
+        # Importing repro.hdl (or reaching any non-lint attribute) must
+        # not fire the shim's module-level DeprecationWarning — the
+        # lazy re-export only loads repro.hdl.lint on first touch.
+        import os
+        import subprocess
+        import sys
+
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        code = (
+            "import warnings; warnings.simplefilter('error');"
+            "import repro.hdl; repro.hdl.parse; repro.hdl.Diagnostic"
+        )
+        subprocess.run(
+            [sys.executable, "-c", code],
+            check=True,
+            env={**os.environ, "PYTHONPATH": src},
+        )
+
+    def test_lazy_reexport_still_works(self):
+        import warnings
+
+        import pytest
+
+        import repro.hdl
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            assert repro.hdl.lint_netlist is not None
+            assert repro.hdl.lint_module is not None
+        with pytest.raises(AttributeError):
+            repro.hdl.no_such_symbol

@@ -91,6 +91,26 @@ LOOP_DESIGN = DESIGN.replace(
     "  assign fb = fb & c0;",
 )
 
+# Sanitizer leg: a read-only lookup memory addressed through a masked
+# part-select.  The edit drops the mask, so the 3-bit counter indexes
+# past the 4-word memory — the instrumented replay must report it.
+SAN_DESIGN = """
+module lut (
+  input clk,
+  input rst,
+  output [7:0] out
+);
+  reg [7:0] mem [0:3];
+  reg [2:0] idx_q;
+  assign out = mem[idx_q[1:0]];
+  always @(posedge clk) begin
+    if (rst) idx_q <= 0;
+    else idx_q <= idx_q + 3'd1;
+  end
+endmodule
+"""
+SAN_EDIT = SAN_DESIGN.replace("mem[idx_q[1:0]]", "mem[idx_q]")
+
 LISTEN_RE = re.compile(r"livesim server listening on ([\d.]+):(\d+)")
 
 
@@ -192,6 +212,36 @@ def cold_session(host, port, patch_path):
     return client
 
 
+def sanitize_session(client):
+    """Sanitized session over the socket: ``san report``, then an edit
+    that introduces an out-of-bounds memory index; the finding must
+    stream back as a ``lint_findings`` event."""
+    info = client.open_session("san", SAN_DESIGN)
+    handle = info["handles"]["lut"]
+    status = client.command("san", "san")
+    check(status["mode"] == "off" and status["instrumented"] is False,
+          "san: sessions start uninstrumented")
+    toggled = client.command("san", "san report")
+    check(toggled["mode"] == "report", "san report: mode toggled")
+    client.command("san", f"instPipe p0, {handle}")
+    client.command("san", "run tb0, p0, 30")
+    status = client.command("san", "san")
+    check(status["instrumented"] is True and status["findings"] == 0,
+          "san: clean design simulates with zero findings")
+    client.reload("san", SAN_EDIT)
+    event = client.wait_event("lint_findings", timeout=30.0)
+    oob = [f for f in event.data["new_findings"]
+           if f["kind"] == "san-oob-index"]
+    check(oob and oob[0]["module"] == "lut",
+          "san: oob finding streamed as lint_findings event")
+    check("memory index" in oob[0]["message"],
+          f"san: finding names the index ({oob[0]['message']!r})")
+    status = client.command("san", "san")
+    check(status["hits"]["san-oob-index"] > 0,
+          f"san: hit counters dumped ({status['hits']})")
+    client.close_session("san")
+
+
 def warm_session(host, port):
     client = LiveSimClient(host, port, timeout=60.0)
     client.open_session("warm", DESIGN)
@@ -216,6 +266,8 @@ def main():
         proc, host, port = start_server(store)
         try:
             client = cold_session(host, port, patch_path)
+            print("      sanitized session: san report + oob edit")
+            sanitize_session(client)
         except BaseException:
             proc.kill()
             raise
