@@ -1,0 +1,455 @@
+"""Load-test bench: many concurrent scripted sessions against the server.
+
+``python -m repro.bench loadtest`` boots a LiveSim server in-process —
+sharded (``--workers N``) or single-process threaded (``--workers 0``)
+— then drives ``--sessions`` scripted edit-run-debug sessions from a
+pool of ``--concurrency`` client threads over real sockets.  Every
+command is timed client-side into an :mod:`repro.obs` histogram per
+command class (open / instpipe / run / peek / close), and the run is
+summarized as p50/p95/p99 latency per class plus aggregate
+commands/sec.
+
+The same JSON artifact (``repro.bench.loadtest/v1``) feeds:
+
+* humans — a latency table and throughput line are printed;
+* CI — ``--baseline PATH`` gates the per-class p99 latency against a
+  checked-in baseline with the same host-speed calibration scaling as
+  the fig7 gate (throughput is report-only: it depends on core count,
+  which calibration cannot normalize away);
+* the scaling claim — ``--compare-single`` reruns the identical
+  workload against the single-process threaded server and reports the
+  sharded/single throughput ratio (≥2x expected with 4 workers on a
+  ≥4-core host; on fewer cores the ratio degrades toward parity and
+  the artifact records ``cpu_count`` so readers can tell why).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import queue
+import shutil
+import sys
+import tempfile
+import threading
+import time
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..obs.metrics import MetricsRegistry
+from .reporting import format_table
+
+LOADTEST_SCHEMA_ID = "repro.bench.loadtest/v1"
+COMMAND_CLASSES = ("open", "instpipe", "run", "peek", "close")
+
+# Small three-module design (same shape as tools/server_smoke.py): a
+# combinational adder feeding two registered counters.  Big enough to
+# exercise compile, checkpoint and simulate paths; small enough that a
+# single host can sustain hundreds of sessions.
+DESIGN = """
+module adder #(parameter W = 8) (
+  input clk,
+  input [W-1:0] a,
+  input [W-1:0] b,
+  output [W-1:0] sum
+);
+  assign sum = a + b;
+endmodule
+
+module counter #(parameter W = 8) (
+  input clk,
+  input rst,
+  input [W-1:0] step,
+  output [W-1:0] count
+);
+  reg [W-1:0] count_q;
+  wire [W-1:0] next;
+  adder #(.W(W)) u_add (.clk(clk), .a(count_q), .b(step), .sum(next));
+  assign count = count_q;
+  always @(posedge clk) begin
+    if (rst)
+      count_q <= 0;
+    else
+      count_q <= next;
+  end
+endmodule
+
+module top (
+  input clk,
+  input rst,
+  output [7:0] c0,
+  output [7:0] c1
+);
+  counter #(.W(8)) u0 (.clk(clk), .rst(rst), .step(8'd1), .count(c0));
+  counter #(.W(8)) u1 (.clk(clk), .rst(rst), .step(8'd3), .count(c1));
+endmodule
+"""
+
+
+@dataclass
+class LoadtestConfig:
+    """One load-test run: N sessions driven by C client threads."""
+
+    sessions: int = 64
+    workers: int = 4
+    runs: int = 3
+    run_cycles: int = 200
+    concurrency: int = 16
+    read_timeout: float = 300.0
+
+
+def _drive_session(client, name: str, config: LoadtestConfig,
+                   registry: MetricsRegistry) -> None:
+    """Script one session end-to-end, timing each command class."""
+
+    def timed(cls: str, fn, *args) -> None:
+        started = time.perf_counter()
+        fn(*args)
+        registry.histogram(
+            f"loadtest.{cls}.seconds", time.perf_counter() - started
+        )
+        registry.incr("loadtest.commands")
+
+    timed("open", client.open_session, name, DESIGN)
+    timed("instpipe", client.command, name, "instPipe p0, stage2")
+    for _ in range(config.runs):
+        timed("run", client.command, name,
+              f"run tb0, p0, {config.run_cycles}")
+        timed("peek", client.command, name, "peek p0")
+    timed("close", client.close_session, name)
+
+
+def _drive(host: str, port: int,
+           config: LoadtestConfig) -> Tuple[MetricsRegistry, float]:
+    """Run every session through a bounded pool of client threads."""
+    from ..server.client import LiveSimClient, ReadTimeout, ServerError
+
+    names: "queue.Queue[str]" = queue.Queue()
+    for i in range(config.sessions):
+        names.put(f"load-{i:04d}")
+    registries = [MetricsRegistry() for _ in range(config.concurrency)]
+
+    def client_thread(registry: MetricsRegistry) -> None:
+        client = LiveSimClient(host, port,
+                               read_timeout=config.read_timeout)
+        try:
+            while True:
+                try:
+                    name = names.get_nowait()
+                except queue.Empty:
+                    return
+                try:
+                    _drive_session(client, name, config, registry)
+                except (ServerError, ReadTimeout,
+                        ConnectionError, OSError) as exc:
+                    registry.incr("loadtest.errors")
+                    registry.incr(
+                        f"loadtest.errors.{type(exc).__name__}"
+                    )
+        finally:
+            client.close()
+
+    threads = [
+        threading.Thread(target=client_thread, args=(registry,),
+                         name=f"loadtest-{i}", daemon=True)
+        for i, registry in enumerate(registries)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall_s = time.perf_counter() - started
+
+    merged = MetricsRegistry()
+    for registry in registries:
+        merged.merge(registry)
+    return merged, wall_s
+
+
+def run_loadtest(config: LoadtestConfig) -> Dict:
+    """Boot a server, drive the workload, return the result dict.
+
+    ``config.workers > 0`` boots the sharded asyncio frontend;
+    ``config.workers == 0`` boots the single-process threaded server
+    (the comparison point for the scaling claim).
+    """
+    scratch = tempfile.mkdtemp(prefix="livesim-loadtest-")
+    store_root = os.path.join(scratch, "store")
+    server = None
+    try:
+        if config.workers > 0:
+            from ..server.frontend import ShardedFrontend
+
+            server = ShardedFrontend(
+                port=0,
+                workers=config.workers,
+                store_root=store_root,
+                state_root=os.path.join(scratch, "state"),
+            )
+        else:
+            from ..server.service import LiveSimServer
+            from ..server.store import ArtifactStore
+
+            server = LiveSimServer(
+                port=0, artifact_store=ArtifactStore(store_root)
+            )
+        host, port = server.start()
+        registry, wall_s = _drive(host, port, config)
+
+        from ..server.client import LiveSimClient
+
+        with LiveSimClient(host, port, read_timeout=60.0) as probe:
+            server_stats = probe.stats()
+    finally:
+        if server is not None:
+            server.shutdown()
+        shutil.rmtree(scratch, ignore_errors=True)
+
+    commands = registry.counter("loadtest.commands")
+    result: Dict = {
+        "mode": "sharded" if config.workers > 0 else "threaded",
+        "wall_s": wall_s,
+        "commands": commands,
+        "commands_per_sec": commands / wall_s if wall_s > 0 else 0.0,
+        "errors": registry.counter("loadtest.errors"),
+        "latency_s": {
+            cls: registry.histogram_stats(f"loadtest.{cls}.seconds")
+            for cls in COMMAND_CLASSES
+        },
+        "server": {
+            "sessions_left": server_stats.get("sessions"),
+            "workers": server_stats.get("workers"),
+            "request_seconds": (
+                server_stats.get("metrics", {})
+                .get("histograms", {})
+                .get("server.request_seconds")
+            ),
+        },
+    }
+    error_counters = {
+        name: value
+        for name, value in sorted(registry.counters.items())
+        if name.startswith("loadtest.errors.")
+    }
+    if error_counters:
+        result["error_kinds"] = error_counters
+    return result
+
+
+def run_loadtest_payload(config: LoadtestConfig,
+                         compare_single: bool = False) -> Dict:
+    """Full ``repro.bench.loadtest/v1`` artifact for one configuration."""
+    from .run import calibrate
+
+    payload: Dict = {
+        "schema": LOADTEST_SCHEMA_ID,
+        "generated_unix_s": time.time(),
+        "python": sys.version.split()[0],
+        "cpu_count": os.cpu_count(),
+        "calibration_s": calibrate(),
+        "config": asdict(config),
+    }
+    payload.update(run_loadtest(config))
+    if compare_single and config.workers > 0:
+        single = run_loadtest(
+            LoadtestConfig(**{**asdict(config), "workers": 0})
+        )
+        payload["single_process"] = single
+        if single["commands_per_sec"] > 0:
+            payload["speedup_vs_single"] = (
+                payload["commands_per_sec"] / single["commands_per_sec"]
+            )
+    return payload
+
+
+# -- regression gate ---------------------------------------------------------
+
+
+def compare_to_baseline(
+    current: Dict, baseline: Dict, max_regression: float
+) -> List[str]:
+    """Per-class p99 latency gate; returns failure messages (empty = ok).
+
+    Throughput is deliberately NOT gated: commands/sec scales with core
+    count, which the single-thread calibration probe cannot see.  The
+    p99 gate uses the same host-speed scaling as the fig7 gate.
+    """
+    from .run import MAX_CALIBRATION_SCALE
+
+    failures: List[str] = []
+    base_latency = baseline.get("latency_s") or {}
+    cur_latency = current.get("latency_s") or {}
+    if not base_latency:
+        return ["baseline JSON has no latency_s data"]
+
+    scale = 1.0
+    base_cal = baseline.get("calibration_s")
+    cur_cal = current.get("calibration_s")
+    if base_cal and cur_cal:
+        scale = max(1.0, min(cur_cal / base_cal, MAX_CALIBRATION_SCALE))
+
+    for cls in sorted(base_latency):
+        base_p99 = base_latency[cls].get("p99")
+        if not base_p99:
+            continue
+        stats = cur_latency.get(cls)
+        if not stats or not stats.get("count"):
+            failures.append(
+                f"loadtest: command class {cls!r} missing from current run"
+            )
+            continue
+        allowed = base_p99 * (1.0 + max_regression) * scale
+        if stats["p99"] > allowed:
+            failures.append(
+                f"loadtest: {cls} p99 latency regressed: "
+                f"{stats['p99'] * 1e3:.1f} ms > allowed "
+                f"{allowed * 1e3:.1f} ms "
+                f"(baseline {base_p99 * 1e3:.1f} ms, "
+                f"host-speed scale {scale:.2f})"
+            )
+    if current.get("errors"):
+        failures.append(
+            f"loadtest: {current['errors']} session scripts failed "
+            f"({current.get('error_kinds')})"
+        )
+    return failures
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+def _print_summary(payload: Dict, out) -> None:
+    config = payload["config"]
+    rows = []
+    for cls in COMMAND_CLASSES:
+        stats = payload["latency_s"][cls]
+        rows.append([
+            stats["count"],
+            round(stats["p50"] * 1e3, 2),
+            round(stats["p95"] * 1e3, 2),
+            round(stats["p99"] * 1e3, 2),
+            round(stats["max"] * 1e3, 2),
+        ])
+    print(format_table(
+        f"Load test — {config['sessions']} sessions, "
+        f"{config['workers']} workers, "
+        f"{config['concurrency']} client threads ({payload['mode']})",
+        ["count", "p50 ms", "p95 ms", "p99 ms", "max ms"],
+        rows,
+        row_labels=list(COMMAND_CLASSES),
+    ), file=out)
+    print(
+        f"  {payload['commands']} commands in {payload['wall_s']:.2f} s "
+        f"= {payload['commands_per_sec']:.1f} commands/sec, "
+        f"{payload['errors']} errors "
+        f"(host: {payload['cpu_count']} cores)",
+        file=out,
+    )
+    single = payload.get("single_process")
+    if single:
+        print(
+            f"  single-process: {single['commands_per_sec']:.1f} "
+            "commands/sec -> sharded speedup "
+            f"{payload.get('speedup_vs_single', 0.0):.2f}x",
+            file=out,
+        )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench loadtest",
+        description="LiveSim server load test: latency histograms per "
+                    "command class + CI p99 gate",
+    )
+    parser.add_argument("--sessions", type=int, default=64)
+    parser.add_argument("--workers", type=int, default=4,
+                        help="worker processes (0 = single-process "
+                             "threaded server)")
+    parser.add_argument("--runs", type=int, default=3,
+                        help="run/peek iterations per session")
+    parser.add_argument("--run-cycles", type=int, default=200,
+                        help="cycles per run command")
+    parser.add_argument("--concurrency", type=int, default=16,
+                        help="concurrent client threads")
+    parser.add_argument("--compare-single", action="store_true",
+                        help="rerun the workload single-process and "
+                             "report the throughput ratio")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the repro.bench.loadtest/v1 "
+                             "artifact to PATH")
+    parser.add_argument("--baseline", metavar="PATH",
+                        help="gate per-class p99 latency against this "
+                             "artifact")
+    parser.add_argument("--max-regression", type=float, default=1.0,
+                        help="allowed fractional p99 regression vs "
+                             "--baseline (default: 1.0, i.e. 2x — "
+                             "tail latency is noisy)")
+    parser.add_argument("--quiet", action="store_true")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    args = _build_parser().parse_args(argv)
+    if args.sessions < 1 or args.concurrency < 1 or args.workers < 0:
+        print("error: --sessions/--concurrency must be >= 1 and "
+              "--workers >= 0", file=sys.stderr)
+        return 2
+
+    config = LoadtestConfig(
+        sessions=args.sessions,
+        workers=args.workers,
+        runs=args.runs,
+        run_cycles=args.run_cycles,
+        concurrency=args.concurrency,
+    )
+    payload = run_loadtest_payload(
+        config, compare_single=args.compare_single
+    )
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"loadtest artifact written to {args.json}",
+              file=sys.stderr)
+    if not args.quiet:
+        _print_summary(payload, out)
+
+    if args.baseline:
+        try:
+            with open(args.baseline) as fh:
+                baseline = json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read baseline: {exc}", file=sys.stderr)
+            return 2
+        failures = compare_to_baseline(
+            payload, baseline, args.max_regression
+        )
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        base_tput = baseline.get("commands_per_sec")
+        if base_tput:
+            print(
+                "loadtest throughput (report-only): "
+                f"{payload['commands_per_sec']:.1f} commands/sec vs "
+                f"baseline {base_tput:.1f}",
+                file=sys.stderr,
+            )
+        print(
+            "loadtest p99 gate passed "
+            f"(max allowed +{args.max_regression * 100:.0f}%)",
+            file=sys.stderr,
+        )
+    elif payload["errors"]:
+        print(f"error: {payload['errors']} session scripts failed",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

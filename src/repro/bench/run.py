@@ -278,7 +278,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("targets", nargs="*", default=None,
                         help=f"artifacts to run {KNOWN_TARGETS} "
-                             f"(default: {' '.join(DEFAULT_TARGETS)})")
+                             f"(default: {' '.join(DEFAULT_TARGETS)}); "
+                             "or the 'loadtest' subcommand — see "
+                             "python -m repro.bench loadtest --help")
     parser.add_argument("--sizes", default="1,2",
                         help="comma-separated mesh sizes (default: 1,2)")
     parser.add_argument("--sim-cycles", type=int, default=60,
@@ -299,6 +301,14 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     out = out if out is not None else sys.stdout
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "loadtest":
+        # Server load test: its own flags, artifact schema and p99
+        # gate — see repro.bench.loadtest.
+        from .loadtest import main as loadtest_main
+
+        return loadtest_main(argv[1:], out=out)
     args = _build_parser().parse_args(argv)
     targets = tuple(args.targets) or DEFAULT_TARGETS
     unknown = [t for t in targets if t not in KNOWN_TARGETS]

@@ -16,10 +16,17 @@ modules so compile work survives restarts and is shared across users.
   front-end with idle eviction and graceful shutdown).
 * :mod:`repro.server.client` — blocking :class:`LiveSimClient` and the
   ``python -m repro.server.client`` REPL.
+* :mod:`repro.server.shard` — consistent-hash ring, per-session crash
+  journal, and the worker-process side of sharded mode.
+* :mod:`repro.server.frontend` — the asyncio front door that shards
+  sessions across worker processes (``--workers N``), restarting and
+  rehydrating them on crashes.
 
 Run a server::
 
     python -m repro.server --port 7391 --store /var/cache/livesim
+    python -m repro.server --port 7391 --workers 4 \\
+        --store /var/cache/livesim --state-dir /var/cache/livesim.state
 """
 
 from .protocol import (
@@ -37,16 +44,22 @@ from .service import (
     SessionManager,
     UnknownSessionError,
 )
+from .shard import HashRing, SessionJournal, WorkerConfig
 from .store import STORE_FORMAT, ArtifactStore, key_digest
 
 
 def __getattr__(name):
     # Lazy so ``python -m repro.server.client`` does not import the
-    # client module twice (once via the package, once as __main__).
-    if name in ("LiveSimClient", "ServerError"):
+    # client module twice (once via the package, once as __main__),
+    # and so importing the package never drags in asyncio machinery.
+    if name in ("LiveSimClient", "ReadTimeout", "ServerError"):
         from . import client
 
         return getattr(client, name)
+    if name in ("ShardedFrontend", "WorkerCommandError"):
+        from . import frontend
+
+        return getattr(frontend, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -55,16 +68,22 @@ __all__ = [
     "DEFAULT_PORT",
     "DuplicateSessionError",
     "Event",
+    "HashRing",
     "LiveSimClient",
     "LiveSimServer",
     "ManagedSession",
     "PROTOCOL_VERSION",
     "ProtocolError",
+    "ReadTimeout",
     "Request",
     "Response",
     "STORE_FORMAT",
     "ServerError",
+    "SessionJournal",
     "SessionManager",
+    "ShardedFrontend",
     "UnknownSessionError",
+    "WorkerCommandError",
+    "WorkerConfig",
     "key_digest",
 ]

@@ -7,6 +7,14 @@ the real port::
 
     $ python -m repro.server --port 0 --store /tmp/livesim-store
     livesim server listening on 127.0.0.1:43251
+
+With ``--workers N`` the sessions are sharded across N worker
+*processes* behind an asyncio front door (same wire protocol, many
+cores)::
+
+    $ python -m repro.server --port 0 --workers 4 \\
+          --store /tmp/livesim-store --state-dir /tmp/livesim-state
+    livesim server listening on 127.0.0.1:43251 (sharded, 4 workers)
 """
 
 from __future__ import annotations
@@ -15,6 +23,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from .frontend import ShardedFrontend, default_state_root
 from .service import DEFAULT_PORT, LiveSimServer
 from .store import ArtifactStore
 
@@ -32,15 +41,48 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--store", metavar="DIR",
                         help="on-disk compile-artifact store shared by "
                              "all sessions (and across restarts)")
+    parser.add_argument("--workers", type=int, default=0, metavar="N",
+                        help="shard sessions across N worker processes "
+                             "behind an asyncio front door (default 0: "
+                             "single-process threaded server)")
+    parser.add_argument("--state-dir", metavar="DIR",
+                        help="session-journal directory for sharded "
+                             "crash recovery (default: <store>.state, "
+                             "or a fresh temp dir without --store)")
     parser.add_argument("--idle-timeout", type=float, default=None,
                         metavar="SECONDS",
-                        help="evict sessions idle longer than this")
+                        help="evict sessions idle longer than this "
+                             "(threaded mode only)")
     parser.add_argument("--checkpoint-interval", type=int, default=10_000)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    if args.workers > 0:
+        state_dir = args.state_dir or default_state_root(args.store)
+        server = ShardedFrontend(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            store_root=args.store,
+            state_root=state_dir,
+            checkpoint_interval=args.checkpoint_interval,
+        )
+        host, port = server.start()
+        print(f"livesim server listening on {host}:{port} "
+              f"(sharded, {args.workers} workers)", flush=True)
+        print(f"session state dir: {state_dir}",
+              file=sys.stderr, flush=True)
+        if args.store:
+            print(f"artifact store: {args.store}",
+                  file=sys.stderr, flush=True)
+        try:
+            server.serve_forever()
+        finally:
+            server.shutdown()
+            print("livesim server stopped", flush=True)
+        return 0
     store = ArtifactStore(args.store) if args.store else None
     server = LiveSimServer(
         host=args.host,

@@ -46,8 +46,27 @@ class ServerError(Exception):
         self.message = message
 
 
+class ReadTimeout(ConnectionError):
+    """No bytes from the server within ``read_timeout`` seconds.
+
+    Distinct from :class:`TimeoutError` so a hung worker surfaces as a
+    clear, catchable client-side condition instead of blocking forever
+    (or masquerading as a protocol failure).  The connection should be
+    considered poisoned: a late response would desynchronize the
+    request/response stream.
+    """
+
+
 class LiveSimClient:
-    """One connection to a LiveSim server."""
+    """One connection to a LiveSim server.
+
+    ``timeout`` bounds the TCP connect; ``read_timeout`` bounds every
+    wait for a response or event line.  The read timeout defaults to
+    **off** (a REPL happily blocks on a long ``run``); scripted
+    harnesses — smoke tests, load benches — should set it so a hung or
+    killed worker turns into a :class:`ReadTimeout` instead of a stuck
+    process.
+    """
 
     def __init__(
         self,
@@ -55,10 +74,12 @@ class LiveSimClient:
         port: int = DEFAULT_PORT,
         timeout: Optional[float] = 30.0,
         on_event: Optional[Callable[[Event], None]] = None,
+        read_timeout: Optional[float] = None,
     ):
         self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.settimeout(read_timeout)
         self._rfile = self._sock.makefile("rb")
-        self._timeout = timeout
+        self._timeout = read_timeout
         self._ids = itertools.count(1)
         self._on_event = on_event
         self.events: List[Event] = []
@@ -113,7 +134,13 @@ class LiveSimClient:
                 )
 
     def _read_message(self):
-        line = self._rfile.readline(protocol.MAX_LINE_BYTES + 2)
+        try:
+            line = self._rfile.readline(protocol.MAX_LINE_BYTES + 2)
+        except socket.timeout:
+            raise ReadTimeout(
+                f"no data from server within {self._timeout}s "
+                "(hung worker or stalled command?)"
+            ) from None
         if not line:
             raise ConnectionError("server closed the connection")
         try:
@@ -153,7 +180,7 @@ class LiveSimClient:
             self._sock.settimeout(remaining)
             try:
                 message = self._read_message()
-            except socket.timeout:
+            except ReadTimeout:
                 raise TimeoutError(
                     f"no {name!r} event within {timeout}s"
                 ) from None

@@ -1,0 +1,708 @@
+"""Asyncio front door for the process-sharded LiveSim server.
+
+One :class:`ShardedFrontend` owns a pool of worker processes (see
+:mod:`repro.server.shard`) and an asyncio JSON-lines socket server
+speaking the same ``repro.server/v1`` protocol as the threaded
+:class:`~repro.server.service.LiveSimServer` — existing clients work
+unchanged.  Each request is routed by consistent hash of its session
+name to a persistent worker; responses and streamed events come back
+over the worker pipe tagged with a frontend-assigned routing id (rid),
+which is how a ``verify_status`` event finds the client connection that
+started the verify even after the session has been rehydrated on a
+fresh worker process.
+
+Crash recovery: when a worker dies (EOF on its pipe), in-flight
+requests fail with a ``worker`` error, the process is respawned into
+the same ring slot, and every session mapped to it is rehydrated from
+its on-disk journal plus last saved checkpoint before any queued
+command is forwarded.  Sessions without a journal (no ``--state-dir``)
+are dropped instead.
+
+Observability: the frontend keeps its own ``server.requests`` /
+``server.cmd.<name>.seconds`` metrics (end-to-end, including proxy
+overhead) plus ``server.worker_restarts`` / ``server.sessions_dropped``
+counters; per-worker metrics are available via ``stats`` with
+``deep=true``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import multiprocessing
+import tempfile
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional, Tuple
+
+from .. import obs
+from . import protocol
+from .protocol import (
+    PROTOCOL_VERSION,
+    Event,
+    ProtocolError,
+    Request,
+    Response,
+    encode_event,
+    encode_response,
+    error_response,
+    ok_response,
+)
+from .shard import HashRing, WorkerConfig, worker_main
+
+# Events are routed by the rid of the request that started them; one
+# route is remembered per command request, capped per connection so a
+# long-lived client cannot grow the table without bound.
+MAX_EVENT_ROUTES = 1024
+
+_SPAWN_TIMEOUT = 60.0
+
+
+class WorkerCommandError(Exception):
+    """A worker answered a proxied request with an error payload."""
+
+    def __init__(self, payload: Dict[str, Any]):
+        super().__init__(payload.get("message", "worker error"))
+        self.payload = payload
+
+
+class _Client:
+    """One asyncio client connection: writer plus its event routes."""
+
+    def __init__(self, writer: asyncio.StreamWriter):
+        self.writer = writer
+        self.closed = False
+        self.route_rids: "OrderedDict[int, None]" = OrderedDict()
+
+    def send_line(self, text: str) -> bool:
+        if self.closed:
+            return False
+        try:
+            # One write call per line: atomic w.r.t. other tasks.
+            self.writer.write(text.encode("utf-8"))
+            return True
+        except (ConnectionError, RuntimeError):
+            self.closed = True
+            return False
+
+
+class _WorkerHandle:
+    """Parent-side state for one worker process slot."""
+
+    def __init__(self, worker_id: int):
+        self.id = worker_id
+        self.process = None
+        self.conn = None
+        self.pid: Optional[int] = None
+        self.alive = False
+        self.restarts = 0
+        self.lock = asyncio.Lock()  # serializes (re)starts
+        self.send_lock = asyncio.Lock()  # keeps pipe sends ordered
+
+
+class ShardedFrontend:
+    """Process-sharded, asyncio LiveSim server front-end."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+        store_root: Optional[str] = None,
+        state_root: Optional[str] = None,
+        checkpoint_interval: int = 10_000,
+        verify_poll: float = 0.05,
+        ring_replicas: int = 64,
+        restart_workers: bool = True,
+        start_method: str = "spawn",
+    ):
+        if workers < 1:
+            raise ValueError("sharded frontend needs at least 1 worker")
+        self._host = host
+        self._port = port
+        self.num_workers = workers
+        self.store_root = store_root
+        self.state_root = state_root
+        self._checkpoint_interval = checkpoint_interval
+        self._verify_poll = verify_poll
+        self._restart_workers = restart_workers
+        self._mp = multiprocessing.get_context(start_method)
+        self.ring = HashRing(range(workers), replicas=ring_replicas)
+        self._workers: Dict[int, _WorkerHandle] = {
+            wid: _WorkerHandle(wid) for wid in range(workers)
+        }
+        self._sessions: Dict[str, int] = {}
+        self._rids = itertools.count(1)
+        self._pending: Dict[int, Tuple[asyncio.Future, int]] = {}
+        self._routes: Dict[int, _Client] = {}
+        self.address: Optional[Tuple[str, int]] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._stopping = False
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._boot_error: Optional[BaseException] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> Tuple[str, int]:
+        """Boot workers + listener on a background event-loop thread.
+
+        Mirrors ``LiveSimServer.start()`` so tests and tools can embed
+        either server behind the same two calls.
+        """
+        if self._thread is not None:
+            raise RuntimeError("frontend already started")
+        self._thread = threading.Thread(
+            target=self._thread_main, name="livesim-frontend", daemon=True
+        )
+        self._thread.start()
+        self._started.wait(_SPAWN_TIMEOUT + 30.0)
+        if self._boot_error is not None:
+            raise RuntimeError(
+                f"sharded frontend failed to start: {self._boot_error}"
+            )
+        if self.address is None:
+            raise RuntimeError("sharded frontend failed to start (timeout)")
+        return self.address
+
+    def serve_forever(self) -> None:
+        if self._thread is None:
+            self.start()
+        try:
+            while self._thread.is_alive():
+                self._thread.join(0.2)
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            self.shutdown()
+
+    def shutdown(self, timeout: float = 15.0) -> None:
+        """Stop the loop thread; idempotent, callable from any thread."""
+        loop = self._loop
+        if loop is not None and not loop.is_closed():
+            def _signal() -> None:
+                if self._stop_event is not None:
+                    self._stop_event.set()
+
+            try:
+                loop.call_soon_threadsafe(_signal)
+            except RuntimeError:
+                pass
+        if self._thread is not None and self._thread is not (
+            threading.current_thread()
+        ):
+            self._thread.join(timeout)
+
+    def _thread_main(self) -> None:
+        try:
+            asyncio.run(self._amain())
+        except BaseException as exc:  # boot failures surface in start()
+            self._boot_error = exc
+        finally:
+            self._started.set()
+
+    async def _amain(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        try:
+            await asyncio.gather(*[
+                self._start_worker(wid) for wid in self._workers
+            ])
+            server = await asyncio.start_server(
+                self._handle_client,
+                self._host,
+                self._port,
+                limit=protocol.MAX_LINE_BYTES + 2,
+            )
+        except BaseException:
+            await self._stop_all_workers()
+            raise
+        self.address = server.sockets[0].getsockname()[:2]
+        self._started.set()
+        try:
+            async with server:
+                await self._stop_event.wait()
+        finally:
+            self._stopping = True
+            await self._stop_all_workers()
+
+    # -- worker lifecycle ----------------------------------------------------
+
+    def _spawn_worker_sync(self, wid: int):
+        """Blocking spawn + ready handshake (runs in the executor)."""
+        parent_conn, child_conn = self._mp.Pipe()
+        config = WorkerConfig(
+            worker_id=wid,
+            store_root=self.store_root,
+            state_root=self.state_root,
+            checkpoint_interval=self._checkpoint_interval,
+            verify_poll=self._verify_poll,
+        )
+        process = self._mp.Process(
+            target=worker_main,
+            args=(child_conn, config),
+            name=f"livesim-worker-{wid}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        try:
+            if not parent_conn.poll(_SPAWN_TIMEOUT):
+                raise RuntimeError(f"worker {wid} never became ready")
+            ready = parent_conn.recv()
+            if ready.get("kind") != "ready":
+                raise RuntimeError(
+                    f"worker {wid} sent {ready!r} instead of ready"
+                )
+        except (EOFError, OSError) as exc:
+            process.kill()
+            raise RuntimeError(f"worker {wid} died during boot") from exc
+        except BaseException:
+            process.kill()
+            raise
+        return process, parent_conn, ready.get("pid", process.pid)
+
+    async def _start_worker(self, wid: int) -> None:
+        worker = self._workers[wid]
+        process, conn, pid = await self._loop.run_in_executor(
+            None, self._spawn_worker_sync, wid
+        )
+        worker.process = process
+        worker.conn = conn
+        worker.pid = pid
+        worker.alive = True
+        self._loop.add_reader(
+            conn.fileno(), self._on_worker_readable, wid
+        )
+
+    def _on_worker_readable(self, wid: int) -> None:
+        worker = self._workers[wid]
+        conn = worker.conn
+        try:
+            while conn.poll():
+                self._on_worker_msg(wid, conn.recv())
+        except (EOFError, OSError):
+            self._on_worker_dead(wid)
+
+    def _on_worker_msg(self, wid: int, msg: Dict[str, Any]) -> None:
+        kind = msg.get("kind")
+        if kind == "response":
+            entry = self._pending.pop(msg.get("rid"), None)
+            if entry is not None and not entry[0].done():
+                entry[0].set_result(msg)
+        elif kind == "event":
+            client = self._routes.get(msg.get("rid"))
+            if client is not None and not client.closed:
+                client.send_line(encode_event(Event(
+                    name=msg.get("name", ""),
+                    session=msg.get("session", ""),
+                    data=msg.get("data") or {},
+                )))
+
+    def _on_worker_dead(self, wid: int) -> None:
+        worker = self._workers[wid]
+        if not worker.alive:
+            return
+        worker.alive = False
+        try:
+            self._loop.remove_reader(worker.conn.fileno())
+        except (OSError, ValueError):
+            pass
+        obs.incr("server.worker_deaths")
+        # Fail whatever was in flight on this worker: the command may
+        # or may not have executed; the client must decide.
+        for rid, (fut, pending_wid) in list(self._pending.items()):
+            if pending_wid == wid and not fut.done():
+                fut.set_result({
+                    "kind": "response", "rid": rid, "ok": False,
+                    "error": {
+                        "type": "worker",
+                        "message": (
+                            f"worker {wid} died mid-request; its sessions "
+                            "recover from their last saved checkpoint"
+                        ),
+                    },
+                })
+                self._pending.pop(rid, None)
+        if self._stopping or not self._restart_workers:
+            return
+        self._loop.create_task(self._restart_worker(wid))
+
+    async def _restart_worker(self, wid: int) -> None:
+        """Respawn a dead worker and rehydrate its sessions."""
+        worker = self._workers[wid]
+        async with worker.lock:
+            if worker.alive or self._stopping:
+                return
+            try:
+                worker.process.join(timeout=0)
+            except (OSError, ValueError):
+                pass
+            await self._start_worker(wid)
+            worker.restarts += 1
+            obs.incr("server.worker_restarts")
+            owned = [
+                name for name, mapped in self._sessions.items()
+                if mapped == wid
+            ]
+            for name in owned:
+                try:
+                    await self._forward_to(
+                        worker, None, "rehydrate", {"session": name}
+                    )
+                except WorkerCommandError:
+                    # No journal (or replay failed): the session is
+                    # gone; stop routing to it.
+                    self._sessions.pop(name, None)
+                    obs.incr("server.sessions_dropped")
+            obs.gauge("server.sessions", len(self._sessions))
+
+    async def _ensure_worker(self, wid: int) -> _WorkerHandle:
+        worker = self._workers[wid]
+        if worker.alive:
+            return worker
+        if not self._restart_workers:
+            raise WorkerCommandError({
+                "type": "worker", "message": f"worker {wid} is down",
+            })
+        async with worker.lock:
+            pass  # wait for any in-progress restart
+        if not worker.alive:
+            await self._restart_worker(wid)
+        if not self._workers[wid].alive:
+            raise WorkerCommandError({
+                "type": "worker",
+                "message": f"worker {wid} could not be restarted",
+            })
+        return self._workers[wid]
+
+    async def _stop_all_workers(self) -> None:
+        self._stopping = True
+        for worker in self._workers.values():
+            if worker.conn is None:
+                continue
+            try:
+                self._loop.remove_reader(worker.conn.fileno())
+            except (OSError, ValueError):
+                pass
+            if worker.alive:
+                try:
+                    worker.conn.send({"kind": "control", "op": "shutdown"})
+                except (OSError, ValueError):
+                    pass
+        for worker in self._workers.values():
+            process = worker.process
+            if process is None:
+                continue
+            await self._loop.run_in_executor(None, process.join, 5.0)
+            if process.is_alive():
+                process.kill()
+                await self._loop.run_in_executor(None, process.join, 5.0)
+            worker.alive = False
+            try:
+                worker.conn.close()
+            except (OSError, AttributeError):
+                pass
+
+    # -- request forwarding --------------------------------------------------
+
+    async def _forward(
+        self,
+        client: Optional[_Client],
+        wid: int,
+        cmd: str,
+        params: Dict[str, Any],
+    ) -> Any:
+        worker = await self._ensure_worker(wid)
+        try:
+            return await self._forward_to(worker, client, cmd, params)
+        except WorkerCommandError as exc:
+            # A crash between send and response loses the command (the
+            # worker's post-checkpoint state was lost anyway).  Wait
+            # for restart + rehydration, then replay it once against
+            # the recovered session; a second failure is the client's
+            # problem — retrying forever would hide a poison command
+            # that kills every worker it touches.
+            if exc.payload.get("type") != "worker" or self._stopping:
+                raise
+            if not self._restart_workers:
+                raise
+            obs.incr("server.request_failovers")
+            worker = await self._ensure_worker(wid)
+            return await self._forward_to(worker, client, cmd, params)
+
+    async def _forward_to(
+        self,
+        worker: _WorkerHandle,
+        client: Optional[_Client],
+        cmd: str,
+        params: Dict[str, Any],
+    ) -> Any:
+        rid = next(self._rids)
+        fut = self._loop.create_future()
+        self._pending[rid] = (fut, worker.id)
+        if client is not None:
+            self._register_route(rid, client)
+        message = {
+            "kind": "request", "rid": rid, "cmd": cmd, "params": params,
+        }
+        try:
+            async with worker.send_lock:
+                await self._loop.run_in_executor(
+                    None, worker.conn.send, message
+                )
+        except (OSError, ValueError) as exc:
+            self._pending.pop(rid, None)
+            self._on_worker_dead(worker.id)
+            raise WorkerCommandError({
+                "type": "worker",
+                "message": f"worker {worker.id} unreachable: {exc}",
+            }) from exc
+        msg = await fut
+        if msg.get("ok"):
+            return msg.get("value")
+        raise WorkerCommandError(
+            msg.get("error") or {"type": "worker", "message": "unknown"}
+        )
+
+    def _register_route(self, rid: int, client: _Client) -> None:
+        client.route_rids[rid] = None
+        self._routes[rid] = client
+        while len(client.route_rids) > MAX_EVENT_ROUTES:
+            old, _ = client.route_rids.popitem(last=False)
+            self._routes.pop(old, None)
+
+    def _drop_client_routes(self, client: _Client) -> None:
+        for rid in client.route_rids:
+            self._routes.pop(rid, None)
+        client.route_rids.clear()
+
+    # -- client handling -----------------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        client = _Client(writer)
+        obs.incr("server.connections_accepted")
+        try:
+            while not self._stopping:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    client.send_line(encode_response(error_response(
+                        -1, "protocol",
+                        f"line exceeds {protocol.MAX_LINE_BYTES} bytes",
+                    )))
+                    return
+                if not line:
+                    return
+                if not line.strip():
+                    continue
+                try:
+                    message = protocol.decode(line)
+                except ProtocolError as exc:
+                    client.send_line(encode_response(
+                        error_response(-1, "protocol", str(exc))
+                    ))
+                    continue
+                if not isinstance(message, Request):
+                    client.send_line(encode_response(error_response(
+                        -1, "protocol", "only requests flow client->server"
+                    )))
+                    continue
+                response, stop_after = await self._handle_request(
+                    client, message
+                )
+                client.send_line(encode_response(response))
+                try:
+                    await writer.drain()
+                except ConnectionError:
+                    return
+                if stop_after:
+                    self._stop_event.set()
+                    return
+        finally:
+            client.closed = True
+            self._drop_client_routes(client)
+            try:
+                writer.close()
+            except RuntimeError:
+                pass
+
+    async def _handle_request(
+        self, client: _Client, request: Request
+    ) -> Tuple[Response, bool]:
+        started = time.perf_counter()
+        obs.incr("server.requests")
+        stop_after = False
+        try:
+            value, stop_after = await self._dispatch(client, request)
+            response = ok_response(request.id, value)
+        except WorkerCommandError as exc:
+            response = Response(
+                id=request.id, ok=False, error=exc.payload
+            )
+        except ProtocolError as exc:
+            response = error_response(request.id, "protocol", str(exc))
+        except Exception as exc:  # a bug must not kill the connection
+            response = error_response(
+                request.id, "internal", f"{type(exc).__name__}: {exc}"
+            )
+        if not response.ok:
+            obs.incr("server.request_errors")
+        elapsed = time.perf_counter() - started
+        obs.histogram("server.request_seconds", elapsed)
+        obs.histogram(f"server.cmd.{request.cmd}.seconds", elapsed)
+        return response, stop_after
+
+    @staticmethod
+    def _str_param(params: Dict, name: str) -> str:
+        value = params.get(name)
+        if not isinstance(value, str) or not value:
+            raise ProtocolError(f"{name!r} must be a non-empty string")
+        return value
+
+    async def _dispatch(
+        self, client: _Client, request: Request
+    ) -> Tuple[Any, bool]:
+        cmd = request.cmd
+        params = request.params
+        if cmd == "ping":
+            return {
+                "pong": True,
+                "protocol": PROTOCOL_VERSION,
+                "sharded": True,
+                "workers": self.num_workers,
+            }, False
+        if cmd == "open":
+            return await self._cmd_open(client, params), False
+        if cmd in ("cmd", "reload", "close"):
+            name = self._str_param(params, "session")
+            if cmd == "cmd":
+                self._str_param(params, "line")
+            if cmd == "reload":
+                self._str_param(params, "source")
+                verify = params.get("verify", False)
+                if verify not in (False, True, "background"):
+                    raise ProtocolError(
+                        "'verify' must be true, false, or \"background\""
+                    )
+                if not isinstance(params.get("override", False), bool):
+                    raise ProtocolError("'override' must be a boolean")
+            wid = self._sessions.get(name)
+            if wid is None:
+                raise WorkerCommandError({
+                    "type": "unknown-session",
+                    "message": f"unknown session {name!r}",
+                })
+            value = await self._forward(client, wid, cmd, params)
+            if cmd == "close":
+                self._sessions.pop(name, None)
+                obs.gauge("server.sessions", len(self._sessions))
+            return value, False
+        if cmd == "sessions":
+            return await self._cmd_sessions(), False
+        if cmd == "stats":
+            return await self._cmd_stats(params), False
+        if cmd == "shutdown":
+            return {
+                "stopping": True, "sessions": len(self._sessions),
+            }, True
+        raise ProtocolError(
+            f"unknown server command {cmd!r}; expected one of "
+            "['close', 'cmd', 'open', 'ping', 'reload', 'sessions', "
+            "'shutdown', 'stats']"
+        )
+
+    async def _cmd_open(
+        self, client: _Client, params: Dict[str, Any]
+    ) -> Any:
+        name = self._str_param(params, "session")
+        self._str_param(params, "source")
+        reset_cycles = params.get("reset_cycles", 2)
+        if not isinstance(reset_cycles, int) or isinstance(
+            reset_cycles, bool
+        ):
+            raise ProtocolError("'reset_cycles' must be an integer")
+        if name in self._sessions:
+            raise WorkerCommandError({
+                "type": "duplicate-session",
+                "message": f"session {name!r} already exists",
+            })
+        wid = self.ring.lookup(name)
+        value = await self._forward(client, wid, "open", params)
+        self._sessions[name] = wid
+        obs.incr("server.sessions_opened")
+        obs.gauge("server.sessions", len(self._sessions))
+        return value
+
+    async def _cmd_sessions(self) -> List[Dict[str, Any]]:
+        live = [w for w in self._workers.values() if w.alive]
+        results = await asyncio.gather(*[
+            self._forward_to(worker, None, "describe", {})
+            for worker in live
+        ], return_exceptions=True)
+        entries: List[Dict[str, Any]] = []
+        for result in results:
+            if isinstance(result, BaseException):
+                continue
+            entries.extend(result)
+        entries.sort(key=lambda entry: entry.get("session", ""))
+        return entries
+
+    async def _cmd_stats(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        workers = []
+        for wid in sorted(self._workers):
+            worker = self._workers[wid]
+            workers.append({
+                "id": wid,
+                "pid": worker.pid,
+                "alive": worker.alive,
+                "restarts": worker.restarts,
+                "sessions": sum(
+                    1 for mapped in self._sessions.values()
+                    if mapped == wid
+                ),
+            })
+        stats: Dict[str, Any] = {
+            "protocol": PROTOCOL_VERSION,
+            "sharded": True,
+            "sessions": len(self._sessions),
+            "workers": workers,
+            "metrics": obs.get_metrics().as_dict(),
+        }
+        if self.store_root is not None:
+            from .store import ArtifactStore
+
+            store = ArtifactStore(self.store_root)
+            stats["store"] = {
+                "root": store.root,
+                "artifacts": len(store),
+                "bytes": store.total_bytes(),
+            }
+        if params.get("deep"):
+            live = [w for w in self._workers.values() if w.alive]
+            results = await asyncio.gather(*[
+                self._forward_to(worker, None, "stats", {})
+                for worker in live
+            ], return_exceptions=True)
+            stats["worker_stats"] = [
+                result for result in results
+                if not isinstance(result, BaseException)
+            ]
+        return stats
+
+
+def default_state_root(store_root: Optional[str]) -> str:
+    """Pick a session-journal directory when the caller gave none."""
+    if store_root:
+        return store_root.rstrip("/\\") + ".state"
+    return tempfile.mkdtemp(prefix="livesim-state-")
+
+
+__all__ = [
+    "MAX_EVENT_ROUTES",
+    "ShardedFrontend",
+    "WorkerCommandError",
+    "default_state_root",
+]

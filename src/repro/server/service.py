@@ -154,6 +154,91 @@ def summarize(value: Any) -> Any:
     return to_jsonable(value)
 
 
+# -- error mapping -----------------------------------------------------------
+
+
+def error_payload(exc: Exception) -> Dict[str, Any]:
+    """Map one command exception to its wire-level error object.
+
+    Shared by the threaded server and the sharded session workers so a
+    client sees identical errors whichever front-end served it.
+    """
+    if isinstance(exc, CommandError):
+        return {"type": "command", "message": str(exc)}
+    if isinstance(exc, UnknownSessionError):
+        return {"type": "unknown-session", "message": str(exc)}
+    if isinstance(exc, DuplicateSessionError):
+        return {"type": "duplicate-session", "message": str(exc)}
+    if isinstance(exc, GateBlockedError):
+        # Before HDLError (its base): a refused swap is a distinct
+        # client-visible outcome carrying the blocking findings.
+        return {
+            "type": "gate",
+            "message": str(exc),
+            "findings": [d.to_json() for d in exc.diagnostics],
+        }
+    if isinstance(exc, HDLError):
+        return {"type": "hdl", "message": str(exc)}
+    if isinstance(exc, SanitizerError):
+        # Before SimulationError (its base): a trap carries the
+        # offending site so clients can jump to the source line.
+        return {
+            "type": "sanitizer",
+            "message": str(exc),
+            "kind": exc.kind,
+            "module": exc.module,
+            "signal": exc.signal,
+            "line": exc.line,
+        }
+    if isinstance(exc, SimulationError):
+        return {"type": "simulation", "message": str(exc)}
+    if isinstance(exc, ProtocolError):
+        return {"type": "protocol", "message": str(exc)}
+    return {
+        "type": "internal",
+        "message": f"{type(exc).__name__}: {exc}",
+    }
+
+
+# -- background-verify watching ----------------------------------------------
+
+
+def watch_verify_loop(
+    managed: "ManagedSession",
+    pipe: str,
+    send_event: Any,
+    should_stop: Any,
+    poll: float,
+) -> None:
+    """Poll one pipe's background verification, emitting ``verify_status``
+    events until the job leaves the running state.
+
+    ``send_event(data: dict) -> bool`` delivers one event (False stops
+    the watch); ``should_stop() -> bool`` is the server/worker shutdown
+    flag.  Runs in the caller's thread — spawn one per watch.
+    """
+    last = None
+    while not should_stop():
+        try:
+            status = managed.session.verify_status(pipe)
+        except SimulationError:
+            return  # pipe vanished (session closed / renamed)
+        snapshot = (
+            status.state,
+            status.completed_segments,
+            status.cancelled_segments,
+        )
+        if snapshot != last:
+            data = to_jsonable(status)
+            data["pipe"] = pipe
+            if not send_event(data):
+                return
+            last = snapshot
+        if status.state != "running":
+            return
+        time.sleep(poll)
+
+
 # -- session registry --------------------------------------------------------
 
 
@@ -579,48 +664,9 @@ class LiveSimServer:
         try:
             value, stop_after = self._dispatch(conn, request)
             response = ok_response(request.id, value)
-        except CommandError as exc:
-            response = error_response(request.id, "command", str(exc))
-        except UnknownSessionError as exc:
-            response = error_response(request.id, "unknown-session", str(exc))
-        except DuplicateSessionError as exc:
-            response = error_response(
-                request.id, "duplicate-session", str(exc)
-            )
-        except GateBlockedError as exc:
-            # Before HDLError (its base): a refused swap is a distinct
-            # client-visible outcome carrying the blocking findings.
-            response = Response(
-                id=request.id, ok=False,
-                error={
-                    "type": "gate",
-                    "message": str(exc),
-                    "findings": [d.to_json() for d in exc.diagnostics],
-                },
-            )
-        except HDLError as exc:
-            response = error_response(request.id, "hdl", str(exc))
-        except SanitizerError as exc:
-            # Before SimulationError (its base): a trap carries the
-            # offending site so clients can jump to the source line.
-            response = Response(
-                id=request.id, ok=False,
-                error={
-                    "type": "sanitizer",
-                    "message": str(exc),
-                    "kind": exc.kind,
-                    "module": exc.module,
-                    "signal": exc.signal,
-                    "line": exc.line,
-                },
-            )
-        except SimulationError as exc:
-            response = error_response(request.id, "simulation", str(exc))
-        except ProtocolError as exc:
-            response = error_response(request.id, "protocol", str(exc))
         except Exception as exc:  # a bug must not kill the connection
-            response = error_response(
-                request.id, "internal", f"{type(exc).__name__}: {exc}"
+            response = Response(
+                id=request.id, ok=False, error=error_payload(exc)
             )
         if not response.ok:
             obs.incr("server.request_errors")
@@ -744,28 +790,15 @@ class LiveSimServer:
         leaves the running state (or the connection/server dies)."""
 
         def loop() -> None:
-            last = None
-            while not self._stop.is_set() and not conn.closed:
-                try:
-                    status = managed.session.verify_status(pipe)
-                except SimulationError:
-                    return  # pipe vanished (session closed / renamed)
-                snapshot = (
-                    status.state,
-                    status.completed_segments,
-                    status.cancelled_segments,
-                )
-                if snapshot != last:
-                    data = to_jsonable(status)
-                    data["pipe"] = pipe
-                    if not conn.send_event(
-                        "verify_status", managed.name, data
-                    ):
-                        return
-                    last = snapshot
-                if status.state != "running":
-                    return
-                self._stop.wait(self._verify_poll)
+            watch_verify_loop(
+                managed,
+                pipe,
+                lambda data: conn.send_event(
+                    "verify_status", managed.name, data
+                ),
+                lambda: self._stop.is_set() or conn.closed,
+                self._verify_poll,
+            )
 
         thread = threading.Thread(
             target=loop, name=f"livesim-verify-{managed.name}", daemon=True

@@ -1,0 +1,643 @@
+"""Process sharding for the LiveSim server: ring, journal, worker.
+
+The threaded server (:mod:`repro.server.service`) serializes every
+session behind one GIL, so aggregate throughput is capped at ~1 core.
+Sharded mode splits the session population across a pool of worker
+*processes*:
+
+* :class:`HashRing` — consistent hashing of session name -> worker id,
+  so a resize moves only ~1/W of the sessions and every frontend
+  restart computes the same placement.
+* :class:`SessionJournal` — an on-disk, atomically-rewritten log of the
+  *structural* operations of one session (open / ldLib / reload /
+  instPipe / ...) plus per-pipe checkpoint-store files.  A worker crash
+  is recovered by replaying the journal on a fresh worker (compiles hit
+  the shared :class:`~repro.server.store.ArtifactStore`, so this is
+  cheap) and restoring each pipe from its last saved checkpoint.
+* :class:`SessionWorker` / :func:`worker_main` — the worker process: a
+  :class:`~repro.server.service.SessionManager` slice driven by framed
+  messages over a :class:`multiprocessing.connection.Connection`, with
+  command execution on a small thread pool (per-session locks keep one
+  session serialized) and ``verify_status`` / ``lint_findings`` events
+  streamed back tagged with the originating request id.
+
+The asyncio front door that owns the workers lives in
+:mod:`repro.server.frontend`.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import json
+import os
+import tempfile
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .. import obs
+from ..live.commands import CommandInterpreter
+from .service import (
+    ManagedSession,
+    SessionManager,
+    error_payload,
+    summarize,
+    watch_verify_loop,
+)
+from .store import ArtifactStore
+
+JOURNAL_FORMAT = "repro.journal/v1"
+
+# Command verbs whose effect on session *structure* must survive a
+# worker crash.  They are replayed verbatim through the interpreter on
+# rehydration; ``run`` is deliberately absent — simulated state is
+# recovered from the checkpoint files instead of re-simulating.
+STRUCTURAL_VERBS = frozenset(
+    {"instpipe", "inststage", "copypipe", "swapstage", "san", "ldch"}
+)
+
+
+# -- consistent hashing ------------------------------------------------------
+
+
+def _ring_point(label: str) -> int:
+    digest = hashlib.sha256(label.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Consistent-hash ring mapping string keys onto nodes.
+
+    Each node owns ``replicas`` points on a 64-bit ring; a key belongs
+    to the first node point clockwise from its own hash.  Adding or
+    removing one node therefore remaps only the keys that fell in the
+    arcs it owned (~1/W of them), which is what lets a worker-pool
+    resize keep most sessions in place.
+    """
+
+    def __init__(self, nodes: Sequence = (), replicas: int = 64):
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.replicas = replicas
+        self._points: List[Tuple[int, str]] = []  # (point, node key)
+        self._nodes: Dict[str, Any] = {}
+        for node in nodes:
+            self.add(node)
+
+    @staticmethod
+    def _key(node: Any) -> str:
+        return str(node)
+
+    def add(self, node: Any) -> None:
+        key = self._key(node)
+        if key in self._nodes:
+            return
+        self._nodes[key] = node
+        for replica in range(self.replicas):
+            point = _ring_point(f"{key}#{replica}")
+            bisect.insort(self._points, (point, key))
+
+    def remove(self, node: Any) -> None:
+        key = self._key(node)
+        if key not in self._nodes:
+            return
+        del self._nodes[key]
+        self._points = [
+            entry for entry in self._points if entry[1] != key
+        ]
+
+    def lookup(self, key: str):
+        if not self._points:
+            raise LookupError("hash ring has no nodes")
+        point = _ring_point(key)
+        index = bisect.bisect_right(self._points, (point, "￿"))
+        if index == len(self._points):
+            index = 0
+        return self._nodes[self._points[index][1]]
+
+    def nodes(self) -> List:
+        return [self._nodes[key] for key in sorted(self._nodes)]
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: Any) -> bool:
+        return self._key(node) in self._nodes
+
+
+# -- session journal ---------------------------------------------------------
+
+
+def _session_digest(name: str) -> str:
+    return hashlib.sha256(name.encode("utf-8")).hexdigest()[:16]
+
+
+class SessionJournal:
+    """Durable structural history of one session, for crash recovery.
+
+    The journal is a small JSON file (atomic tmp+rename rewrite on
+    every append — structural ops are rare) holding the ordered op
+    list, plus one pickled checkpoint-store file per pipe.  Recovery
+    semantics: replaying the ops rebuilds the design (at its *current*
+    version, including every reload and its register-transform
+    history), then each pipe is restored from the newest checkpoint in
+    its saved store.  Simulation since the last checkpoint save is
+    lost — that is the documented recovery point.
+    """
+
+    def __init__(self, root: str, name: str):
+        self.root = root
+        self.name = name
+        self._digest = _session_digest(name)
+        self.path = os.path.join(root, f"{self._digest}.json")
+        self._payload: Optional[Dict[str, Any]] = None
+
+    # -- persistence ---------------------------------------------------------
+
+    def exists(self) -> bool:
+        return os.path.exists(self.path)
+
+    def _load_payload(self) -> Dict[str, Any]:
+        if self._payload is None:
+            with open(self.path) as fh:
+                payload = json.load(fh)
+            if (
+                not isinstance(payload, dict)
+                or payload.get("format") != JOURNAL_FORMAT
+                or payload.get("session") != self.name
+            ):
+                raise ValueError(
+                    f"journal {self.path} is not a {JOURNAL_FORMAT} "
+                    f"journal for session {self.name!r}"
+                )
+            self._payload = payload
+        return self._payload
+
+    def _flush(self) -> None:
+        os.makedirs(self.root, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(
+            dir=self.root, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(self._payload, fh)
+            os.replace(tmp_path, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    # -- writing -------------------------------------------------------------
+
+    def begin(self, source: str, reset_cycles: int) -> None:
+        """Start a fresh journal for a newly-opened session."""
+        self._payload = {
+            "format": JOURNAL_FORMAT,
+            "session": self.name,
+            "ops": [
+                {"op": "open", "source": source,
+                 "reset_cycles": reset_cycles},
+            ],
+            "checkpoints": {},
+        }
+        self._flush()
+
+    def append(self, op: Dict[str, Any]) -> None:
+        payload = self._load_payload()
+        payload["ops"].append(op)
+        self._flush()
+
+    def checkpoint_path(self, pipe: str) -> str:
+        """Path for one pipe's checkpoint-store file (registered in the
+        journal on first use so recovery can enumerate the pipes)."""
+        payload = self._load_payload()
+        checkpoints = payload["checkpoints"]
+        if pipe not in checkpoints:
+            suffix = hashlib.sha256(pipe.encode("utf-8")).hexdigest()[:8]
+            checkpoints[pipe] = f"{self._digest}-{suffix}.ckpt"
+            self._flush()
+        return os.path.join(self.root, checkpoints[pipe])
+
+    # -- reading -------------------------------------------------------------
+
+    def ops(self) -> List[Dict[str, Any]]:
+        return list(self._load_payload()["ops"])
+
+    def checkpoints(self) -> Dict[str, str]:
+        """pipe name -> absolute checkpoint-store path (existing only)."""
+        payload = self._load_payload()
+        out = {}
+        for pipe, filename in payload["checkpoints"].items():
+            path = os.path.join(self.root, filename)
+            if os.path.exists(path):
+                out[pipe] = path
+        return out
+
+    def delete(self) -> None:
+        payload = None
+        try:
+            payload = self._load_payload()
+        except (OSError, ValueError):
+            pass
+        if payload is not None:
+            for filename in payload["checkpoints"].values():
+                try:
+                    os.unlink(os.path.join(self.root, filename))
+                except OSError:
+                    pass
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+        self._payload = None
+
+
+# -- worker process ----------------------------------------------------------
+
+
+@dataclass
+class WorkerConfig:
+    """Everything a worker process needs; must stay picklable."""
+
+    worker_id: int
+    store_root: Optional[str] = None
+    state_root: Optional[str] = None
+    checkpoint_interval: int = 10_000
+    verify_poll: float = 0.05
+    max_threads: int = 8
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+
+class SessionWorker:
+    """One worker process: a SessionManager slice behind a pipe.
+
+    Requests arrive as ``{"kind": "request", "rid": ..., "cmd": ...,
+    "params": {...}}`` dicts; each executes on a thread-pool thread
+    (sessions stay serialized via their own locks) and answers with a
+    ``response`` dict carrying the same ``rid``.  Events stream back as
+    ``event`` dicts tagged with the rid of the request that started
+    them, which is what lets the frontend route them to the right
+    client connection — wherever the session is living *now*.
+    """
+
+    def __init__(self, conn, config: WorkerConfig):
+        self.conn = conn
+        self.config = config
+        store = (
+            ArtifactStore(config.store_root) if config.store_root else None
+        )
+        self.manager = SessionManager(
+            artifact_store=store,
+            checkpoint_interval=config.checkpoint_interval,
+        )
+        self._journals: Dict[str, SessionJournal] = {}
+        self._send_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._pool = ThreadPoolExecutor(
+            max_workers=config.max_threads,
+            thread_name_prefix=f"livesim-w{config.worker_id}",
+        )
+
+    # -- transport -----------------------------------------------------------
+
+    def _send(self, message: Dict[str, Any]) -> bool:
+        with self._send_lock:
+            if self._stop.is_set():
+                return False
+            try:
+                self.conn.send(message)
+                return True
+            except (OSError, ValueError, BrokenPipeError):
+                # The frontend died; there is nobody left to serve.
+                self._stop.set()
+                return False
+
+    def _send_event(
+        self, rid: int, name: str, session: str, data: Dict[str, Any]
+    ) -> bool:
+        return self._send({
+            "kind": "event", "rid": rid, "name": name,
+            "session": session, "data": data,
+        })
+
+    # -- main loop -----------------------------------------------------------
+
+    def run(self) -> None:
+        self._send({
+            "kind": "ready",
+            "worker": self.config.worker_id,
+            "pid": os.getpid(),
+        })
+        try:
+            while not self._stop.is_set():
+                try:
+                    message = self.conn.recv()
+                except (EOFError, OSError):
+                    break  # frontend gone
+                kind = message.get("kind")
+                if kind == "control":
+                    if message.get("op") == "shutdown":
+                        break
+                    continue
+                if kind == "request":
+                    self._pool.submit(self._handle, message)
+        finally:
+            self._stop.set()
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self.manager.close_all()
+            try:
+                self.conn.close()
+            except OSError:
+                pass
+
+    # -- request handling ----------------------------------------------------
+
+    def _handle(self, message: Dict[str, Any]) -> None:
+        rid = message.get("rid")
+        cmd = message.get("cmd", "")
+        params = message.get("params") or {}
+        started = time.perf_counter()
+        obs.incr("server.requests")
+        try:
+            value = self._dispatch(rid, cmd, params)
+            response = {"kind": "response", "rid": rid, "ok": True,
+                        "value": value}
+        except Exception as exc:
+            obs.incr("server.request_errors")
+            response = {"kind": "response", "rid": rid, "ok": False,
+                        "error": error_payload(exc)}
+        elapsed = time.perf_counter() - started
+        obs.histogram("server.request_seconds", elapsed)
+        obs.histogram(f"server.cmd.{cmd}.seconds", elapsed)
+        self._send(response)
+
+    def _dispatch(self, rid: int, cmd: str, params: Dict[str, Any]) -> Any:
+        if cmd == "ping":
+            return {"pong": True, "worker": self.config.worker_id}
+        if cmd == "open":
+            return self._cmd_open(params)
+        if cmd == "cmd":
+            return self._cmd_execute(rid, params)
+        if cmd == "reload":
+            return self._cmd_reload(rid, params)
+        if cmd == "close":
+            name = str(params.get("session"))
+            self.manager.close(name)
+            journal = self._journals.pop(name, None)
+            if journal is not None:
+                journal.delete()
+            return {"closed": name}
+        if cmd == "describe":
+            entries = self.manager.describe()
+            for entry in entries:
+                entry["worker"] = self.config.worker_id
+            return entries
+        if cmd == "stats":
+            return self._cmd_stats()
+        if cmd == "rehydrate":
+            return self._cmd_rehydrate(str(params.get("session")))
+        raise ValueError(f"unknown worker command {cmd!r}")
+
+    # -- journal helpers -----------------------------------------------------
+
+    def _journal(self, name: str) -> Optional[SessionJournal]:
+        if self.config.state_root is None:
+            return None
+        journal = self._journals.get(name)
+        if journal is None:
+            journal = SessionJournal(self.config.state_root, name)
+            self._journals[name] = journal
+        return journal
+
+    def _journal_command(
+        self, managed: ManagedSession, journal: SessionJournal,
+        verb: str, operands: List[str], line: str,
+    ) -> None:
+        verb = verb.lower()
+        if verb == "ldlib":
+            # The interpreter resolved the path itself; journal the
+            # *text* so recovery does not depend on the file surviving.
+            name, path = operands
+            try:
+                with open(path) as fh:
+                    source = fh.read()
+            except OSError:
+                source = None
+            if source is not None:
+                journal.append(
+                    {"op": "lib", "name": name, "source": source}
+                )
+            return
+        if verb == "chkp":
+            self._persist_checkpoints(
+                managed, journal, operands[0], force=True
+            )
+            return
+        if verb == "run":
+            # Piggyback on implicit interval checkpoints: if the run
+            # crossed a boundary the store grew, and persisting it
+            # advances the recovery point for free.
+            self._persist_checkpoints(
+                managed, journal, operands[1], force=False
+            )
+            return
+        if verb in STRUCTURAL_VERBS:
+            journal.append({"op": "line", "line": line})
+
+    def _persist_checkpoints(
+        self, managed: ManagedSession, journal: SessionJournal,
+        pipe: str, force: bool,
+    ) -> None:
+        """Save one pipe's checkpoint store to the journal's file when
+        the newest checkpoint moved (or unconditionally on ``force``)."""
+        store = managed.session.store(pipe)
+        cycles = store.cycles()
+        if not cycles:
+            return
+        last_saved = getattr(store, "_journal_saved_cycle", None)
+        if not force and last_saved == cycles[-1]:
+            return
+        store.save(journal.checkpoint_path(pipe))
+        store._journal_saved_cycle = cycles[-1]
+        obs.incr("server.journal_checkpoints")
+
+    # -- commands ------------------------------------------------------------
+
+    def _cmd_open(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        name = str(params.get("session"))
+        source = str(params.get("source"))
+        reset_cycles = params.get("reset_cycles", 2)
+        info = self.manager.open(name, source, reset_cycles=reset_cycles)
+        journal = self._journal(name)
+        if journal is not None:
+            journal.begin(source, reset_cycles)
+        return info
+
+    def _cmd_execute(self, rid: int, params: Dict[str, Any]) -> Any:
+        name = str(params.get("session"))
+        line = str(params.get("line"))
+        managed = self.manager.get(name)
+        with managed.lock:
+            result = managed.interp.execute(line)
+            managed.touch()
+            journal = self._journal(name)
+            if journal is not None:
+                verb, operands = CommandInterpreter.parse(line)
+                try:
+                    self._journal_command(
+                        managed, journal, verb, operands, line
+                    )
+                except OSError:
+                    obs.incr("server.journal_errors")
+        if result.command.lower() == "verify":
+            pipe = CommandInterpreter.parse(line)[1][0]
+            self._watch_verify(rid, managed, pipe)
+        return summarize(result.value)
+
+    def _cmd_reload(self, rid: int, params: Dict[str, Any]) -> Any:
+        name = str(params.get("session"))
+        source = str(params.get("source"))
+        verify = params.get("verify", False)
+        override = bool(params.get("override", False))
+        managed = self.manager.get(name)
+        with managed.lock:
+            report = managed.session.apply_change(
+                source, verify=verify, override_gate=override
+            )
+            managed.touch()
+            journal = self._journal(name)
+            if journal is not None:
+                try:
+                    journal.append({
+                        "op": "reload", "source": source,
+                        "override": override,
+                    })
+                except OSError:
+                    obs.incr("server.journal_errors")
+        if report.behavioral:
+            from ..analyze import count_by_severity
+
+            self._send_event(rid, "lint_findings", name, {
+                "version": report.version,
+                "counts": count_by_severity(report.diagnostics),
+                "findings": [d.to_json() for d in report.diagnostics],
+                "new_findings": [d.to_json() for d in report.new_findings],
+                "gate_overridden": report.gate_overridden,
+            })
+        for pipe in report.background_verifies:
+            self._watch_verify(rid, managed, pipe)
+        return summarize(report)
+
+    def _cmd_stats(self) -> Dict[str, Any]:
+        stats: Dict[str, Any] = {
+            "worker": self.config.worker_id,
+            "pid": os.getpid(),
+            "sessions": self.manager.count,
+            "session_names": self.manager.names(),
+            "metrics": obs.get_metrics().as_dict(),
+        }
+        store = self.manager.artifact_store
+        if store is not None:
+            stats["store"] = {
+                "root": store.root,
+                "artifacts": len(store),
+                "bytes": store.total_bytes(),
+            }
+        return stats
+
+    # -- crash recovery ------------------------------------------------------
+
+    def _cmd_rehydrate(self, name: str) -> Dict[str, Any]:
+        """Rebuild one session from its journal + checkpoints.
+
+        Called by the frontend after it restarts a crashed worker (or
+        moves a session to a different worker).  Replays the structural
+        ops — design source, reloads (with their register-transform
+        history), pipes, sanitize mode — then restores each pipe from
+        the newest checkpoint in its saved store.  Compiles read
+        through the shared artifact store, so the expensive half of
+        this is usually a disk load, not codegen.
+        """
+        if self.config.state_root is None:
+            raise ValueError(
+                "worker has no state dir; cannot rehydrate sessions"
+            )
+        journal = SessionJournal(self.config.state_root, name)
+        if not journal.exists():
+            raise LookupError(
+                f"no journal for session {name!r}; it cannot be recovered"
+            )
+        try:
+            self.manager.close(name)  # drop any half-alive remnant
+        except KeyError:
+            pass
+        started = time.perf_counter()
+        ops = journal.ops()
+        if not ops or ops[0]["op"] != "open":
+            raise ValueError(f"journal for {name!r} has no open record")
+        info = self.manager.open(
+            name, ops[0]["source"],
+            reset_cycles=ops[0].get("reset_cycles", 2),
+        )
+        managed = self.manager.get(name)
+        with managed.lock:
+            for op in ops[1:]:
+                kind = op.get("op")
+                if kind == "lib":
+                    managed.session.ld_lib(op["name"], op.get("source"))
+                elif kind == "reload":
+                    managed.session.apply_change(
+                        op["source"], verify=False,
+                        override_gate=bool(op.get("override")),
+                    )
+                elif kind == "line":
+                    managed.interp.execute(op["line"])
+            restored = {}
+            for pipe, path in journal.checkpoints().items():
+                managed.session.ldch(pipe, path)
+                restored[pipe] = managed.session.pipe(pipe).cycle
+            managed.touch()
+        self._journals[name] = journal
+        seconds = time.perf_counter() - started
+        obs.incr("server.sessions_rehydrated")
+        obs.histogram("server.rehydrate_seconds", seconds)
+        return {
+            "session": name,
+            "rehydrated": True,
+            "worker": self.config.worker_id,
+            "seconds": seconds,
+            "pipes": restored,
+            "modules": info["modules"],
+        }
+
+    # -- events --------------------------------------------------------------
+
+    def _watch_verify(
+        self, rid: int, managed: ManagedSession, pipe: str
+    ) -> None:
+        def loop() -> None:
+            watch_verify_loop(
+                managed,
+                pipe,
+                lambda data: self._send_event(
+                    rid, "verify_status", managed.name, data
+                ),
+                self._stop.is_set,
+                self.config.verify_poll,
+            )
+
+        threading.Thread(
+            target=loop,
+            name=f"livesim-w{self.config.worker_id}-verify-{managed.name}",
+            daemon=True,
+        ).start()
+
+
+def worker_main(conn, config: WorkerConfig) -> None:
+    """Entry point of a sharded worker process."""
+    SessionWorker(conn, config).run()

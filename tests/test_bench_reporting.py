@@ -198,7 +198,27 @@ class TestCIWorkflow:
             doc = yaml.safe_load(fh)
         assert set(doc["jobs"]) == {
             "lint", "test", "bench-smoke", "server-smoke",
-            "analyze-examples",
+            "analyze-examples", "load-smoke",
         }
         matrix = doc["jobs"]["test"]["strategy"]["matrix"]
         assert matrix["python-version"] == ["3.10", "3.11", "3.12"]
+        # Every job funnels through the shared setup action and the
+        # workflow cancels superseded runs.
+        assert "concurrency" in doc
+        for name, job in doc["jobs"].items():
+            uses = [step.get("uses", "") for step in job["steps"]]
+            assert "./.github/actions/setup-livesim" in uses, name
+
+    def test_setup_action_yaml_parses(self):
+        import pathlib
+
+        import pytest
+
+        yaml = pytest.importorskip("yaml")
+        action = (pathlib.Path(__file__).resolve().parents[1]
+                  / ".github" / "actions" / "setup-livesim"
+                  / "action.yml")
+        with open(action) as fh:
+            doc = yaml.safe_load(fh)
+        assert doc["runs"]["using"] == "composite"
+        assert doc["inputs"]["python-version"]["default"] == "3.12"

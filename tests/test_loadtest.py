@@ -1,0 +1,96 @@
+"""Load-test harness tests: the scripted driver (against the cheap
+single-process server — no worker spawn cost in the unit suite) and
+the p99 baseline-gate logic."""
+
+from repro.bench.loadtest import (
+    COMMAND_CLASSES,
+    LoadtestConfig,
+    compare_to_baseline,
+    run_loadtest,
+)
+
+
+class TestDriver:
+    def test_small_threaded_run(self):
+        result = run_loadtest(LoadtestConfig(
+            sessions=3, workers=0, runs=1, run_cycles=20, concurrency=2,
+        ))
+        assert result["mode"] == "threaded"
+        assert result["errors"] == 0
+        # open + instpipe + (run + peek) * 1 + close = 5 per session.
+        assert result["commands"] == 3 * 5
+        for cls in COMMAND_CLASSES:
+            stats = result["latency_s"][cls]
+            assert stats["count"] == 3
+            assert stats["p99"] >= stats["p50"] > 0
+        assert result["commands_per_sec"] > 0
+        assert result["server"]["sessions_left"] == 0
+
+
+def _artifact(p99_ms, calibration_s=1.0, errors=0):
+    return {
+        "calibration_s": calibration_s,
+        "errors": errors,
+        "latency_s": {
+            "run": {"count": 10, "p50": p99_ms / 2e3, "p99": p99_ms / 1e3},
+        },
+    }
+
+
+class TestBaselineGate:
+    def test_missing_baseline_data(self):
+        assert compare_to_baseline(_artifact(1.0), {}, 0.5) == [
+            "baseline JSON has no latency_s data"
+        ]
+
+    def test_within_allowance_passes(self):
+        failures = compare_to_baseline(
+            _artifact(p99_ms=14.0), _artifact(p99_ms=10.0), 0.5
+        )
+        assert failures == []
+
+    def test_regression_fails_with_detail(self):
+        failures = compare_to_baseline(
+            _artifact(p99_ms=20.0), _artifact(p99_ms=10.0), 0.5
+        )
+        assert len(failures) == 1
+        assert "run p99 latency regressed" in failures[0]
+        assert "20.0 ms > allowed 15.0 ms" in failures[0]
+
+    def test_slow_host_scales_the_allowance_up(self):
+        # Current host is 2x slower than the baseline host: a 2x
+        # latency still fits once calibration scaling kicks in.
+        failures = compare_to_baseline(
+            _artifact(p99_ms=20.0, calibration_s=2.0),
+            _artifact(p99_ms=10.0, calibration_s=1.0),
+            0.5,
+        )
+        assert failures == []
+
+    def test_fast_host_does_not_scale_down(self):
+        failures = compare_to_baseline(
+            _artifact(p99_ms=20.0, calibration_s=0.5),
+            _artifact(p99_ms=10.0, calibration_s=1.0),
+            0.5,
+        )
+        assert len(failures) == 1
+
+    def test_missing_class_fails(self):
+        current = _artifact(1.0)
+        del current["latency_s"]["run"]
+        current["latency_s"]["open"] = {"count": 1, "p99": 0.001}
+        failures = compare_to_baseline(current, _artifact(1.0), 0.5)
+        assert failures == ["loadtest: command class 'run' missing "
+                            "from current run"]
+
+    def test_session_errors_fail_the_gate(self):
+        failures = compare_to_baseline(
+            _artifact(1.0, errors=2), _artifact(1.0), 0.5
+        )
+        assert len(failures) == 1
+        assert "2 session scripts failed" in failures[0]
+
+    def test_cli_rejects_bad_counts(self):
+        from repro.bench.loadtest import main
+
+        assert main(["--sessions", "0"]) == 2

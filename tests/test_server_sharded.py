@@ -1,0 +1,152 @@
+"""End-to-end tests for sharded mode: the asyncio front door, worker
+processes, crash rehydration, and per-client event routing.
+
+One module-scoped frontend (2 worker processes) serves every test —
+spawning workers is the expensive part.  The crash test runs last so
+earlier tests can assert zero restarts.
+"""
+
+import os
+
+import pytest
+
+from repro.server.client import LiveSimClient, ServerError
+from repro.server.frontend import ShardedFrontend
+from repro.server.shard import HashRing
+from tests.conftest import COUNTER_SRC
+
+WORKERS = 2
+
+
+@pytest.fixture(scope="module")
+def frontend(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("sharded")
+    fe = ShardedFrontend(
+        workers=WORKERS,
+        store_root=str(tmp / "store"),
+        state_root=str(tmp / "state"),
+    )
+    fe.start()
+    yield fe
+    fe.shutdown()
+
+
+def _client(frontend, **kwargs):
+    host, port = frontend.address
+    kwargs.setdefault("read_timeout", 120.0)
+    return LiveSimClient(host, port, timeout=30.0, **kwargs)
+
+
+def _names_on_each_worker(prefix):
+    """Session names (one per worker) the frontend's ring will place
+    on workers 0..WORKERS-1, in worker order."""
+    ring = HashRing(range(WORKERS))
+    names, i = {}, 0
+    while len(names) < WORKERS:
+        name = f"{prefix}-{i}"
+        names.setdefault(ring.lookup(name), name)
+        i += 1
+    return [names[w] for w in range(WORKERS)]
+
+
+class TestShardedBasics:
+    def test_ping_reports_sharding(self, frontend):
+        with _client(frontend) as client:
+            pong = client.ping()
+            assert pong["pong"] is True
+            assert pong["sharded"] is True
+            assert pong["workers"] == WORKERS
+
+    def test_open_run_close_roundtrip(self, frontend):
+        with _client(frontend) as client:
+            info = client.open_session("basic", COUNTER_SRC)
+            assert info["handles"]["top"] == "stage2"
+            client.command("basic", "instPipe p0, stage2")
+            result = client.command("basic", "run tb0, p0, 50")
+            assert result["c0"] == 48
+            assert client.close_session("basic") == {"closed": "basic"}
+
+    def test_unknown_and_duplicate_sessions_error(self, frontend):
+        with _client(frontend) as client:
+            with pytest.raises(ServerError, match="unknown session"):
+                client.command("ghost", "peek p0")
+            client.open_session("dup", COUNTER_SRC)
+            with pytest.raises(ServerError, match="already exists"):
+                client.open_session("dup", COUNTER_SRC)
+            client.close_session("dup")
+
+    def test_sessions_spread_across_workers(self, frontend):
+        first, second = _names_on_each_worker("spread")
+        with _client(frontend) as client:
+            client.open_session(first, COUNTER_SRC)
+            client.open_session(second, COUNTER_SRC)
+            stats = client.stats()
+            by_id = {w["id"]: w for w in stats["workers"]}
+            assert by_id[0]["sessions"] >= 1
+            assert by_id[1]["sessions"] >= 1
+            listed = {s["session"] for s in client.sessions()}
+            assert {first, second} <= listed
+            client.close_session(first)
+            client.close_session(second)
+
+    def test_command_errors_carry_worker_payloads(self, frontend):
+        with _client(frontend) as client:
+            client.open_session("errs", COUNTER_SRC)
+            with pytest.raises(ServerError, match="unknown command"):
+                client.command("errs", "frobnicate p0")
+            # The session survives a failed command.
+            client.command("errs", "instPipe p0, stage2")
+            client.close_session("errs")
+
+
+class TestShardedCrashRecovery:
+    # Must run after the basics: it restarts worker processes.
+
+    def test_kill_worker_rehydrates_sessions(self, frontend):
+        victim_name, survivor_name = _names_on_each_worker("crash")
+        with _client(frontend) as client, _client(frontend) as other:
+            client.open_session(victim_name, COUNTER_SRC)
+            client.open_session(survivor_name, COUNTER_SRC)
+            client.command(victim_name, "instPipe p0, stage2")
+            client.command(survivor_name, "instPipe p0, stage2")
+            assert client.command(
+                victim_name, "run tb0, p0, 200"
+            )["c0"] == 198
+            assert client.command(victim_name, "chkp p0")["cycle"] == 200
+            client.command(survivor_name, "run tb0, p0, 50")
+
+            stats = client.stats()
+            by_id = {w["id"]: w for w in stats["workers"]}
+            os.kill(by_id[0]["pid"], 9)
+
+            # First command after the kill blocks on restart +
+            # rehydration: journal replay rebuilds the design, the
+            # checkpoint store restores the simulated state.
+            assert client.command(victim_name, "peek p0")["c0"] == 198
+            assert client.command(
+                victim_name, "run tb0, p0, 10"
+            )["c0"] == 208
+            # The other worker's session never noticed.
+            assert client.command(survivor_name, "peek p0")["c0"] == 48
+
+            # Event streams route to the requesting client — and only
+            # to it — even though the session now lives in a brand-new
+            # worker process.
+            client.command(victim_name, "verify p0")
+            event = client.wait_event(
+                "verify_status",
+                predicate=lambda e: e.data["state"] != "running",
+                timeout=60.0,
+            )
+            assert event.session == victim_name
+            assert event.data["state"] == "consistent"
+            with pytest.raises(TimeoutError):
+                other.wait_event("verify_status", timeout=0.5)
+
+            stats = client.stats()
+            by_id = {w["id"]: w for w in stats["workers"]}
+            assert by_id[0]["alive"] is True
+            assert by_id[0]["restarts"] == 1
+            assert by_id[1]["restarts"] == 0
+            client.close_session(victim_name)
+            client.close_session(survivor_name)

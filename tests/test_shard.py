@@ -1,0 +1,150 @@
+"""Unit tests for the sharding primitives: the consistent-hash ring
+and the on-disk session journal (crash-recovery log)."""
+
+import os
+
+import pytest
+
+from repro.server.shard import (
+    JOURNAL_FORMAT,
+    STRUCTURAL_VERBS,
+    HashRing,
+    SessionJournal,
+)
+
+KEYS = [f"session-{i}" for i in range(2000)]
+
+
+class TestHashRing:
+    def test_lookup_is_deterministic_across_instances(self):
+        a = HashRing(range(4))
+        b = HashRing([3, 2, 1, 0])  # insertion order must not matter
+        assert [a.lookup(k) for k in KEYS] == [b.lookup(k) for k in KEYS]
+
+    def test_empty_ring_raises(self):
+        with pytest.raises(LookupError, match="no nodes"):
+            HashRing().lookup("alice")
+
+    def test_replicas_validated(self):
+        with pytest.raises(ValueError, match="replicas"):
+            HashRing(replicas=0)
+
+    def test_membership_and_idempotent_add(self):
+        ring = HashRing(range(3))
+        assert len(ring) == 3
+        assert 2 in ring and 7 not in ring
+        ring.add(2)  # no-op
+        assert len(ring) == 3
+        ring.remove(7)  # unknown node: no-op
+        assert ring.nodes() == [0, 1, 2]
+
+    def test_every_node_owns_a_reasonable_share(self):
+        ring = HashRing(range(4))
+        counts = {node: 0 for node in range(4)}
+        for key in KEYS:
+            counts[ring.lookup(key)] += 1
+        for node, count in counts.items():
+            # Perfect balance would be 500 each; virtual replicas get
+            # within a loose factor of that.
+            assert count > len(KEYS) / 4 / 3, (node, counts)
+
+    def test_remove_moves_only_the_victims_keys(self):
+        ring = HashRing(range(4))
+        before = {key: ring.lookup(key) for key in KEYS}
+        ring.remove(2)
+        for key in KEYS:
+            after = ring.lookup(key)
+            if before[key] == 2:
+                assert after != 2
+            else:
+                # The consistent-hashing contract: keys not owned by
+                # the removed node never move.
+                assert after == before[key]
+
+    def test_join_moves_about_one_wth_of_the_keys(self):
+        ring = HashRing(range(4))
+        before = {key: ring.lookup(key) for key in KEYS}
+        ring.add(4)
+        moved = [key for key in KEYS if ring.lookup(key) != before[key]]
+        # Every moved key must have moved TO the new node...
+        assert all(ring.lookup(key) == 4 for key in moved)
+        # ...and the moved fraction is ~1/5 (loose bounds: virtual
+        # replicas make it approximate, not exact).
+        fraction = len(moved) / len(KEYS)
+        assert 0.05 < fraction < 0.45, fraction
+
+    def test_rejoin_restores_the_old_mapping(self):
+        ring = HashRing(range(4))
+        before = {key: ring.lookup(key) for key in KEYS}
+        ring.remove(1)
+        ring.add(1)
+        assert {key: ring.lookup(key) for key in KEYS} == before
+
+
+class TestSessionJournal:
+    def test_structural_verbs_cover_the_table_i_structure_commands(self):
+        assert "instpipe" in STRUCTURAL_VERBS
+        assert "swapstage" in STRUCTURAL_VERBS
+        # run is recovered from checkpoints, never replayed.
+        assert "run" not in STRUCTURAL_VERBS
+
+    def test_begin_append_roundtrip(self, tmp_path):
+        journal = SessionJournal(str(tmp_path), "alice")
+        assert not journal.exists()
+        journal.begin("module m; endmodule", reset_cycles=2)
+        journal.append({"op": "line", "line": "instPipe p0, stage0"})
+        journal.append({"op": "lib", "name": "patch", "source": "..."})
+        assert journal.exists()
+
+        # A fresh object (what a restarted worker builds) reads the
+        # same ordered history.
+        replayed = SessionJournal(str(tmp_path), "alice").ops()
+        assert [op["op"] for op in replayed] == ["open", "line", "lib"]
+        assert replayed[0]["source"] == "module m; endmodule"
+        assert replayed[0]["reset_cycles"] == 2
+
+    def test_checkpoint_paths_are_stable_and_registered(self, tmp_path):
+        journal = SessionJournal(str(tmp_path), "alice")
+        journal.begin("src", reset_cycles=2)
+        path = journal.checkpoint_path("p0")
+        assert path == journal.checkpoint_path("p0")
+        assert path.startswith(str(tmp_path))
+        # Registered but not yet written: not listed as recoverable.
+        assert journal.checkpoints() == {}
+        with open(path, "wb") as fh:
+            fh.write(b"ckpt")
+        assert SessionJournal(str(tmp_path), "alice").checkpoints() == {
+            "p0": path
+        }
+
+    def test_sessions_do_not_collide(self, tmp_path):
+        a = SessionJournal(str(tmp_path), "alice")
+        b = SessionJournal(str(tmp_path), "bob")
+        a.begin("a-src", reset_cycles=1)
+        b.begin("b-src", reset_cycles=2)
+        assert a.path != b.path
+        assert a.checkpoint_path("p0") != b.checkpoint_path("p0")
+        assert SessionJournal(str(tmp_path), "alice").ops()[0]["source"] \
+            == "a-src"
+
+    def test_wrong_session_name_is_rejected(self, tmp_path):
+        SessionJournal(str(tmp_path), "alice").begin("src", reset_cycles=2)
+        mallory = SessionJournal(str(tmp_path), "alice")
+        mallory.name = "mallory"  # simulate a digest collision
+        with pytest.raises(ValueError, match=JOURNAL_FORMAT):
+            mallory.ops()
+
+    def test_delete_removes_journal_and_checkpoints(self, tmp_path):
+        journal = SessionJournal(str(tmp_path), "alice")
+        journal.begin("src", reset_cycles=2)
+        path = journal.checkpoint_path("p0")
+        with open(path, "wb") as fh:
+            fh.write(b"ckpt")
+        journal.delete()
+        assert not journal.exists()
+        assert not os.path.exists(path)
+        # No stray tmp files from the atomic rewrites either.
+        assert os.listdir(str(tmp_path)) == []
+
+    def test_delete_of_missing_journal_is_a_noop(self, tmp_path):
+        SessionJournal(str(tmp_path), "ghost").delete()

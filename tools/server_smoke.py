@@ -7,7 +7,9 @@ with an on-disk artifact store, drives a scripted client session
 reload refused by the static-analysis gate and forced with override),
 asserts a clean shutdown, then restarts the server on the same store
 and checks the warm path: the same design compiles entirely from disk
-artifacts.
+artifacts.  A third leg boots the sharded frontend (``--workers 2``),
+SIGKILLs one worker mid-session, and checks the session rehydrates on
+the restarted worker from its journal + checkpoint.
 
 Exit code 0 means every step passed.  Used by the ``server-smoke`` CI
 job; also runnable by hand::
@@ -121,10 +123,15 @@ def check(condition, label):
         raise SystemExit(f"smoke step failed: {label}")
 
 
-def start_server(store):
+def start_server(store, workers=0, state_dir=None):
+    argv = [sys.executable, "-m", "repro.server", "--port", "0",
+            "--store", store]
+    if workers:
+        argv += ["--workers", str(workers)]
+    if state_dir:
+        argv += ["--state-dir", state_dir]
     proc = subprocess.Popen(
-        [sys.executable, "-m", "repro.server", "--port", "0",
-         "--store", store],
+        argv,
         cwd=REPO,
         env={**os.environ, "PYTHONPATH": SRC},
         stdout=subprocess.PIPE,
@@ -156,7 +163,7 @@ def stop_server(proc, client):
 
 
 def cold_session(host, port, patch_path):
-    client = LiveSimClient(host, port, timeout=60.0)
+    client = LiveSimClient(host, port, timeout=60.0, read_timeout=120.0)
     info = client.open_session("smoke", DESIGN)
     check(info["handles"].get("top") == "stage2", "open: top is stage2")
     client.command("smoke", "instPipe p0, stage2")
@@ -243,7 +250,7 @@ def sanitize_session(client):
 
 
 def warm_session(host, port):
-    client = LiveSimClient(host, port, timeout=60.0)
+    client = LiveSimClient(host, port, timeout=60.0, read_timeout=120.0)
     client.open_session("warm", DESIGN)
     client.command("warm", "instPipe p0, stage2")
     result = client.command("warm", "run tb0, p0, 50")
@@ -255,6 +262,77 @@ def warm_session(host, port):
     return client
 
 
+def sharded_session(host, port):
+    """Sharded leg: two sessions on different workers, one worker
+    SIGKILLed mid-session; its session must come back on the restarted
+    worker with journal+checkpoint state intact, while the other
+    worker's session is untouched."""
+    from repro.server.shard import HashRing
+
+    # Pick names the frontend's consistent-hash ring places on worker
+    # 0 and worker 1 respectively (same ring construction: 2 nodes,
+    # default replica count).
+    ring = HashRing(range(2))
+    names, i = {}, 0
+    while len(names) < 2:
+        name = f"shard-{i}"
+        names.setdefault(ring.lookup(name), name)
+        i += 1
+    victim, survivor = names[0], names[1]
+
+    client = LiveSimClient(host, port, timeout=60.0, read_timeout=120.0)
+    pong = client.ping()
+    check(pong.get("sharded") is True and pong.get("workers") == 2,
+          "sharded: ping reports 2 workers")
+    client.open_session(victim, DESIGN)
+    client.open_session(survivor, DESIGN)
+    client.command(victim, "instPipe p0, stage2")
+    client.command(survivor, "instPipe p0, stage2")
+    result = client.command(victim, "run tb0, p0, 200")
+    check(result["c0"] == 198, f"sharded run: c0={result['c0']} (want 198)")
+    cp = client.command(victim, "chkp p0")
+    check(cp["cycle"] == 200, "sharded chkp at cycle 200")
+    client.command(survivor, "run tb0, p0, 50")
+
+    stats = client.stats()
+    by_id = {w["id"]: w for w in stats["workers"]}
+    check(by_id[0]["sessions"] == 1 and by_id[1]["sessions"] == 1,
+          "sharded: one session per worker")
+    os.kill(by_id[0]["pid"], 9)
+
+    # The next command to the dead worker waits for restart +
+    # rehydration (journal replay + checkpoint restore), then runs.
+    outputs = client.command(victim, "peek p0")
+    check(outputs["c0"] == 198,
+          f"rehydrate: checkpointed state intact (c0={outputs['c0']})")
+    result = client.command(victim, "run tb0, p0, 10")
+    check(result["c0"] == 208,
+          f"rehydrate: simulation continues (c0={result['c0']})")
+    outputs = client.command(survivor, "peek p0")
+    check(outputs["c0"] == 48,
+          "rehydrate: other worker's session untouched")
+
+    # Event streams still reach this client after the session moved to
+    # the restarted worker process.
+    client.command(victim, "verify p0")
+    event = client.wait_event(
+        "verify_status",
+        predicate=lambda e: e.data["state"] != "running",
+        timeout=60.0,
+    )
+    check(event.session == victim
+          and event.data["state"] == "consistent",
+          "rehydrate: verify events route to the client")
+
+    stats = client.stats()
+    by_id = {w["id"]: w for w in stats["workers"]}
+    check(by_id[0]["alive"] and by_id[0]["restarts"] == 1,
+          "sharded: worker 0 restarted exactly once")
+    client.close_session(victim)
+    client.close_session(survivor)
+    return client
+
+
 def main():
     with tempfile.TemporaryDirectory(prefix="livesim-smoke-") as tmp:
         store = os.path.join(tmp, "artifacts")
@@ -262,7 +340,7 @@ def main():
         with open(patch_path, "w") as fh:
             fh.write(PATCH)
 
-        print("[1/2] cold server: scripted session")
+        print("[1/3] cold server: scripted session")
         proc, host, port = start_server(store)
         try:
             client = cold_session(host, port, patch_path)
@@ -273,10 +351,21 @@ def main():
             raise
         stop_server(proc, client)
 
-        print("[2/2] warm restart: same store, zero recompiles")
+        print("[2/3] warm restart: same store, zero recompiles")
         proc, host, port = start_server(store)
         try:
             client = warm_session(host, port)
+        except BaseException:
+            proc.kill()
+            raise
+        stop_server(proc, client)
+
+        print("[3/3] sharded mode: worker kill + rehydration")
+        proc, host, port = start_server(
+            store, workers=2, state_dir=os.path.join(tmp, "state")
+        )
+        try:
+            client = sharded_session(host, port)
         except BaseException:
             proc.kill()
             raise
