@@ -21,6 +21,17 @@ The same JSON artifact (``repro.bench.loadtest/v1``) feeds:
   sharded/single throughput ratio (≥2x expected with 4 workers on a
   ≥4-core host; on fewer cores the ratio degrades toward parity and
   the artifact records ``cpu_count`` so readers can tell why).
+
+``--chaos`` (sharded mode only) disrupts the pool *during* the
+measured run: a controller thread SIGKILLs one worker, then resizes
+the pool W→2W→W through the ``resize`` admin verb, recording a
+disruption window around each action.  Every command is timestamped
+client-side, so the artifact can split latency post-hoc: ``latency_s``
+(and the p99 gate) cover only commands that never overlapped a
+disruption window, while ``chaos.disrupted_latency_s`` reports the
+tail seen by commands that rode through a kill, a failover replay or
+a live migration.  Migration/failover counts come from the server's
+own counters.
 """
 
 from __future__ import annotations
@@ -30,6 +41,7 @@ import json
 import os
 import queue
 import shutil
+import signal
 import sys
 import tempfile
 import threading
@@ -39,6 +51,9 @@ from typing import Dict, List, Optional, Tuple
 
 from ..obs.metrics import MetricsRegistry
 from .reporting import format_table
+
+# One timed command: (class, start, end, ok) in perf_counter seconds.
+Sample = Tuple[str, float, float, bool]
 
 LOADTEST_SCHEMA_ID = "repro.bench.loadtest/v1"
 COMMAND_CLASSES = ("open", "instpipe", "run", "peek", "close")
@@ -97,18 +112,26 @@ class LoadtestConfig:
     run_cycles: int = 200
     concurrency: int = 16
     read_timeout: float = 300.0
+    chaos: bool = False
+    chaos_warmup: float = 0.75   # seconds before the first disruption
+    chaos_margin: float = 0.5    # window cushion after recovery/resize
 
 
 def _drive_session(client, name: str, config: LoadtestConfig,
-                   registry: MetricsRegistry) -> None:
+                   registry: MetricsRegistry,
+                   samples: List[Sample]) -> None:
     """Script one session end-to-end, timing each command class."""
 
     def timed(cls: str, fn, *args) -> None:
         started = time.perf_counter()
-        fn(*args)
-        registry.histogram(
-            f"loadtest.{cls}.seconds", time.perf_counter() - started
-        )
+        try:
+            fn(*args)
+        except Exception:
+            samples.append((cls, started, time.perf_counter(), False))
+            raise
+        ended = time.perf_counter()
+        samples.append((cls, started, ended, True))
+        registry.histogram(f"loadtest.{cls}.seconds", ended - started)
         registry.incr("loadtest.commands")
 
     timed("open", client.open_session, name, DESIGN)
@@ -120,8 +143,9 @@ def _drive_session(client, name: str, config: LoadtestConfig,
     timed("close", client.close_session, name)
 
 
-def _drive(host: str, port: int,
-           config: LoadtestConfig) -> Tuple[MetricsRegistry, float]:
+def _drive(
+    host: str, port: int, config: LoadtestConfig
+) -> Tuple[MetricsRegistry, float, List[Sample]]:
     """Run every session through a bounded pool of client threads."""
     from ..server.client import LiveSimClient, ReadTimeout, ServerError
 
@@ -129,8 +153,12 @@ def _drive(host: str, port: int,
     for i in range(config.sessions):
         names.put(f"load-{i:04d}")
     registries = [MetricsRegistry() for _ in range(config.concurrency)]
+    sample_lists: List[List[Sample]] = [
+        [] for _ in range(config.concurrency)
+    ]
 
-    def client_thread(registry: MetricsRegistry) -> None:
+    def client_thread(registry: MetricsRegistry,
+                      samples: List[Sample]) -> None:
         client = LiveSimClient(host, port,
                                read_timeout=config.read_timeout)
         try:
@@ -140,20 +168,29 @@ def _drive(host: str, port: int,
                 except queue.Empty:
                     return
                 try:
-                    _drive_session(client, name, config, registry)
+                    _drive_session(client, name, config, registry,
+                                   samples)
                 except (ServerError, ReadTimeout,
                         ConnectionError, OSError) as exc:
                     registry.incr("loadtest.errors")
                     registry.incr(
                         f"loadtest.errors.{type(exc).__name__}"
                     )
+                    if client.broken:
+                        client.close()
+                        client = LiveSimClient(
+                            host, port,
+                            read_timeout=config.read_timeout,
+                        )
         finally:
             client.close()
 
     threads = [
-        threading.Thread(target=client_thread, args=(registry,),
+        threading.Thread(target=client_thread,
+                         args=(registry, samples),
                          name=f"loadtest-{i}", daemon=True)
-        for i, registry in enumerate(registries)
+        for i, (registry, samples)
+        in enumerate(zip(registries, sample_lists))
     ]
     started = time.perf_counter()
     for thread in threads:
@@ -165,7 +202,123 @@ def _drive(host: str, port: int,
     merged = MetricsRegistry()
     for registry in registries:
         merged.merge(registry)
-    return merged, wall_s
+    samples = [s for per_thread in sample_lists for s in per_thread]
+    return merged, wall_s, samples
+
+
+# -- chaos mode --------------------------------------------------------------
+
+
+class _ChaosController(threading.Thread):
+    """Disrupt the worker pool while the workload is being measured.
+
+    Sequence (each step records a disruption window, padded by
+    ``chaos_margin`` to cover failover replays and rehydrate queues
+    that drain just after the visible action completes):
+
+    1. SIGKILL the lowest live worker, wait for the frontend to
+       respawn it (its ``restarts`` counter ticks);
+    2. ``resize`` the pool to twice its size;
+    3. ``resize`` it back down.
+
+    The controller stops early (between steps) once the drive
+    finishes, so a short workload simply records fewer disruptions.
+    """
+
+    def __init__(self, server, host: str, port: int,
+                 config: LoadtestConfig, stop: threading.Event):
+        super().__init__(name="loadtest-chaos", daemon=True)
+        self._server = server
+        self._host = host
+        self._port = port
+        self._config = config
+        self._halt = stop
+        self.disruptions: List[Dict] = []
+        self.error: Optional[str] = None
+
+    def run(self) -> None:
+        from ..server.client import LiveSimClient
+
+        try:
+            if self._halt.wait(self._config.chaos_warmup):
+                return
+            self._kill_one_worker()
+            if self._halt.is_set():
+                return
+            workers = self._config.workers
+            with LiveSimClient(self._host, self._port,
+                               read_timeout=120.0) as admin:
+                self._timed_window(
+                    "resize", f"{workers} -> {workers * 2}",
+                    lambda: admin.resize(workers * 2),
+                )
+                if self._halt.is_set():
+                    return
+                self._timed_window(
+                    "resize", f"{workers * 2} -> {workers}",
+                    lambda: admin.resize(workers),
+                )
+        except Exception as exc:  # surfaced in the artifact, not lost
+            self.error = f"{type(exc).__name__}: {exc}"
+
+    def _timed_window(self, kind: str, detail: str, action) -> None:
+        start = time.perf_counter()
+        action()
+        self.disruptions.append({
+            "kind": kind, "detail": detail, "start": start,
+            "end": time.perf_counter() + self._config.chaos_margin,
+        })
+
+    def _kill_one_worker(self) -> None:
+        # The server runs in-process, so the bench can reach its pool
+        # handles directly — kills are not a protocol feature.
+        handles = self._server._workers
+        live = [wid for wid, w in handles.items() if w.alive]
+        if not live:
+            raise RuntimeError("no live worker to kill")
+        wid = min(live)
+        victim = handles[wid]
+        restarts_before = victim.restarts
+        start = time.perf_counter()
+        os.kill(victim.pid, signal.SIGKILL)
+        deadline = start + 60.0
+        while time.perf_counter() < deadline:
+            if victim.restarts > restarts_before and victim.alive:
+                break
+            if self._halt.wait(0.05):
+                break
+        self.disruptions.append({
+            "kind": "kill", "detail": f"worker {wid} (SIGKILL)",
+            "start": start,
+            "end": time.perf_counter() + self._config.chaos_margin,
+        })
+
+
+def _latency_from_samples(samples: List[Sample]) -> Dict[str, Dict]:
+    registry = MetricsRegistry()
+    for cls, start, end, ok in samples:
+        if ok:
+            registry.histogram(f"loadtest.{cls}.seconds", end - start)
+    return {
+        cls: registry.histogram_stats(f"loadtest.{cls}.seconds")
+        for cls in COMMAND_CLASSES
+    }
+
+
+def _split_by_disruption(
+    samples: List[Sample], windows: List[Dict]
+) -> Tuple[List[Sample], List[Sample]]:
+    """Partition samples into (undisrupted, disrupted) by overlap."""
+    clean: List[Sample] = []
+    disrupted: List[Sample] = []
+    for sample in samples:
+        _, start, end, _ = sample
+        hit = any(
+            start < window["end"] and end > window["start"]
+            for window in windows
+        )
+        (disrupted if hit else clean).append(sample)
+    return clean, disrupted
 
 
 def run_loadtest(config: LoadtestConfig) -> Dict:
@@ -196,7 +349,23 @@ def run_loadtest(config: LoadtestConfig) -> Dict:
                 port=0, artifact_store=ArtifactStore(store_root)
             )
         host, port = server.start()
-        registry, wall_s = _drive(host, port, config)
+
+        chaos: Optional[_ChaosController] = None
+        chaos_stop = threading.Event()
+        if config.chaos:
+            if config.workers <= 0:
+                raise ValueError(
+                    "--chaos needs the sharded server (--workers >= 1)"
+                )
+            chaos = _ChaosController(server, host, port, config,
+                                     chaos_stop)
+            chaos.start()
+        try:
+            registry, wall_s, samples = _drive(host, port, config)
+        finally:
+            chaos_stop.set()
+        if chaos is not None:
+            chaos.join(timeout=120.0)
 
         from ..server.client import LiveSimClient
 
@@ -235,6 +404,55 @@ def run_loadtest(config: LoadtestConfig) -> Dict:
     }
     if error_counters:
         result["error_kinds"] = error_counters
+
+    if chaos is not None:
+        clean, disrupted = _split_by_disruption(
+            samples, chaos.disruptions
+        )
+        # The gate sees only commands that never overlapped a
+        # disruption: latency_s and errors are recomputed over the
+        # clean partition; the disrupted tail is reported separately.
+        result["latency_s"] = _latency_from_samples(clean)
+        result["errors"] = sum(1 for s in clean if not s[3])
+        counters = (
+            server_stats.get("metrics", {}).get("counters", {})
+        )
+        run_start = min(
+            (s[1] for s in samples),
+            default=min(
+                (w["start"] for w in chaos.disruptions),
+                default=0.0,
+            ),
+        )
+        result["chaos"] = {
+            "disruptions": [
+                {
+                    "kind": w["kind"],
+                    "detail": w["detail"],
+                    "start_s": round(w["start"] - run_start, 3),
+                    "end_s": round(w["end"] - run_start, 3),
+                }
+                for w in chaos.disruptions
+            ],
+            "commands_disrupted": len(disrupted),
+            "disrupted_errors": sum(
+                1 for s in disrupted if not s[3]
+            ),
+            "disrupted_latency_s": _latency_from_samples(disrupted),
+            "sessions_migrated": counters.get(
+                "server.sessions_migrated", 0),
+            "migrations_failed": counters.get(
+                "server.migrations_failed", 0),
+            "request_failovers": counters.get(
+                "server.request_failovers", 0),
+            "worker_restarts": counters.get(
+                "server.worker_restarts", 0),
+            "resizes": counters.get("server.resizes", 0),
+            "sessions_dropped": counters.get(
+                "server.sessions_dropped", 0),
+        }
+        if chaos.error:
+            result["chaos"]["controller_error"] = chaos.error
     return result
 
 
@@ -254,7 +472,9 @@ def run_loadtest_payload(config: LoadtestConfig,
     payload.update(run_loadtest(config))
     if compare_single and config.workers > 0:
         single = run_loadtest(
-            LoadtestConfig(**{**asdict(config), "workers": 0})
+            LoadtestConfig(**{
+                **asdict(config), "workers": 0, "chaos": False,
+            })
         )
         payload["single_process"] = single
         if single["commands_per_sec"] > 0:
@@ -355,6 +575,34 @@ def _print_summary(payload: Dict, out) -> None:
             f"{payload.get('speedup_vs_single', 0.0):.2f}x",
             file=out,
         )
+    chaos = payload.get("chaos")
+    if chaos:
+        kinds = [w["kind"] for w in chaos["disruptions"]]
+        run_p99 = chaos["disrupted_latency_s"].get("run") or {}
+        print(
+            f"  chaos: {len(kinds)} disruptions "
+            f"({kinds.count('kill')} kill, "
+            f"{kinds.count('resize')} resize); "
+            f"{chaos['commands_disrupted']} commands overlapped one "
+            f"({chaos['disrupted_errors']} errored)",
+            file=out,
+        )
+        print(
+            "  chaos: "
+            f"migrations={chaos['sessions_migrated']} "
+            f"failovers={chaos['request_failovers']} "
+            f"worker-restarts={chaos['worker_restarts']} "
+            f"sessions-dropped={chaos['sessions_dropped']}; "
+            "disrupted run p99 "
+            f"{(run_p99.get('p99') or 0.0) * 1e3:.1f} ms",
+            file=out,
+        )
+        if chaos.get("controller_error"):
+            print(
+                "  chaos: controller error: "
+                f"{chaos['controller_error']}",
+                file=out,
+            )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -376,6 +624,14 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--compare-single", action="store_true",
                         help="rerun the workload single-process and "
                              "report the throughput ratio")
+    parser.add_argument("--chaos", action="store_true",
+                        help="kill one worker and resize the pool "
+                             "W->2W->W during the measured run; the "
+                             "p99 gate then covers only commands that "
+                             "never overlapped a disruption")
+    parser.add_argument("--chaos-warmup", type=float, default=0.75,
+                        help="seconds into the run before the first "
+                             "disruption (default: 0.75)")
     parser.add_argument("--json", metavar="PATH",
                         help="write the repro.bench.loadtest/v1 "
                              "artifact to PATH")
@@ -397,6 +653,10 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         print("error: --sessions/--concurrency must be >= 1 and "
               "--workers >= 0", file=sys.stderr)
         return 2
+    if args.chaos and args.workers < 1:
+        print("error: --chaos needs the sharded server "
+              "(--workers >= 1)", file=sys.stderr)
+        return 2
 
     config = LoadtestConfig(
         sessions=args.sessions,
@@ -404,6 +664,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         runs=args.runs,
         run_cycles=args.run_cycles,
         concurrency=args.concurrency,
+        chaos=args.chaos,
+        chaos_warmup=args.chaos_warmup,
     )
     payload = run_loadtest_payload(
         config, compare_single=args.compare_single

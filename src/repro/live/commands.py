@@ -57,6 +57,11 @@ class CommandInterpreter:
                  read_file: Optional[Callable[[str], str]] = None):
         self._session = session
         self._read_file = read_file or _read_text_file
+        # (lib name, source text) merged by the most recent ldLib.
+        # Persistence layers (the session journal) must read this
+        # instead of re-opening the path: the file can change or vanish
+        # between the load and the journal write.
+        self.last_ld_lib: Optional[Tuple[str, str]] = None
         self._handlers: Dict[str, Callable[[List[str]], Any]] = {
             "ldlib": self._ld_lib,
             "instpipe": self._inst_pipe,
@@ -135,7 +140,9 @@ class CommandInterpreter:
             # it as a CommandError so callers (the shell, the server)
             # report it on the same channel as every other bad command.
             raise CommandError(f"ldLib: cannot read {path!r}: {exc}") from exc
-        return self._session.ld_lib(name, source)
+        handles = self._session.ld_lib(name, source)
+        self.last_ld_lib = (name, source)
+        return handles
 
     def _inst_pipe(self, operands: List[str]):
         self._need(operands, 2, 2, "instPipe name, pipe-handle")

@@ -15,6 +15,13 @@ cores)::
     $ python -m repro.server --port 0 --workers 4 \\
           --store /tmp/livesim-store --state-dir /tmp/livesim-state
     livesim server listening on 127.0.0.1:43251 (sharded, 4 workers)
+
+``--workers`` only sets the *starting* pool size: a sharded server
+resizes at runtime through the ``resize`` admin verb (and moves single
+sessions with ``migrate``), e.g. from the client REPL::
+
+    repl> resize 8
+    repl> migrate alice, 3
 """
 
 from __future__ import annotations
@@ -44,7 +51,9 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--workers", type=int, default=0, metavar="N",
                         help="shard sessions across N worker processes "
                              "behind an asyncio front door (default 0: "
-                             "single-process threaded server)")
+                             "single-process threaded server); the pool "
+                             "can be resized at runtime with the "
+                             "'resize' admin verb")
     parser.add_argument("--state-dir", metavar="DIR",
                         help="session-journal directory for sharded "
                              "crash recovery (default: <store>.state, "

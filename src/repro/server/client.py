@@ -51,9 +51,13 @@ class ReadTimeout(ConnectionError):
 
     Distinct from :class:`TimeoutError` so a hung worker surfaces as a
     clear, catchable client-side condition instead of blocking forever
-    (or masquerading as a protocol failure).  The connection should be
-    considered poisoned: a late response would desynchronize the
-    request/response stream.
+    (or masquerading as a protocol failure).  A timeout *between*
+    frames is recoverable — responses carry ids, so a late reply is
+    simply skipped.  A timeout *mid-frame* (some bytes of a line
+    arrived, then silence) is not: the buffered partial line would make
+    the next read decode garbage far from the cause, so the client
+    marks itself :attr:`~LiveSimClient.broken` and every later request
+    demands a reconnect.
     """
 
 
@@ -78,19 +82,22 @@ class LiveSimClient:
     ):
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._sock.settimeout(read_timeout)
-        self._rfile = self._sock.makefile("rb")
+        self._rbuf = bytearray()
         self._timeout = read_timeout
         self._ids = itertools.count(1)
         self._on_event = on_event
+        self._broken = False
         self.events: List[Event] = []
+
+    @property
+    def broken(self) -> bool:
+        """True once the read stream is desynchronized (a timeout hit
+        mid-frame); the connection must be replaced, not reused."""
+        return self._broken
 
     # -- lifecycle -----------------------------------------------------------
 
     def close(self) -> None:
-        try:
-            self._rfile.close()
-        except OSError:
-            pass
         try:
             self._sock.close()
         except OSError:
@@ -112,6 +119,11 @@ class LiveSimClient:
         Raises :class:`ServerError` on an error response and
         :class:`ConnectionError` if the server goes away mid-request.
         """
+        if self._broken:
+            raise ConnectionError(
+                "connection is desynchronized (timeout hit mid-frame); "
+                "open a fresh LiveSimClient"
+            )
         request_id = next(self._ids)
         line = protocol.encode_request(
             Request(id=request_id, cmd=cmd, params=params)
@@ -134,19 +146,50 @@ class LiveSimClient:
                 )
 
     def _read_message(self):
-        try:
-            line = self._rfile.readline(protocol.MAX_LINE_BYTES + 2)
-        except socket.timeout:
-            raise ReadTimeout(
-                f"no data from server within {self._timeout}s "
-                "(hung worker or stalled command?)"
-            ) from None
-        if not line:
-            raise ConnectionError("server closed the connection")
+        line = self._read_line()
         try:
             return protocol.decode(line)
         except ProtocolError as exc:
+            self._broken = True
             raise ConnectionError(f"bad frame from server: {exc}") from exc
+
+    def _read_line(self) -> bytes:
+        """Read one ``\\n``-terminated frame with explicit buffering.
+
+        Explicit (rather than ``makefile``) so a timeout can tell
+        whether it struck between frames (buffer empty — recoverable)
+        or mid-frame (partial line buffered — the stream is
+        desynchronized and the client is marked broken).
+        """
+        while True:
+            newline = self._rbuf.find(b"\n")
+            if newline >= 0:
+                line = bytes(self._rbuf[:newline + 1])
+                del self._rbuf[:newline + 1]
+                return line
+            if len(self._rbuf) > protocol.MAX_LINE_BYTES:
+                self._broken = True
+                raise ConnectionError(
+                    "frame from server exceeds "
+                    f"{protocol.MAX_LINE_BYTES} bytes"
+                )
+            try:
+                chunk = self._sock.recv(65536)
+            except socket.timeout:
+                if self._rbuf:
+                    self._broken = True
+                    raise ReadTimeout(
+                        f"server stalled mid-frame ({len(self._rbuf)} "
+                        "bytes of an unterminated line buffered); the "
+                        "stream is desynchronized — reconnect"
+                    ) from None
+                raise ReadTimeout(
+                    f"no data from server within {self._timeout}s "
+                    "(hung worker or stalled command?)"
+                ) from None
+            if not chunk:
+                raise ConnectionError("server closed the connection")
+            self._rbuf += chunk
 
     def _record_event(self, event: Event) -> None:
         self.events.append(event)
@@ -220,6 +263,14 @@ class LiveSimClient:
     def stats(self) -> Any:
         return self.request("stats")
 
+    def resize(self, workers: int) -> Any:
+        """Resize a sharded server's worker pool (admin verb)."""
+        return self.request("resize", workers=workers)
+
+    def migrate(self, session: str, worker: int) -> Any:
+        """Move one session to an explicit worker (admin verb)."""
+        return self.request("migrate", session=session, worker=worker)
+
     def close_session(self, session: str) -> Any:
         return self.request("close", session=session)
 
@@ -255,7 +306,8 @@ def _print_event(event: Event, out) -> None:
 
 
 def run_lines(client: LiveSimClient, session: str, lines, out) -> None:
-    """Drive one command per line; REPL verbs: quit, stats, sessions."""
+    """Drive one command per line; REPL verbs: quit, stats, sessions,
+    resize N, migrate session, worker-id (sharded servers only)."""
     for raw in lines:
         line = raw.split("#", 1)[0].strip()
         if not line:
@@ -267,11 +319,23 @@ def run_lines(client: LiveSimClient, session: str, lines, out) -> None:
                 value = client.stats()
             elif line == "sessions":
                 value = client.sessions()
+            elif line.startswith("resize "):
+                value = client.resize(int(line.split(None, 1)[1]))
+            elif line.startswith("migrate "):
+                operands = [
+                    op.strip()
+                    for op in line.split(None, 1)[1].split(",")
+                ]
+                if len(operands) != 2:
+                    raise ValueError(
+                        "usage: migrate session, worker-id"
+                    )
+                value = client.migrate(operands[0], int(operands[1]))
             else:
                 value = client.command(session, line)
             if value is not None:
                 print(f"  {value}", file=out)
-        except ServerError as exc:
+        except (ServerError, ValueError) as exc:
             print(f"error: {exc}", file=out)
         while client.events:
             _print_event(client.events.pop(0), out)

@@ -18,6 +18,15 @@ its on-disk journal plus last saved checkpoint before any queued
 command is forwarded.  Sessions without a journal (no ``--state-dir``)
 are dropped instead.
 
+Live resize: the ``resize`` admin verb grows or shrinks the pool at
+runtime (``migrate`` moves one named session).  Placement is
+recomputed on a fresh consistent-hash ring — only ~1/W of the sessions
+move — and each moving session takes the journal path with zero
+simulation loss: commands queue behind a per-session gate, the old
+worker force-persists a checkpoint at the current cycle, the new
+worker rehydrates, the route table flips atomically, and the old copy
+closes keeping the journal files the new owner adopted.
+
 Observability: the frontend keeps its own ``server.requests`` /
 ``server.cmd.<name>.seconds`` metrics (end-to-end, including proxy
 overhead) plus ``server.worker_restarts`` / ``server.sessions_dropped``
@@ -33,12 +42,14 @@ import multiprocessing
 import tempfile
 import threading
 import time
-from collections import OrderedDict
-from typing import Any, Dict, List, Optional, Tuple
+from collections import OrderedDict, deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from .. import obs
 from . import protocol
 from .protocol import (
+    ADMIN_COMMANDS,
+    BASE_COMMANDS,
     PROTOCOL_VERSION,
     Event,
     ProtocolError,
@@ -56,6 +67,17 @@ from .shard import HashRing, WorkerConfig, worker_main
 # long-lived client cannot grow the table without bound.
 MAX_EVENT_ROUTES = 1024
 
+# High-water mark on the per-connection event queue: a client that
+# stops reading while verify events stream must not grow the socket
+# write buffer without bound.  Past the mark the *oldest* queued events
+# are dropped (newest state wins for progress streams) and
+# ``server.events_dropped`` counts the loss.
+MAX_EVENT_QUEUE = 256
+
+# The worker pool can be resized at runtime; cap it so a typo'd
+# ``resize`` cannot fork-bomb the host.
+MAX_WORKERS = 64
+
 _SPAWN_TIMEOUT = 60.0
 
 
@@ -68,12 +90,24 @@ class WorkerCommandError(Exception):
 
 
 class _Client:
-    """One asyncio client connection: writer plus its event routes."""
+    """One asyncio client connection: writer plus its event routes.
+
+    Responses are written directly (the request loop drains after each
+    one, so they are flow-controlled by the one-request-at-a-time
+    protocol).  Events are *queued* and written by a per-connection
+    pump task that awaits ``drain()`` — a client that stops reading
+    stalls the pump, the queue fills to :data:`MAX_EVENT_QUEUE`, and
+    the oldest events are dropped instead of growing the transport
+    buffer without bound.
+    """
 
     def __init__(self, writer: asyncio.StreamWriter):
         self.writer = writer
         self.closed = False
         self.route_rids: "OrderedDict[int, None]" = OrderedDict()
+        self.events_dropped = 0
+        self._events: Deque[str] = deque()
+        self._event_signal = asyncio.Event()
 
     def send_line(self, text: str) -> bool:
         if self.closed:
@@ -85,6 +119,37 @@ class _Client:
         except (ConnectionError, RuntimeError):
             self.closed = True
             return False
+
+    def queue_event(self, text: str) -> bool:
+        """Enqueue one event line for the pump, drop-oldest past the
+        high-water mark."""
+        if self.closed:
+            return False
+        self._events.append(text)
+        while len(self._events) > MAX_EVENT_QUEUE:
+            self._events.popleft()
+            self.events_dropped += 1
+            obs.incr("server.events_dropped")
+        self._event_signal.set()
+        return True
+
+    async def pump_events(self) -> None:
+        """Drain queued events to the socket; one task per connection."""
+        while not self.closed:
+            await self._event_signal.wait()
+            self._event_signal.clear()
+            while self._events and not self.closed:
+                if not self.send_line(self._events.popleft()):
+                    return
+                try:
+                    await self.writer.drain()
+                except (ConnectionError, RuntimeError):
+                    self.closed = True
+                    return
+
+    def wake_pump(self) -> None:
+        """Unblock a pump waiting on the signal (used at close)."""
+        self._event_signal.set()
 
 
 class _WorkerHandle:
@@ -116,6 +181,7 @@ class ShardedFrontend:
         ring_replicas: int = 64,
         restart_workers: bool = True,
         start_method: str = "spawn",
+        worker_extra: Optional[Dict[str, Any]] = None,
     ):
         if workers < 1:
             raise ValueError("sharded frontend needs at least 1 worker")
@@ -126,13 +192,22 @@ class ShardedFrontend:
         self.state_root = state_root
         self._checkpoint_interval = checkpoint_interval
         self._verify_poll = verify_poll
+        self._ring_replicas = ring_replicas
         self._restart_workers = restart_workers
+        self._worker_extra = dict(worker_extra or {})
         self._mp = multiprocessing.get_context(start_method)
         self.ring = HashRing(range(workers), replicas=ring_replicas)
         self._workers: Dict[int, _WorkerHandle] = {
             wid: _WorkerHandle(wid) for wid in range(workers)
         }
         self._sessions: Dict[str, int] = {}
+        # Live-migration state: sessions currently moving (commands
+        # queue on the event until the route table flips) and a count
+        # of in-flight forwarded requests per session (a migration
+        # waits for them to drain so their effects reach the journal).
+        self._migrating: Dict[str, asyncio.Event] = {}
+        self._inflight: Dict[str, int] = {}
+        self._resize_lock: Optional[asyncio.Lock] = None
         self._rids = itertools.count(1)
         self._pending: Dict[int, Tuple[asyncio.Future, int]] = {}
         self._routes: Dict[int, _Client] = {}
@@ -204,6 +279,7 @@ class ShardedFrontend:
     async def _amain(self) -> None:
         self._loop = asyncio.get_running_loop()
         self._stop_event = asyncio.Event()
+        self._resize_lock = asyncio.Lock()
         try:
             await asyncio.gather(*[
                 self._start_worker(wid) for wid in self._workers
@@ -237,6 +313,7 @@ class ShardedFrontend:
             state_root=self.state_root,
             checkpoint_interval=self._checkpoint_interval,
             verify_poll=self._verify_poll,
+            extra=dict(self._worker_extra),
         )
         process = self._mp.Process(
             target=worker_main,
@@ -293,15 +370,17 @@ class ShardedFrontend:
         elif kind == "event":
             client = self._routes.get(msg.get("rid"))
             if client is not None and not client.closed:
-                client.send_line(encode_event(Event(
+                client.queue_event(encode_event(Event(
                     name=msg.get("name", ""),
                     session=msg.get("session", ""),
                     data=msg.get("data") or {},
                 )))
 
     def _on_worker_dead(self, wid: int) -> None:
-        worker = self._workers[wid]
-        if not worker.alive:
+        worker = self._workers.get(wid)
+        if worker is None or not worker.alive:
+            # Unknown wid: a worker retired by resize whose pipe EOF
+            # raced the retirement; nothing to do.
             return
         worker.alive = False
         try:
@@ -330,7 +409,9 @@ class ShardedFrontend:
 
     async def _restart_worker(self, wid: int) -> None:
         """Respawn a dead worker and rehydrate its sessions."""
-        worker = self._workers[wid]
+        worker = self._workers.get(wid)
+        if worker is None:  # retired by a resize while dead
+            return
         async with worker.lock:
             if worker.alive or self._stopping:
                 return
@@ -358,7 +439,12 @@ class ShardedFrontend:
             obs.gauge("server.sessions", len(self._sessions))
 
     async def _ensure_worker(self, wid: int) -> _WorkerHandle:
-        worker = self._workers[wid]
+        worker = self._workers.get(wid)
+        if worker is None:
+            raise WorkerCommandError({
+                "type": "worker",
+                "message": f"worker {wid} was retired by a resize",
+            })
         if worker.alive:
             return worker
         if not self._restart_workers:
@@ -369,7 +455,7 @@ class ShardedFrontend:
             pass  # wait for any in-progress restart
         if not worker.alive:
             await self._restart_worker(wid)
-        if not self._workers[wid].alive:
+        if wid not in self._workers or not self._workers[wid].alive:
             raise WorkerCommandError({
                 "type": "worker",
                 "message": f"worker {wid} could not be restarted",
@@ -484,6 +570,7 @@ class ShardedFrontend:
     ) -> None:
         client = _Client(writer)
         obs.incr("server.connections_accepted")
+        pump = self._loop.create_task(client.pump_events())
         try:
             while not self._stopping:
                 try:
@@ -523,6 +610,8 @@ class ShardedFrontend:
                     return
         finally:
             client.closed = True
+            client.wake_pump()
+            pump.cancel()
             self._drop_client_routes(client)
             try:
                 writer.close()
@@ -589,13 +678,29 @@ class ShardedFrontend:
                     )
                 if not isinstance(params.get("override", False), bool):
                     raise ProtocolError("'override' must be a boolean")
+            # Commands aimed at a session mid-migration queue until the
+            # route table flips, then run on the new owner — callers
+            # see latency, never a spurious unknown-session error.
+            while True:
+                gate = self._migrating.get(name)
+                if gate is None:
+                    break
+                await gate.wait()
             wid = self._sessions.get(name)
             if wid is None:
                 raise WorkerCommandError({
                     "type": "unknown-session",
                     "message": f"unknown session {name!r}",
                 })
-            value = await self._forward(client, wid, cmd, params)
+            self._inflight[name] = self._inflight.get(name, 0) + 1
+            try:
+                value = await self._forward(client, wid, cmd, params)
+            finally:
+                left = self._inflight.get(name, 1) - 1
+                if left > 0:
+                    self._inflight[name] = left
+                else:
+                    self._inflight.pop(name, None)
             if cmd == "close":
                 self._sessions.pop(name, None)
                 obs.gauge("server.sessions", len(self._sessions))
@@ -604,14 +709,17 @@ class ShardedFrontend:
             return await self._cmd_sessions(), False
         if cmd == "stats":
             return await self._cmd_stats(params), False
+        if cmd == "resize":
+            return await self._cmd_resize(params), False
+        if cmd == "migrate":
+            return await self._cmd_migrate(params), False
         if cmd == "shutdown":
             return {
                 "stopping": True, "sessions": len(self._sessions),
             }, True
+        known = sorted(BASE_COMMANDS + ADMIN_COMMANDS)
         raise ProtocolError(
-            f"unknown server command {cmd!r}; expected one of "
-            "['close', 'cmd', 'open', 'ping', 'reload', 'sessions', "
-            "'shutdown', 'stats']"
+            f"unknown server command {cmd!r}; expected one of {known}"
         )
 
     async def _cmd_open(
@@ -692,6 +800,240 @@ class ShardedFrontend:
             ]
         return stats
 
+    # -- live resize / session migration -------------------------------------
+
+    def _require_state_dir(self, verb: str) -> None:
+        if self.state_root is None:
+            raise WorkerCommandError({
+                "type": verb,
+                "message": f"{verb} moves sessions via their journals; "
+                           "start the server with --state-dir",
+            })
+
+    async def _cmd_resize(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        """Grow or shrink the worker pool at runtime.
+
+        Target worker ids are always ``0..N-1``: a grow spawns the
+        missing high ids, a shrink retires them.  Ring placement is
+        recomputed and every session whose owner changed migrates via
+        the journal path (persist -> rehydrate -> flip -> close);
+        commands aimed at a moving session queue behind its gate.
+        """
+        target = params.get("workers")
+        if (not isinstance(target, int) or isinstance(target, bool)
+                or not 1 <= target <= MAX_WORKERS):
+            raise ProtocolError(
+                f"'workers' must be an integer in [1, {MAX_WORKERS}]"
+            )
+        started = time.perf_counter()
+        async with self._resize_lock:
+            previous = len(self._workers)
+            if target == previous:
+                return {
+                    "workers": target, "previous": previous,
+                    "migrated": [], "spawned": [], "retired": [],
+                }
+            new_ring = HashRing(range(target),
+                                replicas=self._ring_replicas)
+            spawned: List[int] = []
+            retired: List[int] = []
+            if target > previous:
+                spawned = [
+                    wid for wid in range(target)
+                    if wid not in self._workers
+                ]
+                moves = {
+                    name: new_ring.lookup(name)
+                    for name, wid in self._sessions.items()
+                    if new_ring.lookup(name) != wid
+                }
+                if moves:
+                    self._require_state_dir("resize")
+                for wid in spawned:
+                    self._workers[wid] = _WorkerHandle(wid)
+                try:
+                    await asyncio.gather(*[
+                        self._start_worker(wid) for wid in spawned
+                    ])
+                except BaseException:
+                    for wid in spawned:
+                        handle = self._workers.pop(wid, None)
+                        if handle is None:
+                            continue
+                        if handle.conn is not None:
+                            try:
+                                self._loop.remove_reader(
+                                    handle.conn.fileno()
+                                )
+                            except (OSError, ValueError):
+                                pass
+                        if handle.process is not None:
+                            handle.process.kill()
+                    raise
+                self.ring = new_ring
+                self.num_workers = target
+                migrated = await self._migrate_all(moves, forced=False)
+            else:
+                retired = [
+                    wid for wid in sorted(self._workers)
+                    if wid >= target
+                ]
+                moves = {
+                    name: new_ring.lookup(name)
+                    for name, wid in self._sessions.items()
+                    if wid in retired
+                }
+                if moves:
+                    self._require_state_dir("resize")
+                # Flip the ring first so concurrent opens never land
+                # on a worker that is about to retire.
+                self.ring = new_ring
+                self.num_workers = target
+                migrated = await self._migrate_all(moves, forced=True)
+                await self._retire_workers(retired)
+            obs.incr("server.resizes")
+            obs.gauge("server.workers", len(self._workers))
+            return {
+                "workers": target,
+                "previous": previous,
+                "migrated": sorted(migrated),
+                "spawned": spawned,
+                "retired": retired,
+                "seconds": time.perf_counter() - started,
+            }
+
+    async def _cmd_migrate(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        """Move one named session to an explicit worker (the hook for
+        load balancing off per-worker obs histograms)."""
+        name = self._str_param(params, "session")
+        target = params.get("worker")
+        if not isinstance(target, int) or isinstance(target, bool):
+            raise ProtocolError("'worker' must be an integer worker id")
+        self._require_state_dir("migrate")
+        async with self._resize_lock:
+            if target not in self._workers:
+                raise WorkerCommandError({
+                    "type": "migrate",
+                    "message": f"no worker {target}; pool is "
+                               f"{sorted(self._workers)}",
+                })
+            src = self._sessions.get(name)
+            if src is None:
+                raise WorkerCommandError({
+                    "type": "unknown-session",
+                    "message": f"unknown session {name!r}",
+                })
+            if src == target:
+                return {"session": name, "from": src, "worker": target,
+                        "migrated": False}
+            await self._migrate_session(name, target)
+        return {"session": name, "from": src, "worker": target,
+                "migrated": True}
+
+    async def _migrate_all(
+        self, moves: Dict[str, int], forced: bool
+    ) -> List[str]:
+        """Migrate every session in ``moves``; on failure, a ``forced``
+        move (off a retiring worker) drops the session, an elective one
+        leaves it where it is."""
+        migrated: List[str] = []
+        for name, dest in moves.items():
+            try:
+                await self._migrate_session(name, dest)
+                migrated.append(name)
+            except WorkerCommandError:
+                obs.incr("server.migrations_failed")
+                if forced:
+                    # Its worker is retiring: the session cannot stay.
+                    self._sessions.pop(name, None)
+                    obs.incr("server.sessions_dropped")
+        obs.gauge("server.sessions", len(self._sessions))
+        return migrated
+
+    async def _migrate_session(self, name: str, dest: int) -> None:
+        """Move one session: drain in-flight commands, force-persist
+        its recovery state on the old worker, rehydrate on the new,
+        flip the route table, then close the old copy (keeping the
+        journal files, which the new worker has adopted)."""
+        src = self._sessions.get(name)
+        if src is None or src == dest:
+            return
+        gate = asyncio.Event()
+        self._migrating[name] = gate
+        try:
+            # In-flight commands must finish on the old worker so
+            # their structural effects are in the journal we snapshot.
+            while self._inflight.get(name):
+                await asyncio.sleep(0.005)
+            src_worker = await self._ensure_worker(src)
+            await self._forward_to(
+                src_worker, None, "persist", {"session": name}
+            )
+            dest_worker = await self._ensure_worker(dest)
+            await self._forward_to(
+                dest_worker, None, "rehydrate", {"session": name}
+            )
+            self._sessions[name] = dest  # atomic route-table flip
+            try:
+                await self._forward_to(
+                    src_worker, None, "close",
+                    {"session": name, "keep_state": True},
+                )
+            except WorkerCommandError:
+                # The old worker died after the state was safely
+                # copied; its restart path will find the session
+                # re-routed and leave it alone.
+                pass
+            obs.incr("server.sessions_migrated")
+        finally:
+            self._migrating.pop(name, None)
+            gate.set()
+
+    async def _retire_workers(self, wids: List[int]) -> None:
+        """Shut down and remove the given (already-drained) workers."""
+        for wid in wids:
+            worker = self._workers.pop(wid, None)
+            if worker is None:
+                continue
+            worker.alive = False
+            if worker.conn is not None:
+                try:
+                    self._loop.remove_reader(worker.conn.fileno())
+                except (OSError, ValueError):
+                    pass
+                try:
+                    worker.conn.send(
+                        {"kind": "control", "op": "shutdown"}
+                    )
+                except (OSError, ValueError):
+                    pass
+            # Fail anything still pending on the retiring worker (a
+            # drained worker should have none; belt and braces).
+            for rid, (fut, pending_wid) in list(self._pending.items()):
+                if pending_wid == wid and not fut.done():
+                    fut.set_result({
+                        "kind": "response", "rid": rid, "ok": False,
+                        "error": {
+                            "type": "worker",
+                            "message": f"worker {wid} retired by resize",
+                        },
+                    })
+                    self._pending.pop(rid, None)
+            process = worker.process
+            if process is not None:
+                await self._loop.run_in_executor(None, process.join, 5.0)
+                if process.is_alive():
+                    process.kill()
+                    await self._loop.run_in_executor(
+                        None, process.join, 5.0
+                    )
+            if worker.conn is not None:
+                try:
+                    worker.conn.close()
+                except OSError:
+                    pass
+            obs.incr("server.workers_retired")
+
 
 def default_state_root(store_root: Optional[str]) -> str:
     """Pick a session-journal directory when the caller gave none."""
@@ -701,7 +1043,9 @@ def default_state_root(store_root: Optional[str]) -> str:
 
 
 __all__ = [
+    "MAX_EVENT_QUEUE",
     "MAX_EVENT_ROUTES",
+    "MAX_WORKERS",
     "ShardedFrontend",
     "WorkerCommandError",
     "default_state_root",

@@ -34,6 +34,17 @@ from typing import Any, Dict, Optional, Union
 
 PROTOCOL_VERSION = "repro.server/v1"
 
+# Server command verbs.  Both front-ends accept the base set; the
+# sharded frontend adds the pool-administration verbs (the threaded
+# server has no worker pool to administer).  The framing layer itself
+# never interprets verbs — these live here so the two servers and the
+# client agree on one canonical list.
+BASE_COMMANDS = (
+    "close", "cmd", "open", "ping", "reload", "sessions",
+    "shutdown", "stats",
+)
+ADMIN_COMMANDS = ("migrate", "resize")
+
 # A request line longer than this is a protocol error, not a command:
 # it bounds per-connection memory against a hostile or broken client.
 # Large enough for a multi-megabyte design source in an ``open``.

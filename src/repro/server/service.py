@@ -702,8 +702,7 @@ class LiveSimServer:
             return {"stopping": True, "sessions": self.manager.count}, True
         raise ProtocolError(
             f"unknown server command {cmd!r}; expected one of "
-            "['close', 'cmd', 'open', 'ping', 'reload', 'sessions', "
-            "'shutdown', 'stats']"
+            f"{sorted(protocol.BASE_COMMANDS)}"
         )
 
     @staticmethod

@@ -389,9 +389,13 @@ class SessionWorker:
             name = str(params.get("session"))
             self.manager.close(name)
             journal = self._journals.pop(name, None)
-            if journal is not None:
+            if journal is not None and not params.get("keep_state"):
+                # keep_state: the session is migrating to another
+                # worker, which adopts the journal + checkpoint files.
                 journal.delete()
             return {"closed": name}
+        if cmd == "persist":
+            return self._cmd_persist(str(params.get("session")))
         if cmd == "describe":
             entries = self.manager.describe()
             for entry in entries:
@@ -420,18 +424,19 @@ class SessionWorker:
     ) -> None:
         verb = verb.lower()
         if verb == "ldlib":
-            # The interpreter resolved the path itself; journal the
-            # *text* so recovery does not depend on the file surviving.
-            name, path = operands
-            try:
-                with open(path) as fh:
-                    source = fh.read()
-            except OSError:
-                source = None
-            if source is not None:
-                journal.append(
-                    {"op": "lib", "name": name, "source": source}
+            # Journal the *text the session actually merged* (recorded
+            # by the interpreter), never a re-read of the path: the
+            # file can change or vanish between the load and this
+            # write, and a divergent or missing lib op rebuilds a
+            # different design — or drops the session — on rehydrate.
+            recorded = managed.interp.last_ld_lib
+            if recorded is None or recorded[0] != operands[0]:
+                raise OSError(
+                    f"ldLib source for {operands[0]!r} was not captured"
                 )
+            journal.append(
+                {"op": "lib", "name": recorded[0], "source": recorded[1]}
+            )
             return
         if verb == "chkp":
             self._persist_checkpoints(
@@ -475,13 +480,31 @@ class SessionWorker:
         info = self.manager.open(name, source, reset_cycles=reset_cycles)
         journal = self._journal(name)
         if journal is not None:
-            journal.begin(source, reset_cycles)
+            try:
+                journal.begin(source, reset_cycles)
+            except OSError:
+                # Roll the open back.  Keeping the session while the
+                # client sees an error would leave it unmapped on the
+                # frontend but resident here, so every retry would die
+                # with duplicate-session.
+                self._journals.pop(name, None)
+                try:
+                    self.manager.close(name)
+                except KeyError:
+                    pass
+                raise
         return info
 
     def _cmd_execute(self, rid: int, params: Dict[str, Any]) -> Any:
         name = str(params.get("session"))
         line = str(params.get("line"))
+        crash_line = self.config.extra.get("crash_line")
+        if crash_line is not None and line.strip() == crash_line:
+            # Chaos hook for failover tests: die exactly like a
+            # SIGKILL would, mid-request, every time this line runs.
+            os._exit(17)
         managed = self.manager.get(name)
+        journal_error: Optional[str] = None
         with managed.lock:
             result = managed.interp.execute(line)
             managed.touch()
@@ -492,12 +515,30 @@ class SessionWorker:
                     self._journal_command(
                         managed, journal, verb, operands, line
                     )
-                except OSError:
+                except OSError as exc:
                     obs.incr("server.journal_errors")
+                    journal_error = str(exc)
+        if journal_error is not None:
+            self._warn_journal(rid, name, line, journal_error)
         if result.command.lower() == "verify":
             pipe = CommandInterpreter.parse(line)[1][0]
             self._watch_verify(rid, managed, pipe)
         return summarize(result.value)
+
+    def _warn_journal(
+        self, rid: int, name: str, line: str, error: str
+    ) -> None:
+        """A journal write failed: the command *succeeded* but will not
+        survive a crash or migration.  Tell the client, don't just
+        bump a counter nobody watches."""
+        self._send_event(rid, "journal_warning", name, {
+            "command": line,
+            "error": error,
+            "message": (
+                "journal write failed; crash/migration recovery for "
+                "this session may replay a stale design"
+            ),
+        })
 
     def _cmd_reload(self, rid: int, params: Dict[str, Any]) -> Any:
         name = str(params.get("session"))
@@ -511,14 +552,18 @@ class SessionWorker:
             )
             managed.touch()
             journal = self._journal(name)
+            journal_error: Optional[str] = None
             if journal is not None:
                 try:
                     journal.append({
                         "op": "reload", "source": source,
                         "override": override,
                     })
-                except OSError:
+                except OSError as exc:
                     obs.incr("server.journal_errors")
+                    journal_error = str(exc)
+        if journal_error is not None:
+            self._warn_journal(rid, name, "<reload>", journal_error)
         if report.behavioral:
             from ..analyze import count_by_severity
 
@@ -549,6 +594,37 @@ class SessionWorker:
                 "bytes": store.total_bytes(),
             }
         return stats
+
+    # -- migration -----------------------------------------------------------
+
+    def _cmd_persist(self, name: str) -> Dict[str, Any]:
+        """Force the session's full recovery state to disk.
+
+        Called by the frontend as the first step of a migration: a
+        fresh checkpoint is taken at each pipe's *current* cycle and
+        every checkpoint store is saved to the journal's files, so the
+        receiving worker rehydrates with zero simulation loss (unlike
+        a crash, whose recovery point is the last saved checkpoint).
+        """
+        managed = self.manager.get(name)
+        journal = self._journal(name)
+        if journal is None:
+            raise ValueError(
+                "worker has no state dir; cannot persist sessions"
+            )
+        if not journal.exists():
+            raise LookupError(
+                f"no journal for session {name!r}; it cannot be migrated"
+            )
+        saved: Dict[str, int] = {}
+        with managed.lock:
+            for pipe in managed.session.pipelines.names():
+                managed.session.chkp(pipe)
+                self._persist_checkpoints(managed, journal, pipe,
+                                          force=True)
+                saved[pipe] = managed.session.pipe(pipe).cycle
+        obs.incr("server.sessions_persisted")
+        return {"session": name, "pipes": saved}
 
     # -- crash recovery ------------------------------------------------------
 

@@ -1,0 +1,113 @@
+"""Client framing under a stalling server: a read timeout between
+frames is recoverable, a timeout mid-frame poisons the connection
+(the buffered partial line would desynchronize every later read)."""
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.server.client import LiveSimClient, ReadTimeout
+
+
+class StallingServer:
+    """Scripted fake server: one behavior list per accepted connection.
+
+    Each request on a connection consumes that connection's next
+    behavior:
+      "ok"     — answer it properly;
+      "silent" — send nothing (a between-frames stall);
+      "half"   — send part of a response line, no newline, then stall.
+    """
+
+    def __init__(self, connections):
+        self.connections = [list(b) for b in connections]
+        self._listener = socket.socket()
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(len(self.connections))
+        self.address = self._listener.getsockname()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._conns = []
+
+    def __enter__(self):
+        self._thread.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        for sock in self._conns + [self._listener]:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        self._thread.join(timeout=5.0)
+        return False
+
+    def _serve(self):
+        try:
+            for behaviors in self.connections:
+                conn, _ = self._listener.accept()
+                self._conns.append(conn)
+                self._serve_one(conn, behaviors)
+        except OSError:
+            pass
+
+    @staticmethod
+    def _serve_one(conn, behaviors):
+        buf = b""
+        for behavior in behaviors:
+            while b"\n" not in buf:
+                chunk = conn.recv(65536)
+                if not chunk:
+                    return
+                buf += chunk
+            line, buf = buf.split(b"\n", 1)
+            request = json.loads(line)
+            if behavior == "ok":
+                response = json.dumps({
+                    "id": request["id"], "ok": True,
+                    "value": {"pong": True},
+                })
+                conn.sendall(response.encode() + b"\n")
+            elif behavior == "half":
+                partial = json.dumps({
+                    "id": request["id"], "ok": True,
+                })
+                # No newline: the frame never completes.
+                conn.sendall(partial[:-1].encode())
+            # "silent": send nothing at all.
+
+
+def test_between_frame_timeout_is_recoverable():
+    with StallingServer([["silent", "ok"]]) as server:
+        with LiveSimClient(*server.address, read_timeout=0.3) as client:
+            with pytest.raises(ReadTimeout, match="no data"):
+                client.ping()
+            assert client.broken is False
+            # The connection still works: the next request's reply is
+            # matched by id (the stalled one never produced bytes).
+            assert client.ping() == {"pong": True}
+
+
+def test_midframe_timeout_marks_client_broken():
+    with StallingServer([["half"]]) as server:
+        with LiveSimClient(*server.address, read_timeout=0.3) as client:
+            with pytest.raises(ReadTimeout, match="mid-frame"):
+                client.ping()
+            assert client.broken is True
+            # Every later request refuses to reuse the stream rather
+            # than decoding garbage from the middle of the stale frame.
+            with pytest.raises(ConnectionError, match="fresh"):
+                client.ping()
+
+
+def test_broken_client_demands_reconnect_not_retry():
+    with StallingServer([["half"], ["ok"]]) as server:
+        with LiveSimClient(*server.address, read_timeout=0.3) as client:
+            with pytest.raises(ReadTimeout):
+                client.ping()
+            assert client.broken is True
+        # A fresh connection to the same server works (the second
+        # behavior answers properly).
+        with LiveSimClient(*server.address, read_timeout=5.0) as fresh:
+            assert fresh.ping() == {"pong": True}

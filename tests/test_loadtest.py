@@ -1,10 +1,14 @@
 """Load-test harness tests: the scripted driver (against the cheap
-single-process server — no worker spawn cost in the unit suite) and
-the p99 baseline-gate logic."""
+single-process server — no worker spawn cost in the unit suite), the
+p99 baseline-gate logic, and the chaos-mode sample classification."""
+
+import pytest
 
 from repro.bench.loadtest import (
     COMMAND_CLASSES,
     LoadtestConfig,
+    _latency_from_samples,
+    _split_by_disruption,
     compare_to_baseline,
     run_loadtest,
 )
@@ -94,3 +98,54 @@ class TestBaselineGate:
         from repro.bench.loadtest import main
 
         assert main(["--sessions", "0"]) == 2
+
+    def test_cli_rejects_chaos_without_workers(self):
+        from repro.bench.loadtest import main
+
+        assert main(["--chaos", "--workers", "0"]) == 2
+
+
+class TestChaosClassification:
+    def test_split_uses_interval_overlap(self):
+        windows = [{"start": 10.0, "end": 11.0}]
+        samples = [
+            ("run", 9.0, 9.5, True),      # ends before -> clean
+            ("run", 9.5, 10.5, True),     # straddles start -> disrupted
+            ("run", 10.2, 10.4, False),   # inside -> disrupted
+            ("run", 10.9, 12.0, True),    # straddles end -> disrupted
+            ("run", 11.0, 12.0, True),    # starts at end -> clean
+        ]
+        clean, disrupted = _split_by_disruption(samples, windows)
+        assert [s[1] for s in clean] == [9.0, 11.0]
+        assert [s[1] for s in disrupted] == [9.5, 10.2, 10.9]
+
+    def test_split_with_no_windows_keeps_everything_clean(self):
+        samples = [("open", 0.0, 1.0, True)]
+        clean, disrupted = _split_by_disruption(samples, [])
+        assert clean == samples
+        assert disrupted == []
+
+    def test_multiple_windows_any_overlap_disrupts(self):
+        windows = [
+            {"start": 1.0, "end": 2.0},
+            {"start": 5.0, "end": 6.0},
+        ]
+        samples = [
+            ("peek", 3.0, 4.0, True),   # between windows -> clean
+            ("peek", 5.5, 5.6, True),   # in the second -> disrupted
+        ]
+        clean, disrupted = _split_by_disruption(samples, windows)
+        assert len(clean) == 1 and len(disrupted) == 1
+
+    def test_latency_from_samples_skips_failed_commands(self):
+        samples = [
+            ("open", 0.0, 1.0, True),
+            ("open", 0.0, 5.0, False),   # failed: must not skew p99
+            ("run", 2.0, 2.5, True),
+        ]
+        stats = _latency_from_samples(samples)
+        assert stats["open"]["count"] == 1
+        assert stats["open"]["max"] == pytest.approx(1.0)
+        assert stats["run"]["count"] == 1
+        # Classes with no clean samples report empty histograms.
+        assert stats["close"]["count"] == 0

@@ -1,12 +1,15 @@
 """End-to-end tests for sharded mode: the asyncio front door, worker
-processes, crash rehydration, and per-client event routing.
+processes, crash rehydration, live resize/migration, and per-client
+event routing.
 
 One module-scoped frontend (2 worker processes) serves every test —
-spawning workers is the expensive part.  The crash test runs last so
-earlier tests can assert zero restarts.
+spawning workers is the expensive part.  Resize tests return the pool
+to its original size, and the crash test runs last so earlier tests
+can assert zero restarts.
 """
 
 import os
+import threading
 
 import pytest
 
@@ -99,6 +102,140 @@ class TestShardedBasics:
             client.close_session("errs")
 
 
+class TestShardedResize:
+    # Runs after the basics; returns the pool to WORKERS so the crash
+    # test's restart accounting still holds.
+
+    def test_resize_grow_and_shrink_preserves_state(self, frontend):
+        ring2 = HashRing(range(2))
+        ring4 = HashRing(range(4))
+        movers, stayers, i = [], [], 0
+        while len(movers) < 2 or len(stayers) < 2:
+            name = f"resize-{i}"
+            i += 1
+            if ring4.lookup(name) != ring2.lookup(name):
+                movers.append(name)
+            else:
+                stayers.append(name)
+        names = movers[:2] + stayers[:2]
+
+        with _client(frontend) as client:
+            for name in names:
+                client.open_session(name, COUNTER_SRC)
+                client.command(name, "instPipe p0, stage2")
+                assert client.command(
+                    name, "run tb0, p0, 100"
+                )["c0"] == 98
+
+            # Hammer the moving sessions from another connection while
+            # the pool resizes: commands must queue behind the
+            # migration gates, never fail.
+            stop = threading.Event()
+            errors = []
+
+            def hammer():
+                with _client(frontend) as other:
+                    j = 0
+                    while not stop.is_set():
+                        try:
+                            other.command(
+                                names[j % len(names)], "peek p0"
+                            )
+                        except Exception as exc:  # noqa: BLE001
+                            errors.append(exc)
+                            return
+                        j += 1
+
+            thread = threading.Thread(target=hammer, daemon=True)
+            thread.start()
+            try:
+                grown = client.resize(4)
+                assert grown["workers"] == 4
+                assert grown["previous"] == 2
+                assert grown["spawned"] == [2, 3]
+                assert grown["retired"] == []
+                assert set(grown["migrated"]) == set(movers[:2])
+
+                stats = client.stats()
+                by_id = {w["id"]: w for w in stats["workers"]}
+                assert sorted(by_id) == [0, 1, 2, 3]
+                assert all(w["alive"] for w in stats["workers"])
+                placed = {
+                    s["session"]: s["worker"]
+                    for s in client.sessions()
+                }
+                for name in names:
+                    assert placed[name] == ring4.lookup(name)
+                    # Simulated state survived the move (the persist
+                    # step checkpoints at the *current* cycle).
+                    assert client.command(
+                        name, "peek p0"
+                    )["c0"] == 98
+
+                shrunk = client.resize(2)
+                assert shrunk["workers"] == 2
+                assert shrunk["retired"] == [2, 3]
+                assert set(shrunk["migrated"]) == set(movers[:2])
+            finally:
+                stop.set()
+                thread.join(timeout=30.0)
+            assert errors == []
+
+            stats = client.stats()
+            assert sorted(w["id"] for w in stats["workers"]) == [0, 1]
+            for name in names:
+                assert client.command(
+                    name, "run tb0, p0, 10"
+                )["c0"] == 108
+                client.close_session(name)
+
+    def test_resize_to_same_size_is_a_noop(self, frontend):
+        with _client(frontend) as client:
+            value = client.resize(WORKERS)
+            assert value["workers"] == WORKERS
+            assert value["migrated"] == []
+            assert value["spawned"] == []
+
+    def test_resize_validates_worker_count(self, frontend):
+        with _client(frontend) as client:
+            with pytest.raises(ServerError, match="must be an integer"):
+                client.resize(0)
+
+    def test_explicit_migrate_moves_one_session(self, frontend):
+        with _client(frontend) as client:
+            client.open_session("mover", COUNTER_SRC)
+            client.command("mover", "instPipe p0, stage2")
+            assert client.command("mover", "run tb0, p0, 60")["c0"] == 58
+            src = next(
+                s["worker"] for s in client.sessions()
+                if s["session"] == "mover"
+            )
+            dest = 1 - src
+            value = client.migrate("mover", dest)
+            assert value == {
+                "session": "mover", "from": src, "worker": dest,
+                "migrated": True,
+            }
+            assert next(
+                s["worker"] for s in client.sessions()
+                if s["session"] == "mover"
+            ) == dest
+            assert client.command("mover", "peek p0")["c0"] == 58
+            # Migrating to the worker it already lives on is a no-op.
+            again = client.migrate("mover", dest)
+            assert again["migrated"] is False
+            client.close_session("mover")
+
+    def test_migrate_rejects_bad_targets(self, frontend):
+        with _client(frontend) as client:
+            with pytest.raises(ServerError, match="no worker 9"):
+                client.open_session("badmig", COUNTER_SRC)
+                client.migrate("badmig", 9)
+            with pytest.raises(ServerError, match="unknown session"):
+                client.migrate("no-such-session", 0)
+            client.close_session("badmig")
+
+
 class TestShardedCrashRecovery:
     # Must run after the basics: it restarts worker processes.
 
@@ -150,3 +287,46 @@ class TestShardedCrashRecovery:
             assert by_id[1]["restarts"] == 0
             client.close_session(victim_name)
             client.close_session(survivor_name)
+
+
+class TestFailoverReplayDies:
+    def test_replay_that_also_kills_the_worker_is_one_shot(
+        self, tmp_path
+    ):
+        # A poison command that SIGKILL-crashes every worker it
+        # touches: the frontend replays it exactly once against the
+        # recovered session, then gives up instead of restart-looping.
+        fe = ShardedFrontend(
+            workers=1,
+            store_root=str(tmp_path / "store"),
+            state_root=str(tmp_path / "state"),
+            worker_extra={"crash_line": "peek poison"},
+        )
+        host, port = fe.start()
+        try:
+            with LiveSimClient(host, port, read_timeout=120.0) as client:
+                client.open_session("boom", COUNTER_SRC)
+                client.command("boom", "instPipe p0, stage2")
+                assert client.command(
+                    "boom", "run tb0, p0, 50"
+                )["c0"] == 48
+                assert client.command("boom", "chkp p0")["cycle"] == 50
+                # The obs registry is process-global (shared with any
+                # earlier frontend in this test process), so assert
+                # deltas, not absolutes.
+                before = client.stats()["metrics"]["counters"]
+                with pytest.raises(ServerError,
+                                   match="died mid-request"):
+                    client.command("boom", "peek poison")
+                # One failover happened, exactly one.
+                counters = client.stats()["metrics"]["counters"]
+                assert counters.get("server.request_failovers", 0) \
+                    - before.get("server.request_failovers", 0) == 1
+                assert counters.get("server.worker_deaths", 0) \
+                    - before.get("server.worker_deaths", 0) == 2
+                # The session itself recovered from its checkpoint and
+                # keeps working for non-poison commands.
+                assert client.command("boom", "peek p0")["c0"] == 48
+                client.close_session("boom")
+        finally:
+            fe.shutdown()

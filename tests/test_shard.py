@@ -1,18 +1,32 @@
-"""Unit tests for the sharding primitives: the consistent-hash ring
-and the on-disk session journal (crash-recovery log)."""
+"""Unit tests for the sharding primitives: the consistent-hash ring,
+the on-disk session journal (crash-recovery log), and the worker's
+journal/rollback paths."""
 
 import os
+import shutil
 
 import pytest
 
+from repro.server import shard
 from repro.server.shard import (
     JOURNAL_FORMAT,
     STRUCTURAL_VERBS,
     HashRing,
     SessionJournal,
+    SessionWorker,
+    WorkerConfig,
 )
+from tests.conftest import COUNTER_SRC
 
 KEYS = [f"session-{i}" for i in range(2000)]
+
+BLINKER_SRC = """
+module blinker (input clk, output y);
+  reg q;
+  assign y = q;
+  always @(posedge clk) q <= !q;
+endmodule
+"""
 
 
 class TestHashRing:
@@ -79,6 +93,30 @@ class TestHashRing:
         ring.remove(1)
         ring.add(1)
         assert {key: ring.lookup(key) for key in KEYS} == before
+
+    def test_ring_emptied_by_removals_raises(self):
+        ring = HashRing(range(2))
+        ring.remove(0)
+        ring.remove(1)
+        with pytest.raises(LookupError, match="no nodes"):
+            ring.lookup("alice")
+        # Refilling it brings lookups back.
+        ring.add(5)
+        assert ring.lookup("alice") == 5
+
+    def test_equal_points_tie_break_insertion_order_independent(
+        self, monkeypatch
+    ):
+        # Force every virtual replica onto one ring point: lookup must
+        # still pick exactly one node, the same one no matter the
+        # insertion order (the tuple sort falls back to the node key).
+        monkeypatch.setattr(shard, "_ring_point", lambda label: 7)
+        a = HashRing(range(4))
+        b = HashRing([3, 2, 1, 0])
+        keys = [f"tie-{i}" for i in range(50)]
+        owners_a = [a.lookup(key) for key in keys]
+        assert owners_a == [b.lookup(key) for key in keys]
+        assert len(set(owners_a)) == 1
 
 
 class TestSessionJournal:
@@ -148,3 +186,110 @@ class TestSessionJournal:
 
     def test_delete_of_missing_journal_is_a_noop(self, tmp_path):
         SessionJournal(str(tmp_path), "ghost").delete()
+
+
+class _FakeConn:
+    """Pipe stand-in: records worker->frontend messages."""
+
+    def __init__(self):
+        self.sent = []
+
+    def send(self, message):
+        self.sent.append(message)
+
+    def close(self):
+        pass
+
+
+def _worker(state_root=None):
+    return SessionWorker(
+        _FakeConn(),
+        WorkerConfig(worker_id=0, state_root=state_root, max_threads=1),
+    )
+
+
+class TestSessionWorkerJournaling:
+    def test_open_rolls_back_when_journal_begin_fails(self, tmp_path):
+        # A file where the state dir should be makes journal.begin
+        # fail with OSError after manager.open already succeeded.
+        state = tmp_path / "state"
+        state.write_text("not a directory")
+        worker = _worker(state_root=str(state))
+        with pytest.raises(OSError):
+            worker._cmd_open({"session": "alice", "source": COUNTER_SRC})
+        # The failed open must not leave the session resident: a retry
+        # (after the operator fixes the dir) would otherwise die with
+        # duplicate-session forever.
+        assert "alice" not in worker.manager.names()
+        state.unlink()
+        info = worker._cmd_open(
+            {"session": "alice", "source": COUNTER_SRC}
+        )
+        assert "top" in info["handles"]
+
+    def test_ldlib_journals_the_merged_source_not_the_path(
+        self, tmp_path
+    ):
+        state = str(tmp_path / "state")
+        worker = _worker(state_root=state)
+        worker._cmd_open({"session": "alice", "source": COUNTER_SRC})
+        lib = tmp_path / "extra.v"
+        lib.write_text(BLINKER_SRC)
+        worker._cmd_execute(
+            1, {"session": "alice", "line": f"ldLib extras, {lib}"}
+        )
+        # The file diverging — or vanishing — after the load must not
+        # change what recovery replays.
+        lib.unlink()
+        ops = SessionJournal(state, "alice").ops()
+        lib_ops = [op for op in ops if op["op"] == "lib"]
+        assert lib_ops == [
+            {"op": "lib", "name": "extras", "source": BLINKER_SRC}
+        ]
+        # A fresh worker rehydrates the lib from the journaled text.
+        other = _worker(state_root=state)
+        info = other._cmd_rehydrate("alice")
+        assert info["rehydrated"] is True
+        session = other.manager.get("alice").session
+        assert session.stage_handle_for("blinker")
+
+    def test_journal_write_failure_warns_but_command_succeeds(
+        self, tmp_path
+    ):
+        state = tmp_path / "state"
+        worker = _worker(state_root=str(state))
+        info = worker._cmd_open(
+            {"session": "alice", "source": COUNTER_SRC}
+        )
+        handle = info["handles"]["top"]
+        shutil.rmtree(state)
+        state.write_text("journal root is gone")  # breaks every flush
+        value = worker._cmd_execute(
+            7, {"session": "alice", "line": f"instPipe p0, {handle}"}
+        )
+        assert value is not None  # the command itself succeeded
+        events = [
+            msg for msg in worker.conn.sent
+            if msg.get("kind") == "event"
+        ]
+        assert events, "journal failure must surface as an event"
+        assert events[0]["name"] == "journal_warning"
+        assert events[0]["rid"] == 7
+        assert events[0]["session"] == "alice"
+        assert "instPipe" in events[0]["data"]["command"]
+
+    def test_rehydrate_fails_when_a_lib_op_is_missing(self, tmp_path):
+        # Hand-build a journal whose structural line depends on a lib
+        # that was never journaled (the pre-capture TOCTOU shape).
+        journal = SessionJournal(str(tmp_path), "ghost")
+        journal.begin(COUNTER_SRC, reset_cycles=2)
+        journal.append({"op": "line", "line": "instPipe b0, stage99"})
+        worker = _worker(state_root=str(tmp_path))
+        with pytest.raises(Exception, match="stage99"):
+            worker._cmd_rehydrate("ghost")
+
+    def test_persist_without_state_dir_raises(self):
+        worker = _worker(state_root=None)
+        worker._cmd_open({"session": "alice", "source": COUNTER_SRC})
+        with pytest.raises(ValueError, match="state dir"):
+            worker._cmd_persist("alice")

@@ -8,8 +8,10 @@ reload refused by the static-analysis gate and forced with override),
 asserts a clean shutdown, then restarts the server on the same store
 and checks the warm path: the same design compiles entirely from disk
 artifacts.  A third leg boots the sharded frontend (``--workers 2``),
-SIGKILLs one worker mid-session, and checks the session rehydrates on
-the restarted worker from its journal + checkpoint.
+SIGKILLs one worker mid-session, checks the session rehydrates on the
+restarted worker from its journal + checkpoint, then resizes the pool
+2->4->2 and checks a migrated session keeps its simulated state
+through both moves.
 
 Exit code 0 means every step passed.  Used by the ``server-smoke`` CI
 job; also runnable by hand::
@@ -333,6 +335,49 @@ def sharded_session(host, port):
     return client
 
 
+def resize_step(client):
+    """Resize 2->4->2: a session whose ring owner changes must migrate
+    with its simulated state intact — the persist step checkpoints at
+    the *current* cycle, so a migration loses nothing even without an
+    explicit chkp."""
+    from repro.server.shard import HashRing
+
+    ring2, ring4 = HashRing(range(2)), HashRing(range(4))
+    i = 0
+    while ring4.lookup(f"mig-{i}") == ring2.lookup(f"mig-{i}"):
+        i += 1
+    name = f"mig-{i}"
+
+    client.open_session(name, DESIGN)
+    client.command(name, "instPipe p0, stage2")
+    result = client.command(name, "run tb0, p0, 120")
+    check(result["c0"] == 118, f"resize prep: c0={result['c0']} (want 118)")
+
+    value = client.resize(4)
+    check(value["workers"] == 4 and value["previous"] == 2,
+          "resize: pool grew 2 -> 4")
+    check(name in value["migrated"],
+          f"resize: session {name} migrated to a new worker")
+    placed = next(s["worker"] for s in client.sessions()
+                  if s["session"] == name)
+    check(placed == ring4.lookup(name),
+          f"resize: session landed on ring-assigned worker {placed}")
+    outputs = client.command(name, "peek p0")
+    check(outputs["c0"] == 118,
+          "resize: checkpointed state survived the migration")
+
+    value = client.resize(2)
+    check(value["workers"] == 2 and value["retired"] == [2, 3],
+          "resize: pool shrank 4 -> 2, high workers retired")
+    result = client.command(name, "run tb0, p0, 10")
+    check(result["c0"] == 128,
+          "resize: session simulates after moving back")
+    stats = client.stats()
+    check(sorted(w["id"] for w in stats["workers"]) == [0, 1],
+          "resize: stats shows the shrunk pool")
+    client.close_session(name)
+
+
 def main():
     with tempfile.TemporaryDirectory(prefix="livesim-smoke-") as tmp:
         store = os.path.join(tmp, "artifacts")
@@ -360,12 +405,14 @@ def main():
             raise
         stop_server(proc, client)
 
-        print("[3/3] sharded mode: worker kill + rehydration")
+        print("[3/3] sharded mode: worker kill + rehydration + resize")
         proc, host, port = start_server(
             store, workers=2, state_dir=os.path.join(tmp, "state")
         )
         try:
             client = sharded_session(host, port)
+            print("      live resize: 2 -> 4 -> 2 with migration")
+            resize_step(client)
         except BaseException:
             proc.kill()
             raise
