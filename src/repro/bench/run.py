@@ -35,11 +35,11 @@ from .figures import (
 )
 from .reporting import format_phase_breakdown, format_table
 from .tables import erd_phase_rows, table7, table8, table8_shape_checks
-from .workloads import collect_sizes, sanitizer_overhead
+from .workloads import collect_sizes, sanitizer_overhead, trace_overhead
 
 BENCH_SCHEMA_ID = "repro.bench/v1"
 DEFAULT_TARGETS = ("fig7", "table7")
-KNOWN_TARGETS = ("fig6", "fig7", "fig8", "table7", "table8", "sanitize")
+KNOWN_TARGETS = ("fig6", "fig7", "fig8", "table7", "table8", "sanitize", "trace")
 MAX_CALIBRATION_SCALE = 4.0
 
 
@@ -139,6 +139,16 @@ def run_bench(
         entry = asdict(overhead)
         entry["slowdown"] = overhead.slowdown
         payload["sanitize"] = entry
+
+    if "trace" in targets:
+        # Report-only (no regression gate): per-cycle ring-buffer
+        # capture slowdown with the mesh-wide outputs watched vs the
+        # same run untraced.  Keyed "trace_overhead" — plain "trace"
+        # is the obs report below.
+        capture = trace_overhead(n=sizes[0], sim_cycles=sim_cycles)
+        entry = asdict(capture)
+        entry["slowdown"] = capture.slowdown
+        payload["trace_overhead"] = entry
 
     if "table8" in targets:
         rows8 = table8(results)
@@ -251,6 +261,26 @@ def _print_summary(payload: Dict, out) -> None:
             if slowdown else
             f"Sanitizer overhead ({sanitize['n']}x{sanitize['n']} mesh)",
             ["sim Hz", "compile ms"],
+            [row[1:] for row in rows],
+            row_labels=[str(row[0]) for row in rows],
+        ), file=out)
+        print(file=out)
+    capture = payload.get("trace_overhead")
+    if capture:
+        slowdown = capture.get("slowdown")
+        title = (
+            f"Trace capture overhead ({capture['n']}x{capture['n']} mesh, "
+            f"{capture['probes']} probes"
+        )
+        title += f", slowdown {slowdown:.2f}x)" if slowdown else ")"
+        rows = [
+            ["untraced", round(capture["plain_sim_hz"], 1), ""],
+            ["traced", round(capture["traced_sim_hz"], 1),
+             capture["cycles_dropped"]],
+        ]
+        print(format_table(
+            title,
+            ["sim Hz", "cycles dropped"],
             [row[1:] for row in rows],
             row_labels=[str(row[0]) for row in rows],
         ), file=out)

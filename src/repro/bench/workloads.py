@@ -227,6 +227,59 @@ class SanitizerOverheadResult:
         return self.clean_sim_hz / self.sanitized_sim_hz
 
 
+@dataclass
+class TraceOverheadResult:
+    """Live-trace capture slowdown vs tracing off on the fig7 workload."""
+
+    n: int
+    cores: int
+    probes: int = 0
+    plain_sim_hz: float = 0.0
+    traced_sim_hz: float = 0.0
+    cycles_dropped: int = 0
+
+    @property
+    def slowdown(self) -> Optional[float]:
+        """plain Hz / traced Hz (>= 1.0 when capture costs)."""
+        if self.traced_sim_hz <= 0:
+            return None
+        return self.plain_sim_hz / self.traced_sim_hz
+
+
+def trace_overhead(n: int = 1, sim_cycles: int = 150) -> TraceOverheadResult:
+    """Measure per-cycle trace-capture overhead on the fig7 workload.
+
+    Runs the same mesh session twice: once untraced, then with probes
+    on the mesh-wide outputs (``all_halted``, ``total_retired``) so
+    every cycle pays the ring-buffer append.  Report-only — the
+    interesting number is the slowdown ratio, not absolute Hz.
+    """
+    result = TraceOverheadResult(n=n, cores=n * n)
+
+    bench = PGASWorkbench(n, baseline_budget_s=None)
+    session = bench.build_session()
+    bench.run(5)
+    started = time.perf_counter()
+    bench.run(sim_cycles)
+    elapsed = time.perf_counter() - started
+    result.plain_sim_hz = sim_cycles / elapsed if elapsed else 0.0
+    session.close()
+
+    bench = PGASWorkbench(n, baseline_budget_s=None)
+    session = bench.build_session()
+    for signal in ("all_halted", "total_retired"):
+        session.watch("uut", signal)
+        result.probes += 1
+    bench.run(5)
+    started = time.perf_counter()
+    bench.run(sim_cycles)
+    elapsed = time.perf_counter() - started
+    result.traced_sim_hz = sim_cycles / elapsed if elapsed else 0.0
+    result.cycles_dropped = session.trace_buffer("uut").cycles_dropped
+    session.close()
+    return result
+
+
 def sanitizer_overhead(
     n: int = 1, sim_cycles: int = 150
 ) -> SanitizerOverheadResult:

@@ -183,6 +183,35 @@ class CheckpointStore:
         # the target, but less replay to reach the stop point.
         return min(candidates, key=lambda c: (abs(c.cycle - target), -c.cycle))
 
+    def adopt(
+        self,
+        checkpoints: List[Checkpoint],
+        up_to: Optional[int] = None,
+    ) -> int:
+        """Merge externally-loaded checkpoints (a saved store file)
+        into this store, skipping cycles already present.
+
+        ``ldch`` uses this so rewinding to a file keeps the file's
+        *history* available too: a session rehydrated from a journal
+        can then serve ``replay`` windows reaching back before the
+        restore point instead of re-simulating from power-on.
+        """
+        added = 0
+        with self._lock:
+            have = {c.cycle for c in self._checkpoints}
+            for checkpoint in checkpoints:
+                if up_to is not None and checkpoint.cycle > up_to:
+                    continue
+                if checkpoint.cycle in have:
+                    continue
+                checkpoint.id = self._next_id
+                self._next_id += 1
+                self._checkpoints.append(checkpoint)
+                have.add(checkpoint.cycle)
+                added += 1
+            self._checkpoints.sort(key=lambda c: c.cycle)
+        return added
+
     def invalidate_after(self, cycle: int) -> int:
         """Drop checkpoints past ``cycle`` (post-divergence cleanup)."""
         with self._lock:

@@ -22,6 +22,14 @@ plus session conveniences beyond Table I::
     verify pipe-name [, workers]   start a background verification
     verifyStatus pipe-name      progress / verdict of the latest verify
     verifyWait pipe-name        block until the verify report lands
+    watch pipe-name, signal     capture the signal every cycle (live)
+    unwatch pipe-name, signal   stop capturing; drop its history
+    trace pipe-name [, signal [, start [, end]]]
+                                read captured samples (or the probe
+                                inventory without a signal)
+    replay pipe-name, start, end [, signal...]
+                                time-travel: re-simulate the window on
+                                a scratch pipe and return the samples
 
 Comments start with ``#``; blank lines are ignored; ``script`` runs a
 multi-line batch and returns each command's result.
@@ -77,6 +85,10 @@ class CommandInterpreter:
             "verify": self._verify,
             "verifystatus": self._verify_status,
             "verifywait": self._verify_wait,
+            "watch": self._watch,
+            "unwatch": self._unwatch,
+            "trace": self._trace,
+            "replay": self._replay,
         }
 
     # -- parsing -----------------------------------------------------------
@@ -232,6 +244,50 @@ class CommandInterpreter:
     def _verify_wait(self, operands: List[str]):
         self._need(operands, 1, 1, "verifyWait pipe-name")
         return self._session.wait_for_verify(operands[0])
+
+    @staticmethod
+    def _cycle(text: str, what: str) -> int:
+        try:
+            value = int(text, 0)
+        except ValueError:
+            raise CommandError(
+                f"{what} must be an integer, got {text!r}"
+            ) from None
+        if value < 0:
+            raise CommandError(f"{what} must be non-negative")
+        return value
+
+    def _watch(self, operands: List[str]):
+        self._need(operands, 2, 2, "watch pipe-name, signal")
+        return self._session.watch(operands[0], operands[1])
+
+    def _unwatch(self, operands: List[str]):
+        self._need(operands, 2, 2, "unwatch pipe-name, signal")
+        return self._session.unwatch(operands[0], operands[1])
+
+    def _trace(self, operands: List[str]):
+        self._need(operands, 1, 4,
+                   "trace pipe-name [, signal [, start [, end]]]")
+        pipe_name = operands[0]
+        if len(operands) == 1:
+            return self._session.trace_status(pipe_name)
+        signal = operands[1]
+        start = (
+            self._cycle(operands[2], "start") if len(operands) > 2 else None
+        )
+        end = (
+            self._cycle(operands[3], "end") if len(operands) > 3 else None
+        )
+        return self._session.trace_read(pipe_name, signal, start, end)
+
+    def _replay(self, operands: List[str]):
+        self._need(operands, 3, 32,
+                   "replay pipe-name, start, end [, signal...]")
+        pipe_name = operands[0]
+        start = self._cycle(operands[1], "start")
+        end = self._cycle(operands[2], "end")
+        signals = operands[3:] or None
+        return self._session.replay_window(pipe_name, start, end, signals)
 
 
 def _read_text_file(path: str) -> str:

@@ -36,11 +36,19 @@ from __future__ import annotations
 
 import hashlib
 import importlib
+import multiprocessing
 import os
 import pickle
 import threading
 import time
-from concurrent.futures import CancelledError, Future, ProcessPoolExecutor, as_completed
+from concurrent.futures import (
+    CancelledError,
+    Executor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -393,7 +401,7 @@ class VerifierPool:
 
     def __init__(self, workers: int):
         self.workers = max(int(workers), 1)
-        self._executor: Optional[ProcessPoolExecutor] = None
+        self._executor: Optional[Executor] = None
         self._lock = threading.Lock()
         self._worker_indices: Dict[int, int] = {}
 
@@ -401,10 +409,22 @@ class VerifierPool:
     def alive(self) -> bool:
         return self._executor is not None
 
-    def _ensure_executor(self) -> ProcessPoolExecutor:
+    def _ensure_executor(self) -> Executor:
         with self._lock:
             if self._executor is None:
-                self._executor = ProcessPoolExecutor(max_workers=self.workers)
+                if multiprocessing.current_process().daemon:
+                    # A daemonic process (a sharded server worker) may
+                    # not fork children; run segments on threads in
+                    # this process instead.  Same payload protocol —
+                    # only the parallelism degrades (GIL-serialized).
+                    self._executor = ThreadPoolExecutor(
+                        max_workers=self.workers,
+                        thread_name_prefix="livesim-verify",
+                    )
+                else:
+                    self._executor = ProcessPoolExecutor(
+                        max_workers=self.workers
+                    )
                 self._worker_indices.clear()
                 obs.incr("consistency.pool_spawns")
             else:

@@ -35,6 +35,8 @@ from ..hdl.errors import HDLError, SimulationError
 from ..sanitize import SANITIZE_MODES, SanitizerRuntime
 from ..sim.pipeline import Pipe
 from ..sim.testbench import Testbench
+from ..trace import TraceBuffer
+from ..trace.buffer import DEFAULT_CAPACITY
 from .checkpoint import CheckpointStore, GCPolicy
 from .compiler_live import CompileResult, LiveCompiler
 from .consistency import (
@@ -133,6 +135,7 @@ class _PipeSession:
     store: CheckpointStore
     ops: List[SessionOp] = field(default_factory=list)
     compile_result: Optional[CompileResult] = None
+    trace: Optional[TraceBuffer] = None
 
 
 class LiveSession:
@@ -151,6 +154,7 @@ class LiveSession:
         analyzer: Optional[Analyzer] = None,
         gate_policy: Optional[GatePolicy] = None,
         sanitize: str = "off",
+        trace_capacity: Optional[int] = DEFAULT_CAPACITY,
     ):
         if sanitize not in SANITIZE_MODES:
             raise SimulationError(
@@ -191,6 +195,7 @@ class LiveSession:
         self._testbenches: Dict[str, Testbench] = {}
         self._tb_specs: Dict[str, Tuple[str, Dict]] = {}
         self._version_counter = 0
+        self.trace_capacity = trace_capacity
         self._verifier_pool: Optional[VerifierPool] = None
         self._verify_jobs: Dict[str, VerifyJob] = {}
         self._verify_reports: Dict[str, ConsistencyReport] = {}
@@ -418,6 +423,7 @@ class LiveSession:
         session = self._session(pipe_name)
         # Rewinding rewrites the history the verifier is replaying.
         self.cancel_verify(pipe_name)
+        candidates = []
         if isinstance(checkpoint_or_path, str):
             store = CheckpointStore(interval=session.store.interval)
             store.load(checkpoint_or_path)
@@ -437,6 +443,11 @@ class LiveSession:
         # the surviving checkpoints).  Checkpoints from the abandoned
         # future go too — the user is about to write a new one.
         session.store.invalidate_after(checkpoint.cycle)
+        # A file rewind also adopts the file's older checkpoints, so a
+        # rehydrated session (whose own store starts empty) can still
+        # time-travel to cycles before the restore point.
+        if candidates:
+            session.store.adopt(candidates, up_to=checkpoint.cycle)
         trimmed = []
         for op in session.ops:
             if op.end_cycle <= checkpoint.cycle:
@@ -450,6 +461,10 @@ class LiveSession:
                     )
                 )
         session.ops = trimmed
+        # Trace samples from the abandoned future describe a timeline
+        # that no longer exists; subscribers get a rewind marker.
+        if session.trace is not None:
+            session.trace.truncate_from(checkpoint.cycle)
 
     def swap_stage(
         self, pipe_name: str, stage_path: str, reloader: Optional[HotReloader] = None
@@ -463,7 +478,10 @@ class LiveSession:
         result = self.compiler.compile_top(session.module, session.params)
         session.compile_result = result
         reloader = reloader or HotReloader()
-        return reloader.swap_stage(session.pipe, stage_path, result.library)
+        swap = reloader.swap_stage(session.pipe, stage_path, result.library)
+        if session.trace is not None:
+            session.trace.rebind(session.pipe)
+        return swap
 
     # ------------------------------------------------------------------
     # The live loop
@@ -608,6 +626,12 @@ class LiveSession:
             report.swapped_instances += swap.swapped_instances
             obs.incr("live.swapped_instances", swap.swapped_instances)
 
+            # The swap may have renamed, resized, or removed watched
+            # signals: re-resolve every probe by name.  Vanished
+            # signals are marked missing — never fatal.
+            if session.trace is not None:
+                session.trace.rebind(session.pipe)
+
             started = time.perf_counter()
             with obs.span("reload", pipe=name):
                 checkpoint = session.store.reload_candidate(
@@ -626,6 +650,12 @@ class LiveSession:
                 else:
                     session.pipe.reset_state()
                     obs.incr("live.reset_reloads")
+                # Samples past the restore point describe the old
+                # design's timeline; the replay below re-captures the
+                # window under the new design (subscribers see a
+                # rewind marker, then the fresh values).
+                if session.trace is not None:
+                    session.trace.truncate_from(session.pipe.cycle)
             report.reload_seconds += time.perf_counter() - started
 
             started = time.perf_counter()
@@ -837,6 +867,8 @@ class LiveSession:
                     recompiled.extend(result.report.recompiled_keys)
                     reloader.swap_pipe(session.pipe, result.library)
                     session.compile_result = result
+                    if session.trace is not None:
+                        session.trace.rebind(session.pipe)
                     swapped.append(name)
         obs.incr("sanitize.toggles")
         return {
@@ -855,6 +887,168 @@ class LiveSession:
         status = self.sanitize_runtime.status()
         status["instrumented"] = self.compiler.sanitize
         return status
+
+    # ------------------------------------------------------------------
+    # Live trace (repro.trace)
+    # ------------------------------------------------------------------
+
+    def trace_buffer(
+        self, pipe_name: str, create: bool = False
+    ) -> Optional[TraceBuffer]:
+        """The pipe's attached trace buffer (created on demand with
+        ``create=True``); None when the pipe has never been watched."""
+        session = self._session(pipe_name)
+        if session.trace is None and create:
+            session.trace = TraceBuffer(capacity=self.trace_capacity)
+            session.pipe.attach_trace(session.trace)
+        return session.trace
+
+    def watch(self, pipe_name: str, signal: str) -> Dict[str, object]:
+        """``watch`` — start capturing ``signal`` every cycle.
+
+        Idempotent: watching an already-watched signal returns its
+        current probe info, so journal replay and migration re-arms
+        are harmless.  Raises when the signal does not exist in the
+        *current* design (later reloads may mark it missing instead).
+        """
+        session = self._session(pipe_name)
+        buffer = self.trace_buffer(pipe_name, create=True)
+        probe = buffer.watch(session.pipe, signal)
+        obs.incr("trace.watches")
+        return {
+            "pipe": pipe_name,
+            "signal": probe.name,
+            "width": probe.width,
+            "missing": probe.missing,
+            "capacity": buffer.capacity,
+        }
+
+    def unwatch(self, pipe_name: str, signal: str) -> Dict[str, object]:
+        """``unwatch`` — drop the probe, its history, and any
+        subscriptions narrowed to exactly this signal.  Session-wide:
+        every client watching the signal stops receiving it."""
+        buffer = self.trace_buffer(pipe_name)
+        removed = buffer.unwatch(signal) if buffer is not None else False
+        return {"pipe": pipe_name, "signal": signal, "removed": removed}
+
+    def trace_status(self, pipe_name: str) -> Dict[str, object]:
+        """Probe inventory + drop counters for one pipe."""
+        buffer = self.trace_buffer(pipe_name)
+        if buffer is None:
+            return {
+                "pipe": pipe_name, "capacity": self.trace_capacity,
+                "cycles_dropped": 0, "events_dropped": 0,
+                "subscriptions": 0, "probes": [],
+            }
+        status = buffer.status()
+        status["pipe"] = pipe_name
+        return status
+
+    def trace_read(
+        self,
+        pipe_name: str,
+        signal: str,
+        start: Optional[int] = None,
+        end: Optional[int] = None,
+    ) -> Dict[str, object]:
+        """``trace`` — read recorded samples for one watched signal."""
+        buffer = self.trace_buffer(pipe_name)
+        if buffer is None or not buffer.has_probe(signal):
+            raise SimulationError(
+                f"signal {signal!r} is not watched on pipe {pipe_name!r}"
+            )
+        samples = buffer.window(signal, start, end)
+        return {
+            "pipe": pipe_name,
+            "signal": signal,
+            "start": start,
+            "end": end,
+            "samples": samples,
+            "cycles_dropped": buffer.cycles_dropped,
+        }
+
+    def replay_window(
+        self,
+        pipe_name: str,
+        start: int,
+        end: int,
+        signals: Optional[List[str]] = None,
+    ) -> Dict[str, object]:
+        """``replay`` — time-travel: re-simulate ``[start, end)`` on a
+        scratch pipe and return the captured samples.
+
+        Restores the nearest checkpoint at-or-before ``start`` (or
+        power-on reset when none), replays the recorded op history
+        forward with tracing on, and never disturbs the live pipe.
+        Simulation is deterministic, so the returned values are
+        bit-identical to what live capture saw for those cycles.
+        ``signals`` defaults to the pipe's currently watched set.
+        """
+        session = self._session(pipe_name)
+        if end <= start or start < 0:
+            raise SimulationError(
+                f"bad replay window [{start}, {end})"
+            )
+        if end > session.pipe.cycle:
+            raise SimulationError(
+                f"replay window ends at {end} but history stops at "
+                f"cycle {session.pipe.cycle}"
+            )
+        result = session.compile_result
+        if result is None:
+            raise SimulationError(f"pipe {pipe_name!r} was never compiled")
+        if signals is None:
+            signals = (
+                session.trace.names() if session.trace is not None else []
+            )
+        if not signals:
+            raise SimulationError(
+                "nothing to replay: no watched signals and none given"
+            )
+        with obs.span("trace.replay", pipe=pipe_name, start=start,
+                      end=end):
+            scratch = Pipe(
+                result.netlist.top, result.library,
+                name=f"{pipe_name}_replay",
+            )
+            base = session.store.nearest_before(start)
+            if base is not None:
+                transforms = self._transforms_between(
+                    base.version, self.version
+                )
+                scratch.restore_transformed(
+                    base.snapshot, lambda module: transforms.get(module)
+                )
+                scratch.cycle = base.cycle
+            buffer = TraceBuffer(capacity=None)
+            missing: List[str] = []
+            for name in signals:
+                try:
+                    buffer.watch(scratch, name)
+                except SimulationError:
+                    missing.append(name)
+            if not buffer.names():
+                raise SimulationError(
+                    "no replayable signals: "
+                    + ", ".join(repr(s) for s in missing)
+                )
+            scratch.attach_trace(buffer)
+            replayed = replay_ops(
+                scratch, session.ops, end, self._testbench
+            )
+            obs.incr("trace.replays")
+        return {
+            "pipe": pipe_name,
+            "start": start,
+            "end": end,
+            "base_cycle": base.cycle if base is not None else 0,
+            "cycles_replayed": replayed,
+            "missing": missing,
+            "signals": {
+                name: buffer.window(name, start, end)
+                for name in buffer.names()
+            },
+        }
 
     # ------------------------------------------------------------------
     # Consistency verification (§III-F)
@@ -1042,6 +1236,8 @@ class LiveSession:
             session.pipe.cycle = base.cycle
         else:
             session.pipe.reset_state()
+        if session.trace is not None:
+            session.trace.truncate_from(session.pipe.cycle)
         replay_ops(
             session.pipe,
             session.ops,

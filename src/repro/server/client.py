@@ -271,6 +271,47 @@ class LiveSimClient:
         """Move one session to an explicit worker (admin verb)."""
         return self.request("migrate", session=session, worker=worker)
 
+    def watch(self, session: str, pipe: str, signal: str,
+              max_events: Optional[int] = None) -> Any:
+        """Arm a live watch: the server captures ``signal`` every cycle
+        and streams batched ``value_change`` events back on this
+        connection (buffered on :attr:`events` / :meth:`wait_event`)."""
+        params: dict = {"session": session, "pipe": pipe, "signal": signal}
+        if max_events is not None:
+            params["max_events"] = max_events
+        return self.request("watch", **params)
+
+    def unwatch(self, session: str, pipe: str, signal: str) -> Any:
+        return self.request(
+            "unwatch", session=session, pipe=pipe, signal=signal
+        )
+
+    def trace(self, session: str, pipe: str,
+              signal: Optional[str] = None,
+              start: Optional[int] = None,
+              end: Optional[int] = None) -> Any:
+        """Read captured samples (or, without ``signal``, the probe
+        inventory and drop counters)."""
+        params: dict = {"session": session, "pipe": pipe}
+        if signal is not None:
+            params["signal"] = signal
+        if start is not None:
+            params["start"] = start
+        if end is not None:
+            params["end"] = end
+        return self.request("trace", **params)
+
+    def replay(self, session: str, pipe: str, start: int, end: int,
+               signals: Optional[List[str]] = None) -> Any:
+        """Time-travel: re-simulate ``[start, end)`` from the nearest
+        checkpoint on a scratch pipe and return the traced window."""
+        params: dict = {
+            "session": session, "pipe": pipe, "start": start, "end": end,
+        }
+        if signals is not None:
+            params["signals"] = list(signals)
+        return self.request("replay", **params)
+
     def close_session(self, session: str) -> Any:
         return self.request("close", session=session)
 
@@ -305,15 +346,56 @@ def _print_event(event: Event, out) -> None:
           file=out)
 
 
+def _trace_verb_request(
+    client: LiveSimClient, session: str, line: str
+) -> Any:
+    """Route a watch/unwatch/trace/replay REPL line through the
+    dedicated protocol verbs (rather than generic ``cmd``), so a
+    sharded server records the watch for re-arm across crash recovery
+    and migration."""
+    verb, rest = (line.split(None, 1) + [""])[:2]
+    operands = [op.strip() for op in rest.split(",")] if rest else []
+    if any(not op for op in operands):
+        raise ValueError(f"empty operand in {line!r}")
+    verb = verb.lower()
+    if verb == "watch":
+        if len(operands) != 2:
+            raise ValueError("usage: watch pipe-name, signal")
+        return client.watch(session, operands[0], operands[1])
+    if verb == "unwatch":
+        if len(operands) != 2:
+            raise ValueError("usage: unwatch pipe-name, signal")
+        return client.unwatch(session, operands[0], operands[1])
+    if verb == "trace":
+        if not 1 <= len(operands) <= 4:
+            raise ValueError(
+                "usage: trace pipe-name [, signal [, start [, end]]]"
+            )
+        args = operands + [None] * (4 - len(operands))
+        return client.trace(
+            session, args[0], args[1],
+            int(args[2], 0) if args[2] is not None else None,
+            int(args[3], 0) if args[3] is not None else None,
+        )
+    if len(operands) < 3:
+        raise ValueError("usage: replay pipe-name, start, end [, signal...]")
+    return client.replay(
+        session, operands[0], int(operands[1], 0), int(operands[2], 0),
+        operands[3:] or None,
+    )
+
+
 def run_lines(client: LiveSimClient, session: str, lines, out) -> None:
     """Drive one command per line; REPL verbs: quit, stats, sessions,
-    resize N, migrate session, worker-id (sharded servers only)."""
+    resize N, migrate session, worker-id (sharded servers only), plus
+    watch/unwatch/trace/replay routed via their protocol verbs."""
     for raw in lines:
         line = raw.split("#", 1)[0].strip()
         if not line:
             continue
         if line in ("quit", "exit"):
             return
+        verb = line.split(None, 1)[0].lower()
         try:
             if line == "stats":
                 value = client.stats()
@@ -331,6 +413,8 @@ def run_lines(client: LiveSimClient, session: str, lines, out) -> None:
                         "usage: migrate session, worker-id"
                     )
                 value = client.migrate(operands[0], int(operands[1]))
+            elif verb in ("watch", "unwatch", "trace", "replay"):
+                value = _trace_verb_request(client, session, line)
             else:
                 value = client.command(session, line)
             if value is not None:

@@ -51,6 +51,7 @@ from .protocol import (
     ADMIN_COMMANDS,
     BASE_COMMANDS,
     PROTOCOL_VERSION,
+    TRACE_COMMANDS,
     Event,
     ProtocolError,
     Request,
@@ -60,6 +61,7 @@ from .protocol import (
     error_response,
     ok_response,
 )
+from .service import build_trace_line
 from .shard import HashRing, WorkerConfig, worker_main
 
 # Events are routed by the rid of the request that started them; one
@@ -201,6 +203,13 @@ class ShardedFrontend:
             wid: _WorkerHandle(wid) for wid in range(workers)
         }
         self._sessions: Dict[str, int] = {}
+        # Armed live watches, per session: (client, request params)
+        # pairs, so a crash-rehydration or migration can re-issue the
+        # ``watch`` on whichever worker owns the session *now* and the
+        # value_change stream keeps flowing to the same connection.
+        self._watch_records: Dict[
+            str, List[Tuple[_Client, Dict[str, Any]]]
+        ] = {}
         # Live-migration state: sessions currently moving (commands
         # queue on the event until the route table flips) and a count
         # of in-flight forwarded requests per session (a migration
@@ -435,7 +444,10 @@ class ShardedFrontend:
                     # No journal (or replay failed): the session is
                     # gone; stop routing to it.
                     self._sessions.pop(name, None)
+                    self._watch_records.pop(name, None)
                     obs.incr("server.sessions_dropped")
+                    continue
+                await self._rearm_watches(name, worker)
             obs.gauge("server.sessions", len(self._sessions))
 
     async def _ensure_worker(self, wid: int) -> _WorkerHandle:
@@ -613,6 +625,7 @@ class ShardedFrontend:
             client.wake_pump()
             pump.cancel()
             self._drop_client_routes(client)
+            self._drop_client_watches(client)
             try:
                 writer.close()
             except RuntimeError:
@@ -665,10 +678,15 @@ class ShardedFrontend:
             }, False
         if cmd == "open":
             return await self._cmd_open(client, params), False
-        if cmd in ("cmd", "reload", "close"):
+        if cmd in ("cmd", "reload", "close") or cmd in TRACE_COMMANDS:
             name = self._str_param(params, "session")
             if cmd == "cmd":
                 self._str_param(params, "line")
+            if cmd in TRACE_COMMANDS:
+                # Validate here so a malformed watch/trace fails fast
+                # with a protocol error instead of a worker round-trip;
+                # the worker rebuilds the same canonical line.
+                build_trace_line(cmd, params)
             if cmd == "reload":
                 self._str_param(params, "source")
                 verify = params.get("verify", False)
@@ -701,8 +719,13 @@ class ShardedFrontend:
                     self._inflight[name] = left
                 else:
                     self._inflight.pop(name, None)
-            if cmd == "close":
+            if cmd == "watch":
+                self._record_watch(name, client, params)
+            elif cmd == "unwatch":
+                self._forget_watch(name, params)
+            elif cmd == "close":
                 self._sessions.pop(name, None)
+                self._watch_records.pop(name, None)
                 obs.gauge("server.sessions", len(self._sessions))
             return value, False
         if cmd == "sessions":
@@ -717,10 +740,77 @@ class ShardedFrontend:
             return {
                 "stopping": True, "sessions": len(self._sessions),
             }, True
-        known = sorted(BASE_COMMANDS + ADMIN_COMMANDS)
+        known = sorted(BASE_COMMANDS + ADMIN_COMMANDS + TRACE_COMMANDS)
         raise ProtocolError(
             f"unknown server command {cmd!r}; expected one of {known}"
         )
+
+    # -- live-watch bookkeeping ----------------------------------------------
+
+    def _record_watch(
+        self, name: str, client: _Client, params: Dict[str, Any]
+    ) -> None:
+        """Remember an armed watch so it can be re-issued wherever the
+        session lands after a crash or migration."""
+        key = (params.get("pipe"), params.get("signal"))
+        records = self._watch_records.setdefault(name, [])
+        records[:] = [
+            (cl, pr) for cl, pr in records
+            if cl is not client
+            or (pr.get("pipe"), pr.get("signal")) != key
+        ]
+        records.append((client, dict(params)))
+
+    def _forget_watch(self, name: str, params: Dict[str, Any]) -> None:
+        """``unwatch`` closes every subscription on that signal in the
+        worker's buffer, so drop all matching records, any client."""
+        key = (params.get("pipe"), params.get("signal"))
+        records = self._watch_records.get(name)
+        if records is None:
+            return
+        records[:] = [
+            (cl, pr) for cl, pr in records
+            if (pr.get("pipe"), pr.get("signal")) != key
+        ]
+        if not records:
+            self._watch_records.pop(name, None)
+
+    def _drop_client_watches(self, client: _Client) -> None:
+        for name, records in list(self._watch_records.items()):
+            kept = [
+                (cl, pr) for cl, pr in records if cl is not client
+            ]
+            if kept:
+                self._watch_records[name] = kept
+            else:
+                self._watch_records.pop(name, None)
+
+    async def _rearm_watches(
+        self, name: str, worker: _WorkerHandle
+    ) -> None:
+        """Re-issue every recorded watch for ``name`` against the
+        worker that owns it now: rehydration replayed the journalled
+        ``watch`` lines (so the probes exist), but the value_change
+        pumps and their rid routes died with the old process.  Takes
+        the handle, not the id — callers hold ``worker.lock`` or have
+        just ensured the worker, and ``_ensure_worker`` would deadlock
+        on that same lock."""
+        records = self._watch_records.get(name)
+        if not records:
+            return
+        kept: List[Tuple[_Client, Dict[str, Any]]] = []
+        for client, params in records:
+            if client.closed:
+                continue
+            try:
+                await self._forward_to(worker, client, "watch", params)
+                kept.append((client, params))
+            except WorkerCommandError:
+                obs.incr("server.watch_rearm_failures")
+        if kept:
+            self._watch_records[name] = kept
+        else:
+            self._watch_records.pop(name, None)
 
     async def _cmd_open(
         self, client: _Client, params: Dict[str, Any]
@@ -772,12 +862,17 @@ class ShardedFrontend:
                     if mapped == wid
                 ),
             })
+        metrics = obs.get_metrics().as_dict()
+        counters = metrics.get("counters", {})
         stats: Dict[str, Any] = {
             "protocol": PROTOCOL_VERSION,
             "sharded": True,
             "sessions": len(self._sessions),
             "workers": workers,
-            "metrics": obs.get_metrics().as_dict(),
+            "metrics": metrics,
+            # Dropped *event lines* on slow client connections (the
+            # frontend owns the sockets, so this is a local counter).
+            "events_dropped": counters.get("server.events_dropped", 0),
         }
         if self.store_root is not None:
             from .store import ArtifactStore
@@ -788,16 +883,32 @@ class ShardedFrontend:
                 "artifacts": len(store),
                 "bytes": store.total_bytes(),
             }
+        # Trace-capture counters live in the worker processes; sum them
+        # across the pool so clients see one pair of totals, same shape
+        # as the threaded server's stats.
+        live = [w for w in self._workers.values() if w.alive]
+        results = await asyncio.gather(*[
+            self._forward_to(worker, None, "stats", {})
+            for worker in live
+        ], return_exceptions=True)
+        worker_stats = [
+            result for result in results
+            if not isinstance(result, BaseException)
+        ]
+        trace = {"cycles_dropped": 0, "events_dropped": 0}
+        for entry in worker_stats:
+            worker_counters = (
+                (entry.get("metrics") or {}).get("counters", {})
+            )
+            trace["cycles_dropped"] += worker_counters.get(
+                "trace.cycles_dropped", 0
+            )
+            trace["events_dropped"] += worker_counters.get(
+                "trace.events_dropped", 0
+            )
+        stats["trace"] = trace
         if params.get("deep"):
-            live = [w for w in self._workers.values() if w.alive]
-            results = await asyncio.gather(*[
-                self._forward_to(worker, None, "stats", {})
-                for worker in live
-            ], return_exceptions=True)
-            stats["worker_stats"] = [
-                result for result in results
-                if not isinstance(result, BaseException)
-            ]
+            stats["worker_stats"] = worker_stats
         return stats
 
     # -- live resize / session migration -------------------------------------
@@ -946,6 +1057,7 @@ class ShardedFrontend:
                 if forced:
                     # Its worker is retiring: the session cannot stay.
                     self._sessions.pop(name, None)
+                    self._watch_records.pop(name, None)
                     obs.incr("server.sessions_dropped")
         obs.gauge("server.sessions", len(self._sessions))
         return migrated
@@ -974,6 +1086,7 @@ class ShardedFrontend:
                 dest_worker, None, "rehydrate", {"session": name}
             )
             self._sessions[name] = dest  # atomic route-table flip
+            await self._rearm_watches(name, dest_worker)
             try:
                 await self._forward_to(
                     src_worker, None, "close",

@@ -44,6 +44,10 @@ BASE_COMMANDS = (
     "shutdown", "stats",
 )
 ADMIN_COMMANDS = ("migrate", "resize")
+# Live-trace verbs: sugar over the interpreter's watch/unwatch/trace/
+# replay command lines, plus server-side value_change event streaming
+# for ``watch``.  Supported by both front-ends.
+TRACE_COMMANDS = ("replay", "trace", "unwatch", "watch")
 
 # A request line longer than this is a protocol error, not a command:
 # it bounds per-connection memory against a hostile or broken client.

@@ -41,6 +41,7 @@ from ..live.session import ERDReport, LiveSession
 from ..sanitize import SanitizerError
 from ..sim.pipeline import Pipe
 from ..sim.testbench import reset_sequence
+from ..trace.buffer import DEFAULT_SUB_QUEUE as TRACE_SUB_QUEUE
 from . import protocol
 from .protocol import (
     PROTOCOL_VERSION,
@@ -237,6 +238,128 @@ def watch_verify_loop(
         if status.state != "running":
             return
         time.sleep(poll)
+
+
+# -- live-trace value-change streaming ---------------------------------------
+
+
+def build_trace_line(cmd: str, params: Dict) -> Tuple[str, Optional[Dict]]:
+    """Validate a watch/unwatch/trace/replay request and build the
+    canonical interpreter command line for it.
+
+    Returns ``(line, watch_opts)`` where ``watch_opts`` (only for
+    ``watch``) carries subscription options that exist on the wire but
+    not in the command syntax (``max_events``).  Shared by the threaded
+    server and the sharded workers so both journal identical lines.
+    """
+
+    def need_name(key: str) -> str:
+        value = params.get(key)
+        if not isinstance(value, str) or not value:
+            raise ProtocolError(f"{key!r} must be a non-empty string")
+        if any(ch in value for ch in ",\n#"):
+            raise ProtocolError(f"{key!r} must not contain ',' '#' or "
+                                "newlines")
+        return value
+
+    def opt_cycle(key: str) -> Optional[int]:
+        value = params.get(key)
+        if value is None:
+            return None
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            raise ProtocolError(f"{key!r} must be a non-negative integer")
+        return value
+
+    pipe = need_name("pipe")
+    if cmd == "watch":
+        signal = need_name("signal")
+        max_events = params.get("max_events")
+        if max_events is not None and (
+            not isinstance(max_events, int)
+            or isinstance(max_events, bool)
+            or max_events < 1
+        ):
+            raise ProtocolError("'max_events' must be a positive integer")
+        opts = {"max_events": max_events} if max_events else {}
+        return f"watch {pipe}, {signal}", opts
+    if cmd == "unwatch":
+        signal = need_name("signal")
+        return f"unwatch {pipe}, {signal}", None
+    if cmd == "trace":
+        signal = params.get("signal")
+        if signal is None:
+            return f"trace {pipe}", None
+        signal = need_name("signal")
+        start = opt_cycle("start")
+        end = opt_cycle("end")
+        line = f"trace {pipe}, {signal}"
+        if start is not None or end is not None:
+            line += f", {start or 0}"
+            if end is not None:
+                line += f", {end}"
+        return line, None
+    # replay
+    start = opt_cycle("start")
+    end = opt_cycle("end")
+    if start is None or end is None:
+        raise ProtocolError("'start' and 'end' are required for replay")
+    line = f"replay {pipe}, {start}, {end}"
+    signals = params.get("signals")
+    if signals is not None:
+        if not isinstance(signals, list) or not all(
+            isinstance(s, str) and s for s in signals
+        ):
+            raise ProtocolError("'signals' must be a list of signal names")
+        for signal in signals:
+            if any(ch in signal for ch in ",\n#"):
+                raise ProtocolError(
+                    "signal names must not contain ',' '#' or newlines"
+                )
+            line += f", {signal}"
+    return line, None
+
+
+def watch_trace_loop(
+    managed: "ManagedSession",
+    pipe: str,
+    signal: str,
+    sub,
+    send_event: Any,
+    should_stop: Any,
+    poll: float,
+) -> None:
+    """Drain one trace subscription, emitting batched ``value_change``
+    events until the subscription closes (``unwatch``), the consumer
+    goes away, or the pipe vanishes.
+
+    ``sub`` is a :class:`repro.trace.TraceSubscription`;
+    ``send_event(data: dict) -> bool`` delivers one event (False stops
+    the watch); ``should_stop() -> bool`` is the server/worker shutdown
+    flag.  Runs in the caller's thread — spawn one per watch.  The
+    simulation side never blocks on this loop: the subscription queue
+    drops oldest under backpressure and counts the drops.
+    """
+    try:
+        while not should_stop():
+            if sub.closed:
+                return
+            events, dropped = sub.drain()
+            if events:
+                data = {
+                    "pipe": pipe,
+                    "signal": signal,
+                    "events": events,
+                    "events_dropped": dropped,
+                }
+                if not send_event(data):
+                    return
+            try:
+                managed.session.pipe(pipe)
+            except SimulationError:
+                return  # pipe vanished (session closed / renamed)
+            time.sleep(poll)
+    finally:
+        sub.close()
 
 
 # -- session registry --------------------------------------------------------
@@ -690,6 +813,8 @@ class LiveSimServer:
             return self._cmd_execute(conn, params), False
         if cmd == "reload":
             return self._cmd_reload(conn, params), False
+        if cmd in protocol.TRACE_COMMANDS:
+            return self._cmd_trace_verb(conn, cmd, params), False
         if cmd == "sessions":
             return self.manager.describe(), False
         if cmd == "stats":
@@ -702,7 +827,7 @@ class LiveSimServer:
             return {"stopping": True, "sessions": self.manager.count}, True
         raise ProtocolError(
             f"unknown server command {cmd!r}; expected one of "
-            f"{sorted(protocol.BASE_COMMANDS)}"
+            f"{sorted(protocol.BASE_COMMANDS + protocol.TRACE_COMMANDS)}"
         )
 
     @staticmethod
@@ -720,7 +845,12 @@ class LiveSimServer:
             raise ProtocolError("'reset_cycles' must be an integer")
         return self.manager.open(name, source, reset_cycles=reset_cycles)
 
-    def _cmd_execute(self, conn: _Connection, params: Dict) -> Any:
+    def _cmd_execute(
+        self,
+        conn: _Connection,
+        params: Dict,
+        watch_opts: Optional[Dict] = None,
+    ) -> Any:
         name = self._str_param(params, "session")
         line = self._str_param(params, "line")
         managed = self.manager.get(name)
@@ -731,7 +861,23 @@ class LiveSimServer:
         if verb == "verify":
             pipe = CommandInterpreter.parse(line)[1][0]
             self._watch_verify(conn, managed, pipe)
+        elif verb == "watch":
+            operands = CommandInterpreter.parse(line)[1]
+            self._watch_trace(
+                conn, managed, operands[0], operands[1],
+                **(watch_opts or {}),
+            )
         return summarize(result.value)
+
+    def _cmd_trace_verb(
+        self, conn: _Connection, cmd: str, params: Dict
+    ) -> Any:
+        """The dedicated watch/unwatch/trace/replay protocol verbs —
+        sugar that builds the interpreter command line, so the journal
+        and the ``cmd`` path see exactly one canonical form."""
+        line, watch_opts = build_trace_line(cmd, params)
+        forwarded = {"session": params.get("session"), "line": line}
+        return self._cmd_execute(conn, forwarded, watch_opts=watch_opts)
 
     def _cmd_reload(self, conn: _Connection, params: Dict) -> Any:
         name = self._str_param(params, "session")
@@ -765,10 +911,20 @@ class LiveSimServer:
         return summarize(report)
 
     def _cmd_stats(self) -> Dict:
+        metrics = obs.get_metrics().as_dict()
+        counters = metrics.get("counters", {})
         stats: Dict[str, Any] = {
             "protocol": PROTOCOL_VERSION,
             "sessions": self.manager.count,
-            "metrics": obs.get_metrics().as_dict(),
+            "metrics": metrics,
+            # Backpressure is a first-class stat, not something buried
+            # in the metrics dump: clients watch these to tell "I am
+            # too slow" from "the server is fine".
+            "events_dropped": counters.get("server.events_dropped", 0),
+            "trace": {
+                "cycles_dropped": counters.get("trace.cycles_dropped", 0),
+                "events_dropped": counters.get("trace.events_dropped", 0),
+            },
         }
         store = self.manager.artifact_store
         if store is not None:
@@ -801,6 +957,48 @@ class LiveSimServer:
 
         thread = threading.Thread(
             target=loop, name=f"livesim-verify-{managed.name}", daemon=True
+        )
+        thread.start()
+        self._threads.append(thread)
+
+    # -- value-change event streaming ----------------------------------------
+
+    def _watch_trace(
+        self,
+        conn: _Connection,
+        managed: ManagedSession,
+        pipe: str,
+        signal: str,
+        max_events: Optional[int] = None,
+    ) -> None:
+        """Stream batched ``value_change`` events for one watched
+        signal to the connection that armed the watch, until unwatch
+        closes the subscription or the connection/server dies."""
+        session = managed.session
+        with managed.lock:
+            buffer = session.trace_buffer(pipe, create=True)
+            sub = buffer.subscribe(
+                [signal],
+                max_events=max_events or TRACE_SUB_QUEUE,
+            )
+
+        def loop() -> None:
+            watch_trace_loop(
+                managed,
+                pipe,
+                signal,
+                sub,
+                lambda data: conn.send_event(
+                    "value_change", managed.name, data
+                ),
+                lambda: self._stop.is_set() or conn.closed,
+                self._verify_poll,
+            )
+
+        thread = threading.Thread(
+            target=loop,
+            name=f"livesim-trace-{managed.name}-{pipe}",
+            daemon=True,
         )
         thread.start()
         self._threads.append(thread)

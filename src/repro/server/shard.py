@@ -41,10 +41,13 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from .. import obs
 from ..live.commands import CommandInterpreter
 from .service import (
+    TRACE_SUB_QUEUE,
     ManagedSession,
     SessionManager,
+    build_trace_line,
     error_payload,
     summarize,
+    watch_trace_loop,
     watch_verify_loop,
 )
 from .store import ArtifactStore
@@ -55,8 +58,12 @@ JOURNAL_FORMAT = "repro.journal/v1"
 # worker crash.  They are replayed verbatim through the interpreter on
 # rehydration; ``run`` is deliberately absent — simulated state is
 # recovered from the checkpoint files instead of re-simulating.
+# ``watch``/``unwatch`` are structural too: replaying them recreates
+# the trace probes (``session.watch`` is idempotent), while the live
+# subscriptions are re-armed by the frontend after the route settles.
 STRUCTURAL_VERBS = frozenset(
-    {"instpipe", "inststage", "copypipe", "swapstage", "san", "ldch"}
+    {"instpipe", "inststage", "copypipe", "swapstage", "san", "ldch",
+     "watch", "unwatch"}
 )
 
 
@@ -383,6 +390,8 @@ class SessionWorker:
             return self._cmd_open(params)
         if cmd == "cmd":
             return self._cmd_execute(rid, params)
+        if cmd in ("watch", "unwatch", "trace", "replay"):
+            return self._cmd_trace_verb(rid, cmd, params)
         if cmd == "reload":
             return self._cmd_reload(rid, params)
         if cmd == "close":
@@ -495,7 +504,12 @@ class SessionWorker:
                 raise
         return info
 
-    def _cmd_execute(self, rid: int, params: Dict[str, Any]) -> Any:
+    def _cmd_execute(
+        self,
+        rid: int,
+        params: Dict[str, Any],
+        watch_opts: Optional[Dict[str, Any]] = None,
+    ) -> Any:
         name = str(params.get("session"))
         line = str(params.get("line"))
         crash_line = self.config.extra.get("crash_line")
@@ -520,10 +534,29 @@ class SessionWorker:
                     journal_error = str(exc)
         if journal_error is not None:
             self._warn_journal(rid, name, line, journal_error)
-        if result.command.lower() == "verify":
+        verb = result.command.lower()
+        if verb == "verify":
             pipe = CommandInterpreter.parse(line)[1][0]
             self._watch_verify(rid, managed, pipe)
+        elif verb == "watch":
+            operands = CommandInterpreter.parse(line)[1]
+            self._watch_trace(
+                rid, managed, operands[0], operands[1],
+                **(watch_opts or {}),
+            )
         return summarize(result.value)
+
+    def _cmd_trace_verb(
+        self, rid: int, cmd: str, params: Dict[str, Any]
+    ) -> Any:
+        """watch/unwatch/trace/replay protocol verbs, forwarded by the
+        frontend: build the canonical interpreter line (the same one
+        the threaded server journals) and run it through the normal
+        command path so journaling and watch arming fall out."""
+        line, watch_opts = build_trace_line(cmd, params)
+        forwarded = dict(params)
+        forwarded["line"] = line
+        return self._cmd_execute(rid, forwarded, watch_opts=watch_opts)
 
     def _warn_journal(
         self, rid: int, name: str, line: str, error: str
@@ -710,6 +743,44 @@ class SessionWorker:
         threading.Thread(
             target=loop,
             name=f"livesim-w{self.config.worker_id}-verify-{managed.name}",
+            daemon=True,
+        ).start()
+
+    def _watch_trace(
+        self,
+        rid: int,
+        managed: ManagedSession,
+        pipe: str,
+        signal: str,
+        max_events: Optional[int] = None,
+    ) -> None:
+        """Stream batched ``value_change`` events for one watched
+        signal, tagged with the arming request's rid so the frontend
+        can fan them out to the right client connection."""
+        session = managed.session
+        with managed.lock:
+            buffer = session.trace_buffer(pipe, create=True)
+            sub = buffer.subscribe(
+                [signal],
+                max_events=max_events or TRACE_SUB_QUEUE,
+            )
+
+        def loop() -> None:
+            watch_trace_loop(
+                managed,
+                pipe,
+                signal,
+                sub,
+                lambda data: self._send_event(
+                    rid, "value_change", managed.name, data
+                ),
+                self._stop.is_set,
+                self.config.verify_poll,
+            )
+
+        threading.Thread(
+            target=loop,
+            name=f"livesim-w{self.config.worker_id}-trace-{managed.name}",
             daemon=True,
         ).start()
 

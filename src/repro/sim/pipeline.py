@@ -39,6 +39,7 @@ class Pipe:
         }
         self._last_outputs: Optional[Dict[str, int]] = None
         self._fixpoint = self._scan_fixpoint()
+        self._trace = None  # Optional[repro.trace.TraceBuffer]
 
     # -- inputs / outputs -------------------------------------------------------
 
@@ -105,11 +106,26 @@ class Pipe:
             return self.eval()
         return self._last_outputs
 
+    def attach_trace(self, buffer) -> None:
+        """Capture ``buffer`` (a :class:`repro.trace.TraceBuffer`) on
+        every tick.  One buffer per pipe; None detaches."""
+        self._trace = buffer
+
+    def detach_trace(self) -> None:
+        self._trace = None
+
+    @property
+    def trace_buffer(self):
+        return self._trace
+
     def tick(self) -> None:
         """Run phase 2 and commit pending state — the clock edge."""
         top = self.top
         if self._last_outputs is None:
             self.eval()
+        trace = self._trace
+        if trace is not None:
+            trace.capture(self)
         args = [self._inputs[name] for name in top.code.inputs]
         top.code.eval_seq_fn(top.state, top.children, *args)
         top.code.tick_fn(top.state, top.children)

@@ -9,17 +9,88 @@ values, and export standard VCD for any waveform viewer.
 Probes compose with checkpoint reload: rewind via ``ldch``, attach a
 recorder, replay the window of interest, and inspect — without ever
 re-running the full simulation.
+
+Since the live trace subsystem landed, :class:`WaveformRecorder` is a
+thin compatibility wrapper over an *unbounded*
+:class:`repro.trace.TraceBuffer` — same probe/record/VCD API, one
+storage and one VCD encoder (:func:`write_vcd`) shared with live
+ring-buffer capture.  New code that wants live capture, bounded
+memory, subscriptions, or reload-surviving probes should use
+``repro.trace`` directly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..hdl.errors import SimulationError
+from ..trace import TraceBuffer
+from ..trace.probes import TraceProbe
 from .pipeline import Pipe
 
 _VCD_ID_CHARS = "".join(chr(c) for c in range(33, 127))
+
+
+def vcd_id(index: int) -> str:
+    """Compact VCD identifier for the ``index``-th variable (base-94
+    over the printable ASCII range, per the VCD spec)."""
+    base = len(_VCD_ID_CHARS)
+    out = ""
+    index += 1
+    while index:
+        index, digit = divmod(index - 1, base)
+        out = _VCD_ID_CHARS[digit] + out
+    return out
+
+
+def write_vcd(
+    path: str,
+    probes: Iterable[Tuple[str, int]],
+    changes_of: Callable[[str], Iterable[Tuple[int, int]]],
+    timescale: str = "1 ns",
+    module_name: str = "uut",
+) -> None:
+    """Write one VCD file — the single encoder behind both
+    :class:`WaveformRecorder` and ``repro.trace.TraceBuffer``.
+
+    ``probes`` is ``(name, width)`` pairs in declaration order;
+    ``changes_of(name)`` yields that probe's ``(cycle, value)``
+    change stream (consecutive duplicates already removed).
+    """
+    probes = list(probes)
+    ids = {name: vcd_id(i) for i, (name, _width) in enumerate(probes)}
+    lines: List[str] = [
+        "$date repro-livesim $end",
+        "$version repro LiveSim reproduction $end",
+        f"$timescale {timescale} $end",
+        f"$scope module {module_name} $end",
+    ]
+    for name, width in probes:
+        safe = name.replace(" ", "_")
+        lines.append(f"$var wire {width} {ids[name]} {safe} $end")
+    lines.append("$upscope $end")
+    lines.append("$enddefinitions $end")
+
+    # Merge all samples into a cycle-ordered change stream.
+    events: Dict[int, List[Tuple[str, int, int]]] = {}
+    for name, width in probes:
+        for cycle, value in changes_of(name):
+            events.setdefault(cycle, []).append((ids[name], value, width))
+    lines.append("$dumpvars")
+    first = True
+    for cycle in sorted(events):
+        lines.append(f"#{cycle}")
+        for ident, value, width in events[cycle]:
+            if width == 1:
+                lines.append(f"{value & 1}{ident}")
+            else:
+                lines.append(f"b{value:b} {ident}")
+        if first:
+            lines.append("$end")
+            first = False
+    with open(path, "w") as fh:
+        fh.write("\n".join(lines) + "\n")
 
 
 @dataclass
@@ -60,12 +131,15 @@ class Trace:
 
 
 class WaveformRecorder:
-    """Samples a set of probes each cycle and exports VCD."""
+    """Samples a set of probes each cycle and exports VCD.
+
+    Storage is an unbounded :class:`repro.trace.TraceBuffer`; this
+    class keeps the original offline-recording API on top of it.
+    """
 
     def __init__(self, pipe: Pipe):
         self._pipe = pipe
-        self._probes: List[Probe] = []
-        self._traces: Dict[str, Trace] = {}
+        self._buffer = TraceBuffer(capacity=None)
 
     # -- probe declaration ------------------------------------------------------
 
@@ -114,21 +188,18 @@ class WaveformRecorder:
         return self._add(Probe(name, width, getter))
 
     def _add(self, probe: Probe) -> Probe:
-        if probe.name in self._traces:
-            raise SimulationError(f"duplicate probe {probe.name!r}")
-        self._probes.append(probe)
-        self._traces[probe.name] = Trace(probe=probe)
+        # Expression probe (signal=None): the trace buffer stores it
+        # but never tries to re-resolve it across a design swap.
+        self._buffer.add_probe(
+            TraceProbe(probe.name, probe.width, probe.getter)
+        )
         return probe
 
     # -- sampling ---------------------------------------------------------------
 
     def sample(self) -> None:
         """Record every probe at the pipe's current cycle."""
-        cycle = self._pipe.cycle
-        for probe in self._probes:
-            trace = self._traces[probe.name]
-            trace.cycles.append(cycle)
-            trace.values.append(probe.getter(self._pipe))
+        self._buffer.capture(self._pipe)
 
     def record(self, cycles: int,
                driver: Optional[Callable[[Pipe], None]] = None) -> int:
@@ -190,69 +261,33 @@ class WaveformRecorder:
 
     # -- access -------------------------------------------------------------------
 
+    def buffer(self) -> TraceBuffer:
+        """The backing trace buffer (the live-capable API)."""
+        return self._buffer
+
     def trace(self, name: str) -> Trace:
-        trace = self._traces.get(name)
-        if trace is None:
-            raise SimulationError(f"no probe named {name!r}")
-        return trace
+        probe = self._buffer.probe(name)  # raises on unknown name
+        samples = self._buffer.window(name)
+        return Trace(
+            probe=Probe(probe.name, probe.width, probe.getter),
+            cycles=[c for c, _v in samples],
+            values=[v for _c, v in samples],
+        )
 
     def names(self) -> List[str]:
-        return [p.name for p in self._probes]
+        return self._buffer.names()
 
     def clear(self) -> None:
-        for trace in self._traces.values():
-            trace.cycles.clear()
-            trace.values.clear()
+        self._buffer.clear_samples()
 
     # -- VCD export ------------------------------------------------------------------
 
     @staticmethod
     def _vcd_id(index: int) -> str:
-        base = len(_VCD_ID_CHARS)
-        out = ""
-        index += 1
-        while index:
-            index, digit = divmod(index - 1, base)
-            out = _VCD_ID_CHARS[digit] + out
-        return out
+        return vcd_id(index)
 
     def to_vcd(self, path: str, timescale: str = "1 ns",
                module_name: str = "uut") -> None:
         """Write the recorded traces as a VCD file."""
-        ids = {p.name: self._vcd_id(i) for i, p in enumerate(self._probes)}
-        lines: List[str] = [
-            "$date repro-livesim $end",
-            "$version repro LiveSim reproduction $end",
-            f"$timescale {timescale} $end",
-            f"$scope module {module_name} $end",
-        ]
-        for probe in self._probes:
-            safe = probe.name.replace(" ", "_")
-            lines.append(
-                f"$var wire {probe.width} {ids[probe.name]} {safe} $end"
-            )
-        lines.append("$upscope $end")
-        lines.append("$enddefinitions $end")
-
-        # Merge all samples into a cycle-ordered change stream.
-        events: Dict[int, List[Tuple[str, int, int]]] = {}
-        for probe in self._probes:
-            trace = self._traces[probe.name]
-            for cycle, value in trace.changes():
-                events.setdefault(cycle, []).append(
-                    (ids[probe.name], value, probe.width)
-                )
-        lines.append("$dumpvars")
-        first = True
-        for cycle in sorted(events):
-            lines.append(f"#{cycle}")
-            for vcd_id, value, width in events[cycle]:
-                if width == 1:
-                    lines.append(f"{value & 1}{vcd_id}")
-                else:
-                    lines.append(f"b{value:b} {vcd_id}")
-            if first:
-                lines.append("$end")
-                first = False
-        with open(path, "w") as fh:
-            fh.write("\n".join(lines) + "\n")
+        self._buffer.to_vcd(path, timescale=timescale,
+                            module_name=module_name)

@@ -1,0 +1,37 @@
+"""Live trace subsystem: ring-buffer signal capture for running pipes.
+
+``repro.sim.waveform`` records offline: attach a recorder, drive the
+pipe yourself, export VCD.  This package is the *live* counterpart —
+a bounded ring buffer hooked into :meth:`Pipe.tick` so a session (or a
+server worker) captures watched signals on every simulated cycle, at
+O(1) per cycle, without changing how the simulation is driven:
+
+- :class:`TraceProbe` — one watched signal, resolved by hierarchical
+  name (register ``path.reg``, output port, or memory word
+  ``path.mem[idx]``).  Probes re-bind by name after a hot reload;
+  signals that vanished in the new design are *marked* missing, not
+  fatal, and resume capturing if a later reload brings them back.
+- :class:`TraceBuffer` — the per-pipe capture: one ring per probe,
+  drop-oldest beyond ``capacity`` (counted on ``trace.cycles_dropped``),
+  value-change fan-out to :class:`TraceSubscription` queues, truncation
+  on checkpoint rewind, VCD export through the ``repro.sim.waveform``
+  writer.
+- :class:`TraceSubscription` — a bounded, lock-protected event queue
+  for one consumer; under backpressure the oldest events drop and the
+  producer (the sim loop) never blocks.
+
+Time-travel replay builds on the same pieces: restore the nearest
+checkpoint at-or-before the window start on a *scratch* pipe, attach a
+fresh ``TraceBuffer``, re-run forward.  Simulation is deterministic, so
+the replayed window is bit-identical to what was streamed live.
+"""
+
+from .buffer import TraceBuffer, TraceSubscription
+from .probes import TraceProbe, resolve_signal
+
+__all__ = [
+    "TraceBuffer",
+    "TraceProbe",
+    "TraceSubscription",
+    "resolve_signal",
+]

@@ -1,0 +1,321 @@
+"""Live trace over the wire: watch/unwatch/trace/replay on the
+threaded server and the sharded frontend, value-change streaming,
+backpressure accounting, and subscription survival across hot reload,
+worker crash, and migration.
+
+The sharded tests share one module-scoped 2-worker frontend; the crash
+test runs last so earlier tests can rely on live workers.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.server.client import LiveSimClient, ServerError
+from repro.server.frontend import ShardedFrontend
+from repro.server.service import LiveSimServer
+from repro.server.shard import HashRing
+from tests.conftest import COUNTER_SRC
+
+DOUBLED = COUNTER_SRC.replace("assign sum = a + b;",
+                              "assign sum = a + b + b;")
+RENAMED = COUNTER_SRC.replace("count_q", "cnt_q")
+
+WORKERS = 2
+
+
+def _drain_changes(client, signal, until_cycle, timeout=30.0):
+    """Collect streamed value-change samples for ``signal`` until one
+    at-or-past ``until_cycle`` arrives (value_change events are
+    batched; markers and drops ride along)."""
+    seen = {}
+    markers = []
+    dropped = 0
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        remaining = max(deadline - time.monotonic(), 0.01)
+        try:
+            event = client.wait_event("value_change", timeout=remaining)
+        except TimeoutError:
+            break
+        dropped = max(dropped, event.data.get("events_dropped", 0))
+        for item in event.data["events"]:
+            if "value" in item and item.get("signal") == signal:
+                seen[item["cycle"]] = item["value"]
+            elif "value" not in item:
+                markers.append(item)
+        if seen and max(seen) >= until_cycle:
+            break
+    return seen, markers, dropped
+
+
+def _assert_streamed_matches_trace(client, session, seen):
+    """Every streamed (cycle, value) must equal the post-hoc trace
+    read (streamed events are change-only, so compare this direction)."""
+    window = client.trace(session, "p0", "c0", 0, max(seen) + 1)
+    post = {cycle: value for cycle, value in window["samples"]}
+    for cycle, value in seen.items():
+        assert post[cycle] == value, f"cycle {cycle}: {value} != {post[cycle]}"
+
+
+class TestThreadedTraceVerbs:
+    @pytest.fixture
+    def server(self):
+        srv = LiveSimServer(port=0, checkpoint_interval=10)
+        srv.start()
+        yield srv
+        srv.shutdown()
+
+    def _client(self, srv):
+        host, port = srv.address
+        return LiveSimClient(host, port, timeout=30.0, read_timeout=60.0)
+
+    def test_watch_streams_value_changes(self, server):
+        with self._client(server) as client:
+            client.open_session("s", COUNTER_SRC)
+            client.command("s", "instPipe p0, stage2")
+            info = client.watch("s", "p0", "c0")
+            assert info["signal"] == "c0" and info["missing"] is False
+            client.command("s", "run tb0, p0, 30")
+            seen, _, _ = _drain_changes(client, "c0", until_cycle=29)
+            assert len(seen) >= 27  # change-only: reset plateau is one
+            _assert_streamed_matches_trace(client, "s", seen)
+
+    def test_unwatch_stops_the_stream(self, server):
+        with self._client(server) as client:
+            client.open_session("s", COUNTER_SRC)
+            client.command("s", "instPipe p0, stage2")
+            client.watch("s", "p0", "c0")
+            client.command("s", "run tb0, p0, 5")
+            _drain_changes(client, "c0", until_cycle=4)
+            assert client.unwatch("s", "p0", "c0")["removed"] is True
+            client.events.clear()
+            client.command("s", "run tb0, p0, 10")
+            with pytest.raises(TimeoutError):
+                client.wait_event("value_change", timeout=0.5)
+
+    def test_trace_without_signal_returns_status(self, server):
+        with self._client(server) as client:
+            client.open_session("s", COUNTER_SRC)
+            client.command("s", "instPipe p0, stage2")
+            client.watch("s", "p0", "c0")
+            client.command("s", "run tb0, p0, 10")
+            status = client.trace("s", "p0")
+            assert status["probes"][0]["signal"] == "c0"
+            assert status["probes"][0]["samples"] == 10
+
+    def test_replay_bit_identical_over_socket(self, server):
+        with self._client(server) as client:
+            client.open_session("s", COUNTER_SRC)
+            client.command("s", "instPipe p0, stage2")
+            client.watch("s", "p0", "c0")
+            client.command("s", "run tb0, p0, 40")
+            live = client.trace("s", "p0", "c0", 10, 30)["samples"]
+            replay = client.replay("s", "p0", 10, 30, signals=["c0"])
+            assert replay["signals"]["c0"] == live
+
+    def test_watch_survives_hot_reload(self, server):
+        with self._client(server) as client:
+            client.open_session("s", COUNTER_SRC)
+            client.command("s", "instPipe p0, stage2")
+            client.watch("s", "p0", "c0")
+            client.command("s", "run tb0, p0, 20")
+            _drain_changes(client, "c0", until_cycle=19)
+            client.reload("s", DOUBLED)
+            client.command("s", "run tb0, p0, 10")
+            seen, _, _ = _drain_changes(client, "c0", until_cycle=29)
+            assert max(seen) == 29
+            _assert_streamed_matches_trace(client, "s", seen)
+
+    def test_vanished_signal_marked_not_fatal(self, server):
+        with self._client(server) as client:
+            client.open_session("s", COUNTER_SRC)
+            client.command("s", "instPipe p0, stage2")
+            client.watch("s", "p0", "u0.count_q")
+            client.command("s", "run tb0, p0, 10")
+            _drain_changes(client, "u0.count_q", until_cycle=9)
+            client.reload("s", RENAMED)
+            client.command("s", "run tb0, p0, 5")
+            _, markers, _ = _drain_changes(
+                client, "u0.count_q", until_cycle=14, timeout=2.0
+            )
+            assert {"signal": "u0.count_q", "missing": True} in markers
+            status = client.trace("s", "p0")
+            assert status["probes"][0]["missing"] is True
+
+    def test_backpressure_reports_drops(self, server):
+        with self._client(server) as client:
+            client.open_session("s", COUNTER_SRC)
+            client.command("s", "instPipe p0, stage2")
+            client.watch("s", "p0", "c0", max_events=2)
+            result = client.command("s", "run tb0, p0, 200")
+            assert result["c0"] == 198  # sim never blocked on the queue
+            seen, _, dropped = _drain_changes(
+                client, "c0", until_cycle=199
+            )
+            assert dropped > 0
+            _assert_streamed_matches_trace(client, "s", seen)
+            stats = client.stats()
+            assert stats["trace"]["events_dropped"] >= dropped
+
+    def test_stats_exposes_trace_counters(self, server):
+        with self._client(server) as client:
+            client.open_session("s", COUNTER_SRC)
+            client.command("s", "instPipe p0, stage2")
+            client.watch("s", "p0", "c0")
+            client.command("s", "run tb0, p0, 10")
+            stats = client.stats()
+            assert "events_dropped" in stats
+            assert set(stats["trace"]) == {
+                "cycles_dropped", "events_dropped",
+            }
+
+    def test_wire_validation_errors(self, server):
+        with self._client(server) as client:
+            client.open_session("s", COUNTER_SRC)
+            client.command("s", "instPipe p0, stage2")
+            with pytest.raises(ServerError, match="signal"):
+                client.request("watch", session="s", pipe="p0")
+            with pytest.raises(ServerError, match="start"):
+                client.request("replay", session="s", pipe="p0", end=10)
+            with pytest.raises(ServerError):
+                client.watch("s", "p0", "bad,name")
+            with pytest.raises(ServerError):
+                client.trace("s", "p0", "c0", start=-1)
+
+    def test_repl_lines_route_trace_verbs(self, server, capsys):
+        from repro.server.client import run_lines
+
+        with self._client(server) as client:
+            client.open_session("s", COUNTER_SRC)
+            import sys
+            run_lines(client, "s", [
+                "instPipe p0, stage2",
+                "watch p0, c0",
+                "run tb0, p0, 12",
+                "trace p0, c0, 0, 5",
+                "replay p0, 2, 8, c0",
+                "unwatch p0, c0",
+            ], sys.stdout)
+        out = capsys.readouterr().out
+        assert "'signal': 'c0'" in out
+        assert "'removed': True" in out
+
+
+@pytest.fixture(scope="module")
+def frontend(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("trace-sharded")
+    fe = ShardedFrontend(
+        workers=WORKERS,
+        store_root=str(tmp / "store"),
+        state_root=str(tmp / "state"),
+    )
+    fe.start()
+    yield fe
+    fe.shutdown()
+
+
+def _client(frontend, **kwargs):
+    host, port = frontend.address
+    kwargs.setdefault("read_timeout", 120.0)
+    return LiveSimClient(host, port, timeout=30.0, **kwargs)
+
+
+def _names_on_each_worker(prefix):
+    ring = HashRing(range(WORKERS))
+    names, i = {}, 0
+    while len(names) < WORKERS:
+        name = f"{prefix}-{i}"
+        names.setdefault(ring.lookup(name), name)
+        i += 1
+    return [names[w] for w in range(WORKERS)]
+
+
+class TestShardedTraceStreaming:
+    def test_watch_streams_from_worker(self, frontend):
+        with _client(frontend) as client:
+            client.open_session("st", COUNTER_SRC)
+            client.command("st", "instPipe p0, stage2")
+            client.watch("st", "p0", "c0")
+            client.command("st", "run tb0, p0, 30")
+            seen, _, _ = _drain_changes(client, "c0", until_cycle=29)
+            assert max(seen) == 29
+            _assert_streamed_matches_trace(client, "st", seen)
+            client.close_session("st")
+
+    def test_events_only_reach_the_arming_client(self, frontend):
+        with _client(frontend) as armed, _client(frontend) as other:
+            armed.open_session("rt", COUNTER_SRC)
+            armed.command("rt", "instPipe p0, stage2")
+            armed.watch("rt", "p0", "c0")
+            armed.command("rt", "run tb0, p0, 10")
+            seen, _, _ = _drain_changes(armed, "c0", until_cycle=9)
+            assert seen
+            with pytest.raises(TimeoutError):
+                other.wait_event("value_change", timeout=0.5)
+            armed.close_session("rt")
+
+    def test_replay_and_stats_forwarded(self, frontend):
+        with _client(frontend) as client:
+            client.open_session("sr", COUNTER_SRC)
+            client.command("sr", "instPipe p0, stage2")
+            client.watch("sr", "p0", "c0")
+            client.command("sr", "run tb0, p0, 40")
+            live = client.trace("sr", "p0", "c0", 5, 35)["samples"]
+            replay = client.replay("sr", "p0", 5, 35, signals=["c0"])
+            assert replay["signals"]["c0"] == live
+            stats = client.stats()
+            assert set(stats["trace"]) == {
+                "cycles_dropped", "events_dropped",
+            }
+            assert "events_dropped" in stats
+            assert "worker_stats" not in stats
+            client.close_session("sr")
+
+    def test_watch_survives_migration(self, frontend):
+        first, second = _names_on_each_worker("mig")
+        with _client(frontend) as client:
+            client.open_session(first, COUNTER_SRC)
+            client.command(first, "instPipe p0, stage2")
+            client.watch(first, "p0", "c0")
+            client.command(first, "run tb0, p0, 20")
+            _drain_changes(client, "c0", until_cycle=19)
+
+            moved = client.migrate(first, 1)
+            assert moved["worker"] == 1
+            client.events.clear()
+            client.command(first, "run tb0, p0, 10")
+            seen, _, _ = _drain_changes(client, "c0", until_cycle=29)
+            assert min(seen) >= 20 and max(seen) == 29
+            _assert_streamed_matches_trace(client, first, seen)
+            client.close_session(first)
+
+    def test_watch_survives_crash_rehydration(self, frontend):
+        # SIGKILL the session's worker: the journaled watch re-arms on
+        # the restarted worker and streaming resumes with no gap
+        # (this test runs last — it restarts a worker).
+        first, _ = _names_on_each_worker("crash")
+        with _client(frontend) as client:
+            client.open_session(first, COUNTER_SRC)
+            client.command(first, "instPipe p0, stage2")
+            client.watch(first, "p0", "c0")
+            client.command(first, "run tb0, p0, 20")
+            client.command(first, "chkp p0")
+            _drain_changes(client, "c0", until_cycle=19)
+
+            stats = client.stats()
+            by_id = {w["id"]: w for w in stats["workers"]}
+            os.kill(by_id[0]["pid"], 9)
+
+            client.events.clear()
+            result = client.command(first, "run tb0, p0, 10")
+            assert result["c0"] == 28
+            seen, _, _ = _drain_changes(client, "c0", until_cycle=29)
+            assert min(seen) >= 20 and max(seen) == 29
+            _assert_streamed_matches_trace(client, first, seen)
+            replay = client.replay(first, "p0", 20, 30, signals=["c0"])
+            post = {c: v for c, v in replay["signals"]["c0"]}
+            for cycle, value in seen.items():
+                assert post[cycle] == value
+            client.close_session(first)
