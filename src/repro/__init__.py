@@ -102,11 +102,20 @@ def compile_design(
     top: str,
     params: Optional[Dict[str, int]] = None,
     mux_style: str = "branch",
+    opt: str = "none",
 ) -> Tuple[Netlist, Dict[str, CompiledModule]]:
     """One-call convenience: parse + elaborate + compile ``source``.
 
     Returns ``(netlist, library)``; build a runnable UUT with
-    ``Pipe(netlist.top, library)``.
+    ``Pipe(netlist.top, library)``.  ``opt`` above ``"none"`` routes
+    compilation through the :mod:`repro.passes` pipeline (constant
+    propagation, dead-logic elimination; ``"full"`` adds sensitivity
+    guards) — bit-identical to the plain build by construction.
     """
     netlist = elaborate(parse(source), top, params)
+    if opt != "none":
+        from .passes import run_opt_pipeline
+
+        return netlist, run_opt_pipeline(netlist, opt=opt,
+                                         mux_style=mux_style)
     return netlist, compile_netlist(netlist, mux_style)

@@ -75,6 +75,12 @@ def _build_parser() -> argparse.ArgumentParser:
                              "modules are persisted here and reused "
                              "across runs (and by the repro.server "
                              "service) instead of recompiling")
+    parser.add_argument("--opt", choices=("none", "basic", "full"),
+                        default="none",
+                        help="optimization level for generated code "
+                             "(constant propagation, dead-logic "
+                             "elimination; full adds sensitivity "
+                             "guards). Toggle live with the `opt` verb")
     return parser
 
 
@@ -83,13 +89,13 @@ class Shell:
 
     def __init__(self, source: str, top: Optional[str],
                  checkpoint_interval: int, reset_cycles: int,
-                 out=None, artifact_store=None):
+                 out=None, artifact_store=None, opt: str = "none"):
         # Resolve stdout lazily so output redirection (and pytest's
         # capture) set up after import still takes effect.
         self._out = out if out is not None else sys.stdout
         self.session = LiveSession(
             source, checkpoint_interval=checkpoint_interval,
-            artifact_store=artifact_store,
+            artifact_store=artifact_store, opt=opt,
         )
         modules = list(self.session.compiler.design.modules)
         if not modules:
@@ -261,6 +267,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             checkpoint_interval=args.checkpoint_interval,
             reset_cycles=args.reset_cycles,
             artifact_store=artifact_store,
+            opt=args.opt,
         )
     except (OSError, HDLError) as exc:
         print(f"error: {exc}", file=sys.stderr)

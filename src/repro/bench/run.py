@@ -35,11 +35,18 @@ from .figures import (
 )
 from .reporting import format_phase_breakdown, format_table
 from .tables import erd_phase_rows, table7, table8, table8_shape_checks
-from .workloads import collect_sizes, sanitizer_overhead, trace_overhead
+from .workloads import (
+    collect_sizes,
+    opt_speedup,
+    sanitizer_overhead,
+    trace_overhead,
+)
 
 BENCH_SCHEMA_ID = "repro.bench/v1"
 DEFAULT_TARGETS = ("fig7", "table7")
-KNOWN_TARGETS = ("fig6", "fig7", "fig8", "table7", "table8", "sanitize", "trace")
+KNOWN_TARGETS = (
+    "fig6", "fig7", "fig8", "table7", "table8", "sanitize", "trace", "opt",
+)
 MAX_CALIBRATION_SCALE = 4.0
 
 
@@ -149,6 +156,16 @@ def run_bench(
         entry = asdict(capture)
         entry["slowdown"] = capture.slowdown
         payload["trace_overhead"] = entry
+
+    if "opt" in targets:
+        # Report-only (no regression gate): raw_sim_speed with the full
+        # pass pipeline (constprop + dead logic + sensitivity guards)
+        # vs the plain build on the same mesh.  Correctness is covered
+        # elsewhere — the differential fuzzers assert bit-exactness.
+        speed = opt_speedup(n=sizes[0], sim_cycles=sim_cycles)
+        entry = asdict(speed)
+        entry["speedup"] = speed.speedup
+        payload["opt"] = entry
 
     if "table8" in targets:
         rows8 = table8(results)
@@ -260,6 +277,26 @@ def _print_summary(payload: Dict, out) -> None:
             f"{sanitize['findings']} findings)"
             if slowdown else
             f"Sanitizer overhead ({sanitize['n']}x{sanitize['n']} mesh)",
+            ["sim Hz", "compile ms"],
+            [row[1:] for row in rows],
+            row_labels=[str(row[0]) for row in rows],
+        ), file=out)
+        print(file=out)
+    opt = payload.get("opt")
+    if opt:
+        speedup = opt.get("speedup")
+        rows = [
+            ["opt=none", round(opt["plain_sim_hz"], 1),
+             round(opt["plain_compile_s"] * 1e3, 1)],
+            ["opt=full", round(opt["opt_sim_hz"], 1),
+             round(opt["opt_compile_s"] * 1e3, 1)],
+        ]
+        print(format_table(
+            f"Optimization speedup ({opt['n']}x{opt['n']} mesh, "
+            f"speedup {speedup:.2f}x, "
+            f"{opt['guarded_blocks']} guarded blocks)"
+            if speedup else
+            f"Optimization speedup ({opt['n']}x{opt['n']} mesh)",
             ["sim Hz", "compile ms"],
             [row[1:] for row in rows],
             row_labels=[str(row[0]) for row in rows],

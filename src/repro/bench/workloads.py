@@ -49,6 +49,7 @@ class PGASWorkbench:
         baseline_budget_s: Optional[float] = 20.0,
         program: str = "counter",
         sanitize: str = "off",
+        opt: str = "none",
     ):
         self.n = n
         self.cores = n * n
@@ -58,6 +59,7 @@ class PGASWorkbench:
         self.baseline_budget_s = baseline_budget_s
         self._program = program
         self._sanitize = sanitize
+        self._opt = opt
         self.session: Optional[LiveSession] = None
         self.tb_handle: Optional[str] = None
 
@@ -69,6 +71,7 @@ class PGASWorkbench:
             self.source,
             checkpoint_interval=self.checkpoint_interval,
             sanitize=self._sanitize,
+            opt=self._opt,
         )
         started = time.perf_counter()
         session.inst_pipe("uut", session.stage_handle_for(self.top))
@@ -276,6 +279,63 @@ def trace_overhead(n: int = 1, sim_cycles: int = 150) -> TraceOverheadResult:
     elapsed = time.perf_counter() - started
     result.traced_sim_hz = sim_cycles / elapsed if elapsed else 0.0
     result.cycles_dropped = session.trace_buffer("uut").cycles_dropped
+    session.close()
+    return result
+
+
+@dataclass
+class OptSpeedupResult:
+    """opt=full speedup vs opt=none on the fig7-style PGAS workload."""
+
+    n: int
+    cores: int
+    plain_sim_hz: float = 0.0
+    opt_sim_hz: float = 0.0
+    plain_compile_s: float = 0.0
+    opt_compile_s: float = 0.0
+    guarded_blocks: int = 0
+
+    @property
+    def speedup(self) -> Optional[float]:
+        """opt Hz / plain Hz (>= 1.0 when the passes pay off)."""
+        if self.plain_sim_hz <= 0:
+            return None
+        return self.opt_sim_hz / self.plain_sim_hz
+
+
+def opt_speedup(n: int = 1, sim_cycles: int = 150) -> OptSpeedupResult:
+    """Measure the opt=full speedup on the fig7-style PGAS workload.
+
+    Builds the same mesh twice — plain and with the full pass pipeline
+    (constant propagation, dead-logic elimination, sensitivity guards,
+    pure-child skips) — and reports simulated cycles/second for each.
+    Report-only: the interesting number is the ratio; the differential
+    fuzzers are what assert the two builds agree bit for bit.
+    """
+    result = OptSpeedupResult(n=n, cores=n * n)
+
+    plain = PGASWorkbench(n, baseline_budget_s=None)
+    session = plain.build_session()
+    result.plain_compile_s = plain.full_compile_seconds
+    plain.run(5)
+    started = time.perf_counter()
+    plain.run(sim_cycles)
+    elapsed = time.perf_counter() - started
+    result.plain_sim_hz = sim_cycles / elapsed if elapsed else 0.0
+    session.close()
+
+    opt = PGASWorkbench(n, baseline_budget_s=None, opt="full")
+    session = opt.build_session()
+    result.opt_compile_s = opt.full_compile_seconds
+    result.guarded_blocks = sum(
+        module.sens_slot_count
+        for module in session.pipe("uut").library.values()
+    )
+    opt.run(5)
+    started = time.perf_counter()
+    opt.run(sim_cycles)
+    elapsed = time.perf_counter() - started
+    result.opt_sim_hz = sim_cycles / elapsed if elapsed else 0.0
     session.close()
     return result
 

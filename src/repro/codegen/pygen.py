@@ -53,6 +53,7 @@ from ..hdl.errors import CodegenError
 from ..ir.netlist import ModuleIR, Netlist
 from .emitter import FunctionEmitter, block
 from .exprgen import ExprGen, Resolver, StmtGen, mask_of
+from .optplan import OptPlan, optimize_stmts, substitute_expr
 
 CACHE_SLOTS = 2
 
@@ -102,6 +103,13 @@ class CompiledModule:
     #   [base+1 + j]    memory j word-poison bitmap
     #   [base+1 + NM]   per-cycle nonblocking-write dict
     sanitize: bool = False
+    # Optimized builds (opt=full) append ``sens_slot_count`` guard
+    # pairs after the sanitizer region (or directly after base when
+    # not sanitized):
+    #   [sens_base + 2*g]      guard g's input-key tuple (or None)
+    #   [sens_base + 2*g + 1]  guard g's cached output tuple
+    opt: str = "none"
+    sens_slot_count: int = 0
 
     @property
     def cache_key_slot(self) -> int:
@@ -110,6 +118,12 @@ class CompiledModule:
     @property
     def sanitize_base(self) -> int:
         return 2 * self.num_regs + CACHE_SLOTS + 2 * len(self.mem_specs)
+
+    @property
+    def sens_base(self) -> int:
+        return self.sanitize_base + (
+            len(self.mem_specs) + 2 if self.sanitize else 0
+        )
 
     @property
     def reg_poison_slot(self) -> int:
@@ -134,6 +148,8 @@ class CompiledModule:
             state.append(0)  # register poison bitmap
             state.extend(0 for _ in ordered)  # per-memory word poison
             state.append({})  # nonblocking writes this cycle
+        for _ in range(self.sens_slot_count):
+            state.extend([None, None])  # guard (key, outputs) — cold miss
         return state
 
 
@@ -144,7 +160,7 @@ class CompiledModule:
 
 class _ModuleCompiler:
     def __init__(self, ir: ModuleIR, netlist: Netlist, mux_style: str,
-                 sanitize: bool = False):
+                 sanitize: bool = False, plan: Optional[OptPlan] = None):
         self._ir = ir
         self._netlist = netlist
         self._mux_style = mux_style
@@ -156,11 +172,35 @@ class _ModuleCompiler:
             # the runtime uses to settle it, and seq-only inputs cannot
             # be deferred reliably — fall back to the conservative ABI.
             self._comb_ports = list(ir.inputs)
+            plan = None  # comb locals round-trip the memo slot: no opt
+        self._plan = plan
+        self._seq_phase = False
+        self._dead_assigns: Set[int] = set()
+        self._dead_blocks: Set[int] = set()
+        self._guard_pos: Dict[int, int] = {}
+        self._opt_bodies: Dict[Tuple[str, int], list] = {}
+        if plan is not None:
+            self._dead_assigns = set(plan.dead_assigns)
+            self._dead_blocks = set(plan.dead_blocks)
+            self._guard_pos = {
+                blk: pos for pos, blk in enumerate(plan.guard_blocks)
+            }
+            # Pre-transform block bodies once: constant substitution plus
+            # static branch pruning, shared between eval_out and eval_seq.
+            for i, comb in enumerate(ir.comb_blocks):
+                self._opt_bodies[("comb", i)] = optimize_stmts(
+                    comb.body, plan.consts, plan.const_widths
+                )
+            for i, seq in enumerate(ir.seq_blocks):
+                self._opt_bodies[("seq", i)] = optimize_stmts(
+                    seq.body, plan.consts, plan.const_widths
+                )
         base = 2 * ir.num_regs + CACHE_SLOTS
         nm = len(ir.memories)
         sbase = base + 2 * nm  # start of the sanitizer slots
         self._poison_slot = sbase if sanitize else -1
         self._nw_slot = sbase + 1 + nm if sanitize else -1
+        self._sens_base = sbase + (nm + 2 if sanitize else 0)
         # Instrumentation sites (module, signal, file-absolute line),
         # emitted as a literal _SAN_I table inside the generated source
         # so store rehydration carries them for free.
@@ -181,6 +221,36 @@ class _ModuleCompiler:
     @property
     def comb_ports(self) -> List[str]:
         return self._comb_ports
+
+    @property
+    def sens_slot_count(self) -> int:
+        return len(self._plan.guard_blocks) if self._plan is not None else 0
+
+    # -- optimization plan plumbing -------------------------------------------
+
+    def _expr(self, expr):
+        """The expression codegen actually emits: constant-substituted
+        (and folded) under an active plan, verbatim otherwise."""
+        if self._plan is None:
+            return expr
+        return substitute_expr(
+            expr, self._plan.consts, self._plan.const_widths
+        )
+
+    def _comb_body_stmts(self, index: int) -> list:
+        if self._plan is None:
+            return self._ir.comb_blocks[index].body
+        return self._opt_bodies[("comb", index)]
+
+    def _seq_body_stmts(self, index: int) -> list:
+        if self._plan is None:
+            return self._ir.seq_blocks[index].body
+        return self._opt_bodies[("seq", index)]
+
+    def _skip_children(self) -> Set[int]:
+        if self._plan is None:
+            return set()
+        return set(self._plan.skip_children)
 
     # -- name resolution ------------------------------------------------------
 
@@ -396,8 +466,10 @@ class _ModuleCompiler:
                 self._gen_instance_out(exprgen, index)
 
     def _gen_comb_assign(self, exprgen: ExprGen, index: int) -> None:
+        if index in self._dead_assigns:
+            return
         assign = self._ir.comb_assigns[index]
-        code = exprgen.gen(assign.value)
+        code = exprgen.gen(self._expr(assign.value))
         width = self._ir.signals[assign.target.name].width
         if exprgen.width_of(assign.value) > width:
             if self._sanitize:
@@ -411,9 +483,10 @@ class _ModuleCompiler:
         self._emit.line(f"v_{assign.target.name} = {code}")
 
     def _gen_comb_block(self, exprgen: ExprGen, index: int) -> None:
+        if index in self._dead_blocks:
+            return
         comb = self._ir.comb_blocks[index]
-        for name in comb.defines:
-            self._emit.line(f"v_{name} = 0")
+        body = self._comb_body_stmts(index)
         stmtgen = StmtGen(
             exprgen=exprgen,
             emitter=self._emit,
@@ -426,7 +499,41 @@ class _ModuleCompiler:
             target_width=lambda name: self._ir.signals[name].width,
             trunc_hook=self._trunc_hook if self._sanitize else None,
         )
-        stmtgen.gen_stmts(comb.body)
+        pos = self._guard_pos.get(index) if self._seq_phase else None
+        if pos is None:
+            for name in comb.defines:
+                self._emit.line(f"v_{name} = 0")
+            stmtgen.gen_stmts(body)
+            return
+        # Sensitivity guard (opt=full, eval_seq only): if this block's
+        # residual inputs match last cycle's, restore the cached output
+        # tuple instead of re-evaluating the body.  Sound because the
+        # outputs are a pure function of the key — defines start from a
+        # deterministic zero-init every evaluation.
+        kslot = self._sens_base + 2 * pos
+        vslot = kslot + 1
+        key_names = self._plan.guard_inputs[index]
+        key_refs = [
+            exprgen.gen(ast.Id(name=name, line=comb.line))
+            for name in key_names
+        ]
+        key_code = ", ".join(key_refs)
+        if len(key_refs) == 1:
+            key_code += ","
+        sk = self._emit.fresh("sk")
+        self._emit.line(f"{sk} = ({key_code})")
+        defines = list(comb.defines)
+        locals_tuple = ", ".join(f"v_{name}" for name in defines)
+        if len(defines) == 1:
+            locals_tuple += ","
+        with block(self._emit, f"if s[{kslot}] == {sk}:"):
+            self._emit.line(f"({locals_tuple}) = s[{vslot}]")
+        with block(self._emit, "else:"):
+            for name in defines:
+                self._emit.line(f"v_{name} = 0")
+            stmtgen.gen_stmts(body)
+            self._emit.line(f"s[{kslot}] = {sk}")
+            self._emit.line(f"s[{vslot}] = ({locals_tuple})")
 
     @staticmethod
     def _forbid_comb_mem_write(name: str, addr: str, value: str, line: int) -> None:
@@ -446,7 +553,7 @@ class _ModuleCompiler:
         ref = self._emit.fresh("c")
         self._emit.line(f"{ref} = ch[{index}]")
         arg_codes = [
-            exprgen.gen(inst.input_conns[port])
+            exprgen.gen(self._expr(inst.input_conns[port]))
             for port in self._child_comb_ports(inst)
         ]
         result = self._emit.fresh("r")
@@ -521,6 +628,7 @@ class _ModuleCompiler:
         all_ports = list(ir.inputs)
         exprgen = ExprGen(self._resolver(), self._emit, self._mux_style)
         header = f"def eval_seq(s, ch{self._arg_list(all_ports)}):"
+        self._seq_phase = True  # guards only here; eval_out keeps its memo
         with block(self._emit, header):
             wrote = False
             if ir.inputs:
@@ -557,12 +665,17 @@ class _ModuleCompiler:
             for block_id, seq in enumerate(ir.seq_blocks):
                 self._gen_seq_block(exprgen, seq, block_id)
                 wrote = True
+            skip = self._skip_children()
             for index, inst in enumerate(ir.instances):
+                if index in skip:
+                    # Pure subtree: stateless, so eval_seq would only
+                    # recompute values tick never commits.  Skip it.
+                    continue
                 child = self._netlist.modules[inst.child_key]
                 ref = self._emit.fresh("c")
                 self._emit.line(f"{ref} = ch[{index}]")
                 arg_codes = [
-                    exprgen.gen(inst.input_conns[port])
+                    exprgen.gen(self._expr(inst.input_conns[port]))
                     for port in child.inputs
                 ]
                 call_args = ", ".join(arg_codes)
@@ -573,6 +686,7 @@ class _ModuleCompiler:
                 wrote = True
             if not wrote:
                 self._emit.line("pass")
+        self._seq_phase = False
 
     def _memory_written(self, name: str) -> bool:
         for seq in self._ir.seq_blocks:
@@ -641,7 +755,7 @@ class _ModuleCompiler:
             trunc_hook=self._trunc_hook if self._sanitize else None,
             write_note=write_note if self._sanitize else None,
         )
-        stmtgen.gen_stmts(seq.body)
+        stmtgen.gen_stmts(self._seq_body_stmts(block_id))
 
     # -- tick ---------------------------------------------------------------
 
@@ -678,8 +792,23 @@ class _ModuleCompiler:
                             )
                     self._emit.line("del _pw[:]")
             if ir.instances:
-                with block(self._emit, "for _c in ch:"):
-                    self._emit.line("_c.code.tick_fn(_c.state, _c.children)")
+                skip = self._skip_children()
+                if not skip:
+                    with block(self._emit, "for _c in ch:"):
+                        self._emit.line(
+                            "_c.code.tick_fn(_c.state, _c.children)"
+                        )
+                else:
+                    # Pure subtrees have nothing to commit.
+                    for index in range(len(ir.instances)):
+                        if index in skip:
+                            continue
+                        self._emit.line(
+                            f"_c = ch[{index}]"
+                        )
+                        self._emit.line(
+                            "_c.code.tick_fn(_c.state, _c.children)"
+                        )
 
 
 def compile_module(
@@ -688,20 +817,33 @@ def compile_module(
     mux_style: str = "branch",
     sanitize: bool = False,
     runtime: object = None,
+    opt_plan: Optional[OptPlan] = None,
+    opt_level: str = "none",
 ) -> CompiledModule:
     """Compile one specialization into a :class:`CompiledModule`.
 
     With ``sanitize=True`` the generated source is instrumented with
     calls into ``runtime`` (a :class:`repro.sanitize.SanitizerRuntime`),
     bound as the module-global ``_san`` at exec time.
+
+    With an ``opt_plan`` (see :mod:`repro.passes`), the emitted code is
+    constant-folded, dead logic is dropped, and opt=full adds
+    sensitivity guards plus pure-subtree skips.
     """
+    if opt_plan is not None and opt_plan.is_noop:
+        opt_plan = None  # nothing to apply: emit the plain shape
     started = time.perf_counter()
-    with obs.span("codegen.module", key=ir.key, sanitize=sanitize):
-        compiler = _ModuleCompiler(ir, netlist, mux_style, sanitize=sanitize)
+    with obs.span("codegen.module", key=ir.key, sanitize=sanitize,
+                  opt=opt_level):
+        compiler = _ModuleCompiler(
+            ir, netlist, mux_style, sanitize=sanitize, plan=opt_plan
+        )
         source = compiler.generate()
-        # Distinct linecache entries for clean vs sanitized builds of
-        # the same specialization.
+        # Distinct linecache entries per build flavour of the same
+        # specialization (clean / sanitized / optimized).
         filename = f"<lhdl:{ir.key}:san>" if sanitize else f"<lhdl:{ir.key}>"
+        if opt_level != "none":
+            filename = filename[:-1] + f":o-{opt_level}>"
         code = compile(source, filename, "exec")
         namespace: Dict[str, object] = {"_san": runtime} if sanitize else {}
         exec(code, namespace)  # noqa: S102 - generated, trusted code
@@ -731,6 +873,7 @@ def compile_module(
         state_size=(
             2 * ir.num_regs + CACHE_SLOTS + 2 * len(ir.memories)
             + (len(ir.memories) + 2 if sanitize else 0)
+            + 2 * compiler.sens_slot_count
         ),
         reg_slots=reg_slots,  # type: ignore[arg-type]
         reg_widths={name: ir.signals[name].width for name in reg_slots},
@@ -741,6 +884,8 @@ def compile_module(
         compile_seconds=elapsed,
         mux_style=mux_style,
         sanitize=sanitize,
+        opt=opt_level,
+        sens_slot_count=compiler.sens_slot_count,
     )
 
 

@@ -19,6 +19,9 @@ plus session conveniences beyond Table I::
     lint [pipe-name]            static analysis findings (repro.analyze)
     san [off|report|trap]       toggle the runtime sanitizer / show
                                 mode + per-check hit counters
+    opt [none|basic|full]       switch the optimization level (a hot
+                                recompile + swap, state preserved) /
+                                show level + pass order
     verify pipe-name [, workers]   start a background verification
     verifyStatus pipe-name      progress / verdict of the latest verify
     verifyWait pipe-name        block until the verify report lands
@@ -82,6 +85,7 @@ class CommandInterpreter:
             "peek": self._peek,
             "lint": self._lint,
             "san": self._san,
+            "opt": self._opt,
             "verify": self._verify,
             "verifystatus": self._verify_status,
             "verifywait": self._verify_wait,
@@ -221,6 +225,12 @@ class CommandInterpreter:
         if not operands:
             return self._session.sanitize_status()
         return self._session.set_sanitize(operands[0].lower())
+
+    def _opt(self, operands: List[str]):
+        self._need(operands, 0, 1, "opt [none|basic|full]")
+        if not operands:
+            return self._session.opt_status()
+        return self._session.set_opt(operands[0].lower())
 
     def _verify(self, operands: List[str]):
         self._need(operands, 1, 2, "verify pipe-name [, workers]")

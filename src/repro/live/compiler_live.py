@@ -20,18 +20,22 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from .. import obs
-from ..codegen.pygen import CompiledModule, compile_module
+from ..codegen.optplan import OPT_LEVELS
+from ..codegen.pygen import CompiledModule
 from ..hdl.ast_nodes import shift_lines
 from ..hdl.elaborate import elaborate
 from ..hdl.errors import HDLError
 from ..hdl.parser import parse
 from ..ir.netlist import Netlist
+from ..passes import PassData, build_compile_pipeline
 from .parser_live import LiveParseResult, LiveParser
 
 # (spec key, module fingerprint, child interface fps, mux style,
-#  sanitize flag) — sanitized and clean artifacts coexist in the cache
-# and in the artifact store.
-CacheKey = Tuple[str, str, Tuple[str, ...], str, bool]
+#  sanitize flag, opt level) — sanitized/clean and per-opt-level
+# artifacts coexist in the cache and in the artifact store.  At
+# opt=full the child-fp components carry a "+pure" tag when the child
+# subtree is pure (see repro.passes.codegen.CodegenPass).
+CacheKey = Tuple[str, str, Tuple[str, ...], str, bool, str]
 
 
 @dataclass
@@ -45,6 +49,13 @@ class CompileReport:
     elaborate_seconds: float = 0.0
     codegen_seconds: float = 0.0
     sanitize: bool = False
+    opt: str = "none"
+    # Per-pass incrementality accounting (repro.passes): which spec
+    # keys each optimization pass recomputed vs served from its cache,
+    # and wall time per pass.
+    pass_computed: Dict[str, List[str]] = field(default_factory=dict)
+    pass_reused: Dict[str, List[str]] = field(default_factory=dict)
+    pass_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:
@@ -72,6 +83,7 @@ class LiveCompiler:
         store=None,
         sanitize: bool = False,
         sanitize_runtime=None,
+        opt: str = "none",
     ):
         """``store`` is an optional on-disk artifact store (duck-typed
         ``load(cache_key)`` / ``save(cache_key, module)``, see
@@ -83,7 +95,13 @@ class LiveCompiler:
         to ``sanitize_runtime`` (a
         :class:`repro.sanitize.SanitizerRuntime`).  The flag is part of
         the cache key, so clean and sanitized artifacts coexist and
-        toggling is a cache hit after the first compile."""
+        toggling is a cache hit after the first compile.
+
+        ``opt`` selects the optimization level (see
+        :data:`repro.codegen.optplan.OPT_LEVELS`); it too joins the
+        cache key, so per-level artifacts coexist."""
+        if opt not in OPT_LEVELS:
+            raise ValueError(f"unknown opt level {opt!r} (know {OPT_LEVELS})")
         self.parser = LiveParser(source)
         self._design = parse(source)
         self._mux_style = mux_style
@@ -91,6 +109,10 @@ class LiveCompiler:
         self._store = store
         self._sanitize = sanitize
         self._sanitize_runtime = sanitize_runtime
+        self._opt = opt
+        # One pipeline for the compiler's lifetime: the pass instances
+        # hold the per-pass caches that make hot reload incremental.
+        self._pipeline = build_compile_pipeline()
         self._last_parse_seconds = 0.0
 
     @property
@@ -102,6 +124,22 @@ class LiveCompiler:
         self._sanitize = enabled
         if runtime is not None:
             self._sanitize_runtime = runtime
+
+    @property
+    def opt(self) -> str:
+        return self._opt
+
+    def set_opt(self, level: str) -> None:
+        """Switch the optimization level for subsequent compiles."""
+        if level not in OPT_LEVELS:
+            raise ValueError(
+                f"unknown opt level {level!r} (know {OPT_LEVELS})"
+            )
+        self._opt = level
+
+    @property
+    def pipeline(self):
+        return self._pipeline
 
     @property
     def artifact_store(self):
@@ -187,8 +225,11 @@ class LiveCompiler:
     def compile_top(
         self, top: str, params: Optional[Dict[str, int]] = None
     ) -> CompileResult:
-        """Elaborate + compile ``top``, reusing cached modules."""
-        report = CompileReport(top=top, sanitize=self._sanitize)
+        """Elaborate + compile ``top`` through the pass pipeline,
+        reusing cached modules (and cached per-pass results)."""
+        report = CompileReport(
+            top=top, sanitize=self._sanitize, opt=self._opt
+        )
         report.parse_seconds = self._last_parse_seconds
         self._last_parse_seconds = 0.0
 
@@ -198,62 +239,24 @@ class LiveCompiler:
         report.elaborate_seconds = time.perf_counter() - started
 
         started = time.perf_counter()
-        library: Dict[str, CompiledModule] = {}
         fps = {
             name: self.parser.fingerprint(name)
             for name in {netlist.modules[k].name for k in netlist.modules}
         }
-
-        def visit(key: str) -> CompiledModule:
-            if key in library:
-                return library[key]
-            ir = netlist.modules[key]
-            child_fps = tuple(
-                visit(inst.child_key).interface_fp for inst in ir.instances
-            )
-            cache_key: CacheKey = (
-                key, fps[ir.name], child_fps, self._mux_style, self._sanitize
-            )
-            cached = self._cache.get(cache_key)
-            if cached is not None:
-                library[key] = cached
-                report.reused_keys.append(key)
-                obs.incr("compile.cache_hits")
-                return cached
-            if self._store is not None:
-                if self._sanitize:
-                    # Rehydrated instrumented code must rebind this
-                    # session's sanitizer runtime.
-                    stored = self._store.load(
-                        cache_key, sanitize_runtime=self._sanitize_runtime
-                    )
-                else:
-                    stored = self._store.load(cache_key)
-                if stored is not None:
-                    # Disk hit: the generated code is reused with zero
-                    # codegen, exactly like a memory hit — it just also
-                    # worked across a restart or another session.
-                    self._cache[cache_key] = stored
-                    library[key] = stored
-                    report.reused_keys.append(key)
-                    return stored
-            compiled = compile_module(
-                ir,
-                netlist,
-                self._mux_style,
-                sanitize=self._sanitize,
-                runtime=self._sanitize_runtime if self._sanitize else None,
-            )
-            self._cache[cache_key] = compiled
-            library[key] = compiled
-            report.recompiled_keys.append(key)
-            obs.incr("compile.cache_misses")
-            if self._store is not None:
-                self._store.save(cache_key, compiled)
-            return compiled
-
-        with obs.span("codegen", top=top):
-            visit(netlist.top)
+        data = PassData(
+            netlist=netlist,
+            fps=fps,
+            mux_style=self._mux_style,
+            sanitize=self._sanitize,
+            sanitize_runtime=self._sanitize_runtime,
+            opt=self._opt,
+            compile_cache=self._cache,
+            store=self._store,
+            report=report,
+        )
+        with obs.span("codegen", top=top, opt=self._opt):
+            self._pipeline.run(data)
+        library: Dict[str, CompiledModule] = data.facts["codegen.library"]
         report.codegen_seconds = time.perf_counter() - started
         obs.gauge("compile.cache_size", len(self._cache))
         return CompileResult(netlist=netlist, library=library, report=report)

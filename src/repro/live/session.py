@@ -31,6 +31,7 @@ from ..analyze import (
     evaluate_gate,
     sort_diagnostics,
 )
+from ..codegen.optplan import OPT_LEVELS
 from ..hdl.errors import HDLError, SimulationError
 from ..sanitize import SANITIZE_MODES, SanitizerRuntime
 from ..sim.pipeline import Pipe
@@ -106,6 +107,13 @@ class ERDReport:
     sanitize: bool = False
     sanitized_recompiled_keys: List[str] = field(default_factory=list)
     sanitized_reused_keys: List[str] = field(default_factory=list)
+    # Pass-framework accounting (repro.passes): the active opt level
+    # and, per optimization pass, which spec keys were recomputed vs
+    # served from the pass's fingerprint cache this iteration.  A hot
+    # reload under opt should recompute only the dirty module's passes.
+    opt: str = "none"
+    pass_computed_keys: Dict[str, List[str]] = field(default_factory=dict)
+    pass_reused_keys: Dict[str, List[str]] = field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:
@@ -155,11 +163,16 @@ class LiveSession:
         gate_policy: Optional[GatePolicy] = None,
         sanitize: str = "off",
         trace_capacity: Optional[int] = DEFAULT_CAPACITY,
+        opt: str = "none",
     ):
         if sanitize not in SANITIZE_MODES:
             raise SimulationError(
                 f"unknown sanitize mode {sanitize!r}; expected one of "
                 f"{SANITIZE_MODES}"
+            )
+        if opt not in OPT_LEVELS:
+            raise SimulationError(
+                f"unknown opt level {opt!r}; expected one of {OPT_LEVELS}"
             )
         # One runtime per session, forever: instrumented code exec'd at
         # any point binds this exact object, so mode flips are live in
@@ -172,6 +185,7 @@ class LiveSession:
             store=artifact_store,
             sanitize=sanitize != "off",
             sanitize_runtime=self.sanitize_runtime,
+            opt=opt,
         )
         self.analyzer = analyzer if analyzer is not None else Analyzer()
         self.gate_policy = (
@@ -553,6 +567,7 @@ class LiveSession:
             behavioral=parse_result.behavioral,
             version=self.version,
             sanitize=self.compiler.sanitize,
+            opt=self.compiler.opt,
         )
         report.parse_seconds = parse_result.parse_seconds
         obs.incr("live.apply_changes")
@@ -610,6 +625,14 @@ class LiveSession:
                 report.sanitized_reused_keys.extend(
                     result.report.reused_keys
                 )
+            for pass_name, keys in result.report.pass_computed.items():
+                report.pass_computed_keys.setdefault(
+                    pass_name, []
+                ).extend(keys)
+            for pass_name, keys in result.report.pass_reused.items():
+                report.pass_reused_keys.setdefault(
+                    pass_name, []
+                ).extend(keys)
 
             if old_result is not None and transforms is None:
                 self._guess_version_transforms(
@@ -887,6 +910,60 @@ class LiveSession:
         status = self.sanitize_runtime.status()
         status["instrumented"] = self.compiler.sanitize
         return status
+
+    # ------------------------------------------------------------------
+    # Optimization level (repro.passes)
+    # ------------------------------------------------------------------
+
+    def set_opt(self, level: str) -> Dict[str, object]:
+        """Switch the optimization level for this session.
+
+        Changing level recompiles every pipe through the pass pipeline
+        at the new level — a cache hit after the first toggle, since
+        the opt level is part of the compile cache key — and hot swaps
+        the new library in, preserving all state.
+        """
+        if level not in OPT_LEVELS:
+            raise SimulationError(
+                f"unknown opt level {level!r}; expected one of "
+                f"{OPT_LEVELS}"
+            )
+        previous = self.compiler.opt
+        recompiled: List[str] = []
+        swapped: List[str] = []
+        if level != previous:
+            with obs.span("opt.toggle", level=level):
+                self.compiler.set_opt(level)
+                reloader = HotReloader()
+                for name, session in self._pipe_sessions.items():
+                    result = self.compiler.compile_top(
+                        session.module, session.params
+                    )
+                    recompiled.extend(result.report.recompiled_keys)
+                    reloader.swap_pipe(session.pipe, result.library)
+                    session.compile_result = result
+                    if session.trace is not None:
+                        session.trace.rebind(session.pipe)
+                    swapped.append(name)
+        obs.incr("opt.toggles")
+        return {
+            "level": level,
+            "previous": previous,
+            "recompiled_keys": recompiled,
+            "swapped_pipes": swapped,
+        }
+
+    @property
+    def opt(self) -> str:
+        return self.compiler.opt
+
+    def opt_status(self) -> Dict[str, object]:
+        """Current level and the pipeline's pass order."""
+        return {
+            "level": self.compiler.opt,
+            "levels": list(OPT_LEVELS),
+            "passes": self.compiler.pipeline.order,
+        }
 
     # ------------------------------------------------------------------
     # Live trace (repro.trace)

@@ -1,0 +1,88 @@
+"""repro.passes — the composable netlist pass framework.
+
+Compilation stages (elaboration facts, static analysis, optimization,
+sanitizer planning, code generation) are :class:`Pass` objects that
+declare the facts they require and produce; :class:`PassManager`
+topo-orders and validates a pipeline at build time, and
+:class:`PassData` is the shared carrier one compile threads through it.
+
+``build_compile_pipeline()`` is the compiler's default pipeline
+(:class:`~repro.live.compiler_live.LiveCompiler` owns one instance, so
+per-pass caches persist across hot reloads); ``run_opt_pipeline`` is
+the one-shot convenience ``repro.compile_design(opt=...)`` uses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..codegen.optplan import OPT_LEVELS
+from ..codegen.pygen import CompiledModule
+from ..ir.netlist import Netlist
+from .analyze import AnalyzePass
+from .base import Pass, PassData, PassManager, PassPipeline, PipelineError
+from .codegen import CodegenPass, SanitizePlanPass
+from .facts import ElaborateFactsPass
+from .optimize import ConstPropPass, DeadLogicPass, SensitivityPrunePass
+
+__all__ = [
+    "OPT_LEVELS",
+    "AnalyzePass",
+    "CodegenPass",
+    "ConstPropPass",
+    "DeadLogicPass",
+    "ElaborateFactsPass",
+    "Pass",
+    "PassData",
+    "PassManager",
+    "PassPipeline",
+    "PipelineError",
+    "SanitizePlanPass",
+    "SensitivityPrunePass",
+    "build_compile_pipeline",
+    "run_opt_pipeline",
+]
+
+
+def build_compile_pipeline() -> PassPipeline:
+    """The default compile pipeline, validated and topo-ordered.
+
+    Passes are registered deliberately out of dependency order — the
+    manager's topological sort is what sequences them.
+    """
+    manager = PassManager([
+        CodegenPass(),
+        SensitivityPrunePass(),
+        DeadLogicPass(),
+        ConstPropPass(),
+        SanitizePlanPass(),
+        ElaborateFactsPass(),
+    ])
+    return manager.build()
+
+
+def run_opt_pipeline(
+    netlist: Netlist,
+    opt: str = "none",
+    mux_style: str = "branch",
+    sanitize: bool = False,
+    sanitize_runtime=None,
+    fps: Optional[Dict[str, str]] = None,
+) -> Dict[str, CompiledModule]:
+    """One-shot compile of ``netlist`` through the pass pipeline.
+
+    Returns key -> CompiledModule for every specialization under the
+    top.  Fresh pass instances each call: no cross-call caching.
+    """
+    if opt not in OPT_LEVELS:
+        raise ValueError(f"unknown opt level {opt!r} (know {OPT_LEVELS})")
+    data = PassData(
+        netlist=netlist,
+        fps=fps or {},
+        mux_style=mux_style,
+        sanitize=sanitize,
+        sanitize_runtime=sanitize_runtime,
+        opt=opt,
+    )
+    build_compile_pipeline().run(data)
+    return data.facts["codegen.library"]

@@ -1,0 +1,37 @@
+"""repro.analyze as a pass.
+
+Wraps the incremental :class:`~repro.analyze.engine.Analyzer` (which
+keeps its own fingerprint-keyed cache) so static analysis can ride the
+same pipeline as optimization and codegen.  Analysis runs on the
+elaborated netlist *before* any optimization applies, so findings are
+identical at every opt level — the CI analyze-examples job asserts
+exactly that by diffing per-level runs against one baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..analyze.engine import Analyzer
+from .base import Pass, PassData
+
+
+class AnalyzePass(Pass):
+    name = "analyze"
+    requires = ("elab.facts",)
+    produces = ("analyze.report",)
+
+    def __init__(self, analyzer: Optional[Analyzer] = None):
+        self._analyzer = analyzer if analyzer is not None else Analyzer()
+
+    @property
+    def analyzer(self) -> Analyzer:
+        return self._analyzer
+
+    def run(self, data: PassData) -> None:
+        fingerprint_of = None
+        if data.fps:
+            fingerprint_of = data.fingerprint
+        data.facts["analyze.report"] = self._analyzer.analyze_netlist(
+            data.netlist, fingerprint_of
+        )

@@ -1,0 +1,158 @@
+"""The pass framework: PassData carrier, Pass protocol, PassManager.
+
+A :class:`Pass` declares the fact names it ``requires`` and
+``produces``; :class:`PassManager.build` topologically orders the
+registered passes by those declarations and validates the pipeline —
+a missing producer or a dependency cycle raises
+:class:`PipelineError` at build time, not mid-compile.
+
+Facts live in ``PassData.facts`` (fact name -> value).  Passes that
+want hot-reload-grade incrementality keep per-specialization caches on
+the pass *instance* keyed by the compiler's fingerprint keys (the pass
+instances live as long as the :class:`~repro.live.compiler_live.\
+LiveCompiler` that owns the pipeline), and report what they reused via
+:meth:`PassData.note_computed` / :meth:`PassData.note_reused` — the
+counters the ERD report and ``stats`` surface.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .. import obs
+from ..ir.netlist import Netlist
+
+
+class PipelineError(Exception):
+    """A pipeline cannot be built: missing requirement or cycle."""
+
+
+@dataclass
+class PassData:
+    """The shared carrier every pass reads from and writes to."""
+
+    netlist: Netlist
+    fps: Dict[str, str] = field(default_factory=dict)  # module name -> fp
+    mux_style: str = "branch"
+    sanitize: bool = False
+    sanitize_runtime: Any = None
+    opt: str = "none"
+    compile_cache: Optional[Dict] = None
+    store: Any = None
+    report: Any = None  # CompileReport, when driven by LiveCompiler
+    facts: Dict[str, Any] = field(default_factory=dict)
+
+    def fingerprint(self, module_name: str) -> str:
+        return self.fps.get(module_name, "")
+
+    # -- per-pass cache accounting (merged into ERDReport / stats) -----------
+
+    def note_computed(self, pass_name: str, key: str) -> None:
+        obs.incr(f"passes.{pass_name}.cache_misses")
+        if self.report is not None:
+            self.report.pass_computed.setdefault(pass_name, []).append(key)
+
+    def note_reused(self, pass_name: str, key: str) -> None:
+        obs.incr(f"passes.{pass_name}.cache_hits")
+        if self.report is not None:
+            self.report.pass_reused.setdefault(pass_name, []).append(key)
+
+
+class Pass:
+    """Base class: declare requires/produces, implement ``run``."""
+
+    name: str = "pass"
+    requires: Tuple[str, ...] = ()
+    produces: Tuple[str, ...] = ()
+
+    def run(self, data: PassData) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<{type(self).__name__} {self.name!r} "
+            f"requires={list(self.requires)} produces={list(self.produces)}>"
+        )
+
+
+class PassPipeline:
+    """A validated, topologically ordered pass sequence."""
+
+    def __init__(self, passes: Sequence[Pass]):
+        self.passes: Tuple[Pass, ...] = tuple(passes)
+
+    @property
+    def order(self) -> List[str]:
+        return [p.name for p in self.passes]
+
+    def run(self, data: PassData) -> PassData:
+        for p in self.passes:
+            started = time.perf_counter()
+            with obs.span(f"passes.{p.name}", opt=data.opt):
+                p.run(data)
+            elapsed = time.perf_counter() - started
+            if data.report is not None:
+                seconds = data.report.pass_seconds
+                seconds[p.name] = seconds.get(p.name, 0.0) + elapsed
+            missing = [f for f in p.produces if f not in data.facts]
+            if missing:
+                raise PipelineError(
+                    f"pass {p.name!r} declared but did not produce "
+                    f"facts {missing}"
+                )
+        return data
+
+
+class PassManager:
+    """Registers passes and builds validated pipelines."""
+
+    def __init__(self, passes: Optional[Sequence[Pass]] = None):
+        self._passes: List[Pass] = list(passes or ())
+
+    def add(self, p: Pass) -> "PassManager":
+        self._passes.append(p)
+        return self
+
+    @property
+    def passes(self) -> List[Pass]:
+        return list(self._passes)
+
+    def build(self) -> PassPipeline:
+        """Topo-order by requires/produces (stable: registration order
+        breaks ties).  Raises :class:`PipelineError` when a required
+        fact has no producer or the dependency graph has a cycle."""
+        producers: Dict[str, Pass] = {}
+        for p in self._passes:
+            for fact in p.produces:
+                if fact in producers:
+                    raise PipelineError(
+                        f"fact {fact!r} produced by both "
+                        f"{producers[fact].name!r} and {p.name!r}"
+                    )
+                producers[fact] = p
+        for p in self._passes:
+            for fact in p.requires:
+                if fact not in producers:
+                    raise PipelineError(
+                        f"pass {p.name!r} requires fact {fact!r} "
+                        "but no registered pass produces it"
+                    )
+        ordered: List[Pass] = []
+        emitted: set = set()
+        pending = list(self._passes)
+        while pending:
+            progressed = False
+            for p in list(pending):
+                if all(fact in emitted for fact in p.requires):
+                    ordered.append(p)
+                    emitted.update(p.produces)
+                    pending.remove(p)
+                    progressed = True
+            if not progressed:
+                names = [p.name for p in pending]
+                raise PipelineError(
+                    f"dependency cycle among passes {names}"
+                )
+        return PassPipeline(ordered)

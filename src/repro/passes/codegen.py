@@ -1,0 +1,143 @@
+"""The sanitize-plan and codegen passes (the back of the pipeline).
+
+``CodegenPass`` holds what used to be ``LiveCompiler.compile_top``'s
+visit loop: bottom-up over the instance tree, with the in-memory
+compile cache in front of the artifact store in front of
+``compile_module``.  It assembles each specialization's
+:class:`~repro.codegen.optplan.OptPlan` from the optimization facts
+and folds the opt level into the cache key, so optimized and plain
+artifacts coexist (``repro.store/v3``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .. import obs
+from ..codegen.optplan import OptPlan
+from ..codegen.pygen import CompiledModule, compile_module
+from .base import Pass, PassData
+from .optimize import _EMPTY_DEAD, _EMPTY_SENS
+
+
+class SanitizePlanPass(Pass):
+    """Decide the instrumentation plan: which runtime generated code
+    binds to, and whether instrumentation is on at all.  Kept as its
+    own pass so the pipeline's declared dataflow names the dependency
+    codegen has always had implicitly."""
+
+    name = "sanitize_plan"
+    produces = ("sanitize.plan",)
+
+    def run(self, data: PassData) -> None:
+        data.facts["sanitize.plan"] = {
+            "enabled": bool(data.sanitize),
+            "runtime": data.sanitize_runtime if data.sanitize else None,
+        }
+
+
+class CodegenPass(Pass):
+    name = "codegen"
+    requires = (
+        "elab.facts", "opt.consts", "opt.dead", "opt.sensitivity",
+        "sanitize.plan",
+    )
+    produces = ("codegen.library",)
+
+    def run(self, data: PassData) -> None:
+        netlist = data.netlist
+        report = data.report
+        san_plan = data.facts["sanitize.plan"]
+        sanitize = san_plan["enabled"]
+        runtime = san_plan["runtime"]
+        opt = data.opt
+        elab = data.facts["elab.facts"]
+        consts_facts = data.facts["opt.consts"]
+        dead_facts = data.facts["opt.dead"]
+        sens_facts = data.facts["opt.sensitivity"]
+        cache = data.compile_cache
+        store = data.store
+        library: Dict[str, CompiledModule] = {}
+
+        def plan_for(key: str) -> OptPlan:
+            consts, widths = consts_facts.get(key, ({}, {}))
+            dead = dead_facts.get(key, _EMPTY_DEAD)
+            sens = sens_facts.get(key, _EMPTY_SENS)
+            return OptPlan(
+                level=opt,
+                consts=consts,
+                const_widths=widths,
+                dead_assigns=tuple(sorted(dead.assigns)),
+                dead_blocks=tuple(sorted(dead.blocks)),
+                guard_blocks=sens.guard_blocks,
+                guard_inputs=sens.guard_inputs,
+                skip_children=sens.skip_children,
+            )
+
+        def child_fp(inst, compiled: CompiledModule) -> str:
+            # At opt=full a parent's code depends on child *purity*
+            # (pure subtrees skip eval_seq/tick), which the interface
+            # fp cannot see — tag it into the key's child component.
+            fp = compiled.interface_fp
+            if opt == "full" and not sanitize and elab[inst.child_key].pure:
+                fp += "+pure"
+            return fp
+
+        def visit(key: str) -> CompiledModule:
+            if key in library:
+                return library[key]
+            ir = netlist.modules[key]
+            child_fps = tuple(
+                child_fp(inst, visit(inst.child_key))
+                for inst in ir.instances
+            )
+            cache_key = (
+                key, data.fingerprint(ir.name), child_fps,
+                data.mux_style, sanitize, opt,
+            )
+            if cache is not None:
+                cached = cache.get(cache_key)
+                if cached is not None:
+                    library[key] = cached
+                    if report is not None:
+                        report.reused_keys.append(key)
+                    obs.incr("compile.cache_hits")
+                    return cached
+            if store is not None:
+                if sanitize:
+                    # Rehydrated instrumented code must rebind this
+                    # session's sanitizer runtime.
+                    stored = store.load(cache_key, sanitize_runtime=runtime)
+                else:
+                    stored = store.load(cache_key)
+                if stored is not None:
+                    # Disk hit: the generated code is reused with zero
+                    # codegen, exactly like a memory hit — it just also
+                    # worked across a restart or another session.
+                    if cache is not None:
+                        cache[cache_key] = stored
+                    library[key] = stored
+                    if report is not None:
+                        report.reused_keys.append(key)
+                    return stored
+            compiled = compile_module(
+                ir,
+                netlist,
+                data.mux_style,
+                sanitize=sanitize,
+                runtime=runtime,
+                opt_plan=plan_for(key) if opt != "none" else None,
+                opt_level=opt,
+            )
+            if cache is not None:
+                cache[cache_key] = compiled
+            library[key] = compiled
+            if report is not None:
+                report.recompiled_keys.append(key)
+            obs.incr("compile.cache_misses")
+            if store is not None:
+                store.save(cache_key, compiled)
+            return compiled
+
+        visit(netlist.top)
+        data.facts["codegen.library"] = library

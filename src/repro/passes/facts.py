@@ -1,0 +1,73 @@
+"""Elaboration facts: the cheap whole-netlist summary later passes key on.
+
+Produces ``elab.facts``: per-specialization structural facts derived
+bottom-up from the elaborated IR —
+
+* ``comb_signature`` — what a parent-side analysis can observe of the
+  module (interface fp + per-output dependencies), shared with
+  :mod:`repro.analyze`;
+* ``pure`` — True when the whole *subtree* is stateless (no registers,
+  memories, sequential blocks, or fixpoint iteration anywhere below):
+  its ``eval_seq``/``tick`` calls are no-ops a parent may elide.
+
+This pass recomputes every run (it is a dict walk, far cheaper than a
+cache probe per module would be worth); the expensive passes downstream
+cache per fingerprint key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..analyze.engine import comb_signature
+from ..ir.netlist import ModuleIR
+from .base import Pass, PassData
+
+
+@dataclass(frozen=True)
+class ElabFacts:
+    comb_signature: str
+    pure: bool
+
+
+def module_is_pure(ir: ModuleIR, pure_children: bool) -> bool:
+    """Stateless module body: nothing survives a clock edge.
+
+    Fixpoint modules are excluded even when register-free — they carry
+    comb-local iteration state in the memo slot across passes, and
+    their tick clears it.
+    """
+    return (
+        pure_children
+        and ir.num_regs == 0
+        and not ir.memories
+        and not ir.seq_blocks
+        and not ir.needs_fixpoint
+    )
+
+
+class ElaborateFactsPass(Pass):
+    name = "elab_facts"
+    produces = ("elab.facts",)
+
+    def run(self, data: PassData) -> None:
+        netlist = data.netlist
+        facts: Dict[str, ElabFacts] = {}
+
+        def visit(key: str) -> ElabFacts:
+            if key in facts:
+                return facts[key]
+            ir = netlist.modules[key]
+            pure_children = all(
+                visit(inst.child_key).pure for inst in ir.instances
+            )
+            facts[key] = ElabFacts(
+                comb_signature=comb_signature(ir),
+                pure=module_is_pure(ir, pure_children),
+            )
+            return facts[key]
+
+        for key in netlist.modules:
+            visit(key)
+        data.facts["elab.facts"] = facts

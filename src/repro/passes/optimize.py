@@ -1,0 +1,326 @@
+"""The optimization passes: constant propagation, dead-logic
+elimination, sensitivity pruning.
+
+All three are *facts-only*: they never mutate the shared ModuleIR.
+Codegen consumes their conclusions through an
+:class:`~repro.codegen.optplan.OptPlan`.
+
+Results cache on the pass instance under the compiler's fingerprint
+keys — ``(spec key, module fingerprint)`` — so a hot reload re-runs
+each pass only for the dirty module (the same discipline as the
+compile and analyze caches).  Cache hits/misses surface as
+``passes.<name>.cache_hits/misses`` counters and per-pass key lists on
+the compile report.
+
+Fixpoint modules are exempt from every optimization: their comb locals
+round-trip through the memo slot between iteration passes, so neither
+branch pruning, dead elimination, nor guards can reason about a single
+linear evaluation.  The dynamic passes (dead logic, sensitivity) also
+stand down under sanitize — instrumented reads are side-effecting, and
+skipping them would silence findings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Set, Tuple
+
+from ..codegen.exprgen import mask_of
+from ..codegen.optplan import (
+    num_value,
+    num_width,
+    optimize_stmts,
+    substitute_expr,
+)
+from ..hdl import ast_nodes as ast
+from ..hdl.consteval import expr_reads, stmt_reads_writes
+from ..ir.netlist import ModuleIR
+from .base import Pass, PassData
+
+MAX_GUARD_KEY = 12  # widest input tuple worth building every cycle
+
+
+# -- shared residual-read helpers (what the emitted code still reads) --------
+
+
+def _expr_residual_reads(expr, consts, widths) -> Set[str]:
+    return expr_reads(substitute_expr(expr, consts, widths))
+
+
+def _stmts_residual_reads(stmts, consts, widths) -> Set[str]:
+    reads, _ = stmt_reads_writes(optimize_stmts(stmts, consts, widths))
+    return reads
+
+
+def _stmt_weight(stmts) -> int:
+    """Assignment count, recursively — the 'is a guard worth it' proxy."""
+    total = 0
+    for stmt in stmts:
+        if isinstance(stmt, (ast.NonBlocking, ast.Blocking)):
+            total += 1
+        elif isinstance(stmt, ast.If):
+            total += _stmt_weight(stmt.then_body) + _stmt_weight(stmt.else_body)
+        elif isinstance(stmt, ast.Case):
+            total += sum(_stmt_weight(body) for _, body in stmt.arms)
+    return total
+
+
+# -- constant propagation ----------------------------------------------------
+
+
+class ConstPropPass(Pass):
+    """Find comb wires whose single driving assign folds to a literal.
+
+    Produces ``opt.consts``: key -> (consts, widths) where ``consts``
+    maps signal name to its value already masked to the declared width.
+    Active at every opt level above ``none`` (including under sanitize:
+    substitution only replaces *wire* reads, which carry no poison, and
+    the driving assign keeps its trunc instrumentation).
+    """
+
+    name = "constprop"
+    requires = ("elab.facts",)
+    produces = ("opt.consts",)
+
+    def __init__(self):
+        self._cache: Dict[Tuple[str, str], Tuple[dict, dict]] = {}
+
+    def run(self, data: PassData) -> None:
+        out: Dict[str, Tuple[dict, dict]] = {}
+        if data.opt != "none":
+            for key, ir in data.netlist.modules.items():
+                cache_key = (key, data.fingerprint(ir.name))
+                cached = self._cache.get(cache_key)
+                if cached is not None:
+                    data.note_reused(self.name, key)
+                else:
+                    cached = self._find_consts(ir)
+                    self._cache[cache_key] = cached
+                    data.note_computed(self.name, key)
+                out[key] = cached
+        data.facts["opt.consts"] = out
+
+    @staticmethod
+    def _find_consts(ir: ModuleIR) -> Tuple[dict, dict]:
+        if ir.needs_fixpoint:
+            return {}, {}
+        blocked: Set[str] = set()
+        seen_assign: Set[str] = set()
+        for assign in ir.comb_assigns:
+            name = assign.target.name
+            if name in seen_assign:
+                blocked.add(name)  # multi-driver
+            seen_assign.add(name)
+            if assign.target.index is not None or assign.target.msb is not None:
+                blocked.add(name)  # partial writes never fold
+        for comb in ir.comb_blocks:
+            blocked.update(comb.defines)
+        for inst in ir.instances:
+            blocked.update(inst.output_conns.values())
+        for _, _, target in ir.early_bind:
+            blocked.add(target)
+
+        consts: Dict[str, int] = {}
+        widths: Dict[str, int] = {}
+        for kind, index in ir.schedule:
+            if kind != "assign":
+                continue
+            assign = ir.comb_assigns[index]
+            name = assign.target.name
+            if name in blocked:
+                continue
+            folded = substitute_expr(assign.value, consts, widths)
+            if isinstance(folded, ast.Num):
+                declared = ir.signals[name].width
+                value = num_value(folded)
+                if num_width(folded) > declared:
+                    value &= mask_of(declared)
+                consts[name] = value
+                widths[name] = declared
+        return consts, widths
+
+
+# -- dead-logic elimination --------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DeadFacts:
+    assigns: FrozenSet[int]
+    blocks: FrozenSet[int]
+    # Residual reads per *live* comb block (what the optimized body
+    # still references) — the sensitivity pass keys guards on these.
+    block_reads: Dict[int, FrozenSet[str]]
+
+
+_EMPTY_DEAD = DeadFacts(assigns=frozenset(), blocks=frozenset(),
+                        block_reads={})
+
+
+class DeadLogicPass(Pass):
+    """Backward liveness over the schedule: comb assigns/blocks whose
+    defines reach no output, no sequential block, and no instance
+    connection are dropped from the emitted evals.
+
+    Reads are *residual* — computed on the constant-substituted,
+    branch-pruned bodies, exactly what codegen will emit — so a signal
+    read only inside a pruned branch keeps nothing alive.  Stands down
+    under sanitize (instrumented reads are side-effecting findings).
+    """
+
+    name = "deadlogic"
+    requires = ("opt.consts",)
+    produces = ("opt.dead",)
+
+    def __init__(self):
+        self._cache: Dict[Tuple[str, str], DeadFacts] = {}
+
+    def run(self, data: PassData) -> None:
+        out: Dict[str, DeadFacts] = {}
+        if data.opt != "none" and not data.sanitize:
+            consts_facts = data.facts["opt.consts"]
+            for key, ir in data.netlist.modules.items():
+                cache_key = (key, data.fingerprint(ir.name))
+                cached = self._cache.get(cache_key)
+                if cached is not None:
+                    data.note_reused(self.name, key)
+                else:
+                    consts, widths = consts_facts.get(key, ({}, {}))
+                    cached = self._find_dead(ir, consts, widths)
+                    self._cache[cache_key] = cached
+                    data.note_computed(self.name, key)
+                out[key] = cached
+        data.facts["opt.dead"] = out
+
+    @staticmethod
+    def _find_dead(ir: ModuleIR, consts: dict, widths: dict) -> DeadFacts:
+        if ir.needs_fixpoint:
+            return _EMPTY_DEAD
+        needed: Set[str] = set(ir.outputs)
+        for seq in ir.seq_blocks:
+            needed |= _stmts_residual_reads(seq.body, consts, widths)
+        # Instance conns seed the walk up front, not at their schedule
+        # position: eval_seq calls every child at the *end* of the
+        # function with all input conns (including seq-only ports), so
+        # an assign scheduled after the instance is still consumed.
+        for inst in ir.instances:
+            for conn in inst.input_conns.values():
+                needed |= _expr_residual_reads(conn, consts, widths)
+        dead_assigns: Set[int] = set()
+        dead_blocks: Set[int] = set()
+        block_reads: Dict[int, FrozenSet[str]] = {}
+        for kind, index in reversed(ir.schedule):
+            if kind == "inst":
+                continue
+            if kind == "block":
+                comb = ir.comb_blocks[index]
+                if any(name in needed for name in comb.defines):
+                    reads = frozenset(
+                        _stmts_residual_reads(comb.body, consts, widths)
+                    )
+                    block_reads[index] = reads
+                    needed |= reads
+                else:
+                    dead_blocks.add(index)
+            else:  # assign
+                assign = ir.comb_assigns[index]
+                if assign.target.name in needed:
+                    needed |= _expr_residual_reads(
+                        assign.value, consts, widths
+                    )
+                else:
+                    dead_assigns.add(index)
+        return DeadFacts(
+            assigns=frozenset(dead_assigns),
+            blocks=frozenset(dead_blocks),
+            block_reads=block_reads,
+        )
+
+
+# -- sensitivity pruning -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SensFacts:
+    guard_blocks: Tuple[int, ...]
+    guard_inputs: Dict[int, Tuple[str, ...]]
+    skip_children: Tuple[int, ...]
+
+
+_EMPTY_SENS = SensFacts(guard_blocks=(), guard_inputs={}, skip_children=())
+
+
+class SensitivityPrunePass(Pass):
+    """opt=full only: emit per-block input-change guards in eval_seq
+    (a comb block whose residual inputs match last cycle's restores its
+    cached outputs instead of re-evaluating), and mark pure child
+    subtrees whose eval_seq/tick calls can be elided entirely.
+
+    Guards are sound without invalidation because a guarded block's
+    outputs are a pure function of its key: block-local defines start
+    from a deterministic zero-init, so a stale (key, outputs) pair in
+    state simply never matches a live key it would corrupt.
+    """
+
+    name = "sensitivity"
+    requires = ("elab.facts", "opt.dead")
+    produces = ("opt.sensitivity",)
+
+    def __init__(self):
+        self._cache: Dict[Tuple[str, str, Tuple[bool, ...]], SensFacts] = {}
+
+    def run(self, data: PassData) -> None:
+        out: Dict[str, SensFacts] = {}
+        if data.opt == "full" and not data.sanitize:
+            elab = data.facts["elab.facts"]
+            dead_facts = data.facts["opt.dead"]
+            for key, ir in data.netlist.modules.items():
+                child_purity = tuple(
+                    elab[inst.child_key].pure for inst in ir.instances
+                )
+                cache_key = (key, data.fingerprint(ir.name), child_purity)
+                cached = self._cache.get(cache_key)
+                if cached is not None:
+                    data.note_reused(self.name, key)
+                else:
+                    cached = self._plan_module(
+                        ir, dead_facts.get(key, _EMPTY_DEAD), child_purity
+                    )
+                    self._cache[cache_key] = cached
+                    data.note_computed(self.name, key)
+                out[key] = cached
+        data.facts["opt.sensitivity"] = out
+
+    @staticmethod
+    def _plan_module(
+        ir: ModuleIR, dead: DeadFacts, child_purity: Tuple[bool, ...]
+    ) -> SensFacts:
+        if ir.needs_fixpoint:
+            return _EMPTY_SENS
+        skip_children = tuple(
+            index for index, pure in enumerate(child_purity) if pure
+        )
+        guards = []
+        guard_inputs: Dict[int, Tuple[str, ...]] = {}
+        for index, comb in enumerate(ir.comb_blocks):
+            reads = dead.block_reads.get(index)
+            if reads is None:  # dead block, or dead pass stood down
+                continue
+            if not comb.defines:
+                continue
+            if any(name in ir.memories for name in reads):
+                continue  # memory contents are not cheap-keyable
+            if _stmt_weight(comb.body) < 2:
+                continue  # guard overhead would beat the body
+            key_names = tuple(sorted(
+                name for name in reads
+                if name not in comb.defines and name in ir.signals
+            ))
+            if len(key_names) > MAX_GUARD_KEY:
+                continue
+            guards.append(index)
+            guard_inputs[index] = key_names
+        return SensFacts(
+            guard_blocks=tuple(guards),
+            guard_inputs=guard_inputs,
+            skip_children=skip_children,
+        )

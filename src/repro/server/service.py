@@ -139,6 +139,15 @@ def summarize(value: Any) -> Any:
                 value.sanitized_recompiled_keys
             ),
             "sanitized_reused_keys": list(value.sanitized_reused_keys),
+            "opt": value.opt,
+            "pass_computed_keys": {
+                name: list(keys)
+                for name, keys in value.pass_computed_keys.items()
+            },
+            "pass_reused_keys": {
+                name: list(keys)
+                for name, keys in value.pass_reused_keys.items()
+            },
         }
     if isinstance(value, AnalysisReport):
         return {
@@ -910,6 +919,25 @@ class LiveSimServer:
             self._watch_verify(conn, managed, pipe)
         return summarize(report)
 
+    @staticmethod
+    def _pass_cache_stats(counters: Dict[str, int]) -> Dict[str, Dict]:
+        passes: Dict[str, Dict[str, int]] = {}
+        for name, value in counters.items():
+            if not name.startswith("passes."):
+                continue
+            parts = name.split(".", 2)
+            if len(parts) != 3:
+                continue
+            _, pass_name, kind = parts
+            if kind == "cache_hits":
+                passes.setdefault(pass_name, {}).update(hits=value)
+            elif kind == "cache_misses":
+                passes.setdefault(pass_name, {}).update(misses=value)
+        for entry in passes.values():
+            entry.setdefault("hits", 0)
+            entry.setdefault("misses", 0)
+        return passes
+
     def _cmd_stats(self) -> Dict:
         metrics = obs.get_metrics().as_dict()
         counters = metrics.get("counters", {})
@@ -925,6 +953,9 @@ class LiveSimServer:
                 "cycles_dropped": counters.get("trace.cycles_dropped", 0),
                 "events_dropped": counters.get("trace.events_dropped", 0),
             },
+            # Per-pass compile-cache counters (repro.passes): one
+            # {hits, misses} entry per pass that ran at least once.
+            "passes": self._pass_cache_stats(counters),
         }
         store = self.manager.artifact_store
         if store is not None:

@@ -40,7 +40,10 @@ from ..codegen.pygen import CompiledModule
 # field set changes; artifacts with another format read as misses.
 # v2: CompiledModule grew a ``sanitize`` field and the cache key a
 # sanitize flag (clean and instrumented artifacts coexist).
-STORE_FORMAT = "repro.store/v2"
+# v3: CompiledModule grew ``opt`` and ``sens_slot_count`` and the
+# cache key an opt level (per-level artifacts coexist; legacy keys
+# address opt=none).
+STORE_FORMAT = "repro.store/v3"
 
 # CompiledModule fields persisted to disk — everything except the
 # three function objects, which are rebuilt from ``source`` on load.
@@ -63,6 +66,8 @@ _PICKLED_FIELDS = (
     "compile_seconds",
     "mux_style",
     "sanitize",
+    "opt",
+    "sens_slot_count",
 )
 
 
@@ -70,23 +75,31 @@ def key_digest(cache_key: Sequence) -> str:
     """Stable content address for one compiler cache key.
 
     Legacy 4-tuple keys (pre-sanitizer) digest identically to the
-    equivalent 5-tuple with ``sanitize=False``.
+    equivalent 6-tuple with ``sanitize=False, opt="none"``; legacy
+    5-tuples likewise address ``opt="none"``.
     """
     spec, fingerprint, child_fps, mux_style = cache_key[:4]
     sanitize = bool(cache_key[4]) if len(cache_key) > 4 else False
+    opt = cache_key[5] if len(cache_key) > 5 else "none"
     parts = [spec, fingerprint, list(child_fps), mux_style]
     if sanitize:
         # Appended only when set, so clean keys keep their v1 address.
         parts.append("sanitize")
+    if opt != "none":
+        # Same discipline: unoptimized keys keep their legacy address.
+        parts.append(f"opt:{opt}")
     canonical = json.dumps(parts)
     return hashlib.sha256(canonical.encode()).hexdigest()
 
 
 def _normalize_key(cache_key: Sequence) -> tuple:
-    """Canonical 5-tuple form (legacy 4-tuples get sanitize=False)."""
+    """Canonical 6-tuple form (legacy keys get sanitize=False and/or
+    opt="none")."""
     key = tuple(cache_key)
     if len(key) == 4:
         key = key + (False,)
+    if len(key) == 5:
+        key = key + ("none",)
     return key
 
 
@@ -166,6 +179,10 @@ class ArtifactStore:
             f"<lhdl:{fields['key']}:san>" if sanitized
             else f"<lhdl:{fields['key']}>"
         )
+        opt_level = fields.get("opt", "none")
+        if opt_level != "none":
+            # Mirror compile_module's per-flavour linecache naming.
+            filename = filename[:-1] + f":o-{opt_level}>"
         try:
             namespace: dict = (
                 {"_san": sanitize_runtime} if sanitized else {}

@@ -267,6 +267,22 @@ class TestExpressionFuzz:
             assert pipe.eval()["y"] == expected, expr
 
     @given(expr=expr_text())
+    @settings(max_examples=60, deadline=None)
+    def test_opt_levels_bit_exact(self, expr):
+        """opt=full (constant folding + dead logic + guards) must agree
+        with the unoptimized build on every stimulus — the optimization
+        passes may only change *how* the value is computed."""
+        source = module_for(expr)
+        plain_netlist, plain_lib = compile_design(source, "m")
+        opt_netlist, opt_lib = compile_design(source, "m", opt="full")
+        plain = Pipe(plain_netlist.top, plain_lib)
+        opt = Pipe(opt_netlist.top, opt_lib)
+        for env in STIMULI:
+            plain.set_inputs(**env)
+            opt.set_inputs(**env)
+            assert plain.eval()["y"] == opt.eval()["y"], expr
+
+    @given(expr=expr_text())
     @settings(max_examples=40, deadline=None)
     def test_all_four_compilers_agree(self, expr):
         source = module_for(expr)

@@ -1,0 +1,322 @@
+"""repro.passes: pipeline mechanics, optimization passes, live toggle.
+
+Covers the pass-manager contract (dependency ordering, build-time
+validation), the optimization passes' observable effects on generated
+code, per-pass cache incrementality across a hot reload, opt-level
+key separation in the artifact store, and the runtime ``opt`` toggle.
+"""
+
+import pytest
+
+from repro import Pipe, compile_design
+from repro.hdl.errors import SimulationError
+from repro.live.commands import CommandInterpreter
+from repro.live.session import LiveSession
+from repro.passes import (
+    Pass,
+    PassData,
+    PassManager,
+    PipelineError,
+    build_compile_pipeline,
+    run_opt_pipeline,
+)
+from repro.server.store import _normalize_key, key_digest
+from repro.sim.testbench import hold_inputs
+from tests.conftest import COUNTER_SRC
+
+
+class _Stub(Pass):
+    def __init__(self, name, requires=(), produces=(), write=True):
+        self.name = name
+        self.requires = tuple(requires)
+        self.produces = tuple(produces)
+        self._write = write
+
+    def run(self, data):
+        if self._write:
+            for fact in self.produces:
+                data.facts[fact] = self.name
+
+
+def _netlist(source=COUNTER_SRC, top="top"):
+    from repro.hdl import elaborate, parse
+
+    return elaborate(parse(source), top)
+
+
+class TestPassManager:
+    def test_compile_pipeline_is_topo_ordered(self):
+        order = build_compile_pipeline().order
+        assert order.index("elab_facts") < order.index("constprop")
+        assert order.index("constprop") < order.index("deadlogic")
+        assert order.index("deadlogic") < order.index("sensitivity")
+        assert order.index("sanitize_plan") < order.index("codegen")
+        assert order[-1] == "codegen"
+
+    def test_missing_requirement_fails_at_build_time(self):
+        manager = PassManager([_Stub("a", requires=("nothing.produces",))])
+        with pytest.raises(PipelineError, match="no registered pass"):
+            manager.build()
+
+    def test_duplicate_producer_rejected(self):
+        manager = PassManager([
+            _Stub("a", produces=("x",)),
+            _Stub("b", produces=("x",)),
+        ])
+        with pytest.raises(PipelineError, match="produced by both"):
+            manager.build()
+
+    def test_dependency_cycle_rejected(self):
+        manager = PassManager([
+            _Stub("a", requires=("y",), produces=("x",)),
+            _Stub("b", requires=("x",), produces=("y",)),
+        ])
+        with pytest.raises(PipelineError, match="cycle"):
+            manager.build()
+
+    def test_registration_order_broken_by_dependencies(self):
+        pipeline = PassManager([
+            _Stub("late", requires=("x",)),
+            _Stub("early", produces=("x",)),
+        ]).build()
+        assert pipeline.order == ["early", "late"]
+
+    def test_declared_but_unproduced_fact_raises_at_run(self):
+        pipeline = PassManager([
+            _Stub("liar", produces=("x",), write=False),
+        ]).build()
+        with pytest.raises(PipelineError, match="did not produce"):
+            pipeline.run(PassData(netlist=_netlist()))
+
+    def test_run_opt_pipeline_rejects_unknown_level(self):
+        with pytest.raises(ValueError, match="unknown opt level"):
+            run_opt_pipeline(_netlist(), opt="extreme")
+
+
+CONST_SRC = """
+module m (
+  input clk,
+  input [7:0] a,
+  output [7:0] y
+);
+  wire [7:0] k;
+  wire [7:0] unused;
+  assign k = 8'd5;
+  assign unused = a ^ 8'd77;
+  assign y = a + k;
+endmodule
+"""
+
+GUARD_SRC = """
+module m (
+  input clk,
+  input [7:0] a,
+  input [7:0] b,
+  output [7:0] y,
+  output [7:0] q_out
+);
+  reg [7:0] t1;
+  reg [7:0] t2;
+  reg [7:0] q;
+  always @(*) begin
+    t1 = a + b;
+    t2 = t1 ^ 8'h0F;
+  end
+  assign y = t2;
+  assign q_out = q;
+  always @(posedge clk) begin
+    q <= t2;
+  end
+endmodule
+"""
+
+
+class TestOptimizationPasses:
+    def test_constprop_and_dead_logic_shrink_generated_code(self):
+        _, plain = compile_design(CONST_SRC, "m")
+        _, opt = compile_design(CONST_SRC, "m", opt="basic")
+        (plain_mod,) = plain.values()
+        (opt_mod,) = opt.values()
+        # The constant wire folds into its use and both the constant
+        # assign and the unused assign disappear from the source.
+        assert "v_unused" not in opt_mod.source
+        assert "v_unused" in plain_mod.source
+        assert len(opt_mod.source) < len(plain_mod.source)
+        assert opt_mod.opt == "basic"
+
+    def test_basic_opt_bit_exact_on_const_design(self):
+        plain_netlist, plain_lib = compile_design(CONST_SRC, "m")
+        opt_netlist, opt_lib = compile_design(CONST_SRC, "m", opt="basic")
+        plain = Pipe(plain_netlist.top, plain_lib)
+        opt = Pipe(opt_netlist.top, opt_lib)
+        for a in (0, 1, 5, 0x80, 0xFF):
+            plain.set_inputs(a=a)
+            opt.set_inputs(a=a)
+            assert plain.eval() == opt.eval()
+
+    def test_full_opt_emits_sensitivity_guard(self):
+        _, lib = compile_design(GUARD_SRC, "m", opt="full")
+        (mod,) = lib.values()
+        assert mod.sens_slot_count == 1
+        assert mod.opt == "full"
+        # Guard slots ride at the end of the state vector.
+        assert mod.state_size == mod.sens_base + 2
+
+    def test_guarded_module_bit_exact_including_held_inputs(self):
+        plain_netlist, plain_lib = compile_design(GUARD_SRC, "m")
+        opt_netlist, opt_lib = compile_design(GUARD_SRC, "m", opt="full")
+        plain = Pipe(plain_netlist.top, plain_lib)
+        opt = Pipe(opt_netlist.top, opt_lib)
+        stim = [(3, 4), (3, 4), (3, 4), (250, 9), (0, 0), (0, 0), (7, 7)]
+        for a, b in stim:
+            plain.set_inputs(a=a, b=b)
+            opt.set_inputs(a=a, b=b)
+            assert plain.eval() == opt.eval()
+            plain.tick()
+            opt.tick()
+            assert plain.eval() == opt.eval()
+
+    def test_opt_none_module_has_no_guard_slots(self):
+        _, lib = compile_design(GUARD_SRC, "m")
+        (mod,) = lib.values()
+        assert mod.sens_slot_count == 0
+        assert mod.opt == "none"
+
+
+class TestStoreKeySeparation:
+    KEY = ("m#()", "fp0", ("child-fp",), "branch")
+
+    def test_opt_levels_address_distinct_artifacts(self):
+        none_digest = key_digest(self.KEY + (False, "none"))
+        basic_digest = key_digest(self.KEY + (False, "basic"))
+        full_digest = key_digest(self.KEY + (False, "full"))
+        assert len({none_digest, basic_digest, full_digest}) == 3
+
+    def test_legacy_keys_address_opt_none(self):
+        assert key_digest(self.KEY) == key_digest(self.KEY + (False, "none"))
+        assert key_digest(self.KEY + (False,)) == key_digest(
+            self.KEY + (False, "none")
+        )
+
+    def test_normalize_pads_legacy_tuples(self):
+        assert _normalize_key(self.KEY) == self.KEY + (False, "none")
+        assert _normalize_key(self.KEY + (True,)) == self.KEY + (True, "none")
+        full = self.KEY + (False, "full")
+        assert _normalize_key(full) == full
+
+    def test_store_roundtrip_preserves_opt_fields(self, tmp_path):
+        from repro.server.store import ArtifactStore
+
+        _, lib = compile_design(GUARD_SRC, "m", opt="full")
+        (mod,) = lib.values()
+        store = ArtifactStore(str(tmp_path))
+        cache_key = (mod.key, "fp", (), "branch", False, "full")
+        assert store.save(cache_key, mod)
+        loaded = store.load(cache_key)
+        assert loaded is not None
+        assert loaded.opt == "full"
+        assert loaded.sens_slot_count == mod.sens_slot_count
+        assert loaded.state_size == mod.state_size
+        # The opt=none address must still be a miss: levels coexist.
+        assert store.load((mod.key, "fp", (), "branch", False, "none")) is None
+
+
+ADDER_EDIT = COUNTER_SRC.replace(
+    "assign sum = a + b;", "assign sum = a + b + 8'd1;"
+)
+
+
+class TestPassCacheIncrementality:
+    def _session(self, opt="full"):
+        session = LiveSession(COUNTER_SRC, checkpoint_interval=10, opt=opt)
+        session.inst_pipe("p0", session.stage_handle_for("top"))
+        tb = session.load_testbench(hold_inputs(rst=0))
+        return session, tb
+
+    def test_hot_reload_reruns_passes_only_for_dirty_module(self):
+        session, tb = self._session()
+        session.run(tb, "p0", 12)
+        report = session.apply_change(ADDER_EDIT)
+        assert report.behavioral
+        assert report.opt == "full"
+        for name in ("constprop", "deadlogic", "sensitivity"):
+            computed = report.pass_computed_keys.get(name, [])
+            reused = report.pass_reused_keys.get(name, [])
+            # Only the edited adder specialization recomputed; the
+            # untouched counter/top rode their per-pass caches.
+            assert computed and all("adder" in key for key in computed), (
+                name, computed,
+            )
+            assert any("counter" in key for key in reused), (name, reused)
+            assert any("top" in key for key in reused), (name, reused)
+
+    def test_first_compile_computes_every_key(self):
+        session, _ = self._session()
+        report = session._pipe_sessions["p0"].compile_result.report
+        for name in ("constprop", "deadlogic", "sensitivity"):
+            assert not report.pass_reused.get(name)
+            assert len(report.pass_computed.get(name, [])) == 3
+
+    def test_erd_report_serializes_pass_keys(self):
+        from repro.server.service import summarize
+
+        session, tb = self._session()
+        session.run(tb, "p0", 5)
+        report = session.apply_change(ADDER_EDIT)
+        data = summarize(report)
+        assert data["opt"] == "full"
+        assert set(data["pass_computed_keys"]) >= {"constprop"}
+        assert isinstance(data["pass_reused_keys"], dict)
+
+
+class TestLiveOptToggle:
+    def _session(self, opt="none"):
+        session = LiveSession(COUNTER_SRC, checkpoint_interval=10, opt=opt)
+        session.inst_pipe("p0", session.stage_handle_for("top"))
+        tb = session.load_testbench(hold_inputs(rst=0))
+        return session, tb
+
+    def test_rejects_unknown_level(self):
+        with pytest.raises(SimulationError, match="opt"):
+            LiveSession(COUNTER_SRC, opt="turbo")
+
+    def test_toggle_recompiles_and_preserves_state(self):
+        session, tb = self._session()
+        session.run(tb, "p0", 9)
+        before = session.pipe("p0").outputs()
+        result = session.set_opt("full")
+        assert result["level"] == "full"
+        assert result["previous"] == "none"
+        assert result["recompiled_keys"]
+        assert session.opt == "full"
+        assert session.pipe("p0").outputs() == before
+        session.run(tb, "p0", 3)
+        assert session.pipe("p0").outputs()["c0"] == 12
+
+    def test_toggle_back_to_none(self):
+        session, tb = self._session(opt="full")
+        session.run(tb, "p0", 4)
+        result = session.set_opt("none")
+        assert result["level"] == "none"
+        session.run(tb, "p0", 4)
+        assert session.pipe("p0").outputs()["c0"] == 8
+
+    def test_noop_toggle_recompiles_nothing(self):
+        session, _ = self._session(opt="basic")
+        result = session.set_opt("basic")
+        assert result["recompiled_keys"] == []
+
+    def test_opt_command_verb(self):
+        session, tb = self._session()
+        interp = CommandInterpreter(session)
+        status = interp.execute("opt").value
+        assert status["level"] == "none"
+        assert "codegen" in status["passes"]
+        switched = interp.execute("opt full").value
+        assert switched["level"] == "full"
+        assert interp.execute("opt").value["level"] == "full"
+
+    def test_opt_status_lists_levels(self):
+        session, _ = self._session()
+        status = session.opt_status()
+        assert tuple(status["levels"]) == ("none", "basic", "full")
