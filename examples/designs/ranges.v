@@ -1,0 +1,56 @@
+// Value-range corpus: every finding below is proof-backed — the
+// known-bits/interval analysis (repro.passes.dataflow) has to derive
+// it, and "python -m repro.analyze --explain" prints the derivation
+// chain. Pairs with pitfalls.v: those findings are structural, these
+// only exist through the dataflow (nothing here is a literal
+// constant). The child module matters: the parent's proofs rest on
+// facts that crossed the instantiation boundary.
+module narrows (
+  input clk,
+  input [7:0] raw,
+  output [7:0] bucket
+);
+  // raw & 0x1F is in [0, 31]; OR-ing 0x80 pins the top bit, so
+  // bucket is provably in [128, 159] on every cycle.
+  assign bucket = (raw & 8'h1F) | 8'h80;
+endmodule
+
+module ranges (
+  input clk,
+  input [7:0] a,
+  output [7:0] y,
+  output [3:0] z,
+  output [2:0] t,
+  output [3:0] g
+);
+  wire [7:0] bucket;
+  narrows u_n (.clk(clk), .raw(a), .bucket(bucket));
+
+  reg [7:0] store [0:7];
+  wire [3:0] idx;
+  // {1'b1, a[2:0]} is in [8, 15]: every read from reset is out of
+  // bounds (oob-index, error).
+  assign idx = {1'b1, a[2:0]};
+  assign y = store[idx];
+
+  // bucket >= 128 always, so the select is proved-condition — the
+  // syntactic constant-condition check cannot see this.
+  assign z = (bucket >= 8'd100) ? 4'd1 : 4'd0;
+
+  // [128, 159] can never fit 3 bits: trunc-loss on every path.
+  assign t = bucket;
+
+  // The subject is in [0, 3]; the 9 arm is provably unmatchable.
+  reg [3:0] grade;
+  always @(*) begin
+    case (a & 8'h03)
+      8'd0: grade = 4'd0;
+      8'd1: grade = 4'd1;
+      8'd9: grade = 4'd9;
+      default: grade = 4'd2;
+    endcase
+  end
+  assign g = grade;
+
+  always @(posedge clk) store[a[2:0]] <= bucket;
+endmodule

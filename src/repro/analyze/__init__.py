@@ -19,8 +19,9 @@ Layout::
     report       the repro.analyze/v1 JSON schema + baseline diff
     __main__     python -m repro.analyze (CLI + CI baseline gate)
 
-The old 4-check ``repro.hdl.lint`` module is now a shim over this
-package.
+The original 4-check ``repro.hdl.lint`` module (and later its
+deprecated shim) is gone; those checks live in
+:mod:`repro.analyze.checks` with everything else.
 """
 
 from .checks import (
@@ -31,7 +32,11 @@ from .checks import (
     LATCH,
     MULTI_DRIVER,
     NB_RACE,
+    OOB_INDEX,
+    PROVED_CONDITION,
+    TRUNC_LOSS,
     TRUNCATION,
+    UNREACHABLE_ARM,
     UNUSED,
     Check,
     CheckContext,
@@ -42,6 +47,7 @@ from .checks import (
     MultiDriverCheck,
     RaceCheck,
     UnusedSignalCheck,
+    ValueRangeCheck,
     WidthCheck,
     default_checks,
 )
@@ -75,12 +81,16 @@ __all__ = [
     "LATCH",
     "MULTI_DRIVER",
     "NB_RACE",
+    "OOB_INDEX",
+    "PROVED_CONDITION",
     "SCHEMA_ID",
     "SEVERITIES",
     "SEVERITY_ERROR",
     "SEVERITY_INFO",
     "SEVERITY_WARNING",
+    "TRUNC_LOSS",
     "TRUNCATION",
+    "UNREACHABLE_ARM",
     "UNUSED",
     "AnalysisReport",
     "Analyzer",
@@ -97,6 +107,7 @@ __all__ = [
     "MultiDriverCheck",
     "RaceCheck",
     "UnusedSignalCheck",
+    "ValueRangeCheck",
     "WidthCheck",
     "build_report",
     "comb_signature",

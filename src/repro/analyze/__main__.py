@@ -66,6 +66,13 @@ def _build_parser() -> argparse.ArgumentParser:
              "CI gate asserts this against one shared baseline)",
     )
     parser.add_argument(
+        "--explain", action="store_true",
+        help="append each proof-backed finding's value derivation "
+             "chain (one indented line per contributing fact); the "
+             "chain's line numbers are pre-optimization source lines "
+             "at every --opt level, same as the findings themselves",
+    )
+    parser.add_argument(
         "--fail-on-error", action="store_true",
         help="exit 3 when any error-class finding is reported",
     )
@@ -156,6 +163,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                           f"[{finding['kind']}] "
                           f"{finding['module']}:{finding['line']}: "
                           f"{finding['message']}")
+                    if args.explain:
+                        for note in finding.get("notes", ()):
+                            print(f"          {note}")
     except (OSError, HDLError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -52,8 +52,7 @@ from .diagnostics import (
     Diagnostic,
 )
 
-# Diagnostic kinds (the migrated four keep their historical names; the
-# old repro.hdl.lint shim re-exports them).
+# Diagnostic kinds (the migrated four keep their historical names).
 TRUNCATION = "truncation"
 EXTENSION = "extension"
 UNUSED = "unused-signal"
@@ -63,22 +62,35 @@ MULTI_DRIVER = "multi-driver"
 LATCH = "latch"
 NB_RACE = "nb-race"
 DEAD_BRANCH = "dead-branch"
+# Proof-backed kinds (repro.passes.dataflow value facts).
+OOB_INDEX = "oob-index"
+PROVED_CONDITION = "proved-condition"
+TRUNC_LOSS = "trunc-loss"
+UNREACHABLE_ARM = "unreachable-arm"
 
 
 class CheckContext:
     """What a check may see besides the module under analysis.
 
-    Only child IR lookups — nothing mutable, nothing session-scoped —
-    so a check's result is a pure function of the module and its
-    children's combinational summaries (which the analyzer folds into
-    its cache key).
+    Only child IR lookups plus the (optional) per-module value facts —
+    nothing mutable, nothing session-scoped — so a check's result is a
+    pure function of the module, its children's combinational
+    summaries, and the facts digest (all folded into the analyzer's
+    cache key).
     """
 
-    def __init__(self, netlist: Netlist):
+    def __init__(self, netlist: Netlist, value_facts=None):
         self._netlist = netlist
+        self._value_facts = value_facts or {}
 
     def child(self, key: str) -> ModuleIR:
         return self._netlist.modules[key]
+
+    def facts_for(self, key: str):
+        """The module's :class:`repro.passes.dataflow.ModuleValueFacts`
+        (duck-typed here — this package never imports repro.passes at
+        module level), or None when analysis ran without facts."""
+        return self._value_facts.get(key)
 
 
 class Check:
@@ -98,6 +110,7 @@ class Check:
         line: int,
         severity: Optional[str] = None,
         path: Tuple[str, ...] = (),
+        notes: Tuple[str, ...] = (),
     ) -> Diagnostic:
         return Diagnostic(
             kind=kind,
@@ -107,6 +120,7 @@ class Check:
             severity=severity or self.severity,
             check=self.name,
             path=path,
+            notes=notes,
         )
 
 
@@ -749,6 +763,99 @@ class DeadBranchCheck(Check):
 
 
 # ---------------------------------------------------------------------------
+# Proof-backed checks over the dataflow value facts
+# ---------------------------------------------------------------------------
+
+
+class ValueRangeCheck(Check):
+    """Findings *proved* by the known-bits/interval analysis
+    (:mod:`repro.passes.dataflow`), from-reset (env) tier:
+
+    ``oob-index``
+        A dynamic index or memory address whose interval lies entirely
+        at or above the bound — every execution from reset faults.
+    ``trunc-loss``
+        A truncating assignment whose value provably carries bits above
+        the declared width — data is lost on every path that runs it.
+    ``proved-condition``
+        A non-constant condition expression every evaluation of which
+        decides the same way (the syntactic ``constant-condition``
+        check only sees literal constants; this one sees through the
+        dataflow).
+    ``unreachable-arm``
+        A case arm no subject value the analysis admits can match.
+
+    Each finding carries the fact derivation chain in ``notes`` —
+    rendered by the CLI's ``--explain`` flag.  Runs only when the
+    analyzer was given value facts; silent otherwise.
+    """
+
+    name = "value-range"
+    severity = SEVERITY_WARNING
+
+    def run(self, ir: ModuleIR, ctx: CheckContext) -> List[Diagnostic]:
+        facts = ctx.facts_for(ir.key)
+        if facts is None:
+            return []
+        out: List[Diagnostic] = []
+        for (name, line), site in sorted(facts.ob_sites.items()):
+            if not site.provably_oob:
+                continue
+            out.append(self.diag(
+                OOB_INDEX, ir,
+                f"index into {name!r} is provably out of bounds: value "
+                f"{site.fact.describe()} >= bound {site.bound}",
+                line,
+                severity=SEVERITY_ERROR,
+                notes=self._derivation(facts, site.reads),
+            ))
+        for (name, line), site in sorted(facts.tr_sites.items()):
+            if not site.provably_lossy:
+                continue
+            out.append(self.diag(
+                TRUNC_LOSS, ir,
+                f"assignment to {name!r} provably loses bits: value "
+                f"{site.fact.describe()} cannot fit {site.declared} "
+                "bit(s)",
+                line,
+                notes=self._derivation(facts, site.reads),
+            ))
+        for (line, kind), site in sorted(facts.cond_sites.items()):
+            if site.truth is None:
+                continue
+            what = "if-condition" if kind == "if" else "mux select"
+            truth = "true" if site.truth else "false"
+            detail = (f" ({site.detail})",) if site.detail else ()
+            out.append(self.diag(
+                PROVED_CONDITION, ir,
+                f"{what} is provably always {truth}"
+                + (detail[0] if detail else ""),
+                line,
+                notes=self._derivation(facts, site.reads),
+            ))
+        for (line, arm), site in sorted(facts.case_sites.items()):
+            if not site.dead:
+                continue
+            out.append(self.diag(
+                UNREACHABLE_ARM, ir,
+                f"case arm #{arm} is provably unmatchable"
+                + (f" ({site.detail})" if site.detail else ""),
+                line,
+                severity=SEVERITY_INFO,
+                notes=self._derivation(facts, site.reads),
+            ))
+        return out
+
+    @staticmethod
+    def _derivation(facts, reads: Tuple[str, ...]) -> Tuple[str, ...]:
+        """The fact derivation chain for the signals a site reads."""
+        notes: List[str] = []
+        for name in reads:
+            notes.extend(facts.explain(name))
+        return tuple(notes)
+
+
+# ---------------------------------------------------------------------------
 # Default registry
 # ---------------------------------------------------------------------------
 
@@ -761,6 +868,7 @@ def default_checks() -> List[Check]:
         RaceCheck(),
         LatchCheck(),
         DeadBranchCheck(),
+        ValueRangeCheck(),
         WidthCheck(),
         UnusedSignalCheck(),
         ConstantConditionCheck(),

@@ -43,10 +43,21 @@ class Diagnostic:
     # Path-shaped findings (combinational loops) carry the signal chain
     # so a client can highlight the whole cycle, not just one line.
     path: Tuple[str, ...] = ()
+    # Proof-backed findings (repro.passes.dataflow) carry the value
+    # derivation chain: one line per contributing fact, indented by
+    # derivation depth.  Rendered only under ``--explain``.
+    notes: Tuple[str, ...] = ()
 
     def __str__(self) -> str:
         where = f"{self.module}:{self.line}" if self.line else self.module
         return f"[{self.kind}] {where}: {self.message}"
+
+    def explain(self) -> str:
+        """Multi-line rendering with the derivation chain appended."""
+        text = str(self)
+        if self.notes:
+            text += "\n" + "\n".join(f"    {note}" for note in self.notes)
+        return text
 
     @property
     def is_error(self) -> bool:
@@ -73,6 +84,8 @@ class Diagnostic:
             data["check"] = self.check
         if self.path:
             data["path"] = list(self.path)
+        if self.notes:
+            data["notes"] = list(self.notes)
         return data
 
 

@@ -27,8 +27,11 @@ from ..ir.netlist import ModuleIR, Netlist
 from .checks import Check, CheckContext, default_checks
 from .diagnostics import Diagnostic, count_by_severity, sort_diagnostics
 
-# (spec key, module fingerprint, child comb signatures, check set)
-AnalysisKey = Tuple[str, str, Tuple[str, ...], str]
+# (spec key, module fingerprint, child comb signatures, check set,
+#  value-facts digest) — the last component is what makes proof-backed
+# findings cache-correct: cross-module fact flow means a parent edit
+# can change this module's findings without touching its fingerprint.
+AnalysisKey = Tuple[str, str, Tuple[str, ...], str, str]
 
 
 @dataclass
@@ -76,6 +79,9 @@ class Analyzer:
             checks if checks is not None else default_checks()
         )
         self._cache: Dict[AnalysisKey, Tuple[Diagnostic, ...]] = {}
+        # Dataflow value-facts cache (repro.passes.dataflow), shared
+        # across analyze runs under the same fingerprint discipline.
+        self._facts_cache: Dict = {}
         self._check_set = ",".join(
             sorted(type(c).__name__ for c in self._checks)
         )
@@ -91,6 +97,7 @@ class Analyzer:
         self,
         netlist: Netlist,
         fingerprint_of: Optional[Callable[[str], str]] = None,
+        value_facts=None,
     ) -> AnalysisReport:
         """Analyze every specialization in ``netlist``.
 
@@ -98,11 +105,17 @@ class Analyzer:
         fingerprint (normally ``LiveParser.fingerprint``); without one,
         results are computed fresh and not cached — the right behaviour
         for one-shot CLI runs over a file.
+
+        ``value_facts`` (key -> ``ModuleValueFacts``) feeds the
+        proof-backed checks; when omitted, the analyzer computes them
+        itself through its own fingerprint-keyed facts cache.
         """
         started = time.perf_counter()
         report = AnalysisReport(top=netlist.top)
         with obs.span("analyze", top=netlist.top):
-            ctx = CheckContext(netlist)
+            if value_facts is None:
+                value_facts = self._compute_facts(netlist, fingerprint_of)
+            ctx = CheckContext(netlist, value_facts)
             signatures = {
                 key: comb_signature(ir)
                 for key, ir in netlist.modules.items()
@@ -120,6 +133,30 @@ class Analyzer:
         obs.gauge("analyze.findings", len(report.diagnostics))
         return report
 
+    def _compute_facts(
+        self,
+        netlist: Netlist,
+        fingerprint_of: Optional[Callable[[str], str]],
+    ):
+        # Function-level import: repro.passes imports repro.analyze
+        # (AnalyzePass), so this package must not import it at module
+        # load time.
+        from ..passes.dataflow import compute_netlist_facts
+
+        fps: Dict[str, str] = {}
+        if fingerprint_of is not None:
+            fps = {
+                netlist.modules[key].name: fingerprint_of(
+                    netlist.modules[key].name
+                )
+                for key in netlist.modules
+            }
+        return compute_netlist_facts(
+            netlist,
+            fps=fps,
+            cache=self._facts_cache if fingerprint_of is not None else None,
+        )
+
     def _analyze_module(
         self,
         ir: ModuleIR,
@@ -133,8 +170,11 @@ class Analyzer:
             child_sigs = tuple(
                 signatures[inst.child_key] for inst in ir.instances
             )
+            mod_facts = ctx.facts_for(ir.key)
+            facts_digest = mod_facts.digest if mod_facts is not None else ""
             cache_key = (
-                ir.key, fingerprint_of(ir.name), child_sigs, self._check_set
+                ir.key, fingerprint_of(ir.name), child_sigs,
+                self._check_set, facts_digest,
             )
             cached = self._cache.get(cache_key)
             if cached is not None:

@@ -140,11 +140,15 @@ def run_bench(
 
     if "sanitize" in targets:
         # Report-only (no regression gate): ``san report`` slowdown vs
-        # clean codegen on the same mesh, plus the per-check hit
-        # counters (nonzero findings on the clean corpus = real bug).
+        # clean codegen on the same mesh — elided (default) and
+        # unelided — plus site counts and the per-check hit counters
+        # (nonzero findings on the clean corpus = real bug; elided and
+        # unelided counters differing = elision suppressed a check).
         overhead = sanitizer_overhead(n=sizes[0], sim_cycles=sim_cycles)
         entry = asdict(overhead)
         entry["slowdown"] = overhead.slowdown
+        entry["unelided_slowdown"] = overhead.unelided_slowdown
+        entry["elision_delta"] = overhead.elision_delta
         payload["sanitize"] = entry
 
     if "trace" in targets:
@@ -265,19 +269,32 @@ def _print_summary(payload: Dict, out) -> None:
     sanitize = payload.get("sanitize")
     if sanitize:
         slowdown = sanitize.get("slowdown")
+        unelided = sanitize.get("unelided_slowdown")
         rows = [
             ["clean", round(sanitize["clean_sim_hz"], 1),
-             round(sanitize["clean_compile_s"] * 1e3, 1)],
-            ["report", round(sanitize["sanitized_sim_hz"], 1),
-             round(sanitize["sanitized_compile_s"] * 1e3, 1)],
+             round(sanitize["clean_compile_s"] * 1e3, 1), "-"],
+            ["report (elided)", round(sanitize["sanitized_sim_hz"], 1),
+             round(sanitize["sanitized_compile_s"] * 1e3, 1),
+             f"{slowdown:.2f}x" if slowdown else "-"],
         ]
-        print(format_table(
+        if sanitize.get("unelided_sim_hz"):
+            rows.append(
+                ["report (unelided)",
+                 round(sanitize["unelided_sim_hz"], 1),
+                 round(sanitize["unelided_compile_s"] * 1e3, 1),
+                 f"{unelided:.2f}x" if unelided else "-"]
+            )
+        delta = sanitize.get("elision_delta")
+        title = (
             f"Sanitizer overhead ({sanitize['n']}x{sanitize['n']} mesh, "
-            f"slowdown {slowdown:.2f}x, "
-            f"{sanitize['findings']} findings)"
-            if slowdown else
-            f"Sanitizer overhead ({sanitize['n']}x{sanitize['n']} mesh)",
-            ["sim Hz", "compile ms"],
+            f"{sanitize['san_elided']}/{sanitize['san_sites']} sites "
+            "elided"
+            + (f", delta {delta:+.2f}x" if delta is not None else "")
+            + f", {sanitize['findings']} findings)"
+        )
+        print(format_table(
+            title,
+            ["sim Hz", "compile ms", "slowdown"],
             [row[1:] for row in rows],
             row_labels=[str(row[0]) for row in rows],
         ), file=out)

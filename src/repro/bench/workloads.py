@@ -50,6 +50,7 @@ class PGASWorkbench:
         program: str = "counter",
         sanitize: str = "off",
         opt: str = "none",
+        san_elide: bool = True,
     ):
         self.n = n
         self.cores = n * n
@@ -60,6 +61,7 @@ class PGASWorkbench:
         self._program = program
         self._sanitize = sanitize
         self._opt = opt
+        self._san_elide = san_elide
         self.session: Optional[LiveSession] = None
         self.tb_handle: Optional[str] = None
 
@@ -72,6 +74,7 @@ class PGASWorkbench:
             checkpoint_interval=self.checkpoint_interval,
             sanitize=self._sanitize,
             opt=self._opt,
+            san_elide=self._san_elide,
         )
         started = time.perf_counter()
         session.inst_pipe("uut", session.stage_handle_for(self.top))
@@ -211,15 +214,28 @@ def collect_sizes(
 
 @dataclass
 class SanitizerOverheadResult:
-    """``report``-mode slowdown vs clean codegen on the fig7 workload."""
+    """``report``-mode slowdown vs clean codegen on the fig7 workload.
+
+    Two instrumented builds are measured: the shipping default with
+    proof-driven check elision active (``sanitized_*``), and the same
+    mesh with every site instrumented (``unelided_*``).  ``san_sites``
+    / ``san_elided`` count instrumentation sites across the elided
+    build's library — the static half of the elision story; the two
+    slowdowns are the dynamic half.
+    """
 
     n: int
     cores: int
     clean_sim_hz: float = 0.0
     sanitized_sim_hz: float = 0.0
+    unelided_sim_hz: float = 0.0
     clean_compile_s: float = 0.0
     sanitized_compile_s: float = 0.0
+    unelided_compile_s: float = 0.0
+    san_sites: int = 0
+    san_elided: int = 0
     hits: Dict[str, int] = None  # type: ignore[assignment]
+    unelided_hits: Dict[str, int] = None  # type: ignore[assignment]
     findings: int = 0
 
     @property
@@ -228,6 +244,20 @@ class SanitizerOverheadResult:
         if self.sanitized_sim_hz <= 0:
             return None
         return self.clean_sim_hz / self.sanitized_sim_hz
+
+    @property
+    def unelided_slowdown(self) -> Optional[float]:
+        """clean Hz / unelided Hz — what report mode cost pre-elision."""
+        if self.unelided_sim_hz <= 0:
+            return None
+        return self.clean_sim_hz / self.unelided_sim_hz
+
+    @property
+    def elision_delta(self) -> Optional[float]:
+        """Overhead removed by elision (unelided − elided slowdown)."""
+        if self.slowdown is None or self.unelided_slowdown is None:
+            return None
+        return self.unelided_slowdown - self.slowdown
 
 
 @dataclass
@@ -345,12 +375,17 @@ def sanitizer_overhead(
 ) -> SanitizerOverheadResult:
     """Measure ``san report`` overhead on the fig7-style PGAS workload.
 
-    Builds the same mesh twice — clean and with sanitize=report — runs
-    both through the session path, and reports simulated cycles/second
-    for each plus the per-check hit counters (a clean corpus should
-    show zero findings; nonzero here means real signal, not noise).
+    Builds the same mesh three ways — clean, sanitize=report with
+    proof-driven elision (the default), and sanitize=report with every
+    site instrumented — runs each through the session path, and
+    reports simulated cycles/second plus the per-check hit counters (a
+    clean corpus should show zero findings; nonzero here means real
+    signal, not noise).  The elided and unelided counters must match —
+    elision is only allowed to remove checks that can never fire.
     """
-    result = SanitizerOverheadResult(n=n, cores=n * n, hits={})
+    result = SanitizerOverheadResult(
+        n=n, cores=n * n, hits={}, unelided_hits={}
+    )
 
     clean = PGASWorkbench(n, baseline_budget_s=None)
     session = clean.build_session()
@@ -365,6 +400,9 @@ def sanitizer_overhead(
     sanitized = PGASWorkbench(n, baseline_budget_s=None, sanitize="report")
     session = sanitized.build_session()
     result.sanitized_compile_s = sanitized.full_compile_seconds
+    library = session.pipe("uut").library
+    result.san_sites = sum(m.san_sites for m in library.values())
+    result.san_elided = sum(m.san_elided for m in library.values())
     sanitized.run(5)
     started = time.perf_counter()
     sanitized.run(sim_cycles)
@@ -372,5 +410,18 @@ def sanitizer_overhead(
     result.sanitized_sim_hz = sim_cycles / elapsed if elapsed else 0.0
     result.hits = session.sanitize_runtime.counters()
     result.findings = len(session.sanitize_runtime.findings)
+    session.close()
+
+    unelided = PGASWorkbench(
+        n, baseline_budget_s=None, sanitize="report", san_elide=False
+    )
+    session = unelided.build_session()
+    result.unelided_compile_s = unelided.full_compile_seconds
+    unelided.run(5)
+    started = time.perf_counter()
+    unelided.run(sim_cycles)
+    elapsed = time.perf_counter() - started
+    result.unelided_sim_hz = sim_cycles / elapsed if elapsed else 0.0
+    result.unelided_hits = session.sanitize_runtime.counters()
     session.close()
     return result

@@ -43,7 +43,7 @@ from __future__ import annotations
 import hashlib
 import linecache
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from .. import obs
@@ -110,6 +110,15 @@ class CompiledModule:
     #   [sens_base + 2*g + 1]  guard g's cached output tuple
     opt: str = "none"
     sens_slot_count: int = 0
+    # Proof-driven elision accounting (repro.sanitize.elide): total
+    # instrumentation sites this build considered, and how many the
+    # stable-tier value facts removed or downgraded.
+    san_sites: int = 0
+    san_elided: int = 0
+    # Registers proven constant from reset (env tier): hot reload
+    # initializes swap-introduced registers from this map instead of
+    # poisoning them.
+    reg_const_init: Dict[str, int] = field(default_factory=dict)
 
     @property
     def cache_key_slot(self) -> int:
@@ -160,11 +169,16 @@ class CompiledModule:
 
 class _ModuleCompiler:
     def __init__(self, ir: ModuleIR, netlist: Netlist, mux_style: str,
-                 sanitize: bool = False, plan: Optional[OptPlan] = None):
+                 sanitize: bool = False, plan: Optional[OptPlan] = None,
+                 elision=None):
         self._ir = ir
         self._netlist = netlist
         self._mux_style = mux_style
         self._sanitize = sanitize
+        # ElisionPlan (repro.sanitize.elide), sanitized builds only.
+        self._elide = elision if sanitize else None
+        self._san_sites = 0
+        self._san_elided = 0
         self._emit = FunctionEmitter()
         self._comb_ports = list(ir.comb_input_ports)
         if ir.needs_fixpoint:
@@ -300,6 +314,21 @@ class _ModuleCompiler:
 
     # -- sanitizer instrumentation (repro.sanitize) ---------------------------
 
+    def _seq_writer_blocks(self) -> Dict[str, Set[int]]:
+        """Signal -> seq block ids that may write it, over the ORIGINAL
+        bodies (optimization only removes writes, so this map is an
+        over-approximation of the emitted writers — safe for the
+        single-writer nw fast path)."""
+        cached = getattr(self, "_seq_writers", None)
+        if cached is None:
+            cached = {}
+            for bid, blk in enumerate(self._ir.seq_blocks):
+                _, writes = stmt_reads_writes(blk.body)
+                for name in writes:
+                    cached.setdefault(name, set()).add(bid)
+            self._seq_writers = cached
+        return cached
+
     def _san_info(self, signal: str, line: int) -> str:
         """Register one instrumentation site; returns its table ref."""
         self._san_infos.append((self._ir.name, signal, line))
@@ -307,30 +336,65 @@ class _ModuleCompiler:
 
     def _attach_sanitize_hooks(self, resolver: Resolver) -> None:
         ir = self._ir
+        elide = self._elide
 
         def reg_read_hook(name: str, ref: str, line: int) -> Optional[str]:
             sig = ir.signals.get(name)
             if sig is None or sig.state_index is None:
                 return None  # inputs and comb wires carry no poison
-            return (
+            self._san_sites += 1
+            call = (
                 f"_san.rr(s[{self._poison_slot}], {sig.state_index}, "
                 f"{ref}, {self._san_info(name, line)})"
             )
+            if elide is not None and elide.rr_fast:
+                # Inline poison-bit fast path: the hook runs exactly
+                # when the bit is set (when it would report/trap), so
+                # findings and hit counts are preserved bit-for-bit.
+                return (
+                    f"{ref} if not s[{self._poison_slot}] >> "
+                    f"{sig.state_index} & 1 else {call}"
+                )
+            return call
 
         def mem_read_hook(name: str, index_code: str, line: int) -> str:
             spec = self._mem_slot[name]
+            self._san_sites += 1
+            info = self._san_info(name, line)
+            if elide is not None and elide.rr_fast:
+                # In-bounds and unpoisoned is the common case; the hook
+                # returns mem[index % depth], which equals mem[t] when
+                # t < depth, so the fast path is bit-exact and the call
+                # is made exactly when it would report.
+                t = f"_sv{len(self._san_infos)}"
+                return (
+                    f"(_m_{name}[{t}] if ({t} := ({index_code})) < "
+                    f"{spec.depth} and not s[{spec.poison_slot}] >> {t} & 1 "
+                    f"else _san.mr(_m_{name}, s[{spec.poison_slot}], "
+                    f"{t}, {info}))"
+                )
             return (
                 f"_san.mr(_m_{name}, s[{spec.poison_slot}], "
-                f"({index_code}), {self._san_info(name, line)})"
+                f"({index_code}), {info})"
             )
 
         def index_bound_hook(
             name: str, index_code: str, bound: int, line: int
         ) -> str:
-            return (
-                f"_san.ob(({index_code}), {bound}, "
-                f"{self._san_info(name, line)})"
-            )
+            self._san_sites += 1
+            if elide is not None and (name, line) in elide.ob_safe:
+                self._san_elided += 1
+                return index_code  # proven in range for any reg state
+            info = self._san_info(name, line)
+            if elide is not None and elide.rr_fast:
+                # ob returns the index unchanged either way; only call
+                # out when it would report (index >= bound).
+                t = f"_sv{len(self._san_infos)}"
+                return (
+                    f"({t} if ({t} := ({index_code})) < {bound} "
+                    f"else _san.ob({t}, {bound}, {info}))"
+                )
+            return f"_san.ob(({index_code}), {bound}, {info})"
 
         resolver.reg_read_hook = reg_read_hook
         resolver.mem_read_hook = mem_read_hook
@@ -339,10 +403,22 @@ class _ModuleCompiler:
     def _trunc_hook(self, value_code: str, declared: int, line: int,
                     target: str) -> str:
         mask = mask_of(declared)
-        return (
-            f"(_san.tr(({value_code}), {mask}, "
-            f"{self._san_info(target, line)}) & {mask})"
-        )
+        self._san_sites += 1
+        if self._elide is not None and (target, line) in self._elide.tr_safe:
+            # Proven to fit: no bits exist above the mask to lose.
+            self._san_elided += 1
+            return f"(({value_code}) & {mask})"
+        info = self._san_info(target, line)
+        if self._elide is not None and self._elide.rr_fast:
+            # Values are non-negative, so bits above the mask exist
+            # exactly when value > mask; tr returns the value, so the
+            # call only matters when it would report.
+            t = f"_sv{len(self._san_infos)}"
+            return (
+                f"(({t} if ({t} := ({value_code})) <= {mask} "
+                f"else _san.tr({t}, {mask}, {info})) & {mask})"
+            )
+        return f"(_san.tr(({value_code}), {mask}, {info}) & {mask})"
 
     # -- generation ------------------------------------------------------------
 
@@ -721,11 +797,16 @@ class _ModuleCompiler:
         def mem_write(name: str, addr: str, value: str, line: int) -> None:
             spec = self._mem_slot[name]
             if self._sanitize:
-                # Bound-check the address before the wrap hides it.
-                addr = (
-                    f"_san.ob(({addr}), {spec.depth}, "
-                    f"{self._san_info(name, line)})"
-                )
+                self._san_sites += 1
+                if self._elide is not None \
+                        and (name, line) in self._elide.ob_safe:
+                    self._san_elided += 1  # address proven < depth
+                else:
+                    # Bound-check the address before the wrap hides it.
+                    addr = (
+                        f"_san.ob(({addr}), {spec.depth}, "
+                        f"{self._san_info(name, line)})"
+                    )
             if spec.depth & (spec.depth - 1) == 0:
                 addr_code = f"({addr}) & {spec.depth - 1}"
             else:
@@ -739,6 +820,17 @@ class _ModuleCompiler:
             sig = self._ir.signals[name]
             full = mask_of(sig.width)
             mask = full if wmask is None else (wmask & full)
+            self._san_sites += 1
+            if self._elide is not None and self._elide.rr_fast \
+                    and len(self._seq_writer_blocks().get(name, ())) <= 1:
+                # One statically-possible writer block: the cross-block
+                # conflict can never fire, and tick only reads the dict
+                # keys to clear poison — write the entry inline.
+                self._emit.line(
+                    f"s[{self._nw_slot}][{sig.state_index}] = "
+                    f"({block_id}, {mask})"
+                )
+                return
             self._emit.line(
                 f"_san.nw(s[{self._nw_slot}], {sig.state_index}, "
                 f"{block_id}, {mask}, {self._san_info(name, line)})"
@@ -819,12 +911,17 @@ def compile_module(
     runtime: object = None,
     opt_plan: Optional[OptPlan] = None,
     opt_level: str = "none",
+    elision=None,
+    reg_const_init: Optional[Dict[str, int]] = None,
 ) -> CompiledModule:
     """Compile one specialization into a :class:`CompiledModule`.
 
     With ``sanitize=True`` the generated source is instrumented with
     calls into ``runtime`` (a :class:`repro.sanitize.SanitizerRuntime`),
-    bound as the module-global ``_san`` at exec time.
+    bound as the module-global ``_san`` at exec time.  ``elision`` (an
+    :class:`repro.sanitize.ElisionPlan`) drops ob/tr sites the value
+    facts prove safe and puts the inline poison-bit fast path on
+    register reads; ``reg_const_init`` rides along for hot reload.
 
     With an ``opt_plan`` (see :mod:`repro.passes`), the emitted code is
     constant-folded, dead logic is dropped, and opt=full adds
@@ -832,16 +929,23 @@ def compile_module(
     """
     if opt_plan is not None and opt_plan.is_noop:
         opt_plan = None  # nothing to apply: emit the plain shape
+    if not sanitize:
+        elision = None
     started = time.perf_counter()
     with obs.span("codegen.module", key=ir.key, sanitize=sanitize,
                   opt=opt_level):
         compiler = _ModuleCompiler(
-            ir, netlist, mux_style, sanitize=sanitize, plan=opt_plan
+            ir, netlist, mux_style, sanitize=sanitize, plan=opt_plan,
+            elision=elision,
         )
         source = compiler.generate()
         # Distinct linecache entries per build flavour of the same
-        # specialization (clean / sanitized / optimized).
-        filename = f"<lhdl:{ir.key}:san>" if sanitize else f"<lhdl:{ir.key}>"
+        # specialization (clean / sanitized / elided / optimized).
+        if sanitize:
+            flavor = ":san-e" if elision is not None else ":san"
+            filename = f"<lhdl:{ir.key}{flavor}>"
+        else:
+            filename = f"<lhdl:{ir.key}>"
         if opt_level != "none":
             filename = filename[:-1] + f":o-{opt_level}>"
         code = compile(source, filename, "exec")
@@ -886,6 +990,9 @@ def compile_module(
         sanitize=sanitize,
         opt=opt_level,
         sens_slot_count=compiler.sens_slot_count,
+        san_sites=compiler._san_sites,
+        san_elided=compiler._san_elided,
+        reg_const_init=dict(reg_const_init or {}),
     )
 
 

@@ -20,21 +20,6 @@ from .parser import parse, parse_expr
 from .preprocessor import preprocess
 from .source_regions import SourceRegion, module_regions, split_regions
 
-
-def __getattr__(name: str):
-    # Lazy re-export of the deprecated lint shim: importing repro.hdl
-    # must not fire its DeprecationWarning — only actually reaching for
-    # lint_module/lint_netlist does.
-    if name in ("lint_module", "lint_netlist", "lint"):
-        import importlib
-
-        module = importlib.import_module(".lint", __name__)
-        if name == "lint":
-            return module
-        return getattr(module, name)
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
-
-
 __all__ = [
     "ast_nodes",
     "Elaborator",
@@ -45,8 +30,6 @@ __all__ = [
     "tokenize",
     "behavioral_fingerprint",
     "Diagnostic",
-    "lint_module",
-    "lint_netlist",
     "SourceRegion",
     "split_regions",
     "module_regions",

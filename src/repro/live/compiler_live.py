@@ -31,11 +31,14 @@ from ..passes import PassData, build_compile_pipeline
 from .parser_live import LiveParseResult, LiveParser
 
 # (spec key, module fingerprint, child interface fps, mux style,
-#  sanitize flag, opt level) — sanitized/clean and per-opt-level
-# artifacts coexist in the cache and in the artifact store.  At
-# opt=full the child-fp components carry a "+pure" tag when the child
-# subtree is pure (see repro.passes.codegen.CodegenPass).
-CacheKey = Tuple[str, str, Tuple[str, ...], str, bool, str]
+#  sanitize flag, opt level, value-facts/plan fp) — sanitized/clean,
+# per-opt-level, and per-facts artifacts coexist in the cache and in
+# the artifact store.  At opt=full the child-fp components carry a
+# "+pure" tag when the child subtree is pure (and, under sanitize,
+# instrumentation-free); the last component is the dataflow-facts
+# digest plus a "+e" elision marker, empty when dataflow is gated off
+# (see repro.passes.codegen.CodegenPass).
+CacheKey = Tuple[str, str, Tuple[str, ...], str, bool, str, str]
 
 
 @dataclass
@@ -83,6 +86,7 @@ class LiveCompiler:
         store=None,
         sanitize: bool = False,
         sanitize_runtime=None,
+        san_elide: bool = True,
         opt: str = "none",
     ):
         """``store`` is an optional on-disk artifact store (duck-typed
@@ -109,6 +113,7 @@ class LiveCompiler:
         self._store = store
         self._sanitize = sanitize
         self._sanitize_runtime = sanitize_runtime
+        self._san_elide = san_elide
         self._opt = opt
         # One pipeline for the compiler's lifetime: the pass instances
         # hold the per-pass caches that make hot reload incremental.
@@ -249,6 +254,7 @@ class LiveCompiler:
             mux_style=self._mux_style,
             sanitize=self._sanitize,
             sanitize_runtime=self._sanitize_runtime,
+            san_elide=self._san_elide,
             opt=self._opt,
             compile_cache=self._cache,
             store=self._store,

@@ -212,9 +212,23 @@ class HotReloader:
             created = {
                 op.name for op in transform.ops if op.kind == "create"
             }
+            # Registers the dataflow pass proved constant from reset
+            # adopt the proven value instead of poison: the value a
+            # from-reset run would hold is fully known, so reading it is
+            # not reading uninitialized state (the "fully-known init"
+            # elision case).  CREATE'd registers keep user semantics.
+            const_init = getattr(new_code, "reg_const_init", {})
             pbits = 0
             for name, slot in new_code.reg_slots.items():
                 if name not in migrated or name in created:
+                    if name not in created and name in const_init:
+                        value = const_init[name] & (
+                            (1 << new_code.reg_widths[name]) - 1
+                        )
+                        new_state[slot] = value
+                        new_state[slot + num_regs] = value
+                        report.registers_migrated += 1
+                        continue
                     pbits |= 1 << slot
                 else:
                     old_slot = old_code.reg_slots.get(name)

@@ -162,6 +162,7 @@ class LiveSession:
         analyzer: Optional[Analyzer] = None,
         gate_policy: Optional[GatePolicy] = None,
         sanitize: str = "off",
+        san_elide: bool = True,
         trace_capacity: Optional[int] = DEFAULT_CAPACITY,
         opt: str = "none",
     ):
@@ -185,6 +186,7 @@ class LiveSession:
             store=artifact_store,
             sanitize=sanitize != "off",
             sanitize_runtime=self.sanitize_runtime,
+            san_elide=san_elide,
             opt=opt,
         )
         self.analyzer = analyzer if analyzer is not None else Analyzer()

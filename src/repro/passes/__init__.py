@@ -22,6 +22,12 @@ from ..ir.netlist import Netlist
 from .analyze import AnalyzePass
 from .base import Pass, PassData, PassManager, PassPipeline, PipelineError
 from .codegen import CodegenPass, SanitizePlanPass
+from .dataflow import (
+    ModuleValueFacts,
+    ValueFact,
+    ValueFactsPass,
+    compute_netlist_facts,
+)
 from .facts import ElaborateFactsPass
 from .optimize import ConstPropPass, DeadLogicPass, SensitivityPrunePass
 
@@ -32,6 +38,7 @@ __all__ = [
     "ConstPropPass",
     "DeadLogicPass",
     "ElaborateFactsPass",
+    "ModuleValueFacts",
     "Pass",
     "PassData",
     "PassManager",
@@ -39,7 +46,10 @@ __all__ = [
     "PipelineError",
     "SanitizePlanPass",
     "SensitivityPrunePass",
+    "ValueFact",
+    "ValueFactsPass",
     "build_compile_pipeline",
+    "compute_netlist_facts",
     "run_opt_pipeline",
 ]
 
@@ -56,6 +66,7 @@ def build_compile_pipeline() -> PassPipeline:
         DeadLogicPass(),
         ConstPropPass(),
         SanitizePlanPass(),
+        ValueFactsPass(),
         ElaborateFactsPass(),
     ])
     return manager.build()
@@ -67,6 +78,7 @@ def run_opt_pipeline(
     mux_style: str = "branch",
     sanitize: bool = False,
     sanitize_runtime=None,
+    san_elide: bool = True,
     fps: Optional[Dict[str, str]] = None,
 ) -> Dict[str, CompiledModule]:
     """One-shot compile of ``netlist`` through the pass pipeline.
@@ -82,6 +94,7 @@ def run_opt_pipeline(
         mux_style=mux_style,
         sanitize=sanitize,
         sanitize_runtime=sanitize_runtime,
+        san_elide=san_elide,
         opt=opt,
     )
     build_compile_pipeline().run(data)

@@ -38,6 +38,9 @@ class PassData:
     mux_style: str = "branch"
     sanitize: bool = False
     sanitize_runtime: Any = None
+    # Proof-driven check elision (repro.sanitize.elide).  On by
+    # default; the bench flips it off to measure the overhead delta.
+    san_elide: bool = True
     opt: str = "none"
     compile_cache: Optional[Dict] = None
     store: Any = None

@@ -1,46 +1,98 @@
 """The sanitize-plan and codegen passes (the back of the pipeline).
 
+``SanitizePlanPass`` decides the instrumentation plan: which runtime
+generated code binds to, which check sites the dataflow facts prove
+safe to elide (:mod:`repro.sanitize.elide`), which registers carry a
+proven constant init for hot-reload migration, and which subtrees are
+instrumentation-free (so the dynamic optimization passes can stack
+with the sanitizer).
+
 ``CodegenPass`` holds what used to be ``LiveCompiler.compile_top``'s
 visit loop: bottom-up over the instance tree, with the in-memory
 compile cache in front of the artifact store in front of
 ``compile_module``.  It assembles each specialization's
 :class:`~repro.codegen.optplan.OptPlan` from the optimization facts
-and folds the opt level into the cache key, so optimized and plain
-artifacts coexist (``repro.store/v3``).
+and folds the opt level plus the value-facts digest into the cache
+key, so plain, optimized, sanitized, and elided artifacts all coexist
+(``repro.store/v4``).
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Tuple
 
 from .. import obs
 from ..codegen.optplan import OptPlan
 from ..codegen.pygen import CompiledModule, compile_module
+from ..sanitize.elide import (
+    ElisionPlan,
+    build_elision_plan,
+    reg_const_init,
+    san_free_keys,
+)
 from .base import Pass, PassData
 from .optimize import _EMPTY_DEAD, _EMPTY_SENS
 
 
 class SanitizePlanPass(Pass):
-    """Decide the instrumentation plan: which runtime generated code
-    binds to, and whether instrumentation is on at all.  Kept as its
-    own pass so the pipeline's declared dataflow names the dependency
-    codegen has always had implicitly."""
+    """Decide the instrumentation plan.  Beyond naming codegen's
+    implicit runtime dependency, this is where static proof meets the
+    dynamic checker: stable-tier value facts elide ob/tr sites, env-
+    tier constant registers feed hot reload's poison-free init, and a
+    site census marks san-free subtrees for the optimizer."""
 
     name = "sanitize_plan"
+    requires = ("dataflow.facts",)
     produces = ("sanitize.plan",)
 
+    def __init__(self):
+        # (key, fp, facts digest) -> (ElisionPlan, const-init map)
+        self._cache: Dict[Tuple[str, str, str], Tuple[ElisionPlan, dict]] = {}
+
     def run(self, data: PassData) -> None:
-        data.facts["sanitize.plan"] = {
-            "enabled": bool(data.sanitize),
-            "runtime": data.sanitize_runtime if data.sanitize else None,
+        enabled = bool(data.sanitize)
+        plan: Dict[str, object] = {
+            "enabled": enabled,
+            "runtime": data.sanitize_runtime if enabled else None,
+            "elide": {},
+            "const_init": {},
+            "san_free": frozenset(),
         }
+        if enabled:
+            plan["san_free"] = san_free_keys(data.netlist)
+            if data.san_elide:
+                facts = data.facts["dataflow.facts"]
+                elide: Dict[str, ElisionPlan] = {}
+                const_init: Dict[str, dict] = {}
+                for key, ir in data.netlist.modules.items():
+                    mod_facts = facts.get(key)
+                    if mod_facts is None:
+                        continue
+                    cache_key = (key, data.fingerprint(ir.name),
+                                 mod_facts.digest)
+                    cached = self._cache.get(cache_key)
+                    if cached is not None:
+                        data.note_reused(self.name, key)
+                    else:
+                        cached = (
+                            build_elision_plan(mod_facts),
+                            reg_const_init(mod_facts, ir),
+                        )
+                        self._cache[cache_key] = cached
+                        data.note_computed(self.name, key)
+                    elide[key] = cached[0]
+                    if cached[1]:
+                        const_init[key] = cached[1]
+                plan["elide"] = elide
+                plan["const_init"] = const_init
+        data.facts["sanitize.plan"] = plan
 
 
 class CodegenPass(Pass):
     name = "codegen"
     requires = (
-        "elab.facts", "opt.consts", "opt.dead", "opt.sensitivity",
-        "sanitize.plan",
+        "elab.facts", "dataflow.facts", "opt.consts", "opt.dead",
+        "opt.sensitivity", "sanitize.plan",
     )
     produces = ("codegen.library",)
 
@@ -50,8 +102,12 @@ class CodegenPass(Pass):
         san_plan = data.facts["sanitize.plan"]
         sanitize = san_plan["enabled"]
         runtime = san_plan["runtime"]
+        elide_plans: Dict[str, ElisionPlan] = san_plan["elide"]
+        const_init: Dict[str, dict] = san_plan["const_init"]
+        san_free = san_plan["san_free"]
         opt = data.opt
         elab = data.facts["elab.facts"]
+        value_facts = data.facts["dataflow.facts"]
         consts_facts = data.facts["opt.consts"]
         dead_facts = data.facts["opt.dead"]
         sens_facts = data.facts["opt.sensitivity"]
@@ -74,12 +130,32 @@ class CodegenPass(Pass):
                 skip_children=sens.skip_children,
             )
 
+        def plan_fp(key: str) -> str:
+            # The generated code is a function of the value facts
+            # whenever any consumer is active (optimizer consts, or
+            # sanitizer elision); cross-module fact flow means a parent
+            # edit can change a child's facts without touching the
+            # child's own fingerprint, so the digest must join the key.
+            # Empty when dataflow is gated off (opt=none, no sanitize)
+            # to keep the legacy key shape.
+            mod_facts = value_facts.get(key)
+            if mod_facts is None:
+                return ""
+            fp = mod_facts.digest
+            if key in elide_plans:
+                fp += "+e"
+            return fp
+
         def child_fp(inst, compiled: CompiledModule) -> str:
             # At opt=full a parent's code depends on child *purity*
             # (pure subtrees skip eval_seq/tick), which the interface
             # fp cannot see — tag it into the key's child component.
+            # Under sanitize the skip additionally requires the child
+            # subtree to carry zero instrumentation sites.
             fp = compiled.interface_fp
-            if opt == "full" and not sanitize and elab[inst.child_key].pure:
+            if opt == "full" and elab[inst.child_key].pure and (
+                not sanitize or inst.child_key in san_free
+            ):
                 fp += "+pure"
             return fp
 
@@ -93,7 +169,7 @@ class CodegenPass(Pass):
             )
             cache_key = (
                 key, data.fingerprint(ir.name), child_fps,
-                data.mux_style, sanitize, opt,
+                data.mux_style, sanitize, opt, plan_fp(key),
             )
             if cache is not None:
                 cached = cache.get(cache_key)
@@ -128,6 +204,8 @@ class CodegenPass(Pass):
                 runtime=runtime,
                 opt_plan=plan_for(key) if opt != "none" else None,
                 opt_level=opt,
+                elision=elide_plans.get(key) if sanitize else None,
+                reg_const_init=const_init.get(key),
             )
             if cache is not None:
                 cache[cache_key] = compiled

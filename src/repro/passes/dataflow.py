@@ -1,0 +1,1361 @@
+"""Known-bits & value-range dataflow analysis (``ValueFactsPass``).
+
+Forward abstract interpretation over each module's comb schedule and
+sequential transitions.  Every signal gets a :class:`ValueFact` — a
+known-bits mask/value pair plus an unsigned interval — computed with
+the exact width and masking rules codegen applies at runtime (constant
+operands route through :mod:`repro.codegen.optplan`'s folders so the
+two can never disagree).  The seq back-edge runs to a fixpoint with
+interval widening after :data:`WIDEN_ROUNDS`.
+
+Instance connections propagate facts across the hierarchy in two
+phases: a bottom-up pass summarizes every module with unconstrained
+inputs, then a top-down pass joins each child's input facts over all
+of its instantiation sites — a constant-driven child input specializes
+the child (the ROADMAP's cross-module constprop rung).
+
+Two fact tiers per module:
+
+* ``env`` — the *from-reset* invariant (registers start from the
+  power-on zero state).  The analyzer's proof-backed checks and the
+  sanitizer's check elision consume this tier: sanitizer hooks are
+  value-transparent, so eliding a site never changes simulated values,
+  and elision is documented as from-reset semantics.
+* ``stable`` — the *swap-stable* tier (registers and child outputs
+  unconstrained), the only tier the optimizer may use for
+  value-affecting folding: a hot swap adopts live state, so optimized
+  code must be bit-exact under any register contents.
+
+The final converged walk also records per-site facts for sanitizer
+sites (ob/tr) and branch conditions, keyed ``(kind, name, line)`` —
+the same granularity the runtime dedupes findings at — so the
+elision planner and the proof-backed checks reason about exactly the
+sites codegen instruments.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..codegen.exprgen import ExprGen, mask_of
+from ..codegen.optplan import _fold_binary, _fold_unary, num_value, num_width
+from ..hdl import ast_nodes as ast
+from ..hdl.consteval import expr_reads
+from ..ir.netlist import ModuleIR, Netlist
+from .base import Pass, PassData
+
+WIDEN_ROUNDS = 4   # interval-growth rounds before widening kicks in
+MAX_ROUNDS = 12    # hard fixpoint cap (post-widening convergence is fast)
+EXPLAIN_DEPTH = 4  # derivation-chain depth surfaced by ``--explain``
+
+
+# ----------------------------------------------------------------------------
+# The abstract domain
+# ----------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ValueFact:
+    """Known bits plus an unsigned interval, at a fixed bit width.
+
+    Invariants (maintained by :func:`_make`): ``known_bits`` is a
+    subset of ``known_mask``; ``lo <= hi`` and both fit in ``width``
+    bits; every concrete value ``v`` satisfies
+    ``v & known_mask == known_bits`` and ``lo <= v <= hi``.
+    """
+
+    width: int
+    known_mask: int
+    known_bits: int
+    lo: int
+    hi: int
+
+    @property
+    def mask(self) -> int:
+        return mask_of(self.width)
+
+    @property
+    def is_const(self) -> bool:
+        return self.lo == self.hi
+
+    @property
+    def const_value(self) -> int:
+        return self.lo
+
+    @property
+    def is_top(self) -> bool:
+        return not self.known_mask and self.lo == 0 and self.hi == self.mask
+
+    def truth(self) -> Optional[bool]:
+        """Known boolean interpretation, or ``None``."""
+        if self.hi == 0:
+            return False
+        if self.lo >= 1 or self.known_bits:
+            return True
+        return None
+
+    def describe(self) -> str:
+        if self.is_const:
+            return f"= {self.lo:#x}"
+        parts = [f"in [{self.lo}, {self.hi}]"]
+        if self.known_mask:
+            parts.append(
+                f"bits {self.known_bits:#x} known under {self.known_mask:#x}"
+            )
+        return ", ".join(parts)
+
+    def key(self) -> Tuple[int, int, int, int, int]:
+        return (self.width, self.known_mask, self.known_bits,
+                self.lo, self.hi)
+
+
+_TOP_CACHE: Dict[int, ValueFact] = {}
+
+
+def vf_top(width: int) -> ValueFact:
+    # Memoized: tops are requested constantly in the walk, and sharing
+    # the (frozen) instance lets branch merges skip joins by identity.
+    fact = _TOP_CACHE.get(width)
+    if fact is None:
+        fact = _TOP_CACHE[width] = ValueFact(width, 0, 0, 0, mask_of(width))
+    return fact
+
+
+def vf_const(value: int, width: int) -> ValueFact:
+    value &= mask_of(width)
+    return ValueFact(width, mask_of(width), value, value, value)
+
+
+def _make(width: int, km: int, kb: int, lo: int, hi: int) -> ValueFact:
+    """Normalize and cross-strengthen the two abstractions.  A
+    contradiction (empty concretization) degrades to top — sound, if
+    imprecise, for code the walk thought reachable."""
+    mask = mask_of(width)
+    km &= mask
+    kb &= km
+    lo = max(lo, 0)
+    hi = min(hi, mask)
+    if lo > hi:
+        return vf_top(width)
+    # Bits at or above hi's magnitude are provably zero.
+    km |= mask & ~mask_of(hi.bit_length())
+    # Known-one bits floor the value; unknown bits ceiling it.
+    lo = max(lo, kb)
+    hi = min(hi, kb | (mask & ~km))
+    if lo > hi:
+        return vf_top(width)
+    if lo == hi:
+        return ValueFact(width, mask, lo, lo, lo)
+    return ValueFact(width, km, kb, lo, hi)
+
+
+def vf_to_width(fact: ValueFact, width: int) -> ValueFact:
+    """Zero-extend or truncate, mirroring codegen's masking."""
+    if width == fact.width:
+        return fact
+    if width > fact.width:
+        # High bits are known zero.
+        km = fact.known_mask | (mask_of(width) & ~mask_of(fact.width))
+        return _make(width, km, fact.known_bits, fact.lo, fact.hi)
+    mask = mask_of(width)
+    if fact.hi <= mask:
+        lo, hi = fact.lo, fact.hi
+    else:
+        lo, hi = 0, mask
+    return _make(width, fact.known_mask, fact.known_bits, lo, hi)
+
+
+def vf_join(a: Optional[ValueFact], b: Optional[ValueFact],
+            ) -> Optional[ValueFact]:
+    if a is None or b is None:
+        return None
+    if a is b:
+        return a
+    width = max(a.width, b.width)
+    a, b = vf_to_width(a, width), vf_to_width(b, width)
+    km = a.known_mask & b.known_mask & ~(a.known_bits ^ b.known_bits)
+    return _make(width, km, a.known_bits & km,
+                 min(a.lo, b.lo), max(a.hi, b.hi))
+
+
+def vf_widen(old: ValueFact, new: ValueFact) -> ValueFact:
+    """Jump a still-moving interval bound to its extreme so the seq
+    fixpoint terminates; the known-bits lattice has finite height and
+    needs no help."""
+    lo = new.lo if new.lo >= old.lo else 0
+    hi = new.hi if new.hi <= old.hi else mask_of(new.width)
+    return _make(new.width, new.known_mask, new.known_bits, lo, hi)
+
+
+def _trailing_known(fact: ValueFact) -> int:
+    """Length of the known run starting at bit 0."""
+    unknown = ~fact.known_mask & fact.mask
+    if not unknown:
+        return fact.width
+    return (unknown & -unknown).bit_length() - 1
+
+
+def _as_num(fact: ValueFact, line: int) -> ast.Num:
+    return ast.Num(value=fact.const_value, width=fact.width, line=line)
+
+
+# ----------------------------------------------------------------------------
+# Abstract expression evaluation (mirrors ExprGen's width rules)
+# ----------------------------------------------------------------------------
+
+
+class FactEval:
+    """Evaluates expressions over an environment of ValueFacts.
+
+    ``eval`` returns ``None`` only for expressions whose width ExprGen
+    itself cannot size (the caller treats that as top).  When a
+    recorder is attached (the final converged walk), per-site facts
+    for ob/tr sites and decided branch conditions are captured.
+    """
+
+    def __init__(self, ir: ModuleIR, env: Dict[str, ValueFact],
+                 recorder=None):
+        self.ir = ir
+        self.env = env
+        self.rec = recorder
+
+    # -- width mirror (None where ExprGen would raise) -----------------------
+
+    def width_of(self, expr) -> Optional[int]:
+        if isinstance(expr, ast.Num):
+            return num_width(expr)
+        if isinstance(expr, ast.Id):
+            sig = self.ir.signals.get(expr.name)
+            return sig.width if sig is not None else None
+        if isinstance(expr, ast.Unary):
+            if expr.op in ("!", "&", "|", "^"):
+                return 1
+            return self.width_of(expr.operand)
+        if isinstance(expr, ast.Binary):
+            if expr.op in ("==", "!=", "===", "!==", "<", "<=", ">", ">=",
+                           "&&", "||"):
+                return 1
+            if expr.op in ("<<", ">>", ">>>", "<<<"):
+                return self.width_of(expr.left)
+            wl, wr = self.width_of(expr.left), self.width_of(expr.right)
+            if wl is None or wr is None:
+                return None
+            return max(wl, wr)
+        if isinstance(expr, ast.Ternary):
+            wt = self.width_of(expr.if_true)
+            wf = self.width_of(expr.if_false)
+            if wt is None or wf is None:
+                return None
+            return max(wt, wf)
+        if isinstance(expr, ast.Concat):
+            total = 0
+            for part in expr.parts:
+                wp = self.width_of(part)
+                if wp is None:
+                    return None
+                total += wp
+            return total
+        if isinstance(expr, ast.Repl):
+            if not isinstance(expr.count, ast.Num) or expr.count.value < 1:
+                return None
+            wv = self.width_of(expr.value)
+            return expr.count.value * wv if wv is not None else None
+        if isinstance(expr, ast.Index):
+            if expr.base in self.ir.memories:
+                return self.ir.memories[expr.base].width
+            return 1
+        if isinstance(expr, ast.Slice):
+            if (isinstance(expr.msb, ast.Num) and isinstance(expr.lsb, ast.Num)
+                    and expr.msb.value >= expr.lsb.value):
+                return expr.msb.value - expr.lsb.value + 1
+            return None
+        if isinstance(expr, ast.IndexedPart):
+            if isinstance(expr.width, ast.Num) and expr.width.value > 0:
+                return expr.width.value
+            return None
+        if isinstance(expr, ast.SysCall):
+            if expr.func in ("$signed", "$unsigned"):
+                return self.width_of(expr.args[0]) if expr.args else None
+            if expr.func == "$clog2":
+                return 32
+            return None
+        return None
+
+    def _top(self, expr) -> Optional[ValueFact]:
+        width = self.width_of(expr)
+        return vf_top(width) if width is not None else None
+
+    # -- evaluation ----------------------------------------------------------
+
+    def eval(self, expr) -> Optional[ValueFact]:
+        if isinstance(expr, ast.Num):
+            return vf_const(num_value(expr), num_width(expr))
+        if isinstance(expr, ast.Id):
+            fact = self.env.get(expr.name)
+            return fact if fact is not None else self._top(expr)
+        if isinstance(expr, ast.Unary):
+            return self._eval_unary(expr)
+        if isinstance(expr, ast.Binary):
+            return self._eval_binary(expr)
+        if isinstance(expr, ast.Ternary):
+            return self._eval_ternary(expr)
+        if isinstance(expr, ast.Concat):
+            return self._eval_concat(expr)
+        if isinstance(expr, ast.Repl):
+            return self._eval_repl(expr)
+        if isinstance(expr, ast.Index):
+            return self._eval_index(expr)
+        if isinstance(expr, ast.Slice):
+            return self._eval_slice(expr)
+        if isinstance(expr, ast.IndexedPart):
+            return self._eval_indexed_part(expr)
+        if isinstance(expr, ast.SysCall):
+            if expr.func in ("$signed", "$unsigned") and expr.args:
+                fact = self.eval(expr.args[0])
+                width = self.width_of(expr)
+                if fact is None or width is None:
+                    return self._top(expr)
+                return vf_to_width(fact, width)
+            return self._top(expr)
+        return None
+
+    def _eval_unary(self, expr) -> Optional[ValueFact]:
+        fact = self.eval(expr.operand)
+        if fact is None:
+            return self._top(expr)
+        if fact.is_const:
+            folded = _fold_unary(expr.op, _as_num(fact, expr.line), expr.line)
+            if folded is not None:
+                return vf_const(num_value(folded), num_width(folded))
+        op, mask = expr.op, fact.mask
+        if op == "~":
+            return _make(fact.width, fact.known_mask,
+                         ~fact.known_bits & fact.known_mask,
+                         mask - fact.hi, mask - fact.lo)
+        if op == "-":
+            if fact.lo >= 1:
+                return _make(fact.width, 0, 0,
+                             mask + 1 - fact.hi, mask + 1 - fact.lo)
+            return vf_top(fact.width)
+        if op == "!":
+            truth = fact.truth()
+            return vf_top(1) if truth is None else vf_const(int(not truth), 1)
+        if op == "&":
+            if fact.hi < mask or (fact.known_mask & ~fact.known_bits & mask):
+                return vf_const(0, 1)
+            return vf_top(1)
+        if op == "|":
+            truth = fact.truth()
+            return vf_top(1) if truth is None else vf_const(int(truth), 1)
+        return vf_top(1) if op == "^" else self._top(expr)
+
+    def _eval_binary(self, expr) -> Optional[ValueFact]:
+        op = expr.op
+        # Signed lowerings sign-extend at runtime; stay top there.
+        if op == ">>>" and ExprGen.is_signed(expr.left):
+            return self._top(expr)
+        if (op in ("<", "<=", ">", ">=") and ExprGen.is_signed(expr.left)
+                and ExprGen.is_signed(expr.right)):
+            return vf_top(1)
+        lf, rf = self.eval(expr.left), self.eval(expr.right)
+        if lf is not None and rf is not None and lf.is_const and rf.is_const:
+            folded = _fold_binary(op, _as_num(lf, expr.line),
+                                  _as_num(rf, expr.line), expr.line)
+            if folded is not None:
+                return vf_const(num_value(folded), num_width(folded))
+        wl, wr = self.width_of(expr.left), self.width_of(expr.right)
+        if lf is None or rf is None or wl is None or wr is None:
+            return self._top(expr)
+        lf, rf = vf_to_width(lf, wl), vf_to_width(rf, wr)
+        wide = max(wl, wr)
+        if op in ("+", "-", "*"):
+            a, b = vf_to_width(lf, wide), vf_to_width(rf, wide)
+            full = mask_of(wide)
+            run = min(_trailing_known(a), _trailing_known(b))
+            low = mask_of(run)
+            if op == "+":
+                kb = (a.known_bits + b.known_bits) & low
+                fits = a.hi + b.hi <= full
+                lo, hi = (a.lo + b.lo, a.hi + b.hi) if fits else (0, full)
+            elif op == "-":
+                kb = (a.known_bits - b.known_bits) & low
+                fits = a.lo >= b.hi
+                lo, hi = (a.lo - b.hi, a.hi - b.lo) if fits else (0, full)
+            else:
+                kb = (a.known_bits * b.known_bits) & low
+                fits = a.hi * b.hi <= full
+                lo, hi = (a.lo * b.lo, a.hi * b.hi) if fits else (0, full)
+            return _make(wide, low, kb, lo, hi)
+        if op == "/":
+            if rf.lo >= 1:
+                return _make(wide, 0, 0, lf.lo // rf.hi, lf.hi // rf.lo)
+            return vf_top(wide)  # division by zero yields the mask
+        if op == "%":
+            if rf.lo >= 1:
+                return _make(wide, 0, 0, 0, min(lf.hi, rf.hi - 1))
+            return vf_top(wide)  # mod zero yields the dividend
+        if op in ("<<", "<<<"):
+            full = mask_of(wl)
+            if rf.is_const:
+                shift = rf.const_value
+                if shift >= wl + 1:
+                    return vf_const(0, wl)
+                km = ((lf.known_mask << shift) | mask_of(shift)) & full
+                kb = (lf.known_bits << shift) & full
+                if lf.hi << shift <= full:
+                    return _make(wl, km, kb, lf.lo << shift, lf.hi << shift)
+                return _make(wl, km, kb, 0, full)
+            return _make(wl, mask_of(min(rf.lo, wl)), 0, 0, full)
+        if op in (">>", ">>>"):
+            if rf.is_const:
+                shift = rf.const_value
+                keep = max(0, wl - shift)
+                km = (lf.known_mask >> shift) | (
+                    mask_of(wl) & ~mask_of(keep)
+                )
+                return _make(wl, km, lf.known_bits >> shift,
+                             lf.lo >> shift, lf.hi >> shift)
+            return _make(wl, 0, 0, 0, lf.hi)
+        if op in ("<", "<=", ">", ">="):
+            if op in (">", ">="):
+                lf, rf = rf, lf
+                op = "<" if op == ">" else "<="
+            if lf.hi < rf.lo or (op == "<=" and lf.hi <= rf.lo):
+                return vf_const(1, 1)
+            if lf.lo > rf.hi or (op == "<" and lf.lo >= rf.hi):
+                return vf_const(0, 1)
+            return vf_top(1)
+        if op in ("==", "!=", "===", "!=="):
+            a, b = vf_to_width(lf, wide), vf_to_width(rf, wide)
+            both = a.known_mask & b.known_mask
+            if (a.hi < b.lo or b.hi < a.lo
+                    or (a.known_bits ^ b.known_bits) & both):
+                equal = False
+            elif a.is_const and b.is_const:
+                equal = True  # unequal consts hit the disjoint test above
+            else:
+                return vf_top(1)
+            want = op in ("==", "===")
+            return vf_const(int(equal == want), 1)
+        if op == "&&":
+            lt, rt = lf.truth(), rf.truth()
+            if lt is False or rt is False:
+                return vf_const(0, 1)
+            if lt and rt:
+                return vf_const(1, 1)
+            return vf_top(1)
+        if op == "||":
+            lt, rt = lf.truth(), rf.truth()
+            if lt or rt:
+                return vf_const(1, 1)
+            if lt is False and rt is False:
+                return vf_const(0, 1)
+            return vf_top(1)
+        if op in ("&", "|", "^"):
+            a, b = vf_to_width(lf, wide), vf_to_width(rf, wide)
+            zero_a = a.known_mask & ~a.known_bits
+            zero_b = b.known_mask & ~b.known_bits
+            span = mask_of(max(a.hi.bit_length(), b.hi.bit_length()))
+            if op == "&":
+                ones = a.known_bits & b.known_bits
+                return _make(wide, zero_a | zero_b | ones, ones,
+                             0, min(a.hi, b.hi))
+            if op == "|":
+                ones = a.known_bits | b.known_bits
+                return _make(wide, (zero_a & zero_b) | ones, ones,
+                             max(a.lo, b.lo), span)
+            km = a.known_mask & b.known_mask
+            return _make(wide, km, (a.known_bits ^ b.known_bits) & km,
+                         0, span)
+        return self._top(expr)
+
+    def _eval_ternary(self, expr) -> Optional[ValueFact]:
+        width = self.width_of(expr)
+        cond = self.eval(expr.cond)
+        truth = cond.truth() if cond is not None else None
+        if (self.rec is not None and truth is not None
+                and not isinstance(expr.cond, ast.Num)):
+            self.rec.cond(expr.line, "ternary", truth, expr.cond, cond)
+        if truth is not None:
+            arm = expr.if_true if truth else expr.if_false
+            fact = self.eval(arm)
+            if fact is None or width is None:
+                return self._top(expr)
+            return vf_to_width(fact, width)
+        tf, ff = self.eval(expr.if_true), self.eval(expr.if_false)
+        if width is None:
+            return None
+        if tf is None or ff is None:
+            return vf_top(width)
+        return vf_join(vf_to_width(tf, width), vf_to_width(ff, width))
+
+    def _eval_concat(self, expr) -> Optional[ValueFact]:
+        width = self.width_of(expr)
+        if width is None:
+            return None
+        km = kb = lo = hi = 0
+        offset = width
+        for part in expr.parts:
+            pw = self.width_of(part)
+            pf = self.eval(part)
+            if pw is None or pf is None:
+                return vf_top(width)
+            pf = vf_to_width(pf, pw)
+            offset -= pw
+            km |= pf.known_mask << offset
+            kb |= pf.known_bits << offset
+            lo |= pf.lo << offset
+            hi |= pf.hi << offset
+        return _make(width, km, kb, lo, hi)
+
+    def _eval_repl(self, expr) -> Optional[ValueFact]:
+        width = self.width_of(expr)
+        if width is None:
+            return None
+        vw = self.width_of(expr.value)
+        vf = self.eval(expr.value)
+        if vw is None or vf is None:
+            return vf_top(width)
+        vf = vf_to_width(vf, vw)
+        km = kb = lo = hi = 0
+        for i in range(expr.count.value):
+            shift = i * vw
+            km |= vf.known_mask << shift
+            kb |= vf.known_bits << shift
+            lo |= vf.lo << shift
+            hi |= vf.hi << shift
+        return _make(width, km, kb, lo, hi)
+
+    def _eval_index(self, expr) -> Optional[ValueFact]:
+        index_fact = self.eval(expr.index)
+        if expr.base in self.ir.memories:
+            # Memory read: mr carries its own bound check and is never
+            # elided, but a provably-oob address is still an analyzer
+            # finding, so the site is recorded.  Contents untracked.
+            spec = self.ir.memories[expr.base]
+            if self.rec is not None and not isinstance(expr.index, ast.Num):
+                self.rec.ob(expr.base, expr.line, index_fact, spec.depth,
+                            expr.index)
+            return vf_top(spec.width)
+        sig = self.ir.signals.get(expr.base)
+        if sig is None:
+            return vf_top(1)
+        if self.rec is not None and not isinstance(expr.index, ast.Num):
+            self.rec.ob(expr.base, expr.line, index_fact, sig.width,
+                        expr.index)
+        if index_fact is not None and index_fact.is_const:
+            bit = index_fact.const_value
+            if bit >= sig.width:
+                return vf_const(0, 1)  # masked read: selected bit is zero
+            base_fact = self.env.get(expr.base)
+            if base_fact is not None and (base_fact.known_mask >> bit) & 1:
+                return vf_const((base_fact.known_bits >> bit) & 1, 1)
+        return vf_top(1)
+
+    def _eval_slice(self, expr) -> Optional[ValueFact]:
+        width = self.width_of(expr)
+        if width is None:
+            return None
+        sig = self.ir.signals.get(expr.base)
+        base_fact = self.env.get(expr.base)
+        if sig is None or base_fact is None:
+            return vf_top(width)
+        lsb, msb = expr.lsb.value, expr.msb.value
+        # The lower bound survives the slice when nothing above the
+        # msb can be set: either the slice reaches the top, or the
+        # dropped high bits are all known zero.
+        above = mask_of(sig.width) & ~mask_of(msb + 1)
+        covers_value = msb >= sig.width - 1 or (
+            base_fact.known_mask & above == above
+            and base_fact.known_bits & above == 0
+        )
+        lo = base_fact.lo >> lsb if covers_value else 0
+        return _make(width, base_fact.known_mask >> lsb,
+                     base_fact.known_bits >> lsb, lo, base_fact.hi >> lsb)
+
+    def _eval_indexed_part(self, expr) -> Optional[ValueFact]:
+        width = self.width_of(expr)
+        if width is None:
+            return None
+        sig = self.ir.signals.get(expr.base)
+        start_fact = self.eval(expr.start)
+        if sig is None:
+            return vf_top(width)
+        bound = sig.width - width + 1 if expr.ascending else sig.width
+        if self.rec is not None and not isinstance(expr.start, ast.Num):
+            self.rec.ob(expr.base, expr.line, start_fact, bound, expr.start)
+        base_fact = self.env.get(expr.base)
+        if start_fact is not None and start_fact.is_const \
+                and base_fact is not None:
+            start = start_fact.const_value
+            shift = start if expr.ascending else start - (width - 1)
+            if shift < 0:
+                return vf_top(width)  # faults at runtime; keep top
+            lo = base_fact.lo >> shift if shift + width >= sig.width else 0
+            return _make(width, base_fact.known_mask >> shift,
+                         base_fact.known_bits >> shift, lo,
+                         base_fact.hi >> shift)
+        return vf_top(width)
+
+
+# ----------------------------------------------------------------------------
+# Per-site facts (recorded on the final converged walk)
+# ----------------------------------------------------------------------------
+
+
+def _reads_of(expr) -> Tuple[str, ...]:
+    return tuple(sorted(expr_reads(expr)))
+
+
+@dataclass
+class ObSite:
+    """An index-bound (``ob``) check site.  ``fact is None`` means the
+    site's index could not be pinned (never elide, never flag)."""
+
+    fact: Optional[ValueFact]
+    bound: int
+    reads: Tuple[str, ...]
+
+    @property
+    def safe(self) -> bool:
+        return self.fact is not None and self.fact.hi < self.bound
+
+    @property
+    def provably_oob(self) -> bool:
+        return self.fact is not None and self.fact.lo >= self.bound
+
+
+@dataclass
+class TrSite:
+    """A truncation (``tr``) check site on a too-wide assignment."""
+
+    fact: Optional[ValueFact]
+    declared: int
+    value_width: int
+    reads: Tuple[str, ...]
+
+    @property
+    def safe(self) -> bool:
+        return self.fact is not None and self.fact.hi <= mask_of(self.declared)
+
+    @property
+    def provably_lossy(self) -> bool:
+        if self.fact is None:
+            return False
+        kept = mask_of(self.declared)
+        return self.fact.lo > kept or bool(self.fact.known_bits & ~kept)
+
+
+@dataclass
+class CondSite:
+    """A branch condition; ``truth`` is set only when every evaluation
+    of the site decided the same way."""
+
+    truth: Optional[bool]
+    reads: Tuple[str, ...]
+    detail: str
+
+
+@dataclass
+class CaseSite:
+    """A case arm; ``dead`` survives only if every evaluation proved
+    the arm unmatchable."""
+
+    dead: bool
+    reads: Tuple[str, ...]
+    detail: str
+
+
+class _SiteRecorder:
+    def __init__(self):
+        self.ob_sites: Dict[Tuple[str, int], ObSite] = {}
+        self.tr_sites: Dict[Tuple[str, int], TrSite] = {}
+        self.cond_sites: Dict[Tuple[int, str], CondSite] = {}
+        self.case_sites: Dict[Tuple[int, int], CaseSite] = {}
+
+    def ob(self, name, line, fact, bound, index_expr):
+        key = (name, line)
+        prev = self.ob_sites.get(key)
+        if prev is None:
+            self.ob_sites[key] = ObSite(fact, bound, _reads_of(index_expr))
+        elif prev.bound != bound:
+            # Two sites collide on the runtime's dedup key with
+            # different bounds: give up on both.
+            self.ob_sites[key] = ObSite(None, min(prev.bound, bound),
+                                        prev.reads)
+        else:
+            self.ob_sites[key] = ObSite(vf_join(prev.fact, fact), bound,
+                                        prev.reads)
+
+    def tr(self, name, line, fact, declared, value_width, value_expr):
+        key = (name, line)
+        prev = self.tr_sites.get(key)
+        if prev is None:
+            self.tr_sites[key] = TrSite(fact, declared, value_width,
+                                        _reads_of(value_expr))
+        else:
+            self.tr_sites[key] = TrSite(
+                vf_join(prev.fact, fact), declared,
+                max(prev.value_width, value_width), prev.reads,
+            )
+
+    def cond(self, line, kind, truth, cond_expr, fact):
+        key = (line, kind)
+        prev = self.cond_sites.get(key)
+        if prev is None:
+            detail = fact.describe() if fact is not None else ""
+            self.cond_sites[key] = CondSite(truth, _reads_of(cond_expr),
+                                            detail)
+        elif prev.truth != truth:
+            self.cond_sites[key] = CondSite(None, prev.reads, prev.detail)
+
+    def case_arm(self, line, arm_index, dead, subject_expr, detail):
+        key = (line, arm_index)
+        prev = self.case_sites.get(key)
+        if prev is None:
+            self.case_sites[key] = CaseSite(dead, _reads_of(subject_expr),
+                                            detail)
+        elif prev.dead and not dead:
+            self.case_sites[key] = CaseSite(False, prev.reads, prev.detail)
+
+
+# ----------------------------------------------------------------------------
+# Per-module results
+# ----------------------------------------------------------------------------
+
+
+@dataclass
+class ModuleValueFacts:
+    """Everything the analyzer, sanitizer planner, and optimizer
+    consume for one module specialization."""
+
+    key: str
+    env: Dict[str, ValueFact]          # from-reset tier
+    stable: Dict[str, ValueFact]       # swap-stable tier (regs top)
+    input_facts: Dict[str, ValueFact]
+    always_written: frozenset
+    ob_sites: Dict[Tuple[str, int], ObSite] = field(default_factory=dict)
+    tr_sites: Dict[Tuple[str, int], TrSite] = field(default_factory=dict)
+    cond_sites: Dict[Tuple[int, str], CondSite] = field(default_factory=dict)
+    case_sites: Dict[Tuple[int, int], CaseSite] = field(default_factory=dict)
+    # Same sites re-proven under the swap-stable tier (registers top):
+    # the only proofs strong enough to elide runtime checks, because
+    # hot-swap adoption and checkpoint restore can put registers
+    # anywhere inside their declared width.
+    stable_ob_sites: Dict[Tuple[str, int], ObSite] = field(
+        default_factory=dict)
+    stable_tr_sites: Dict[Tuple[str, int], TrSite] = field(
+        default_factory=dict)
+    origins: Dict[str, Tuple[int, str]] = field(default_factory=dict)
+    deps: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    digest: str = ""
+
+    def explain(self, name: str, depth: int = EXPLAIN_DEPTH) -> List[str]:
+        """Derivation chain for a signal's fact (``--explain``)."""
+        lines: List[str] = []
+        seen: Set[str] = set()
+
+        def walk(sig: str, level: int) -> None:
+            if level >= depth or sig in seen:
+                return
+            seen.add(sig)
+            fact = self.env.get(sig)
+            if fact is None:
+                return
+            origin_line, kind = self.origins.get(sig, (0, "unconstrained"))
+            where = f" (line {origin_line}, {kind})" if origin_line \
+                else f" ({kind})"
+            lines.append("  " * level + f"{sig} {fact.describe()}{where}")
+            if fact.is_top:
+                return
+            for dep in self.deps.get(sig, ()):
+                walk(dep, level + 1)
+
+        walk(name, 0)
+        return lines
+
+
+def _facts_digest(*envs: Dict[str, ValueFact]) -> str:
+    digest = hashlib.sha256()
+    for env in envs:
+        digest.update(b"|")
+        for name in sorted(env):
+            digest.update(f"{name}:{env[name].key()};".encode())
+    return digest.hexdigest()[:24]
+
+
+# ----------------------------------------------------------------------------
+# Per-module abstract interpretation
+# ----------------------------------------------------------------------------
+
+
+class _ModuleAnalysis:
+    def __init__(self, ir: ModuleIR, input_facts, stable_input_facts,
+                 child_envs, child_stable_envs, input_origins=None):
+        self.ir = ir
+        self.input_facts = input_facts
+        self.stable_input_facts = stable_input_facts
+        self.child_envs = child_envs            # [inst idx] -> {port: fact}
+        self.child_stable_envs = child_stable_envs
+        self.input_origins = input_origins or {}
+        self.rec: Optional[_SiteRecorder] = None
+        self.origins: Dict[str, Tuple[int, str]] = {}
+        self.deps: Dict[str, Tuple[str, ...]] = {}
+
+    def _reg_signals(self):
+        return [(name, sig) for name, sig in self.ir.signals.items()
+                if sig.state_index is not None]
+
+    def run(self, key: str) -> ModuleValueFacts:
+        ir = self.ir
+        if ir.needs_fixpoint:
+            env = {name: vf_top(sig.width)
+                   for name, sig in ir.signals.items()}
+            return ModuleValueFacts(
+                key=key, env=env, stable=dict(env),
+                input_facts=dict(self.input_facts),
+                always_written=frozenset(),
+                digest=_facts_digest(env, env, self.input_facts),
+            )
+        regs = {name: vf_const(0, sig.width)
+                for name, sig in self._reg_signals()}
+        rounds = 0
+        moving: Set[str] = set()
+        while True:
+            env = self._comb_walk(regs, self.input_facts, self.child_envs)
+            writes, assigned = self._seq_walk(env)
+            moving = set()
+            new_regs = {}
+            for name, cur in regs.items():
+                written = writes.get(name)
+                if written is None:
+                    nxt = cur
+                else:
+                    nxt = written if name in assigned \
+                        else vf_join(written, cur)
+                new = vf_join(cur, nxt)
+                if rounds >= WIDEN_ROUNDS:
+                    new = vf_widen(cur, new)
+                if new.key() != cur.key():
+                    moving.add(name)
+                new_regs[name] = new
+            regs = new_regs
+            rounds += 1
+            if not moving or rounds >= MAX_ROUNDS:
+                break
+        for name in moving:  # cap hit: degrade the stragglers, stay sound
+            regs[name] = vf_top(regs[name].width)
+
+        # Final converged walk with site recording + provenance.
+        self.rec = _SiteRecorder()
+        env = self._comb_walk(regs, self.input_facts, self.child_envs,
+                              record=True)
+        _, assigned = self._seq_walk(env, record=True)
+        env_rec = self.rec
+
+        # Swap-stable tier: registers and child outputs unconstrained.
+        # Sites recorded under this tier hold for *any* register state
+        # (hot-swap adoption, checkpoint restore, pokes), which is what
+        # makes them strong enough to elide runtime checks; the env
+        # tier above is from-reset only and feeds the analyzer.
+        top_regs = {name: vf_top(sig.width)
+                    for name, sig in self._reg_signals()}
+        self.rec = _SiteRecorder()
+        stable = self._comb_walk(top_regs, self.stable_input_facts,
+                                 self.child_stable_envs, record=True)
+        self._seq_walk(stable, record=True)
+        stable_rec = self.rec
+
+        return ModuleValueFacts(
+            key=key, env=env, stable=stable,
+            input_facts=dict(self.input_facts),
+            always_written=frozenset(assigned),
+            ob_sites=env_rec.ob_sites,
+            tr_sites=env_rec.tr_sites,
+            cond_sites=env_rec.cond_sites,
+            case_sites=env_rec.case_sites,
+            stable_ob_sites=stable_rec.ob_sites,
+            stable_tr_sites=stable_rec.tr_sites,
+            origins=self.origins,
+            deps=self.deps,
+            digest=_facts_digest(env, stable, self.input_facts),
+        )
+
+    # -- the comb schedule walk ----------------------------------------------
+
+    def _comb_walk(self, regs, input_facts, child_envs, record=False):
+        ir = self.ir
+        rec = self.rec if record else None
+        env: Dict[str, ValueFact] = {}
+        for name, sig in ir.signals.items():
+            if sig.kind == "input":
+                given = input_facts.get(name)
+                env[name] = vf_to_width(given, sig.width) if given \
+                    else vf_top(sig.width)
+                if record:
+                    self.origins[name] = (
+                        sig.line, self.input_origins.get(name, "module input")
+                    )
+        env.update(regs)
+        ev = FactEval(ir, env, rec)
+        for inst_index, port, target in ir.early_bind:
+            self._bind_child_output(env, child_envs, inst_index, port,
+                                    target, record)
+        for kind, index in ir.schedule:
+            if kind == "assign":
+                assign = ir.comb_assigns[index]
+                self._exec_assign(ev, env, None, assign.target, assign.value,
+                                  assign.line)
+                if record and assign.target.msb is None \
+                        and assign.target.index is None:
+                    self.origins[assign.target.name] = (assign.line, "assign")
+                    self.deps[assign.target.name] = _reads_of(assign.value)
+            elif kind == "block":
+                comb = ir.comb_blocks[index]
+                for name in comb.defines:
+                    sig = ir.signals.get(name)
+                    if sig is not None:
+                        env[name] = vf_const(0, sig.width)
+                    if record:
+                        self.origins[name] = (comb.line, "always block")
+                        self.deps[name] = tuple(sorted(comb.reads))
+                self._exec_stmts(ev, comb.body, env, None, set())
+            else:  # inst
+                inst = ir.instances[index]
+                if record:
+                    for conn in inst.input_conns.values():
+                        ev.eval(conn)  # record sites inside connections
+                for port, target in inst.output_conns.items():
+                    self._bind_child_output(env, child_envs, index, port,
+                                            target, record)
+        return env
+
+    def _bind_child_output(self, env, child_envs, inst_index, port, target,
+                           record):
+        ir = self.ir
+        sig = ir.signals.get(target)
+        if sig is None:
+            return
+        fact = child_envs[inst_index].get(port)
+        env[target] = vf_to_width(fact, sig.width) if fact is not None \
+            else vf_top(sig.width)
+        if record:
+            inst = ir.instances[inst_index]
+            self.origins[target] = (
+                inst.line, f"output '{port}' of {inst.child_key}"
+            )
+            self.deps[target] = tuple(sorted(inst.reads))
+
+    # -- sequential transition -----------------------------------------------
+
+    def _seq_walk(self, env, record=False):
+        rec = self.rec if record else None
+        merged: Dict[str, ValueFact] = {}
+        assigned_all: Set[str] = set()
+        for seq in self.ir.seq_blocks:
+            ev = FactEval(self.ir, env, rec)
+            writes: Dict[str, ValueFact] = {}
+            assigned: Set[str] = set()
+            self._exec_stmts(ev, seq.body, env, writes, assigned)
+            if record:
+                from ..hdl.consteval import stmt_reads_writes
+
+                block_reads = tuple(sorted(stmt_reads_writes(seq.body)[0]))
+                for name in writes:
+                    self.origins[name] = (seq.line, "register")
+                    self.deps[name] = block_reads
+            for name, fact in writes.items():
+                prev = merged.get(name)
+                merged[name] = fact if prev is None else vf_join(prev, fact)
+            assigned_all |= assigned
+        return merged, assigned_all
+
+    # -- statements ----------------------------------------------------------
+
+    def _exec_stmts(self, ev, stmts, env, writes, assigned):
+        for stmt in stmts:
+            if isinstance(stmt, (ast.Blocking, ast.NonBlocking)):
+                if self._exec_assign(ev, env, writes, stmt.target,
+                                     stmt.value, stmt.line):
+                    assigned.add(stmt.target.name)
+            elif isinstance(stmt, ast.If):
+                self._exec_if(ev, stmt, env, writes, assigned)
+            elif isinstance(stmt, ast.Case):
+                self._exec_case(ev, stmt, env, writes, assigned)
+
+    def _exec_assign(self, ev, env, writes, target, value, line) -> bool:
+        ir = self.ir
+        rec = ev.rec
+        if target.name in ir.memories:
+            # Memory write: the address carries an ob site keyed on the
+            # memory name; contents stay untracked.
+            if target.index is not None:
+                addr_fact = ev.eval(target.index)
+                if rec is not None and not isinstance(target.index, ast.Num):
+                    rec.ob(target.name, line, addr_fact,
+                           ir.memories[target.name].depth, target.index)
+            ev.eval(value)
+            return False
+        sig = ir.signals.get(target.name)
+        if sig is None:
+            ev.eval(value)
+            return False
+        dest = writes if writes is not None else env
+        if target.index is not None or target.msb is not None:
+            # Partial write: bit index carries an ob site; the merged
+            # register/wire value degrades to top (RMW untracked).
+            if target.index is not None:
+                index_fact = ev.eval(target.index)
+                if rec is not None and not isinstance(target.index, ast.Num):
+                    rec.ob(target.name, line, index_fact, sig.width,
+                           target.index)
+            ev.eval(value)
+            dest[target.name] = vf_top(sig.width)
+            return True  # the RMW result still lands every cycle
+        value_width = ev.width_of(value)
+        fact = ev.eval(value)
+        if rec is not None and value_width is not None \
+                and value_width > sig.width:
+            rec.tr(target.name, line, fact, sig.width, value_width, value)
+        dest[target.name] = vf_to_width(fact, sig.width) \
+            if fact is not None else vf_top(sig.width)
+        return True
+
+    def _exec_if(self, ev, stmt, env, writes, assigned):
+        cond_fact = ev.eval(stmt.cond)
+        truth = cond_fact.truth() if cond_fact is not None else None
+        if ev.rec is not None and not isinstance(stmt.cond, ast.Num):
+            ev.rec.cond(stmt.line, "if", truth, stmt.cond, cond_fact)
+        if truth is True:
+            self._exec_stmts(ev, stmt.then_body, env, writes, assigned)
+            return
+        if truth is False:
+            self._exec_stmts(ev, stmt.else_body, env, writes, assigned)
+            return
+        self._exec_branches(ev, [stmt.then_body, stmt.else_body], env,
+                            writes, assigned, include_identity=False)
+
+    def _exec_branches(self, ev, bodies, env, writes, assigned,
+                       include_identity):
+        """Run each body on private copies and merge the results
+        pointwise; ``assigned`` gains only names every path assigns."""
+        env_results, write_results, assigned_results = [], [], []
+        for body in bodies:
+            env_copy = dict(env)
+            writes_copy = dict(writes) if writes is not None else None
+            assigned_copy: Set[str] = set()
+            branch_ev = FactEval(self.ir, env_copy, ev.rec)
+            self._exec_stmts(branch_ev, body, env_copy, writes_copy,
+                             assigned_copy)
+            env_results.append(env_copy)
+            write_results.append(writes_copy)
+            assigned_results.append(assigned_copy)
+        if include_identity:
+            env_results.append(dict(env))
+            write_results.append(dict(writes) if writes is not None else None)
+            assigned_results.append(set())
+        self._merge_into(env, env_results, env)
+        if writes is not None:
+            # An unwritten path leaves the pending slot preloaded with
+            # the current value, so the fallback is ``env``.
+            self._merge_into(writes, write_results, env)
+        survivors = assigned_results[0]
+        for extra in assigned_results[1:]:
+            survivors = survivors & extra
+        assigned |= survivors
+
+    def _merge_into(self, dst, results, fallback):
+        keys = set()
+        for result in results:
+            keys.update(result)
+        for name in keys:
+            # Branch envs start as dict(env) copies, so a key no branch
+            # touched holds the SAME fact object everywhere — keep it
+            # without joining (the dominant case on wide register files).
+            facts = []
+            degraded = False
+            for result in results:
+                fact = result.get(name)
+                if fact is None:
+                    fact = fallback.get(name)
+                if fact is None:
+                    degraded = True
+                    break
+                facts.append(fact)
+            if degraded or not facts:
+                sig = self.ir.signals.get(name)
+                width = sig.width if sig is not None else 1
+                dst[name] = vf_top(width)
+                continue
+            merged = facts[0]
+            for fact in facts[1:]:
+                if fact is not merged:
+                    merged = vf_join(merged, fact)
+            dst[name] = merged
+
+    def _exec_case(self, ev, stmt, env, writes, assigned):
+        subject_fact = ev.eval(stmt.subject)
+        syntactic_const = isinstance(stmt.subject, ast.Num)
+        feasible = []
+        reachable = True
+        default_body = None
+        default_index = None
+        for index, (labels, body) in enumerate(stmt.arms):
+            if not labels:
+                default_body, default_index = body, index
+                continue
+            if not reachable:
+                self._record_arm(ev, stmt, index, True, subject_fact,
+                                 syntactic_const, "earlier arm always hits")
+                continue
+            status = self._match_status(ev, subject_fact, labels)
+            if status == "never":
+                self._record_arm(ev, stmt, index, True, subject_fact,
+                                 syntactic_const,
+                                 "labels excluded by subject range")
+                continue
+            self._record_arm(ev, stmt, index, False, subject_fact,
+                             syntactic_const, "")
+            feasible.append(body)
+            if status == "always":
+                reachable = False
+        if default_body is not None:
+            if reachable:
+                feasible.append(default_body)
+                self._record_arm(ev, stmt, default_index, False,
+                                 subject_fact, syntactic_const, "")
+            else:
+                self._record_arm(ev, stmt, default_index, True, subject_fact,
+                                 syntactic_const, "earlier arm always hits")
+        if len(feasible) == 1 and not (reachable and default_body is None):
+            self._exec_stmts(ev, feasible[0], env, writes, assigned)
+            return
+        if not feasible:
+            return
+        self._exec_branches(
+            ev, feasible, env, writes, assigned,
+            include_identity=(reachable and default_body is None),
+        )
+
+    def _record_arm(self, ev, stmt, index, dead, subject_fact,
+                    syntactic_const, why):
+        if ev.rec is None or syntactic_const:
+            return
+        detail = ""
+        if dead:
+            described = subject_fact.describe() if subject_fact else "?"
+            detail = f"subject {described}; {why}"
+        ev.rec.case_arm(stmt.line, index, dead, stmt.subject, detail)
+
+    def _match_status(self, ev, subject_fact, labels) -> str:
+        """'always' / 'never' / 'maybe' for one arm's label list."""
+        if subject_fact is None:
+            return "maybe"
+        any_maybe = False
+        for label in labels:
+            label_fact = ev.eval(label)
+            if label_fact is None:
+                any_maybe = True
+                continue
+            wide = max(subject_fact.width, label_fact.width)
+            a = vf_to_width(subject_fact, wide)
+            b = vf_to_width(label_fact, wide)
+            both = a.known_mask & b.known_mask
+            if (a.hi < b.lo or b.hi < a.lo
+                    or (a.known_bits ^ b.known_bits) & both):
+                continue  # this label can never match
+            if a.is_const and b.is_const:
+                return "always"
+            any_maybe = True
+        return "maybe" if any_maybe else "never"
+
+
+# ----------------------------------------------------------------------------
+# Cross-module propagation
+# ----------------------------------------------------------------------------
+
+
+def _topo_module_keys(netlist: Netlist) -> List[str]:
+    """Module keys, children before parents."""
+    order: List[str] = []
+    done: Set[str] = set()
+
+    def visit(key: str) -> None:
+        if key in done:
+            return
+        done.add(key)
+        for inst in netlist.modules[key].instances:
+            visit(inst.child_key)
+        order.append(key)
+
+    for key in netlist.modules:
+        visit(key)
+    return order
+
+
+def _join_port(slot: Dict[str, Optional[ValueFact]], port: str,
+               fact: Optional[ValueFact]) -> None:
+    if port in slot:
+        prev = slot[port]
+        slot[port] = None if prev is None or fact is None \
+            else vf_join(prev, fact)
+    else:
+        slot[port] = fact
+
+
+def _inputs_all_top(ir: ModuleIR, input_facts: Dict[str, ValueFact]) -> bool:
+    """True when no port fact constrains anything once widened to the
+    port's width (a narrow connection makes high bits known-zero, so
+    width conversion must happen before judging)."""
+    for port, fact in input_facts.items():
+        sig = ir.signals.get(port)
+        if sig is None:
+            continue
+        f = vf_to_width(fact, sig.width)
+        if f.known_mask != 0 or f.lo != 0 or f.hi != f.mask:
+            return False
+    return True
+
+
+def compute_netlist_facts(netlist: Netlist, fps=None, cache=None,
+                          on_computed=None, on_reused=None,
+                          ) -> Dict[str, ModuleValueFacts]:
+    """Two-phase cross-module analysis.
+
+    Phase 1 walks bottom-up with unconstrained inputs, producing
+    context-free summaries (parents read child output facts from
+    these).  Phase 2 walks top-down, joining each child's input facts
+    over every instantiation site — a constant-driven input
+    specializes the child.  Results cache per
+    ``(key, fingerprint, child digests, input digest)`` so a hot
+    reload recomputes only the dirty module (and parents/children only
+    when the facts crossing the boundary actually changed).
+    """
+    fps = fps or {}
+    topo = _topo_module_keys(netlist)
+
+    summaries: Dict[str, ModuleValueFacts] = {}
+    for key in topo:
+        ir = netlist.modules[key]
+        child_digests = tuple(
+            summaries[inst.child_key].digest for inst in ir.instances
+        )
+        cache_key = ("p1", key, fps.get(ir.name, ""), child_digests)
+        cached = cache.get(cache_key) if cache is not None else None
+        if cached is None:
+            cached = _ModuleAnalysis(
+                ir, {}, {},
+                [summaries[inst.child_key].env for inst in ir.instances],
+                [summaries[inst.child_key].stable for inst in ir.instances],
+            ).run(key)
+            if cache is not None:
+                cache[cache_key] = cached
+        summaries[key] = cached
+
+    results: Dict[str, ModuleValueFacts] = {}
+    joined_full: Dict[str, Dict[str, Optional[ValueFact]]] = {}
+    joined_stable: Dict[str, Dict[str, Optional[ValueFact]]] = {}
+    site_counts: Dict[str, int] = {}
+    for key in reversed(topo):
+        ir = netlist.modules[key]
+        if key == netlist.top:
+            input_facts: Dict[str, ValueFact] = {}
+            stable_inputs: Dict[str, ValueFact] = {}
+        else:
+            input_facts = {
+                port: fact
+                for port, fact in joined_full.get(key, {}).items()
+                if fact is not None
+            }
+            stable_inputs = {
+                port: fact
+                for port, fact in joined_stable.get(key, {}).items()
+                if fact is not None
+            }
+        child_digests = tuple(
+            summaries[inst.child_key].digest for inst in ir.instances
+        )
+        cache_key = ("p2", key, fps.get(ir.name, ""), child_digests,
+                     _facts_digest(input_facts, stable_inputs))
+        cached = cache.get(cache_key) if cache is not None else None
+        if cached is not None:
+            if on_reused is not None:
+                on_reused(key)
+        elif _inputs_all_top(ir, input_facts) \
+                and _inputs_all_top(ir, stable_inputs):
+            # Every instantiation site drives this module with
+            # unconstrained values, so the context-free phase-1 walk
+            # already IS the specialized result — skip the fixpoint.
+            cached = summaries[key]
+            if cache is not None:
+                cache[cache_key] = cached
+            if on_computed is not None:
+                on_computed(key)
+        else:
+            sites = site_counts.get(key, 0)
+            origin = (
+                f"joined over {sites} instantiation site(s)"
+                if sites else "module input"
+            )
+            cached = _ModuleAnalysis(
+                ir, input_facts, stable_inputs,
+                [summaries[inst.child_key].env for inst in ir.instances],
+                [summaries[inst.child_key].stable for inst in ir.instances],
+                input_origins={port: origin for port in input_facts},
+            ).run(key)
+            if cache is not None:
+                cache[cache_key] = cached
+            if on_computed is not None:
+                on_computed(key)
+        results[key] = cached
+
+        full_ev = FactEval(ir, cached.env)
+        stable_ev = FactEval(ir, cached.stable)
+        for inst in ir.instances:
+            site_counts[inst.child_key] = site_counts.get(
+                inst.child_key, 0
+            ) + 1
+            full_slot = joined_full.setdefault(inst.child_key, {})
+            stable_slot = joined_stable.setdefault(inst.child_key, {})
+            for port, conn in inst.input_conns.items():
+                _join_port(full_slot, port, full_ev.eval(conn))
+                _join_port(stable_slot, port, stable_ev.eval(conn))
+    return results
+
+
+# ----------------------------------------------------------------------------
+# The pass
+# ----------------------------------------------------------------------------
+
+
+class ValueFactsPass(Pass):
+    """Computes ``dataflow.facts``: key -> :class:`ModuleValueFacts`.
+
+    Skipped entirely (empty fact dict) when nothing downstream
+    consumes it — plain ``opt=none`` unsanitized compiles pay zero
+    analysis cost.  Per-module results cache on the pass instance so
+    hot reloads recompute only dirty modules; cross-module input
+    digests keep a parent's edit from invalidating an unaffected
+    child and vice versa.
+    """
+
+    name = "dataflow"
+    requires = ("elab.facts",)
+    produces = ("dataflow.facts",)
+
+    def __init__(self):
+        self._cache: Dict[tuple, ModuleValueFacts] = {}
+
+    def run(self, data: PassData) -> None:
+        if data.opt == "none" and not data.sanitize:
+            data.facts["dataflow.facts"] = {}
+            return
+        data.facts["dataflow.facts"] = compute_netlist_facts(
+            data.netlist,
+            fps=data.fps,
+            cache=self._cache,
+            on_computed=lambda key: data.note_computed(self.name, key),
+            on_reused=lambda key: data.note_reused(self.name, key),
+        )

@@ -15,15 +15,22 @@ the compile report.
 Fixpoint modules are exempt from every optimization: their comb locals
 round-trip through the memo slot between iteration passes, so neither
 branch pruning, dead elimination, nor guards can reason about a single
-linear evaluation.  The dynamic passes (dead logic, sensitivity) also
-stand down under sanitize — instrumented reads are side-effecting, and
-skipping them would silence findings.
+linear evaluation.
+
+Under sanitize the dynamic passes no longer stand down wholesale (the
+PR 9 posture): dead elimination drops only units the site census
+(:mod:`repro.sanitize.elide`) proves instrumentation-free, and
+sensitivity guards stay sound because a skipped body's checks are
+pure functions of the unchanged guard key — any finding they would
+re-report is already deduplicated per site, and every poison-
+introducing transition (swap, restore) lands in cold guard slots.
+Child-subtree skips additionally require the subtree to be san-free.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Set, Tuple
+from typing import Dict, FrozenSet, Optional, Set, Tuple
 
 from ..codegen.exprgen import mask_of
 from ..codegen.optplan import (
@@ -35,6 +42,7 @@ from ..codegen.optplan import (
 from ..hdl import ast_nodes as ast
 from ..hdl.consteval import expr_reads, stmt_reads_writes
 from ..ir.netlist import ModuleIR
+from ..sanitize.elide import unit_site_count
 from .base import Pass, PassData
 
 MAX_GUARD_KEY = 12  # widest input tuple worth building every cycle
@@ -76,32 +84,46 @@ class ConstPropPass(Pass):
     Active at every opt level above ``none`` (including under sanitize:
     substitution only replaces *wire* reads, which carry no poison, and
     the driving assign keeps its trunc instrumentation).
+
+    Beyond syntactic folding, the pass consumes the swap-stable tier of
+    ``dataflow.facts``: a wire whose interval proof pins one value in
+    *any* register state (e.g. a comparison decided by widths alone)
+    folds even when its expression never reduces to a literal — the
+    range-based comparison/dead-branch rung.  Only the stable tier may
+    justify this: folding is value-affecting, and hot swaps adopt live
+    state outside the from-reset ranges.
     """
 
     name = "constprop"
-    requires = ("elab.facts",)
+    requires = ("elab.facts", "dataflow.facts")
     produces = ("opt.consts",)
 
     def __init__(self):
-        self._cache: Dict[Tuple[str, str], Tuple[dict, dict]] = {}
+        self._cache: Dict[Tuple[str, str, str], Tuple[dict, dict]] = {}
 
     def run(self, data: PassData) -> None:
         out: Dict[str, Tuple[dict, dict]] = {}
         if data.opt != "none":
+            value_facts = data.facts["dataflow.facts"]
             for key, ir in data.netlist.modules.items():
-                cache_key = (key, data.fingerprint(ir.name))
+                mod_facts = value_facts.get(key)
+                digest = mod_facts.digest if mod_facts is not None else ""
+                cache_key = (key, data.fingerprint(ir.name), digest)
                 cached = self._cache.get(cache_key)
                 if cached is not None:
                     data.note_reused(self.name, key)
                 else:
-                    cached = self._find_consts(ir)
+                    stable = mod_facts.stable if mod_facts is not None \
+                        else None
+                    cached = self._find_consts(ir, stable)
                     self._cache[cache_key] = cached
                     data.note_computed(self.name, key)
                 out[key] = cached
         data.facts["opt.consts"] = out
 
     @staticmethod
-    def _find_consts(ir: ModuleIR) -> Tuple[dict, dict]:
+    def _find_consts(ir: ModuleIR,
+                     stable: Optional[dict] = None) -> Tuple[dict, dict]:
         if ir.needs_fixpoint:
             return {}, {}
         blocked: Set[str] = set()
@@ -129,13 +151,18 @@ class ConstPropPass(Pass):
             name = assign.target.name
             if name in blocked:
                 continue
+            declared = ir.signals[name].width
             folded = substitute_expr(assign.value, consts, widths)
             if isinstance(folded, ast.Num):
-                declared = ir.signals[name].width
                 value = num_value(folded)
                 if num_width(folded) > declared:
                     value &= mask_of(declared)
                 consts[name] = value
+                widths[name] = declared
+                continue
+            fact = stable.get(name) if stable is not None else None
+            if fact is not None and fact.is_const:
+                consts[name] = fact.const_value & mask_of(declared)
                 widths[name] = declared
         return consts, widths
 
@@ -163,8 +190,10 @@ class DeadLogicPass(Pass):
 
     Reads are *residual* — computed on the constant-substituted,
     branch-pruned bodies, exactly what codegen will emit — so a signal
-    read only inside a pruned branch keeps nothing alive.  Stands down
-    under sanitize (instrumented reads are side-effecting findings).
+    read only inside a pruned branch keeps nothing alive.  Under
+    sanitize, a value-dead unit is only dropped when the site census
+    proves it emits zero instrumentation (instrumented reads are
+    side-effecting findings); anything carrying a site stays live.
     """
 
     name = "deadlogic"
@@ -172,27 +201,30 @@ class DeadLogicPass(Pass):
     produces = ("opt.dead",)
 
     def __init__(self):
-        self._cache: Dict[Tuple[str, str], DeadFacts] = {}
+        self._cache: Dict[Tuple[str, str, bool], DeadFacts] = {}
 
     def run(self, data: PassData) -> None:
         out: Dict[str, DeadFacts] = {}
-        if data.opt != "none" and not data.sanitize:
+        if data.opt != "none":
             consts_facts = data.facts["opt.consts"]
+            sanitize = bool(data.sanitize)
             for key, ir in data.netlist.modules.items():
-                cache_key = (key, data.fingerprint(ir.name))
+                cache_key = (key, data.fingerprint(ir.name), sanitize)
                 cached = self._cache.get(cache_key)
                 if cached is not None:
                     data.note_reused(self.name, key)
                 else:
                     consts, widths = consts_facts.get(key, ({}, {}))
-                    cached = self._find_dead(ir, consts, widths)
+                    cached = self._find_dead(ir, consts, widths,
+                                             protect_sites=sanitize)
                     self._cache[cache_key] = cached
                     data.note_computed(self.name, key)
                 out[key] = cached
         data.facts["opt.dead"] = out
 
     @staticmethod
-    def _find_dead(ir: ModuleIR, consts: dict, widths: dict) -> DeadFacts:
+    def _find_dead(ir: ModuleIR, consts: dict, widths: dict,
+                   protect_sites: bool = False) -> DeadFacts:
         if ir.needs_fixpoint:
             return _EMPTY_DEAD
         needed: Set[str] = set(ir.outputs)
@@ -213,7 +245,11 @@ class DeadLogicPass(Pass):
                 continue
             if kind == "block":
                 comb = ir.comb_blocks[index]
-                if any(name in needed for name in comb.defines):
+                live = any(name in needed for name in comb.defines)
+                if not live and protect_sites \
+                        and unit_site_count(ir, "block", index):
+                    live = True  # dropping it would silence findings
+                if live:
                     reads = frozenset(
                         _stmts_residual_reads(comb.body, consts, widths)
                     )
@@ -223,7 +259,11 @@ class DeadLogicPass(Pass):
                     dead_blocks.add(index)
             else:  # assign
                 assign = ir.comb_assigns[index]
-                if assign.target.name in needed:
+                live = assign.target.name in needed
+                if not live and protect_sites \
+                        and unit_site_count(ir, "assign", index):
+                    live = True
+                if live:
                     needed |= _expr_residual_reads(
                         assign.value, consts, widths
                     )
@@ -258,11 +298,17 @@ class SensitivityPrunePass(Pass):
     Guards are sound without invalidation because a guarded block's
     outputs are a pure function of its key: block-local defines start
     from a deterministic zero-init, so a stale (key, outputs) pair in
-    state simply never matches a live key it would corrupt.
+    state simply never matches a live key it would corrupt.  That same
+    argument carries under sanitize — a skipped re-eval would only
+    re-report per-site-deduplicated findings — with one rider: every
+    state-introducing transition (swap, checkpoint restore) must land
+    in cold guard slots, which hot reload's ``make_state`` and stage
+    restore both guarantee.  Child skips additionally require the
+    child subtree to be instrumentation-free (san-free).
     """
 
     name = "sensitivity"
-    requires = ("elab.facts", "opt.dead")
+    requires = ("elab.facts", "opt.dead", "sanitize.plan")
     produces = ("opt.sensitivity",)
 
     def __init__(self):
@@ -270,20 +316,25 @@ class SensitivityPrunePass(Pass):
 
     def run(self, data: PassData) -> None:
         out: Dict[str, SensFacts] = {}
-        if data.opt == "full" and not data.sanitize:
+        if data.opt == "full":
             elab = data.facts["elab.facts"]
             dead_facts = data.facts["opt.dead"]
+            san_plan = data.facts["sanitize.plan"]
+            sanitize = san_plan["enabled"]
+            san_free = san_plan["san_free"]
             for key, ir in data.netlist.modules.items():
-                child_purity = tuple(
-                    elab[inst.child_key].pure for inst in ir.instances
+                child_skip = tuple(
+                    elab[inst.child_key].pure
+                    and (not sanitize or inst.child_key in san_free)
+                    for inst in ir.instances
                 )
-                cache_key = (key, data.fingerprint(ir.name), child_purity)
+                cache_key = (key, data.fingerprint(ir.name), child_skip)
                 cached = self._cache.get(cache_key)
                 if cached is not None:
                     data.note_reused(self.name, key)
                 else:
                     cached = self._plan_module(
-                        ir, dead_facts.get(key, _EMPTY_DEAD), child_purity
+                        ir, dead_facts.get(key, _EMPTY_DEAD), child_skip
                     )
                     self._cache[cache_key] = cached
                     data.note_computed(self.name, key)
@@ -292,12 +343,12 @@ class SensitivityPrunePass(Pass):
 
     @staticmethod
     def _plan_module(
-        ir: ModuleIR, dead: DeadFacts, child_purity: Tuple[bool, ...]
+        ir: ModuleIR, dead: DeadFacts, child_skip: Tuple[bool, ...]
     ) -> SensFacts:
         if ir.needs_fixpoint:
             return _EMPTY_SENS
         skip_children = tuple(
-            index for index, pure in enumerate(child_purity) if pure
+            index for index, skip in enumerate(child_skip) if skip
         )
         guards = []
         guard_inputs: Dict[int, Tuple[str, ...]] = {}

@@ -38,6 +38,15 @@ hot swap, which :meth:`repro.live.session.LiveSession.set_sanitize`
 performs.
 """
 
+from .elide import (
+    EMPTY_PLAN,
+    ElisionPlan,
+    build_elision_plan,
+    module_site_count,
+    reg_const_init,
+    san_free_keys,
+    unit_site_count,
+)
 from .runtime import (
     CHECK_KINDS,
     SAN_NB_CONFLICT,
@@ -52,6 +61,8 @@ from .runtime import (
 
 __all__ = [
     "CHECK_KINDS",
+    "EMPTY_PLAN",
+    "ElisionPlan",
     "SAN_NB_CONFLICT",
     "SAN_OOB",
     "SAN_TRUNC",
@@ -60,4 +71,9 @@ __all__ = [
     "SANITIZE_MODES",
     "SanitizerError",
     "SanitizerRuntime",
+    "build_elision_plan",
+    "module_site_count",
+    "reg_const_init",
+    "san_free_keys",
+    "unit_site_count",
 ]

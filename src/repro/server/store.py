@@ -43,7 +43,10 @@ from ..codegen.pygen import CompiledModule
 # v3: CompiledModule grew ``opt`` and ``sens_slot_count`` and the
 # cache key an opt level (per-level artifacts coexist; legacy keys
 # address opt=none).
-STORE_FORMAT = "repro.store/v3"
+# v4: CompiledModule grew ``san_sites``/``san_elided``/
+# ``reg_const_init`` and the cache key a value-facts/plan fingerprint
+# (per-facts artifacts coexist; legacy keys address plan_fp="").
+STORE_FORMAT = "repro.store/v4"
 
 # CompiledModule fields persisted to disk — everything except the
 # three function objects, which are rebuilt from ``source`` on load.
@@ -68,6 +71,9 @@ _PICKLED_FIELDS = (
     "sanitize",
     "opt",
     "sens_slot_count",
+    "san_sites",
+    "san_elided",
+    "reg_const_init",
 )
 
 
@@ -75,12 +81,14 @@ def key_digest(cache_key: Sequence) -> str:
     """Stable content address for one compiler cache key.
 
     Legacy 4-tuple keys (pre-sanitizer) digest identically to the
-    equivalent 6-tuple with ``sanitize=False, opt="none"``; legacy
-    5-tuples likewise address ``opt="none"``.
+    equivalent 7-tuple with ``sanitize=False, opt="none",
+    plan_fp=""``; legacy 5-/6-tuples likewise address the defaults for
+    the components they omit.
     """
     spec, fingerprint, child_fps, mux_style = cache_key[:4]
     sanitize = bool(cache_key[4]) if len(cache_key) > 4 else False
     opt = cache_key[5] if len(cache_key) > 5 else "none"
+    plan_fp = cache_key[6] if len(cache_key) > 6 else ""
     parts = [spec, fingerprint, list(child_fps), mux_style]
     if sanitize:
         # Appended only when set, so clean keys keep their v1 address.
@@ -88,18 +96,23 @@ def key_digest(cache_key: Sequence) -> str:
     if opt != "none":
         # Same discipline: unoptimized keys keep their legacy address.
         parts.append(f"opt:{opt}")
+    if plan_fp:
+        # And again: facts-independent keys keep their legacy address.
+        parts.append(f"plan:{plan_fp}")
     canonical = json.dumps(parts)
     return hashlib.sha256(canonical.encode()).hexdigest()
 
 
 def _normalize_key(cache_key: Sequence) -> tuple:
-    """Canonical 6-tuple form (legacy keys get sanitize=False and/or
-    opt="none")."""
+    """Canonical 7-tuple form (legacy keys get sanitize=False,
+    opt="none", and/or plan_fp="")."""
     key = tuple(cache_key)
     if len(key) == 4:
         key = key + (False,)
     if len(key) == 5:
         key = key + ("none",)
+    if len(key) == 6:
+        key = key + ("",)
     return key
 
 
@@ -175,10 +188,14 @@ class ArtifactStore:
                 "loaded without a sanitize_runtime"
             )
             return None
-        filename = (
-            f"<lhdl:{fields['key']}:san>" if sanitized
-            else f"<lhdl:{fields['key']}>"
-        )
+        plan_fp = cache_key[6] if len(cache_key) > 6 else ""
+        if sanitized:
+            # Mirror compile_module's elided-build flavour so the
+            # linecache entry matches the original compile.
+            flavor = ":san-e" if plan_fp.endswith("+e") else ":san"
+            filename = f"<lhdl:{fields['key']}{flavor}>"
+        else:
+            filename = f"<lhdl:{fields['key']}>"
         opt_level = fields.get("opt", "none")
         if opt_level != "none":
             # Mirror compile_module's per-flavour linecache naming.

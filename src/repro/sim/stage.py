@@ -140,7 +140,7 @@ class StageInst:
         self.state[slot + self.code.num_regs] = value & mask
         if self.code.sanitize:
             self.state[self.code.reg_poison_slot] &= ~(1 << slot)
-        self.state[2 * self.code.num_regs] = None  # invalidate memo
+        self._drop_cached_evals()
 
     def memory(self, name: str) -> List[int]:
         spec = self.code.mem_specs.get(name)
@@ -215,7 +215,7 @@ class StageInst:
                 getattr(snap, "reg_poison", ()),
                 getattr(snap, "mem_poison", {}),
             )
-        self.state[2 * num_regs] = None  # invalidate memo
+        self._drop_cached_evals()
         if len(snap.children) != len(self.children):
             raise SimulationError("snapshot child count mismatch")
         for child, child_snap in zip(self.children, snap.children):
@@ -257,12 +257,24 @@ class StageInst:
                 elif op.kind == "rename" and op.name in carried:
                     carried.discard(op.name)
                     carried.add(op.new_name)
-            fresh = tuple(
-                name
-                for name in self.code.reg_slots
-                if name not in migrated or name in created or name in carried
-            )
-            self._restore_poison(fresh, {})
+            const_init = getattr(self.code, "reg_const_init", {})
+            fresh = []
+            for name in self.code.reg_slots:
+                if name in created or name in carried:
+                    fresh.append(name)
+                elif name not in migrated:
+                    value = const_init.get(name)
+                    if value is None:
+                        fresh.append(name)
+                    else:
+                        # Proven constant from reset (env-tier dataflow
+                        # fact): adopt the proven value, poison-free —
+                        # the "fully-known init" case.
+                        slot = self.code.reg_slots[name]
+                        value &= (1 << self.code.reg_widths[name]) - 1
+                        self.state[slot] = value
+                        self.state[slot + num_regs] = value
+            self._restore_poison(tuple(fresh), {})
         name_map = {name: name for name in snap.mems}
         if transform is not None:
             for op in getattr(transform, "ops", ()):
@@ -299,7 +311,7 @@ class StageInst:
                     ) & ((1 << count) - 1)
                     self.state[spec.poison_slot] = poison
             del self.state[spec.pending_slot][:]
-        self.state[2 * num_regs] = None  # invalidate memo
+        self._drop_cached_evals()
         for child in self.children:
             child_snap = snap.child(child.name)
             if child_snap is not None:
@@ -342,8 +354,25 @@ class StageInst:
             parts.append(child.pending_signature())
         return tuple(parts)
 
+    def _drop_cached_evals(self) -> None:
+        """Clear the eval_out memo and every sensitivity-guard slot.
+
+        Guard clearing is what keeps opt=full guards sound under
+        sanitize: a state mutation outside ``tick`` (poke, restore) can
+        set poison without changing a guard's value key, and a warm
+        guard would then skip the re-evaluation whose register-read
+        hooks report the poisoned read.  Cold slots force one full
+        evaluation after any such transition.
+        """
+        self.state[2 * self.code.num_regs] = None
+        base = self.code.sens_base
+        for g in range(self.code.sens_slot_count):
+            self.state[base + 2 * g] = None
+            self.state[base + 2 * g + 1] = None
+
     def invalidate_cache(self) -> None:
-        """Drop the memoized eval_out result, recursively.
+        """Drop the memoized eval_out result (and any sensitivity-guard
+        state), recursively.
 
         Must be called after mutating state outside ``tick`` — pokes,
         snapshot restores, direct memory writes.  The accessors on this
@@ -351,7 +380,7 @@ class StageInst:
         via :meth:`memory` and write into it need to call this
         themselves (or go through :meth:`write_memory`).
         """
-        self.state[2 * self.code.num_regs] = None
+        self._drop_cached_evals()
         for child in self.children:
             child.invalidate_cache()
 

@@ -12,7 +12,11 @@ from repro.analyze import (
     LATCH,
     MULTI_DRIVER,
     NB_RACE,
+    OOB_INDEX,
+    PROVED_CONDITION,
     SEVERITY_ERROR,
+    TRUNC_LOSS,
+    UNREACHABLE_ARM,
     Analyzer,
     Diagnostic,
     GateBlockedError,
@@ -286,6 +290,140 @@ endmodule
         assert report.diagnostics == []
 
 
+VR_OOB_SRC = """
+module m (
+  input clk,
+  input [7:0] a,
+  output [7:0] y
+);
+  wire [3:0] idx;
+  wire [7:0] mem_out;
+  reg [7:0] store [0:7];
+  assign idx = {2'd2, a[1:0]};
+  assign mem_out = store[idx];
+  assign y = mem_out;
+endmodule
+"""
+
+VR_PROVED_SRC = """
+module m (
+  input clk,
+  input [7:0] a,
+  output [7:0] y,
+  output [7:0] w
+);
+  wire [7:0] b;
+  assign b = a & 8'h0F;
+  assign y = (b < 8'd16) ? b : 8'd0;
+  always @(*) begin
+    case (b)
+      8'd200: w = 8'd1;
+      default: w = 8'd0;
+    endcase
+  end
+endmodule
+"""
+
+VR_TRUNC_SRC = """
+module m (
+  input clk,
+  input [7:0] a,
+  output [1:0] z
+);
+  wire [7:0] big;
+  assign big = (a & 8'h07) + 8'd9;
+  assign z = big[7:0];
+endmodule
+"""
+
+
+class TestValueRangeCheck:
+    def test_provable_oob_memory_index_is_an_error(self):
+        report = analyze_source(VR_OOB_SRC, "m")
+        oob = [d for d in report.diagnostics if d.kind == OOB_INDEX]
+        assert len(oob) == 1
+        assert oob[0].severity == SEVERITY_ERROR
+        assert "'store'" in oob[0].message
+        assert ">= bound 8" in oob[0].message
+        # The derivation chain walks back to the module input.
+        assert oob[0].notes
+        assert any("idx" in note for note in oob[0].notes)
+        assert any("module input" in note for note in oob[0].notes)
+
+    def test_in_bounds_dynamic_index_is_quiet(self):
+        quiet = VR_OOB_SRC.replace("{2'd2, a[1:0]}", "{2'd1, a[1:0]}")
+        report = analyze_source(quiet, "m")
+        assert OOB_INDEX not in kinds_of(report)
+
+    def test_provably_true_condition_and_dead_arm(self):
+        report = analyze_source(VR_PROVED_SRC, "m")
+        proved = [d for d in report.diagnostics
+                  if d.kind == PROVED_CONDITION]
+        assert len(proved) == 1
+        assert "always true" in proved[0].message
+        arms = [d for d in report.diagnostics if d.kind == UNREACHABLE_ARM]
+        assert len(arms) == 1
+        assert "provably unmatchable" in arms[0].message
+
+    def test_provable_truncation_loss(self):
+        report = analyze_source(VR_TRUNC_SRC, "m")
+        lossy = [d for d in report.diagnostics if d.kind == TRUNC_LOSS]
+        assert len(lossy) == 1
+        assert "'z'" in lossy[0].message
+        # explain() renders the chain indented under the finding.
+        rendered = lossy[0].explain()
+        assert rendered.startswith(f"[{TRUNC_LOSS}]")
+        assert "\n    " in rendered
+
+    def test_input_driven_condition_is_quiet(self):
+        report = analyze_source("""
+module m(input [7:0] a, output [7:0] y);
+  assign y = (a < 8'd16) ? a : 8'd0;
+endmodule
+""", "m")
+        assert PROVED_CONDITION not in kinds_of(report)
+
+    def test_counter_design_stays_clean(self):
+        report = analyze_source(COUNTER_SRC, "top")
+        assert report.diagnostics == []
+
+    def test_notes_survive_json_roundtrip(self):
+        report = analyze_source(VR_OOB_SRC, "m")
+        oob = next(d for d in report.diagnostics if d.kind == OOB_INDEX)
+        data = oob.to_json()
+        assert data["notes"] == list(oob.notes)
+
+    def test_parent_edit_changing_facts_reanalyzes_child(self):
+        # Cross-module flow: the child's findings depend on the value
+        # the parent feeds it, so a parent-side edit must re-analyze
+        # the child even though the child's fingerprint is unchanged.
+        parent = """
+module child(input [7:0] v, output [7:0] y);
+  reg [7:0] store [0:7];
+  assign y = store[v[3:0]];
+endmodule
+
+module m(input clk, input [7:0] a, output [7:0] out);
+  wire [7:0] fed;
+  assign fed = a & 8'h07;
+  child u0 (.v(fed), .y(out));
+endmodule
+"""
+        session = LiveSession(parent)
+        session.inst_pipe("p0", session.stage_handle_for("m"))
+        first = session.lint("p0")
+        assert OOB_INDEX not in [d.kind for d in first.diagnostics]
+        edited = parent.replace("a & 8'h07", "(a & 8'h07) + 8'd8")
+        # The proof lands in *child* (unedited) and, being error-class,
+        # the gate blocks the swap outright.
+        with pytest.raises(GateBlockedError) as excinfo:
+            session.apply_change(edited)
+        blocked = excinfo.value.diagnostics
+        assert any(
+            d.kind == OOB_INDEX and d.module == "child" for d in blocked
+        )
+
+
 # ---------------------------------------------------------------------------
 # Analyzer cache
 # ---------------------------------------------------------------------------
@@ -550,6 +688,40 @@ class TestCli:
         _, racy = self._write_designs(tmp_path)
         assert analyze_main([str(racy), "--quiet"]) == 0
         assert analyze_main([str(racy), "--quiet", "--fail-on-error"]) == 3
+
+    def test_explain_appends_derivation_chain(self, tmp_path, capsys):
+        oob = tmp_path / "oob.v"
+        oob.write_text(VR_OOB_SRC)
+        assert analyze_main([str(oob), "--top", "m"]) == 0
+        plain = capsys.readouterr().out
+        assert "oob-index" in plain
+        assert "module input" not in plain  # chain only under --explain
+        assert analyze_main([str(oob), "--top", "m", "--explain"]) == 0
+        explained = capsys.readouterr().out
+        assert "module input" in explained
+
+    def test_explain_lines_are_pre_opt_at_every_level(
+        self, tmp_path, capsys
+    ):
+        # Satellite regression: under --opt full the findings AND the
+        # --explain derivation chains must cite pre-optimization
+        # source lines — byte-identical output across levels.
+        oob = tmp_path / "oob.v"
+        oob.write_text(VR_OOB_SRC)
+        outputs = {}
+        for level in ("none", "basic", "full"):
+            assert analyze_main(
+                [str(oob), "--top", "m", "--explain", "--opt", level]
+            ) == 0
+            outputs[level] = capsys.readouterr().out
+        assert outputs["none"] == outputs["basic"] == outputs["full"]
+        lines = VR_OOB_SRC.splitlines()
+        import re
+
+        chain = re.search(r"idx .*\(line (\d+), assign\)",
+                          outputs["full"])
+        assert chain is not None
+        assert "assign idx" in lines[int(chain.group(1)) - 1]
 
     def test_bad_design_is_a_toolchain_error(self, tmp_path, capsys):
         bad = tmp_path / "bad.v"

@@ -1,20 +1,33 @@
-"""Design lint tests."""
+"""Width/quality check tests (formerly the ``repro.hdl.lint`` suite).
 
+These exercise the checks that predate ``repro.analyze`` — truncation,
+extension, unused-signal, constant-condition — now through the
+Analyzer like everything else.  The deprecated ``repro.hdl.lint`` shim
+is gone; the last test pins that removal.
+"""
 
-from repro.hdl import elaborate, parse
-from repro.hdl.lint import (
+import pytest
+
+from repro.analyze import (
     CONSTANT_CONDITION,
     EXTENSION,
     TRUNCATION,
     UNUSED,
+    Analyzer,
     Diagnostic,
-    lint_netlist,
 )
+from repro.hdl import elaborate, parse
+
+
+def analyze(netlist, kinds=None):
+    found = Analyzer().analyze_netlist(netlist).diagnostics
+    if kinds is not None:
+        found = [d for d in found if d.kind in kinds]
+    return found
 
 
 def diags(source, top="m", kinds=None):
-    netlist = elaborate(parse(source), top)
-    return lint_netlist(netlist, kinds=kinds)
+    return analyze(elaborate(parse(source), top), kinds=kinds)
 
 
 class TestWidthDiagnostics:
@@ -146,12 +159,12 @@ endmodule
 class TestNetlistLint:
     def test_clean_counter_design(self, counter_design):
         netlist, _ = counter_design
-        found = lint_netlist(netlist, kinds={TRUNCATION, UNUSED})
+        found = analyze(netlist, kinds={TRUNCATION, UNUSED})
         assert found == []
 
     def test_pgas_core_is_lint_clean_for_truncation(self, pgas1_netlist_library):
         _, netlist, _ = pgas1_netlist_library
-        found = lint_netlist(netlist, kinds={TRUNCATION})
+        found = analyze(netlist, kinds={TRUNCATION})
         assert found == [], [str(d) for d in found]
 
     def test_diagnostic_str(self):
@@ -169,46 +182,14 @@ endmodule
         assert {d.kind for d in found} == {UNUSED}
 
 
-class TestDeprecationShim:
-    def test_lint_functions_warn(self):
-        import pytest
+class TestShimRemoved:
+    def test_hdl_lint_module_is_gone(self):
+        with pytest.raises(ModuleNotFoundError):
+            import repro.hdl.lint  # noqa: F401
 
-        with pytest.warns(DeprecationWarning, match="repro.analyze.Analyzer"):
-            diags("""
-module m (input clk, input a, output y);
-  assign y = a;
-endmodule
-""")
-
-    def test_package_import_stays_silent(self):
-        # Importing repro.hdl (or reaching any non-lint attribute) must
-        # not fire the shim's module-level DeprecationWarning — the
-        # lazy re-export only loads repro.hdl.lint on first touch.
-        import os
-        import subprocess
-        import sys
-
-        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
-        code = (
-            "import warnings; warnings.simplefilter('error');"
-            "import repro.hdl; repro.hdl.parse; repro.hdl.Diagnostic"
-        )
-        subprocess.run(
-            [sys.executable, "-c", code],
-            check=True,
-            env={**os.environ, "PYTHONPATH": src},
-        )
-
-    def test_lazy_reexport_still_works(self):
-        import warnings
-
-        import pytest
-
+    def test_hdl_package_no_longer_reexports_lint(self):
         import repro.hdl
 
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            assert repro.hdl.lint_netlist is not None
-            assert repro.hdl.lint_module is not None
-        with pytest.raises(AttributeError):
-            repro.hdl.no_such_symbol
+        for name in ("lint", "lint_module", "lint_netlist"):
+            with pytest.raises(AttributeError):
+                getattr(repro.hdl, name)

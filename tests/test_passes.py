@@ -197,11 +197,22 @@ class TestStoreKeySeparation:
         assert key_digest(self.KEY + (False,)) == key_digest(
             self.KEY + (False, "none")
         )
+        # ... and plan_fp="" (the v4 component): same address either way.
+        assert key_digest(self.KEY) == key_digest(
+            self.KEY + (False, "none", "")
+        )
+
+    def test_plan_fp_addresses_distinct_artifacts(self):
+        base = self.KEY + (True, "none", "")
+        elided = self.KEY + (True, "none", "abc123+e")
+        assert key_digest(base) != key_digest(elided)
 
     def test_normalize_pads_legacy_tuples(self):
-        assert _normalize_key(self.KEY) == self.KEY + (False, "none")
-        assert _normalize_key(self.KEY + (True,)) == self.KEY + (True, "none")
-        full = self.KEY + (False, "full")
+        assert _normalize_key(self.KEY) == self.KEY + (False, "none", "")
+        assert _normalize_key(self.KEY + (True,)) == self.KEY + (
+            True, "none", ""
+        )
+        full = self.KEY + (False, "full", "d1gest")
         assert _normalize_key(full) == full
 
     def test_store_roundtrip_preserves_opt_fields(self, tmp_path):
@@ -267,6 +278,61 @@ class TestPassCacheIncrementality:
         assert data["opt"] == "full"
         assert set(data["pass_computed_keys"]) >= {"constprop"}
         assert isinstance(data["pass_reused_keys"], dict)
+
+
+class TestDataflowCacheMatrix:
+    """Satellite: a hot reload of one module must not recompute
+    ``dataflow.facts`` for clean modules — at every (opt, sanitize)
+    combination that runs the pass at all."""
+
+    MATRIX = [
+        (opt, sanitize)
+        for opt in ("none", "basic", "full")
+        for sanitize in ("off", "report")
+    ]
+
+    def _session(self, opt, sanitize):
+        session = LiveSession(
+            COUNTER_SRC, checkpoint_interval=10, opt=opt, sanitize=sanitize
+        )
+        session.inst_pipe("p0", session.stage_handle_for("top"))
+        tb = session.load_testbench(hold_inputs(rst=0))
+        return session, tb
+
+    @pytest.mark.parametrize("opt,sanitize", MATRIX)
+    def test_hot_reload_keeps_clean_module_facts(self, opt, sanitize):
+        session, tb = self._session(opt, sanitize)
+        session.run(tb, "p0", 8)
+        report = session.apply_change(ADDER_EDIT)
+        computed = report.pass_computed_keys.get("dataflow", [])
+        reused = report.pass_reused_keys.get("dataflow", [])
+        if opt == "none" and sanitize == "off":
+            # Gated off: nothing downstream consumes the facts.
+            assert computed == [] and reused == []
+        else:
+            # Only the edited adder recomputes; its boundary facts are
+            # unchanged, so counter/top ride the facts cache.
+            assert computed and all("adder" in key for key in computed), (
+                computed,
+            )
+            assert any("counter" in key for key in reused), reused
+            assert any("top" in key for key in reused), reused
+        # And the swap itself stayed live: same cycle, still running.
+        assert session.pipe("p0").cycle == 8
+        session.run(tb, "p0", 2)
+        assert session.pipe("p0").cycle == 10
+
+    @pytest.mark.parametrize("sanitize", ["off", "report"])
+    def test_facts_ride_cache_when_only_opt_level_toggles(self, sanitize):
+        session, tb = self._session("basic", sanitize)
+        session.run(tb, "p0", 4)
+        result = session.set_opt("full")
+        assert result["level"] == "full"
+        report = session._pipe_sessions["p0"].compile_result.report
+        # The toggle recompiles codegen but the netlist is untouched:
+        # every dataflow key must come from the cache.
+        assert not report.pass_computed.get("dataflow")
+        assert len(report.pass_reused.get("dataflow", [])) == 3
 
 
 class TestLiveOptToggle:
